@@ -1,0 +1,47 @@
+// Extension bench: multi-core kernel scaling (the paper's future work —
+// "develop a multi-core architecture where multiple DNA fragments are
+// mapped at the same time"). Sweeps the number of modeled query engines
+// and reports kernel time and scaling efficiency for a fixed batch.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mapper/fpga_mapper.hpp"
+#include "mapper/software_mapper.hpp"
+#include "sim/read_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bwaver;
+  using namespace bwaver::bench;
+
+  const auto setup = parse_setup(argc, argv, /*default_scale=*/0.05);
+  print_header("Extension: multi-engine kernel scaling", setup);
+
+  const auto genome = ecoli_reference(setup);
+  ReadSimConfig rc;
+  rc.num_reads = scaled(400'000, setup.scale * 5);
+  rc.read_length = 40;
+  rc.mapping_ratio = 0.9;
+  const ReadBatch batch = ReadBatch::from_simulated(simulate_reads(genome, rc));
+  const BwaverCpuMapper cpu(genome, RrrParams{15, 50});
+  std::printf("reference: %zu bp, reads: %zu x %u bp\n\n", genome.size(), batch.size(),
+              rc.read_length);
+
+  std::printf("%8s %16s %12s %12s\n", "engines", "kernel [ms]", "speed-up",
+              "efficiency");
+  double base_ms = 0.0;
+  for (unsigned engines : {1u, 2u, 4u, 8u, 16u}) {
+    DeviceSpec spec;
+    spec.num_query_engines = engines;
+    BwaverFpgaMapper fpga(cpu.index(), spec);
+    FpgaMapReport report;
+    fpga.map(batch, &report);
+    const double ms = report.kernel_seconds * 1e3;
+    if (engines == 1) base_ms = ms;
+    std::printf("%8u %16.3f %11.2fx %11.0f%%\n", engines, ms, base_ms / ms,
+                100.0 * base_ms / ms / engines);
+  }
+  std::printf("\nnote: the model assumes each engine gets its own BRAM read port;\n"
+              "real fabric limits port replication, so treat >4 engines as the\n"
+              "upper bound the paper's future-work direction could reach.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Every bench accepts `--scale F` (default well under the paper's workload
+// so the whole suite runs in minutes on a laptop) and `--full` to run the
+// paper-sized experiment. Output is a stdout table shaped like the paper's,
+// with the paper's own numbers printed alongside for comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "app/cli.hpp"
+#include "sim/genome_sim.hpp"
+
+namespace bwaver::bench {
+
+struct ScaledSetup {
+  double scale = 1.0;     ///< fraction of the paper workload
+  bool full = false;
+  std::uint64_t seed = 42;
+};
+
+inline ScaledSetup parse_setup(int argc, char** argv, double default_scale) {
+  ArgParser args(argc, argv);
+  ScaledSetup setup;
+  setup.full = args.has("full");
+  setup.scale = setup.full ? 1.0 : args.get_double("scale", default_scale);
+  setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return setup;
+}
+
+inline std::size_t scaled(std::size_t paper_value, double scale) {
+  const auto value = static_cast<std::size_t>(static_cast<double>(paper_value) * scale);
+  return value == 0 ? 1 : value;
+}
+
+inline void print_header(const std::string& title, const ScaledSetup& setup) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("scale: %.4f of the paper workload%s (use --full for paper size)\n",
+              setup.scale, setup.full ? " [FULL]" : "");
+  std::printf("==============================================================\n");
+}
+
+/// E. coli-like reference at `scale` of the paper's 4,641,652 bp.
+inline std::vector<std::uint8_t> ecoli_reference(const ScaledSetup& setup) {
+  GenomeSimConfig config = ecoli_like_config(setup.seed);
+  config.length = scaled(config.length, setup.scale);
+  return simulate_genome(config);
+}
+
+/// Human-chr21-like reference at `scale` of the paper's 40,088,619 bp.
+inline std::vector<std::uint8_t> chr21_reference(const ScaledSetup& setup) {
+  GenomeSimConfig config = chr21_like_config(setup.seed);
+  config.length = scaled(config.length, setup.scale);
+  return simulate_genome(config);
+}
+
+}  // namespace bwaver::bench

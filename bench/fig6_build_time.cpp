@@ -1,0 +1,55 @@
+// Figure 6 reproduction: succinct-structure *building* time (the pipeline's
+// "BWT encoding" step) for the E. coli and chr21 references across (b, sf).
+//
+// Paper finding: encoding time depends directly on the block size, and is
+// almost constant in the superblock factor.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fmindex/bwt.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "succinct/global_rank_table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace bwaver;
+using namespace bwaver::bench;
+
+void run_reference(const char* label, const std::vector<std::uint8_t>& genome) {
+  const Bwt bwt = build_bwt(genome);
+  std::printf("\n--- %s: %zu bp ---\n", label, genome.size());
+  std::printf("%4s %6s %18s %20s\n", "b", "sf", "inverse-table [ms]",
+              "paper-style scan [ms]");
+  for (unsigned b : {5u, 10u, 15u}) {
+    for (unsigned sf : {50u, 100u, 150u, 200u}) {
+      // Warm the shared tables so Fig. 6 measures encoding, not table setup.
+      (void)GlobalRankTable::get(b);
+      WallTimer timer;
+      const RrrWaveletOcc fast(bwt.symbols,
+                               RrrParams{b, sf, RrrEncodeMode::kInverseTable});
+      const double fast_ms = timer.milliseconds();
+      timer.reset();
+      const RrrWaveletOcc scan(bwt.symbols,
+                               RrrParams{b, sf, RrrEncodeMode::kTableScan});
+      const double scan_ms = timer.milliseconds();
+      std::printf("%4u %6u %18.2f %20.2f\n", b, sf, fast_ms, scan_ms);
+      (void)fast;
+      (void)scan;
+    }
+  }
+  std::printf("paper finding (their encoder scans the shared table): time rises\n"
+              "with b, ~flat in sf — the scan column; the inverse-table column\n"
+              "is this implementation's O(1)-per-block improvement.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto setup = parse_setup(argc, argv, /*default_scale=*/0.1);
+  print_header("Figure 6: data structure building time vs (b, sf)", setup);
+
+  run_reference("E.Coli-like", ecoli_reference(setup));
+  run_reference("Human Chr.21-like", chr21_reference(setup));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 7 reproduction: time to map ~240k 100 bp reads against the E. coli
+// and chr21 references, sweeping the mapping ratio (0..100%) and, for
+// E. coli, the (b, sf) parameters.
+//
+// Paper findings to check:
+//   * mapping time grows with both b-scan cost (sf) and with the mapping
+//     ratio (non-mapping reads exit the backward search early);
+//   * mapping time does NOT depend on the reference length (compare the
+//     E. coli and chr21 columns at the same ratio).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mapper/fpga_mapper.hpp"
+#include "mapper/software_mapper.hpp"
+#include "sim/read_sim.hpp"
+
+namespace {
+
+using namespace bwaver;
+using namespace bwaver::bench;
+
+constexpr std::size_t kPaperReads = 240'000;
+constexpr unsigned kReadLength = 100;
+
+ReadBatch make_reads(const std::vector<std::uint8_t>& genome, std::size_t count,
+                     double ratio, std::uint64_t seed) {
+  ReadSimConfig config;
+  config.num_reads = count;
+  config.read_length = kReadLength;
+  config.mapping_ratio = ratio;
+  config.seed = seed;
+  return ReadBatch::from_simulated(simulate_reads(genome, config));
+}
+
+void sweep_reference(const char* label, const std::vector<std::uint8_t>& genome,
+                     std::size_t reads, bool sweep_params) {
+  std::printf("\n--- %s: %zu bp reference, %zu reads x %u bp ---\n", label,
+              genome.size(), reads, kReadLength);
+  std::printf("%4s %6s %8s %16s %18s\n", "b", "sf", "mapped%", "CPU time [ms]",
+              "FPGA model [ms]");
+
+  const std::vector<RrrParams> params =
+      sweep_params ? std::vector<RrrParams>{{5, 50}, {15, 50}, {15, 100}, {15, 200}}
+                   : std::vector<RrrParams>{{15, 50}};
+  for (const RrrParams p : params) {
+    const BwaverCpuMapper mapper(genome, p);
+    BwaverFpgaMapper fpga(mapper.index());
+    for (double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      const ReadBatch batch = make_reads(genome, reads, ratio, 7 + p.block_bits);
+      SoftwareMapReport sw;
+      mapper.map(batch, 1, &sw);
+      FpgaMapReport hw;
+      fpga.map(batch, &hw);
+      std::printf("%4u %6u %7.0f%% %16.1f %18.3f\n", p.block_bits,
+                  p.superblock_factor, ratio * 100, sw.seconds * 1e3,
+                  hw.mapping_seconds() * 1e3);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto setup = parse_setup(argc, argv, /*default_scale=*/0.02);
+  print_header("Figure 7: mapping time vs mapping ratio", setup);
+  const std::size_t reads = scaled(kPaperReads, setup.scale);
+
+  sweep_reference("E.Coli-like", ecoli_reference(setup), reads, /*sweep_params=*/true);
+  // Use a lighter reference scale for chr21 so the bench stays laptop-sized;
+  // the reference-length independence is exactly what the figure shows.
+  sweep_reference("Human Chr.21-like", chr21_reference(setup), reads,
+                  /*sweep_params=*/false);
+
+  std::printf("\npaper findings to check: time rises with ratio and with b/sf;\n"
+              "time is independent of reference size at equal ratio.\n");
+  return 0;
+}

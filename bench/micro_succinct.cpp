@@ -1,0 +1,125 @@
+// Google-benchmark micro suite: RRR rank latency vs (b, sf), wavelet-tree
+// symbol rank, plain/sampled rank baselines, SA-IS construction throughput,
+// and a single backward-search step. These are the primitive costs the
+// paper's architecture is built from.
+#include <benchmark/benchmark.h>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "fmindex/suffix_array.hpp"
+#include "succinct/rank_support.hpp"
+#include "succinct/rrr_vector.hpp"
+#include "succinct/wavelet_tree.hpp"
+#include "sim/genome_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bwaver;
+
+BitVector random_bits(std::size_t n, double density, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVector bv;
+  for (std::size_t i = 0; i < n; ++i) bv.push_back(rng.chance(density));
+  return bv;
+}
+
+void BM_RrrRank(benchmark::State& state) {
+  const unsigned b = static_cast<unsigned>(state.range(0));
+  const unsigned sf = static_cast<unsigned>(state.range(1));
+  const std::size_t n = 1 << 20;
+  const BitVector bits = random_bits(n, 0.5, 1);
+  const RrrVector rrr(bits, RrrParams{b, sf});
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrr.rank1(rng.below(n + 1)));
+  }
+  state.SetLabel("b=" + std::to_string(b) + " sf=" + std::to_string(sf));
+}
+BENCHMARK(BM_RrrRank)
+    ->Args({15, 50})
+    ->Args({15, 100})
+    ->Args({15, 200})
+    ->Args({7, 50})
+    ->Args({5, 50});
+
+void BM_PlainRank(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  const PlainRankBitVector plain(random_bits(n, 0.5, 3));
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plain.rank1(rng.below(n + 1)));
+  }
+}
+BENCHMARK(BM_PlainRank);
+
+void BM_WaveletRank(benchmark::State& state) {
+  const unsigned sf = static_cast<unsigned>(state.range(0));
+  GenomeSimConfig config;
+  config.length = 1 << 20;
+  const auto genome = simulate_genome(config);
+  const RrrParams params{15, sf};
+  const WaveletTree<RrrVector> tree(
+      genome, 4, [params](const BitVector& bits) { return RrrVector(bits, params); });
+  Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.rank(static_cast<std::uint8_t>(rng.below(4)), rng.below(genome.size())));
+  }
+  state.SetLabel("sf=" + std::to_string(sf));
+}
+BENCHMARK(BM_WaveletRank)->Arg(50)->Arg(200);
+
+void BM_SampledOccRank(benchmark::State& state) {
+  GenomeSimConfig config;
+  config.length = 1 << 20;
+  const auto genome = simulate_genome(config);
+  const SampledOcc occ(genome, static_cast<unsigned>(state.range(0)));
+  Xoshiro256 rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        occ.rank(static_cast<std::uint8_t>(rng.below(4)), rng.below(genome.size())));
+  }
+}
+BENCHMARK(BM_SampledOccRank)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SuffixArrayConstruction(benchmark::State& state) {
+  GenomeSimConfig config;
+  config.length = static_cast<std::size_t>(state.range(0));
+  const auto genome = simulate_genome(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_suffix_array(genome));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SuffixArrayConstruction)->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_RrrEncode(benchmark::State& state) {
+  const BitVector bits = random_bits(1 << 20, 0.5, 7);
+  const RrrParams params{static_cast<unsigned>(state.range(0)), 50};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RrrVector(bits, params));
+  }
+  state.SetLabel("b=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_RrrEncode)->Arg(5)->Arg(10)->Arg(15)->Unit(benchmark::kMillisecond);
+
+void BM_BackwardSearchStep(benchmark::State& state) {
+  GenomeSimConfig config;
+  config.length = 1 << 20;
+  const auto genome = simulate_genome(config);
+  const FmIndex<RrrWaveletOcc> index(
+      genome, [](std::span<const std::uint8_t> bwt) {
+        return RrrWaveletOcc(bwt, RrrParams{15, 50});
+      });
+  Xoshiro256 rng(8);
+  SaInterval iv = index.full_interval();
+  for (auto _ : state) {
+    iv = index.step(iv, static_cast<std::uint8_t>(rng.below(4)));
+    if (iv.empty()) iv = index.full_interval();
+    benchmark::DoNotOptimize(iv);
+  }
+}
+BENCHMARK(BM_BackwardSearchStep);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Shared row engine for the Table I / Table II reproductions: runs BWaveR
+// on the FPGA model, BWaveR pure-software, and the Bowtie2-like baseline at
+// 1/8/16 threads over one read batch, then prints time / speed-up / power
+// efficiency exactly in the paper's layout, with the paper's own numbers
+// alongside.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "fpga/power.hpp"
+#include "mapper/fpga_mapper.hpp"
+#include "mapper/software_mapper.hpp"
+
+namespace bwaver::bench {
+
+struct PaperRow {
+  double fpga_ms;
+  double cpu_ms;
+  double bowtie_1t_ms;
+  double bowtie_8t_ms;
+  double bowtie_16t_ms;
+};
+
+struct MeasuredRow {
+  double fpga_s = 0;
+  double fpga_program_s = 0;  ///< fixed structure-load overhead within fpga_s
+  double cpu_s = 0;
+  double bowtie_s[3] = {0, 0, 0};  // 1, 8, 16 threads
+  std::uint64_t mapped = 0;
+};
+
+inline MeasuredRow run_performance_row(const BwaverCpuMapper& bwaver,
+                                       const Bowtie2LikeMapper& bowtie,
+                                       const ReadBatch& batch) {
+  MeasuredRow row;
+
+  BwaverFpgaMapper fpga(bwaver.index());
+  FpgaMapReport hw;
+  fpga.map(batch, &hw);
+  row.fpga_s = hw.total_seconds();
+  row.fpga_program_s = hw.program_seconds;
+  row.mapped = hw.mapped;
+
+  SoftwareMapReport sw;
+  bwaver.map(batch, 1, &sw);
+  row.cpu_s = sw.seconds;
+
+  const unsigned threads[3] = {1, 8, 16};
+  for (int t = 0; t < 3; ++t) {
+    SoftwareMapReport report;
+    bowtie.map(batch, threads[t], &report);
+    row.bowtie_s[t] = report.seconds;
+  }
+  return row;
+}
+
+inline void print_performance_row(const MeasuredRow& m, const PaperRow& paper,
+                                  const DeviceSpec& spec) {
+  const PowerReport fpga_power{m.fpga_s, spec.board_power_watts};
+  auto line = [&](const char* name, double seconds, double paper_ms) {
+    const PowerReport power{seconds, name == std::string("BWaveR FPGA")
+                                         ? spec.board_power_watts
+                                         : spec.reference_cpu_watts};
+    std::printf("  %-18s %12.1f %10.2fx %10.2fx   (paper: %9.0f ms, %6.2fx)\n", name,
+                seconds * 1e3, speedup_ratio(m.fpga_s, seconds),
+                power_efficiency_ratio(fpga_power, power), paper_ms,
+                paper_ms / paper.fpga_ms);
+  };
+  std::printf("  %-18s %12s %11s %11s\n", "", "time [ms]", "speed-up",
+              "power-eff");
+  line("BWaveR FPGA", m.fpga_s, paper.fpga_ms);
+  line("BWaveR CPU", m.cpu_s, paper.cpu_ms);
+  line("Bowtie2 1 thread", m.bowtie_s[0], paper.bowtie_1t_ms);
+  line("Bowtie2 8 threads", m.bowtie_s[1], paper.bowtie_8t_ms);
+  line("Bowtie2 16 threads", m.bowtie_s[2], paper.bowtie_16t_ms);
+  std::printf("  (FPGA row = %.1f ms fixed program/load + %.1f ms mapping)\n",
+              m.fpga_program_s * 1e3, (m.fpga_s - m.fpga_program_s) * 1e3);
+}
+
+}  // namespace bwaver::bench

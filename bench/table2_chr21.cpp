@@ -1,0 +1,64 @@
+// Table II reproduction: 1 / 10 / 100 M x 40 bp reads against the
+// Human-chr21 reference, b=15, sf=50, same five engines as Table I.
+//
+// Paper numbers (ms):
+//   1 M:   FPGA 242,  CPU 3302   (13.62x), Bowtie2 1891/344/180
+//   10 M:  FPGA 460,  CPU 28658  (62.4x),  Bowtie2 19126/3483/1823
+//   100 M: FPGA 3783, CPU 266253 (70.39x), Bowtie2 192075/35969/18575
+//
+// The paper's observation to reproduce: the structure-load overhead is
+// fixed, so the FPGA speed-up *grows* with batch size (13.6x -> 70.4x).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "perf_table.hpp"
+#include "sim/read_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bwaver;
+  using namespace bwaver::bench;
+
+  const auto setup = parse_setup(argc, argv, /*default_scale=*/0.01);
+  print_header("Table II: 1/10/100M x 40bp reads on Chr.21 (b=15, sf=50)", setup);
+
+  // Keep the reference at a laptop-friendly scale too; search time is
+  // independent of reference size (Fig. 7), so rows keep their shape.
+  const auto genome = chr21_reference(setup);
+  std::printf("reference: %zu bp\n", genome.size());
+
+  const BwaverCpuMapper bwaver(genome, RrrParams{15, 50});
+  const Bowtie2LikeMapper bowtie(genome);
+
+  const std::size_t paper_reads[3] = {1'000'000, 10'000'000, 100'000'000};
+  const PaperRow paper_rows[3] = {
+      {242, 3302, 1891, 344, 180},
+      {460, 28658, 19126, 3483, 1823},
+      {3783, 266253, 192075, 35969, 18575},
+  };
+
+  double fpga_speedup_first = 0, fpga_speedup_last = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t reads = scaled(paper_reads[i], setup.scale);
+    std::printf("\n--- %zu reads (paper: %zu) ---\n", reads, paper_reads[i]);
+
+    ReadSimConfig rc;
+    rc.num_reads = reads;
+    rc.read_length = 40;
+    rc.mapping_ratio = 0.9;
+    rc.seed = setup.seed + static_cast<std::uint64_t>(i);
+    const ReadBatch batch = ReadBatch::from_simulated(simulate_reads(genome, rc));
+
+    const MeasuredRow row = run_performance_row(bwaver, bowtie, batch);
+    print_performance_row(row, paper_rows[i], DeviceSpec{});
+    const double speedup = row.cpu_s / row.fpga_s;
+    if (i == 0) fpga_speedup_first = speedup;
+    if (i == 2) fpga_speedup_last = speedup;
+  }
+
+  std::printf("\nshape check (paper: 13.6x at 1M -> 70.4x at 100M): "
+              "measured %.1fx -> %.1fx (%s)\n",
+              fpga_speedup_first, fpga_speedup_last,
+              fpga_speedup_last > fpga_speedup_first ? "speed-up grows with batch, OK"
+                                                     : "UNEXPECTED");
+  return 0;
+}

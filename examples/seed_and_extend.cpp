@@ -1,0 +1,148 @@
+// Seed-and-extend scenario (paper introduction: "most of the existing
+// aligners ... rely on a seed-and-extend strategy where the mapping of
+// short DNA fragments is used to determine candidate loci").
+//
+// Long reads with sequencing errors cannot exact-match, so we:
+//   1. chop each read into short seeds,
+//   2. exact-map the seeds with BWaveR (the accelerated stage),
+//   3. vote on candidate loci and verify each with a banded
+//      Smith-Waterman-style extension on the host.
+//
+//   $ ./seed_and_extend [--reads N] [--error-rate F]
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "app/cli.hpp"
+#include "fmindex/dna.hpp"
+#include "mapper/fpga_mapper.hpp"
+#include "mapper/software_mapper.hpp"
+#include "sim/genome_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bwaver;
+
+/// Banded alignment score of `read` against reference[pos..]: match +2,
+/// mismatch -1, gaps -2, band +-8. Good enough to verify a candidate locus.
+int banded_extend(std::span<const std::uint8_t> reference, std::size_t pos,
+                  std::span<const std::uint8_t> read) {
+  constexpr int kBand = 8, kMatch = 2, kMismatch = -1, kGap = -2;
+  const std::size_t m = read.size();
+  const std::size_t n = std::min(reference.size() - pos, m + kBand);
+  const int kNegInf = -1'000'000;
+
+  std::vector<int> prev(n + 1, kNegInf), curr(n + 1, kNegInf);
+  for (std::size_t j = 0; j <= std::min<std::size_t>(n, kBand); ++j) {
+    prev[j] = static_cast<int>(j) * kGap;
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    const std::size_t lo = i > kBand ? i - kBand : 0;
+    const std::size_t hi = std::min(n, i + kBand);
+    std::fill(curr.begin(), curr.end(), kNegInf);
+    if (lo == 0) curr[0] = static_cast<int>(i) * kGap;
+    for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi; ++j) {
+      const int diag = prev[j - 1] == kNegInf
+                           ? kNegInf
+                           : prev[j - 1] + (read[i - 1] == reference[pos + j - 1]
+                                                ? kMatch
+                                                : kMismatch);
+      const int up = prev[j] == kNegInf ? kNegInf : prev[j] + kGap;
+      const int left = curr[j - 1] == kNegInf ? kNegInf : curr[j - 1] + kGap;
+      curr[j] = std::max({diag, up, left});
+    }
+    std::swap(prev, curr);
+  }
+  return *std::max_element(prev.begin(), prev.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::size_t num_reads = static_cast<std::size_t>(args.get_int("reads", 500));
+  const double error_rate = args.get_double("error-rate", 0.03);
+  constexpr unsigned kReadLength = 600;
+  constexpr unsigned kSeedLength = 24;
+  constexpr unsigned kSeedStride = 50;
+
+  GenomeSimConfig gconfig;
+  gconfig.length = 1'000'000;
+  gconfig.seed = 3;
+  const auto genome = simulate_genome(gconfig);
+  const BwaverCpuMapper mapper(genome, RrrParams{15, 50});
+  BwaverFpgaMapper fpga(mapper.index());
+  std::printf("reference: %zu bp; %zu long reads x %u bp at %.1f%% error\n",
+              genome.size(), num_reads, kReadLength, error_rate * 100);
+
+  // Simulate error-ridden long reads.
+  Xoshiro256 rng(17);
+  struct LongRead {
+    std::vector<std::uint8_t> codes;
+    std::uint32_t origin;
+  };
+  std::vector<LongRead> reads(num_reads);
+  for (auto& read : reads) {
+    read.origin = static_cast<std::uint32_t>(rng.below(genome.size() - kReadLength));
+    read.codes.assign(genome.begin() + read.origin,
+                      genome.begin() + read.origin + kReadLength);
+    for (auto& base : read.codes) {
+      if (rng.chance(error_rate)) {
+        base = static_cast<std::uint8_t>((base + 1 + rng.below(3)) & 3);
+      }
+    }
+  }
+
+  // Stage 1+2: chop into seeds and exact-map them on the FPGA model.
+  ReadBatch seeds;
+  std::vector<std::size_t> seed_owner;  // read index per seed
+  std::vector<unsigned> seed_offset;    // seed start within its read
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    for (unsigned off = 0; off + kSeedLength <= kReadLength; off += kSeedStride) {
+      seeds.add(std::span<const std::uint8_t>(reads[r].codes.data() + off, kSeedLength));
+      seed_owner.push_back(r);
+      seed_offset.push_back(off);
+    }
+  }
+  FpgaMapReport report;
+  const auto seed_hits = fpga.map(seeds, &report);
+  std::printf("seeding: %zu seeds, %llu mapped, modeled FPGA time %.3f ms\n",
+              seeds.size(), static_cast<unsigned long long>(report.mapped),
+              report.mapping_seconds() * 1e3);
+
+  // Stage 3: vote on candidate loci and verify by banded extension.
+  const auto& sa = mapper.index().suffix_array();
+  std::size_t recovered = 0;
+  constexpr std::uint32_t kMaxHitsPerSeed = 16;  // skip repetitive seeds
+  for (std::size_t r = 0; r < reads.size(); ++r) {
+    std::map<std::uint32_t, unsigned> votes;
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      if (seed_owner[s] != r) continue;
+      const auto& hit = seed_hits[s];
+      if (!hit.fwd_mapped() || hit.fwd_hi - hit.fwd_lo > kMaxHitsPerSeed) continue;
+      for (std::uint32_t row = hit.fwd_lo; row < hit.fwd_hi; ++row) {
+        const std::uint32_t locus =
+            sa[row] >= seed_offset[s] ? sa[row] - seed_offset[s] : 0;
+        ++votes[locus];
+      }
+    }
+    // Extend the best-voted locus.
+    std::uint32_t best_locus = 0;
+    unsigned best_votes = 0;
+    for (const auto& [locus, count] : votes) {
+      if (count > best_votes) {
+        best_votes = count;
+        best_locus = locus;
+      }
+    }
+    if (best_votes == 0) continue;
+    const int score = banded_extend(genome, best_locus, reads[r].codes);
+    const int accept = static_cast<int>(kReadLength);  // >= half of perfect 2L
+    if (score >= accept && best_locus == reads[r].origin) ++recovered;
+  }
+  std::printf("extension: %zu/%zu long reads recovered at their true locus\n",
+              recovered, num_reads);
+  return recovered * 100 >= num_reads * 90 ? 0 : 1;  // expect >=90% recovery
+}

@@ -1,0 +1,275 @@
+// bwaver — command-line front-end for the BWaveR pipeline.
+//
+// Subcommands:
+//   simulate-genome  --preset ecoli|chr21 | --length N [--gc F] [--seed S] --out ref.fa[.gz]
+//   simulate-reads   --ref ref.fa[.gz] --num N --length L [--mapping-ratio F] --out reads.fq[.gz]
+//   index            --ref ref.fa[.gz] --out ref.bwvr            (pipeline step 1)
+//   map              --index ref.bwvr --reads reads.fq[.gz] --out out.sam
+//                    [--engine fpga|cpu|bowtie2like] [--threads T] [--b B] [--sf SF]
+//   map-approx       --index ref.bwvr --reads reads.fq[.gz] [--mismatches K<=2]
+//                    staged exact -> 1-mm -> 2-mm mapping (FPGA model)
+//   map-paired       --index ref.bwvr --reads1 m1.fq[.gz] --reads2 m2.fq[.gz]
+//                    [--min-insert N] [--max-insert N] [--threads T]
+//   pipeline         --ref ref.fa[.gz] --reads reads.fq[.gz] --out out.sam [same options]
+//   stats            --index ref.bwvr [--b B] [--sf SF]   entropy/size/device-fit report
+//   serve            [--port P] [--b B] [--sf SF] [--engine ...]  web front-end
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include <thread>
+
+#include "app/cli.hpp"
+#include "app/web_service.hpp"
+#include "fmindex/dna.hpp"
+#include "fmindex/index_stats.hpp"
+#include "io/fasta.hpp"
+#include "io/fastq.hpp"
+#include "mapper/paired_end.hpp"
+#include "mapper/pipeline.hpp"
+#include "mapper/staged_mapper.hpp"
+#include "sim/genome_sim.hpp"
+#include "sim/read_sim.hpp"
+
+namespace {
+
+using namespace bwaver;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bwaver <simulate-genome|simulate-reads|index|map|map-approx|"
+               "pipeline|serve> [options]\n"
+               "run `bwaver <subcommand>` with no options for details in the header "
+               "of src/app/bwaver_main.cpp\n");
+  return 2;
+}
+
+MappingEngine parse_engine(const std::string& name) {
+  if (name == "fpga") return MappingEngine::kFpga;
+  if (name == "cpu") return MappingEngine::kCpu;
+  if (name == "bowtie2like") return MappingEngine::kBowtie2Like;
+  throw std::invalid_argument("unknown engine: " + name);
+}
+
+PipelineConfig config_from_args(const ArgParser& args) {
+  PipelineConfig config;
+  config.rrr.block_bits = static_cast<unsigned>(args.get_int("b", 15));
+  config.rrr.superblock_factor = static_cast<unsigned>(args.get_int("sf", 50));
+  config.engine = parse_engine(args.get("engine", "fpga"));
+  config.threads = static_cast<unsigned>(args.get_int("threads", 1));
+  return config;
+}
+
+int cmd_simulate_genome(const ArgParser& args) {
+  GenomeSimConfig config;
+  const std::string preset = args.get("preset");
+  if (preset == "ecoli") {
+    config = ecoli_like_config(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  } else if (preset == "chr21") {
+    config = chr21_like_config(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  } else if (!preset.empty()) {
+    std::fprintf(stderr, "unknown preset '%s' (ecoli|chr21)\n", preset.c_str());
+    return 2;
+  }
+  config.length = static_cast<std::size_t>(
+      args.get_int("length", static_cast<std::int64_t>(config.length)));
+  config.gc_content = args.get_double("gc", config.gc_content);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  const std::string out = args.get("out", "reference.fa");
+  const std::string name =
+      args.get("name", preset.empty() ? "synthetic" : preset + "_like");
+  const FastaRecord record{name, simulate_genome_string(config)};
+  write_fasta(out, std::span<const FastaRecord>(&record, 1), ends_with(out, ".gz"));
+  std::printf("wrote %zu bp reference to %s\n", record.sequence.size(), out.c_str());
+  return 0;
+}
+
+int cmd_simulate_reads(const ArgParser& args) {
+  const std::string ref_path = args.get("ref");
+  if (ref_path.empty()) return usage();
+  const auto records = read_fasta(ref_path);
+  const auto reference =
+      dna_encode_string(records.front().sequence, /*substitute_invalid=*/true);
+
+  ReadSimConfig config;
+  config.num_reads = static_cast<std::size_t>(args.get_int("num", 1000));
+  config.read_length = static_cast<unsigned>(args.get_int("length", 100));
+  config.mapping_ratio = args.get_double("mapping-ratio", 1.0);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+  const auto reads = simulate_reads(reference, config);
+  const auto fastq = reads_to_fastq(reads);
+  const std::string out = args.get("out", "reads.fq");
+  write_fastq(out, fastq, ends_with(out, ".gz"));
+  std::printf("wrote %zu reads of %u bp (mapping ratio %.2f) to %s\n", fastq.size(),
+              config.read_length, config.mapping_ratio, out.c_str());
+  return 0;
+}
+
+int cmd_index(const ArgParser& args) {
+  const std::string ref_path = args.get("ref");
+  const std::string out = args.get("out", "reference.bwvr");
+  if (ref_path.empty()) return usage();
+  Pipeline pipeline;
+  const std::string name = pipeline.compute_bwt_sa(ref_path, out);
+  std::printf("indexed '%s' -> %s (%.2f s)\n", name.c_str(), out.c_str(),
+              pipeline.timings().bwt_sa_seconds);
+  return 0;
+}
+
+int cmd_map(const ArgParser& args) {
+  const std::string index_path = args.get("index");
+  const std::string reads_path = args.get("reads");
+  const std::string out = args.get("out", "out.sam");
+  if (index_path.empty() || reads_path.empty()) return usage();
+
+  Pipeline pipeline(config_from_args(args));
+  pipeline.encode(index_path);
+  const MappingOutcome outcome = pipeline.map_reads(reads_path, out);
+  std::printf("mapped %llu/%llu reads (%llu occurrences) -> %s\n"
+              "encode %.3f s, mapping %.3f s\n",
+              static_cast<unsigned long long>(outcome.mapped),
+              static_cast<unsigned long long>(outcome.reads),
+              static_cast<unsigned long long>(outcome.occurrences), out.c_str(),
+              pipeline.timings().encode_seconds, pipeline.timings().mapping_seconds);
+  return 0;
+}
+
+int cmd_map_approx(const ArgParser& args) {
+  const std::string index_path = args.get("index");
+  const std::string reads_path = args.get("reads");
+  if (index_path.empty() || reads_path.empty()) return usage();
+  const auto mismatches = static_cast<unsigned>(args.get_int("mismatches", 2));
+
+  Pipeline pipeline(config_from_args(args));
+  pipeline.encode(index_path);
+  const auto records = read_fastq(reads_path);
+  const ReadBatch batch = ReadBatch::from_fastq(records);
+
+  const StagedFpgaMapper mapper(pipeline.index(), DeviceSpec{}, mismatches);
+  StagedMapReport report;
+  const auto results = mapper.map(batch, &report);
+
+  std::printf("staged approximate mapping, up to %u mismatches\n", mismatches);
+  std::printf("%8s %10s %10s %14s %14s\n", "stage", "reads in", "aligned",
+              "reconf [ms]", "kernel [ms]");
+  for (const auto& stage : report.stages) {
+    std::printf("%6u mm %10llu %10llu %14.1f %14.3f\n", stage.mismatches,
+                static_cast<unsigned long long>(stage.reads_in),
+                static_cast<unsigned long long>(stage.reads_aligned),
+                stage.reconfigure_seconds * 1e3, stage.kernel_seconds * 1e3);
+  }
+  std::size_t unaligned = 0;
+  for (const auto& result : results) {
+    unaligned += result.stage == StagedReadResult::kUnaligned;
+  }
+  std::printf("unaligned after all stages: %zu/%zu, modeled total %.1f ms\n", unaligned,
+              results.size(), report.total_seconds() * 1e3);
+  return 0;
+}
+
+int cmd_map_paired(const ArgParser& args) {
+  const std::string index_path = args.get("index");
+  const std::string reads1 = args.get("reads1");
+  const std::string reads2 = args.get("reads2");
+  if (index_path.empty() || reads1.empty() || reads2.empty()) return usage();
+
+  Pipeline pipeline(config_from_args(args));
+  pipeline.encode(index_path);
+
+  const ReadBatch mates1 = ReadBatch::from_fastq(read_fastq(reads1));
+  const ReadBatch mates2 = ReadBatch::from_fastq(read_fastq(reads2));
+
+  PairedEndConfig config;
+  config.min_insert = static_cast<std::uint32_t>(args.get_int("min-insert", 100));
+  config.max_insert = static_cast<std::uint32_t>(args.get_int("max-insert", 1000));
+  const auto pairs =
+      map_pairs(pipeline.index(), pipeline.reference(), mates1, mates2, config,
+                static_cast<unsigned>(args.get_int("threads", 1)));
+
+  std::size_t counts[4] = {0, 0, 0, 0};
+  double insert_sum = 0.0;
+  for (const auto& pair : pairs) {
+    counts[static_cast<int>(pair.pair_class)]++;
+    if (pair.pair_class == PairClass::kProperPair) insert_sum += pair.insert_size;
+  }
+  std::printf("pairs: %zu\n  proper:       %zu\n  discordant:   %zu\n"
+              "  one unmapped: %zu\n  unmapped:     %zu\n",
+              pairs.size(), counts[0], counts[1], counts[2], counts[3]);
+  if (counts[0] > 0) {
+    std::printf("mean insert of proper pairs: %.1f bp\n",
+                insert_sum / static_cast<double>(counts[0]));
+  }
+  return 0;
+}
+
+int cmd_stats(const ArgParser& args) {
+  const std::string index_path = args.get("index");
+  if (index_path.empty()) return usage();
+  Pipeline pipeline(config_from_args(args));
+  pipeline.encode(index_path);
+  const IndexStats stats = compute_index_stats(pipeline.index());
+  std::printf("index: %s\nsequences: %zu (first: %s)\n", index_path.c_str(),
+              pipeline.reference().num_sequences(), pipeline.reference_name().c_str());
+  std::printf("%s", format_index_stats(stats).c_str());
+  return 0;
+}
+
+int cmd_serve(const ArgParser& args) {
+  WebService service(config_from_args(args));
+  service.start(static_cast<std::uint16_t>(args.get_int("port", 8080)));
+  std::printf("BWaveR web service on http://127.0.0.1:%u/ (Ctrl-C to stop)\n",
+              service.port());
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+int cmd_pipeline(const ArgParser& args) {
+  const std::string ref_path = args.get("ref");
+  const std::string reads_path = args.get("reads");
+  const std::string out = args.get("out", "out.sam");
+  if (ref_path.empty() || reads_path.empty()) return usage();
+
+  Pipeline pipeline(config_from_args(args));
+  const std::string index_path = out + ".bwvr";
+  pipeline.compute_bwt_sa(ref_path, index_path);
+  pipeline.encode(index_path);
+  const MappingOutcome outcome = pipeline.map_reads(reads_path, out);
+  std::printf("reference: %s\n", pipeline.reference_name().c_str());
+  std::printf("step 1 (BWT+SA): %.3f s\nstep 2 (encode): %.3f s\nstep 3 (map): %.3f s\n",
+              pipeline.timings().bwt_sa_seconds, pipeline.timings().encode_seconds,
+              pipeline.timings().mapping_seconds);
+  std::printf("mapped %llu/%llu reads (%llu occurrences) -> %s\n",
+              static_cast<unsigned long long>(outcome.mapped),
+              static_cast<unsigned long long>(outcome.reads),
+              static_cast<unsigned long long>(outcome.occurrences), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  bwaver::ArgParser args(argc - 1, argv + 1);
+  try {
+    if (command == "simulate-genome") return cmd_simulate_genome(args);
+    if (command == "simulate-reads") return cmd_simulate_reads(args);
+    if (command == "index") return cmd_index(args);
+    if (command == "map") return cmd_map(args);
+    if (command == "map-approx") return cmd_map_approx(args);
+    if (command == "map-paired") return cmd_map_paired(args);
+    if (command == "pipeline") return cmd_pipeline(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "serve") return cmd_serve(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bwaver: error: %s\n", e.what());
+    return 1;
+  }
+}

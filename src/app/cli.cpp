@@ -1,0 +1,38 @@
+#include "app/cli.hpp"
+
+namespace bwaver {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      const std::string name = arg.substr(2);
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        flags_[name] = argv[++i];
+      } else {
+        flags_[name] = "";  // boolean flag
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::string ArgParser::get(const std::string& flag, const std::string& fallback) const {
+  auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& flag, std::int64_t fallback) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::stoll(it->second);
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return fallback;
+  return std::stod(it->second);
+}
+
+}  // namespace bwaver

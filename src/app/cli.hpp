@@ -1,0 +1,30 @@
+// Argument parsing helpers shared by the CLI and the example binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bwaver {
+
+/// Tiny `--flag value` / positional argument parser.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& flag) const { return flags_.count(flag) != 0; }
+
+  std::string get(const std::string& flag, const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bwaver

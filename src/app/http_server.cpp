@@ -1,0 +1,203 @@
+#include "app/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace bwaver {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+bool send_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, 0);
+    if (n <= 0) return false;
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpResponse HttpResponse::text(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body.assign(message.begin(), message.end());
+  return response;
+}
+
+HttpResponse HttpResponse::html(const std::string& markup) {
+  HttpResponse response;
+  response.content_type = "text/html; charset=utf-8";
+  response.body.assign(markup.begin(), markup.end());
+  return response;
+}
+
+HttpResponse HttpResponse::bytes(const std::string& content_type,
+                                 std::vector<std::uint8_t> payload) {
+  HttpResponse response;
+  response.content_type = content_type;
+  response.body = std::move(payload);
+  return response;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(const std::string& method, const std::string& path,
+                       Handler handler) {
+  routes_[{method, path}] = std::move(handler);
+}
+
+void HttpServer::start(std::uint16_t port) {
+  if (running_.load()) throw std::logic_error("HttpServer: already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
+  const int opt = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: listen() failed");
+  }
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Shutting down the listening socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::serve_loop() {
+  while (running_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::handle_connection(int client_fd) {
+  // Read until the end of headers.
+  std::string buffer;
+  char chunk[4096];
+  std::size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+    if (buffer.size() > (1u << 20) && header_end == std::string::npos) return;
+  }
+
+  HttpRequest request;
+  {
+    const std::string head = buffer.substr(0, header_end);
+    std::size_t pos = 0;
+    std::size_t eol = head.find("\r\n");
+    const std::string request_line = head.substr(0, eol == std::string::npos ? head.size() : eol);
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) return;
+    request.method = request_line.substr(0, sp1);
+    request.path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+    pos = (eol == std::string::npos) ? head.size() : eol + 2;
+    while (pos < head.size()) {
+      std::size_t line_end = head.find("\r\n", pos);
+      if (line_end == std::string::npos) line_end = head.size();
+      const std::string line = head.substr(pos, line_end - pos);
+      pos = line_end + 2;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.erase(value.begin());
+      request.headers[lower(line.substr(0, colon))] = value;
+    }
+  }
+
+  // Body.
+  std::size_t content_length = 0;
+  if (auto it = request.headers.find("content-length"); it != request.headers.end()) {
+    content_length = static_cast<std::size_t>(std::stoull(it->second));
+  }
+  std::string body = buffer.substr(header_end + 4);
+  while (body.size() < content_length) {
+    const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;
+    body.append(chunk, static_cast<std::size_t>(n));
+  }
+  body.resize(content_length);
+  request.body.assign(body.begin(), body.end());
+
+  // Dispatch.
+  HttpResponse response;
+  auto it = routes_.find({request.method, request.path});
+  if (it == routes_.end()) {
+    response = HttpResponse::text(404, "not found: " + request.path + "\n");
+  } else {
+    try {
+      response = it->second(request);
+    } catch (const std::exception& e) {
+      response = HttpResponse::text(500, std::string("error: ") + e.what() + "\n");
+    }
+  }
+
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     status_text(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  if (send_all(client_fd, head.data(), head.size()) && !response.body.empty()) {
+    send_all(client_fd, response.body.data(), response.body.size());
+  }
+}
+
+}  // namespace bwaver

@@ -1,0 +1,68 @@
+// Minimal HTTP/1.1 server over POSIX sockets — the C++ substitute for the
+// paper's Flask web server. One background accept thread, connections
+// handled sequentially, Content-Length bodies, connection-close semantics.
+// Sufficient for the upload/index/map/download workflow and for tests to
+// exercise end-to-end over loopback.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bwaver {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> headers;  ///< lower-cased names
+  std::vector<std::uint8_t> body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::vector<std::uint8_t> body;
+
+  static HttpResponse text(int status, const std::string& message);
+  static HttpResponse html(const std::string& markup);
+  static HttpResponse bytes(const std::string& content_type,
+                            std::vector<std::uint8_t> payload);
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for exact (method, path) pairs.
+  void route(const std::string& method, const std::string& path, Handler handler);
+
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral) and starts serving on a
+  /// background thread. Throws on bind failure.
+  void start(std::uint16_t port = 0);
+
+  void stop();
+
+  bool running() const noexcept { return running_.load(); }
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace bwaver

@@ -1,0 +1,82 @@
+#include "app/web_service.hpp"
+
+#include <cstdio>
+
+#include "io/fasta.hpp"
+#include "io/fastq.hpp"
+
+namespace bwaver {
+
+WebService::WebService(PipelineConfig config) : config_(config) {
+  server_.route("GET", "/", [this](const HttpRequest&) { return handle_index(); });
+  server_.route("GET", "/status",
+                [this](const HttpRequest&) { return handle_status(); });
+  server_.route("POST", "/reference",
+                [this](const HttpRequest& request) { return handle_reference(request); });
+  server_.route("POST", "/map",
+                [this](const HttpRequest& request) { return handle_map(request); });
+}
+
+void WebService::start(std::uint16_t port) { server_.start(port); }
+
+HttpResponse WebService::handle_index() const {
+  return HttpResponse::html(
+      "<html><head><title>BWaveR</title></head><body>"
+      "<h1>BWaveR &mdash; hybrid DNA sequence mapper</h1>"
+      "<p>Succinct-data-structure FM-index mapping with an FPGA-modeled "
+      "backend.</p>"
+      "<ol>"
+      "<li>POST a FASTA (or FASTA.gz) reference to <code>/reference</code></li>"
+      "<li>POST a FASTQ (or FASTQ.gz) read set to <code>/map</code> and "
+      "download the SAM response</li>"
+      "</ol>"
+      "<p>See <code>/status</code> for pipeline state.</p>"
+      "</body></html>");
+}
+
+HttpResponse WebService::handle_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pipeline_ || !pipeline_->ready()) {
+    return HttpResponse::text(200, "state: no reference loaded\n");
+  }
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "state: ready\nreference: %s\nlength: %zu bp\n"
+                "bwt_sa_seconds: %.3f\nencode_seconds: %.3f\n",
+                pipeline_->reference_name().c_str(), pipeline_->index().size(),
+                pipeline_->timings().bwt_sa_seconds,
+                pipeline_->timings().encode_seconds);
+  return HttpResponse::text(200, buffer);
+}
+
+HttpResponse WebService::handle_reference(const HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (request.body.empty()) {
+    return HttpResponse::text(400, "empty reference upload\n");
+  }
+  const auto records = parse_fasta(request.body);
+  auto pipeline = std::make_unique<Pipeline>(config_);
+  pipeline->build_from_records(records);
+  pipeline_ = std::move(pipeline);
+  return HttpResponse::text(
+      200, "reference '" + pipeline_->reference_name() + "' indexed (" +
+               std::to_string(records.size()) + " sequence(s), " +
+               std::to_string(pipeline_->index().size()) + " bp)\n");
+}
+
+HttpResponse WebService::handle_map(const HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!pipeline_ || !pipeline_->ready()) {
+    return HttpResponse::text(409, "no reference loaded; POST /reference first\n");
+  }
+  if (request.body.empty()) {
+    return HttpResponse::text(400, "empty read upload\n");
+  }
+  const auto records = parse_fastq(request.body);
+  const MappingOutcome outcome = pipeline_->map_records(records);
+  HttpResponse response = HttpResponse::bytes(
+      "text/x-sam", std::vector<std::uint8_t>(outcome.sam.begin(), outcome.sam.end()));
+  return response;
+}
+
+}  // namespace bwaver

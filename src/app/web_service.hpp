@@ -1,0 +1,44 @@
+// BWaveR web service (paper, Sec. III-D / Fig. 4): the "intuitive web
+// application" front-end over the three-step pipeline. Endpoints:
+//
+//   GET  /           — HTML landing page with usage instructions
+//   GET  /status     — reference state and step timings
+//   POST /reference  — body: FASTA or FASTA.gz; runs steps 1+2
+//   POST /map        — body: FASTQ or FASTQ.gz; runs step 3, returns SAM
+//
+// The web layer holds one pipeline (one reference at a time), mirroring the
+// paper's single-board deployment; concurrent POSTs are serialized.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "app/http_server.hpp"
+#include "mapper/pipeline.hpp"
+
+namespace bwaver {
+
+class WebService {
+ public:
+  explicit WebService(PipelineConfig config = PipelineConfig{});
+
+  /// Starts serving on 127.0.0.1:`port` (0 = ephemeral).
+  void start(std::uint16_t port = 0);
+  void stop() { server_.stop(); }
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+
+ private:
+  HttpResponse handle_index() const;
+  HttpResponse handle_status() const;
+  HttpResponse handle_reference(const HttpRequest& request);
+  HttpResponse handle_map(const HttpRequest& request);
+
+  PipelineConfig config_;
+  std::unique_ptr<Pipeline> pipeline_;
+  mutable std::mutex mutex_;
+  HttpServer server_;
+};
+
+}  // namespace bwaver

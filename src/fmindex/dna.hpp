@@ -1,0 +1,45 @@
+// 2-bit DNA alphabet codec: A=0, C=1, G=2, T(=U)=3. The paper's structure
+// is optimized for this 4-symbol alphabet ({A,C,G,T||U}); the sentinel '$'
+// is handled out-of-band by the FM-index.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bwaver {
+
+inline constexpr unsigned kDnaAlphabetSize = 4;
+inline constexpr std::uint8_t kDnaInvalid = 0xff;
+
+/// Code for one base; kDnaInvalid for anything outside ACGTU (case-insensitive).
+std::uint8_t dna_encode(char base) noexcept;
+
+/// Base character for a 2-bit code (code & 3).
+char dna_decode(std::uint8_t code) noexcept;
+
+/// Complement of a 2-bit code (A<->T, C<->G).
+inline constexpr std::uint8_t dna_complement(std::uint8_t code) noexcept {
+  return static_cast<std::uint8_t>(3 - (code & 3));
+}
+
+/// Encodes a string of bases. Throws std::invalid_argument on the first
+/// non-ACGTU character unless `substitute_invalid` is true, in which case
+/// invalid characters (e.g. N) are deterministically replaced by
+/// pseudo-random bases seeded from their position — the standard trick for
+/// feeding ambiguous reference bases to a 2-bit index.
+std::vector<std::uint8_t> dna_encode_string(std::string_view bases,
+                                            bool substitute_invalid = false);
+
+/// Decodes a code sequence back to an ACGT string.
+std::string dna_decode_string(std::span<const std::uint8_t> codes);
+
+/// Reverse complement of a code sequence.
+std::vector<std::uint8_t> dna_reverse_complement(std::span<const std::uint8_t> codes);
+
+/// Reverse complement of a base string (ACGTU only).
+std::string dna_reverse_complement_string(std::string_view bases);
+
+}  // namespace bwaver

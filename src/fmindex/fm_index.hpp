@@ -1,0 +1,191 @@
+// FM-index over a DNA reference (paper, Sec. III-A).
+//
+// Backward search maintains the suffix-array interval [lo, hi) of rows of
+// the Burrows-Wheeler matrix whose suffixes start with the current pattern
+// suffix, via the Ferragina-Manzini recurrence
+//     start(aX) = C(a) + Occ(a, start(X))
+//     end(aX)   = C(a) + Occ(a, end(X))
+// (0-based half-open form of the paper's Eq. 4-5). The interval is non-empty
+// iff aX occurs in the text; positions come from SA[lo, hi).
+//
+// The occurrence backend is a template parameter (see occ_backends.hpp).
+// The sentinel is handled out-of-band: Occ backends index the squeezed BWT
+// and `occ()` adjusts row indices past the primary row, exactly the
+// "checked in the backward search function" scheme the paper describes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "fmindex/bwt.hpp"
+#include "fmindex/dna.hpp"
+#include "fmindex/suffix_array.hpp"
+#include "io/byte_io.hpp"
+
+namespace bwaver {
+
+/// Half-open SA-row interval; empty() means the pattern does not occur.
+struct SaInterval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  bool empty() const noexcept { return lo >= hi; }
+  std::uint32_t count() const noexcept { return empty() ? 0 : hi - lo; }
+  friend bool operator==(const SaInterval&, const SaInterval&) = default;
+};
+
+template <typename Occ>
+class FmIndex {
+ public:
+  using OccBuilder = std::function<Occ(std::span<const std::uint8_t>)>;
+
+  FmIndex() = default;
+
+  /// Builds SA + BWT + Occ from the 2-bit-coded reference.
+  FmIndex(std::span<const std::uint8_t> text, const OccBuilder& builder) {
+    sa_ = build_suffix_array(text);
+    bwt_ = build_bwt(text, sa_);
+    occ_backend_ = builder(bwt_.symbols);
+    init_c_array();
+  }
+
+  /// Assembles from precomputed parts (the pipeline's step-2 path, where
+  /// BWT and SA were produced by step 1 and read back from disk).
+  FmIndex(Bwt bwt, std::vector<std::uint32_t> sa, const OccBuilder& builder)
+      : bwt_(std::move(bwt)), sa_(std::move(sa)) {
+    if (sa_.size() != static_cast<std::size_t>(bwt_.text_length) + 1) {
+      throw std::invalid_argument("FmIndex: SA/BWT size mismatch");
+    }
+    occ_backend_ = builder(bwt_.symbols);
+    init_c_array();
+  }
+
+  /// Text length n (rows in the BW matrix = n + 1).
+  std::size_t size() const noexcept { return bwt_.text_length; }
+  std::size_t rows() const noexcept { return static_cast<std::size_t>(bwt_.text_length) + 1; }
+
+  /// Occ(c, row) over the full (n+1)-row BWT column: occurrences of code c
+  /// among rows [0, row). The sentinel row contributes nothing for any base.
+  std::size_t occ(std::uint8_t c, std::size_t row) const noexcept {
+    return occ_backend_.rank(c, row <= bwt_.primary ? row : row - 1);
+  }
+
+  /// C(c): number of symbols in T$ lexicographically smaller than base c
+  /// (the sentinel counts once).
+  std::uint32_t c_array(std::uint8_t c) const noexcept { return c_[c]; }
+
+  /// Whole-matrix interval (every suffix matches the empty pattern).
+  SaInterval full_interval() const noexcept {
+    return SaInterval{0, static_cast<std::uint32_t>(rows())};
+  }
+
+  /// BWT symbol of row (the full column's character, 4 for the sentinel).
+  std::uint8_t bwt_at(std::uint32_t row) const noexcept {
+    if (row == bwt_.primary) return 4;
+    return occ_backend_.access(row < bwt_.primary ? row : row - 1);
+  }
+
+  /// Last-to-first mapping: the row whose suffix is one text position
+  /// earlier. LF(primary) = 0 (the sentinel maps to the first F-column row).
+  std::uint32_t lf(std::uint32_t row) const noexcept {
+    const std::uint8_t c = bwt_at(row);
+    if (c == 4) return 0;
+    return static_cast<std::uint32_t>(c_[c] + occ(c, row));
+  }
+
+  /// One backward-search step: prepend code `c` to the matched pattern.
+  SaInterval step(SaInterval iv, std::uint8_t c) const noexcept {
+    return SaInterval{
+        static_cast<std::uint32_t>(c_[c] + occ(c, iv.lo)),
+        static_cast<std::uint32_t>(c_[c] + occ(c, iv.hi))};
+  }
+
+  /// Backward search of a full pattern (codes 0..3). Stops early when the
+  /// interval empties — the property the paper exploits for non-mapping
+  /// reads. Returns the final interval.
+  SaInterval count(std::span<const std::uint8_t> pattern) const noexcept {
+    SaInterval iv = full_interval();
+    for (std::size_t k = pattern.size(); k-- > 0;) {
+      iv = step(iv, pattern[k]);
+      if (iv.empty()) break;
+    }
+    return iv;
+  }
+
+  /// Text positions for an interval, via the host-resident suffix array.
+  std::vector<std::uint32_t> locate(SaInterval iv) const {
+    std::vector<std::uint32_t> positions;
+    if (iv.empty()) return positions;
+    positions.reserve(iv.count());
+    for (std::uint32_t row = iv.lo; row < iv.hi; ++row) {
+      positions.push_back(sa_[row]);
+    }
+    return positions;
+  }
+
+  std::vector<std::uint32_t> locate(std::span<const std::uint8_t> pattern) const {
+    return locate(count(pattern));
+  }
+
+  /// Forward-strand and reverse-complement intervals for one read — the
+  /// pair of searches the FPGA kernel executes concurrently.
+  std::pair<SaInterval, SaInterval> count_both_strands(
+      std::span<const std::uint8_t> pattern) const {
+    const auto rc = dna_reverse_complement(pattern);
+    return {count(pattern), count(rc)};
+  }
+
+  const Bwt& bwt() const noexcept { return bwt_; }
+  const std::vector<std::uint32_t>& suffix_array() const noexcept { return sa_; }
+  const Occ& occ_backend() const noexcept { return occ_backend_; }
+
+  /// Bytes of the succinct structure (Occ backend only — what travels to
+  /// the device). SA and raw BWT stay on the host.
+  std::size_t occ_size_in_bytes() const noexcept { return occ_backend_.size_in_bytes(); }
+
+  /// Binary (de)serialization of the complete index (BWT + SA + encoded
+  /// Occ backend); requires Occ::save / Occ::load.
+  void save(ByteWriter& writer) const {
+    writer.u32(bwt_.text_length);
+    writer.u32(bwt_.primary);
+    writer.vec_u8(bwt_.symbols);
+    writer.vec_u32(sa_);
+    occ_backend_.save(writer);
+  }
+  static FmIndex load(ByteReader& reader) {
+    FmIndex index;
+    index.bwt_.text_length = reader.u32();
+    index.bwt_.primary = reader.u32();
+    index.bwt_.symbols = reader.vec_u8();
+    index.sa_ = reader.vec_u32();
+    if (index.bwt_.symbols.size() != index.bwt_.text_length ||
+        index.sa_.size() != static_cast<std::size_t>(index.bwt_.text_length) + 1) {
+      throw IoError("FmIndex::load: inconsistent sizes");
+    }
+    index.occ_backend_ = Occ::load(reader);
+    index.init_c_array();
+    return index;
+  }
+
+ private:
+  void init_c_array() {
+    std::array<std::uint32_t, 4> counts{};
+    for (std::uint8_t c : bwt_.symbols) ++counts[c];
+    std::uint32_t sum = 1;  // the sentinel precedes every base
+    for (unsigned c = 0; c < 4; ++c) {
+      c_[c] = sum;
+      sum += counts[c];
+    }
+  }
+
+  Bwt bwt_;
+  std::vector<std::uint32_t> sa_;
+  Occ occ_backend_{};
+  std::array<std::uint32_t, 4> c_{};
+};
+
+}  // namespace bwaver

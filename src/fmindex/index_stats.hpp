@@ -1,0 +1,66 @@
+// Index statistics and size accounting.
+//
+// Computes the quantities the paper's characterization section (Figs. 5-6)
+// reasons about: zero-order empirical entropy of the BWT, run structure,
+// per-field size breakdown of the RRR structure (class array, partial sums,
+// offset bit-vector, offset sums, shared tables), compression vs. the
+// 1 byte/char raw BWT, and whether the structure fits the modeled device.
+// Backs the `bwaver stats` CLI subcommand.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "fpga/device_spec.hpp"
+
+namespace bwaver {
+
+struct SequenceStats {
+  std::uint64_t length = 0;
+  std::array<std::uint64_t, 4> base_counts{};  ///< A/C/G/T
+  double gc_content = 0.0;
+  double entropy_bits_per_symbol = 0.0;  ///< zero-order, <= 2 for DNA
+  std::uint64_t runs = 0;                ///< maximal equal-symbol runs
+  double mean_run_length = 0.0;
+};
+
+struct RrrSizeBreakdown {
+  std::uint64_t classes_bytes = 0;
+  std::uint64_t partial_sum_bytes = 0;
+  std::uint64_t offset_sum_bytes = 0;
+  std::uint64_t offsets_bytes = 0;      ///< the lambda/8 term
+  std::uint64_t shared_table_bytes = 0;
+  std::uint64_t node_overhead_bytes = 0;
+
+  std::uint64_t total_bytes() const noexcept {
+    return classes_bytes + partial_sum_bytes + offset_sum_bytes + offsets_bytes +
+           shared_table_bytes + node_overhead_bytes;
+  }
+};
+
+struct IndexStats {
+  SequenceStats bwt;          ///< statistics of the BWT sequence
+  SequenceStats text;         ///< statistics of the original text
+  RrrSizeBreakdown structure;
+  double bytes_per_base = 0.0;
+  double saved_vs_raw = 0.0;  ///< 1 - bytes_per_base (raw BWT = 1 B/char)
+  std::uint64_t suffix_array_bytes = 0;
+  bool fits_on_device = false;
+  std::uint64_t device_capacity_bytes = 0;
+};
+
+/// Statistics of an arbitrary 2-bit code sequence.
+SequenceStats compute_sequence_stats(std::span<const std::uint8_t> codes);
+
+/// Full report for a built index under a device model.
+IndexStats compute_index_stats(const FmIndex<RrrWaveletOcc>& index,
+                               const DeviceSpec& device = DeviceSpec{});
+
+/// Human-readable rendering of the report.
+std::string format_index_stats(const IndexStats& stats);
+
+}  // namespace bwaver

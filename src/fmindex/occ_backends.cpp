@@ -1,0 +1,96 @@
+#include "fmindex/occ_backends.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace bwaver {
+
+namespace {
+
+/// Word with code `c` replicated in all 32 base slots.
+inline constexpr std::uint64_t replicate_code(std::uint8_t c) noexcept {
+  return 0x5555555555555555ULL * c;
+}
+
+/// Occurrences of code `c` among the low `bases` slots of `word`.
+inline int count_code(std::uint64_t word, std::uint8_t c, unsigned bases) noexcept {
+  const std::uint64_t diff = word ^ replicate_code(c);
+  // A slot matches iff both of its bits differ-bits are zero.
+  std::uint64_t match = ~diff & (~diff >> 1) & 0x5555555555555555ULL;
+  if (bases < 32) match &= (std::uint64_t{1} << (2 * bases)) - 1;
+  return popcount64(match);
+}
+
+}  // namespace
+
+SampledOcc::SampledOcc(std::span<const std::uint8_t> bwt, unsigned checkpoint_words)
+    : checkpoint_words_(checkpoint_words), n_(bwt.size()) {
+  if (checkpoint_words == 0) {
+    throw std::invalid_argument("SampledOcc: checkpoint_words must be >= 1");
+  }
+  const std::size_t words = (n_ + 31) / 32;
+  packed_.assign(words, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    packed_[i >> 5] |= static_cast<std::uint64_t>(bwt[i] & 3) << ((i & 31) * 2);
+  }
+
+  const std::size_t blocks = words / checkpoint_words + 1;
+  checkpoints_.assign(blocks, {0, 0, 0, 0});
+  std::array<std::uint32_t, 4> running{0, 0, 0, 0};
+  for (std::size_t w = 0; w < words; ++w) {
+    if (w % checkpoint_words == 0) {
+      checkpoints_[w / checkpoint_words] = running;
+    }
+    const unsigned bases =
+        static_cast<unsigned>(w + 1 == words && (n_ & 31) != 0 ? (n_ & 31) : 32);
+    for (std::uint8_t c = 0; c < 4; ++c) {
+      running[c] += static_cast<std::uint32_t>(count_code(packed_[w], c, bases));
+    }
+  }
+  if (words % checkpoint_words == 0) {
+    checkpoints_[words / checkpoint_words] = running;
+  }
+}
+
+void SampledOcc::save(ByteWriter& writer) const {
+  writer.u64(n_);
+  writer.u32(checkpoint_words_);
+  for (std::uint64_t word : packed_) writer.u64(word);
+  for (const auto& checkpoint : checkpoints_) {
+    for (std::uint32_t count : checkpoint) writer.u32(count);
+  }
+}
+
+SampledOcc SampledOcc::load(ByteReader& reader) {
+  SampledOcc occ;
+  occ.n_ = reader.u64();
+  occ.checkpoint_words_ = reader.u32();
+  if (occ.checkpoint_words_ == 0) {
+    throw IoError("SampledOcc::load: corrupt checkpoint width");
+  }
+  const std::size_t words = (occ.n_ + 31) / 32;
+  occ.packed_.resize(words);
+  for (auto& word : occ.packed_) word = reader.u64();
+  occ.checkpoints_.resize(words / occ.checkpoint_words_ + 1);
+  for (auto& checkpoint : occ.checkpoints_) {
+    for (auto& count : checkpoint) count = reader.u32();
+  }
+  return occ;
+}
+
+std::size_t SampledOcc::rank(std::uint8_t c, std::size_t i) const noexcept {
+  const std::size_t word = i >> 5;
+  const std::size_t block = word / checkpoint_words_;
+  std::size_t count = checkpoints_[block][c];
+  for (std::size_t w = block * checkpoint_words_; w < word; ++w) {
+    count += static_cast<std::size_t>(count_code(packed_[w], c, 32));
+  }
+  const unsigned rem = static_cast<unsigned>(i & 31);
+  if (rem != 0) {
+    count += static_cast<std::size_t>(count_code(packed_[word], c, rem));
+  }
+  return count;
+}
+
+}  // namespace bwaver

@@ -1,0 +1,89 @@
+#include "fmindex/reference_set.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace bwaver {
+
+void ReferenceSet::add(const std::string& name, std::span<const std::uint8_t> codes) {
+  if (codes.empty()) {
+    throw std::invalid_argument("ReferenceSet: empty sequence '" + name + "'");
+  }
+  if (text_.size() + codes.size() > std::numeric_limits<std::uint32_t>::max() / 2) {
+    throw std::length_error("ReferenceSet: concatenation exceeds 32-bit coordinates");
+  }
+  Sequence sequence;
+  sequence.name = name;
+  sequence.offset = static_cast<std::uint32_t>(text_.size());
+  sequence.length = static_cast<std::uint32_t>(codes.size());
+  sequences_.push_back(std::move(sequence));
+  text_.insert(text_.end(), codes.begin(), codes.end());
+}
+
+ReferenceSet::LocalPosition ReferenceSet::resolve(std::uint32_t global_pos) const {
+  if (global_pos >= text_.size()) {
+    throw std::out_of_range("ReferenceSet::resolve: position past end");
+  }
+  // Binary search for the last sequence starting at or before global_pos.
+  auto it = std::upper_bound(
+      sequences_.begin(), sequences_.end(), global_pos,
+      [](std::uint32_t pos, const Sequence& seq) { return pos < seq.offset; });
+  const std::size_t index = static_cast<std::size_t>(it - sequences_.begin()) - 1;
+  return LocalPosition{static_cast<std::uint32_t>(index),
+                       global_pos - sequences_[index].offset};
+}
+
+bool ReferenceSet::span_within_sequence(std::uint32_t global_pos,
+                                        std::uint32_t length) const noexcept {
+  if (global_pos + length > text_.size() || length == 0) return false;
+  auto it = std::upper_bound(
+      sequences_.begin(), sequences_.end(), global_pos,
+      [](std::uint32_t pos, const Sequence& seq) { return pos < seq.offset; });
+  const Sequence& seq = *(it - 1);
+  return global_pos + length <= seq.offset + seq.length;
+}
+
+std::optional<ReferenceSet::LocalPosition> ReferenceSet::resolve_span(
+    std::uint32_t global_pos, std::uint32_t length) const {
+  if (!span_within_sequence(global_pos, length)) return std::nullopt;
+  return resolve(global_pos);
+}
+
+void ReferenceSet::save(ByteWriter& writer) const {
+  writer.u64(sequences_.size());
+  for (const Sequence& seq : sequences_) {
+    writer.str(seq.name);
+    writer.u32(seq.offset);
+    writer.u32(seq.length);
+  }
+  writer.vec_u8(text_);
+}
+
+ReferenceSet ReferenceSet::load(ByteReader& reader) {
+  ReferenceSet set;
+  const std::uint64_t count = reader.u64();
+  set.sequences_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Sequence seq;
+    seq.name = reader.str();
+    seq.offset = reader.u32();
+    seq.length = reader.u32();
+    set.sequences_.push_back(std::move(seq));
+  }
+  set.text_ = reader.vec_u8();
+  // Structural validation: contiguous, ordered, covering the text.
+  std::uint64_t cursor = 0;
+  for (const Sequence& seq : set.sequences_) {
+    if (seq.offset != cursor || seq.length == 0) {
+      throw IoError("ReferenceSet::load: corrupt sequence table");
+    }
+    cursor += seq.length;
+  }
+  if (cursor != set.text_.size()) {
+    throw IoError("ReferenceSet::load: sequence table does not cover text");
+  }
+  return set;
+}
+
+}  // namespace bwaver

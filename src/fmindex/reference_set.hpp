@@ -1,0 +1,67 @@
+// Multi-sequence reference support.
+//
+// Real references are sets of chromosomes/contigs. Like BWA, we index their
+// plain concatenation — the 2-bit DNA alphabet has no spare separator
+// symbol — which means a match can spuriously straddle a boundary between
+// two sequences; those hits must be filtered when intervals are resolved to
+// positions. ReferenceSet owns the name/offset table, the global->local
+// coordinate mapping, and that filter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/byte_io.hpp"
+
+namespace bwaver {
+
+class ReferenceSet {
+ public:
+  struct Sequence {
+    std::string name;
+    std::uint32_t offset = 0;  ///< start in the concatenated text
+    std::uint32_t length = 0;
+  };
+
+  struct LocalPosition {
+    std::uint32_t sequence_index = 0;
+    std::uint32_t offset = 0;  ///< 0-based within the sequence
+  };
+
+  ReferenceSet() = default;
+
+  /// Appends a sequence (2-bit codes are appended to the concatenation).
+  void add(const std::string& name, std::span<const std::uint8_t> codes);
+
+  std::size_t num_sequences() const noexcept { return sequences_.size(); }
+  const std::vector<Sequence>& sequences() const noexcept { return sequences_; }
+  const Sequence& sequence(std::size_t i) const { return sequences_.at(i); }
+
+  /// The concatenated text the FM-index is built over.
+  const std::vector<std::uint8_t>& concatenated() const noexcept { return text_; }
+  std::size_t total_length() const noexcept { return text_.size(); }
+
+  /// Maps a global position to (sequence, local offset). Throws
+  /// std::out_of_range past the end.
+  LocalPosition resolve(std::uint32_t global_pos) const;
+
+  /// True iff [global_pos, global_pos + length) lies inside one sequence —
+  /// the filter that discards matches straddling a concatenation boundary.
+  bool span_within_sequence(std::uint32_t global_pos, std::uint32_t length) const noexcept;
+
+  /// Resolve + filter in one step: nullopt for boundary-straddling spans.
+  std::optional<LocalPosition> resolve_span(std::uint32_t global_pos,
+                                            std::uint32_t length) const;
+
+  void save(ByteWriter& writer) const;
+  static ReferenceSet load(ByteReader& reader);
+
+ private:
+  std::vector<Sequence> sequences_;
+  std::vector<std::uint8_t> text_;
+};
+
+}  // namespace bwaver

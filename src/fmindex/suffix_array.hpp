@@ -1,0 +1,35 @@
+// Suffix array construction.
+//
+// The paper's pipeline step 1 ("BWT and SA computation") needs the full
+// suffix array of reference-plus-sentinel: the FPGA returns SA intervals and
+// the host resolves them to positions through SA. We build it with SA-IS
+// (Nong, Zhang & Chan) — linear time, linear extra space — plus a naive
+// O(n^2 log n) comparator used as the oracle in tests.
+//
+// Convention: for a text T of length n the returned array has n+1 entries
+// and orders the suffixes of T$ where '$' is a unique sentinel smaller than
+// every symbol; SA[0] == n always (the empty/sentinel suffix).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bwaver {
+
+/// SA-IS. `text` holds symbols in [0, alphabet_size); length must fit in
+/// 32-bit indices. Returns the (n+1)-entry suffix array of T$.
+std::vector<std::uint32_t> build_suffix_array(std::span<const std::uint8_t> text,
+                                              unsigned alphabet_size = 4);
+
+/// Brute-force comparison-sort construction (test oracle; small inputs only).
+std::vector<std::uint32_t> build_suffix_array_naive(std::span<const std::uint8_t> text);
+
+namespace detail {
+/// Core SA-IS over an integer string that already ends with a unique,
+/// minimal sentinel 0. `alphabet` is an exclusive upper bound on symbols.
+void sais(const std::vector<std::uint32_t>& s, std::vector<std::uint32_t>& sa,
+          std::uint32_t alphabet);
+}  // namespace detail
+
+}  // namespace bwaver

@@ -1,0 +1,16 @@
+#include "fpga/bram.hpp"
+
+namespace bwaver {
+
+void BramAllocator::allocate(const std::string& label, std::size_t bytes) {
+  if (used_ + bytes > capacity_) {
+    throw DeviceCapacityError(
+        "BramAllocator: allocation '" + label + "' of " + std::to_string(bytes) +
+        " bytes exceeds on-chip capacity (" + std::to_string(used_) + "/" +
+        std::to_string(capacity_) + " bytes in use)");
+  }
+  used_ += bytes;
+  allocations_.push_back(Allocation{label, bytes});
+}
+
+}  // namespace bwaver

@@ -1,0 +1,51 @@
+// On-chip memory allocator model. Tracks named allocations against the
+// device's BRAM+URAM capacity and fails loudly when a structure does not
+// fit — the hardware analogue of a placement/mapping failure, and the
+// reason the paper caps reference length at ~100 Mbp.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fpga/device_spec.hpp"
+
+namespace bwaver {
+
+class DeviceCapacityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BramAllocator {
+ public:
+  explicit BramAllocator(const DeviceSpec& spec) : capacity_(spec.total_on_chip_bytes()) {}
+
+  /// Reserves `bytes` under `label`; throws DeviceCapacityError when the
+  /// combined on-chip capacity would be exceeded.
+  void allocate(const std::string& label, std::size_t bytes);
+
+  /// Releases every allocation (device reprogram).
+  void reset() noexcept {
+    allocations_.clear();
+    used_ = 0;
+  }
+
+  std::size_t used_bytes() const noexcept { return used_; }
+  std::size_t capacity_bytes() const noexcept { return capacity_; }
+  std::size_t free_bytes() const noexcept { return capacity_ - used_; }
+
+  struct Allocation {
+    std::string label;
+    std::size_t bytes;
+  };
+  const std::vector<Allocation>& allocations() const noexcept { return allocations_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::vector<Allocation> allocations_;
+};
+
+}  // namespace bwaver

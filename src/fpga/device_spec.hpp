@@ -1,0 +1,79 @@
+// Device model parameters for the FPGA substrate.
+//
+// The paper deploys on a Xilinx Alveo U200 (UltraScale+ XCU200). We cannot
+// run real hardware here, so the kernel executes functionally on the host
+// while a cycle model accounts time. Every assumption is a named parameter
+// below so the ablation benches can vary it:
+//
+//   * on-chip capacity — XCU200 public specs: ~75.9 Mb BRAM + 270 Mb URAM
+//     (~43 MB combined). The whole succinct structure must fit (the paper
+//     stores it entirely on-chip and caps references at ~100 Mbp).
+//   * 512-bit ports — the paper sets every port to 512-bit bursts; one beat
+//     moves 64 B per kernel cycle once a burst is open.
+//   * kernel clock — SDAccel-era Alveo designs typically close timing at
+//     250-300 MHz; we assume 250 MHz.
+//   * rank-unit pipeline — one backward-search step issues 2 binary ranks
+//     per interval bound (one per wavelet-tree level) on 2 bounds; the
+//     hardware folds the O(sf) class scan into a wide BRAM read plus an
+//     adder tree, so the steady-state initiation interval of the step
+//     pipeline is ceil(sf * 4 bits / port width) cycles. Forward and
+//     reverse-complement searches run on independent engines in parallel
+//     (paper, Sec. III-C).
+//   * power — the paper's reference values: 25 W for the U200, 135 W for
+//     the Xeon E5-2698 v3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bwaver {
+
+struct DeviceSpec {
+  const char* name = "xilinx_u200_model";
+
+  // On-chip memory (bytes).
+  std::size_t bram_bytes = 9'480'000;    ///< ~75.9 Mb block RAM
+  std::size_t uram_bytes = 33'750'000;   ///< ~270 Mb UltraRAM
+
+  // Clocks and links.
+  double kernel_clock_hz = 250e6;
+  double pcie_bandwidth_bytes_per_sec = 12e9;  ///< Gen3 x16 effective
+
+  /// One-time device programming (xclbin load) when the kernel is set up.
+  /// Alveo-class boards take a few hundred ms; this is the fixed overhead
+  /// the paper's Table II shows amortizing as the batch grows.
+  double bitstream_program_seconds = 0.18;
+
+  // Data-path widths.
+  unsigned port_width_bits = 512;  ///< burst beat width, paper Sec. III-C
+  unsigned class_field_bits = 4;   ///< RRR class entries
+
+  /// Parallel query engines. The paper's design is single-core (its future
+  /// work: "leverage the FPGA's parallelism to develop a multi-core
+  /// architecture where multiple DNA fragments are mapped at the same
+  /// time"); values > 1 model that extension, bounded by fabric/BRAM-port
+  /// replication in reality.
+  unsigned num_query_engines = 1;
+
+  // Pipeline timing (kernel cycles).
+  unsigned bram_read_latency = 2;       ///< registered BRAM output
+  unsigned table_lookup_latency = 2;    ///< Global Rank Table access
+  unsigned adder_tree_latency_per_8 = 1;///< one tree stage per 8 summands
+  unsigned pipeline_fill_cycles = 40;   ///< one-time fill/drain per batch
+  unsigned query_issue_overhead = 4;    ///< per-query decode/revcomp/writeback (II)
+
+  // Power.
+  double board_power_watts = 25.0;
+  double reference_cpu_watts = 135.0;
+
+  std::size_t total_on_chip_bytes() const noexcept { return bram_bytes + uram_bytes; }
+
+  /// Bytes moved per kernel cycle by one 512-bit port.
+  std::size_t port_bytes_per_cycle() const noexcept { return port_width_bits / 8; }
+
+  double cycles_to_seconds(std::uint64_t cycles) const noexcept {
+    return static_cast<double>(cycles) / kernel_clock_hz;
+  }
+};
+
+}  // namespace bwaver

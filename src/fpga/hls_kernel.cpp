@@ -1,0 +1,111 @@
+#include "fpga/hls_kernel.hpp"
+
+#include <algorithm>
+
+#include "fmindex/dna.hpp"
+#include "util/bits.hpp"
+
+namespace bwaver {
+
+namespace {
+
+/// Backward search that also reports the number of executed steps (the
+/// hardware exits as soon as the interval empties).
+struct StrandSearch {
+  SaInterval interval;
+  unsigned steps = 0;
+  bool early_exit = false;
+};
+
+StrandSearch search_counting(const FmIndex<RrrWaveletOcc>& index,
+                             std::span<const std::uint8_t> codes) {
+  StrandSearch out;
+  out.interval = index.full_interval();
+  for (std::size_t k = codes.size(); k-- > 0;) {
+    out.interval = index.step(out.interval, codes[k]);
+    ++out.steps;
+    if (out.interval.empty()) {
+      out.early_exit = out.steps < codes.size();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HlsMapperKernel::HlsMapperKernel(const DeviceSpec& spec,
+                                 const FmIndex<RrrWaveletOcc>& index)
+    : spec_(spec), index_(&index), bram_(spec) {
+  const auto& occ = index.occ_backend();
+  bram_.allocate("wavelet_tree_rrr_nodes", occ.size_in_bytes());
+  bram_.allocate("global_rank_table", occ.shared_table_bytes());
+  bram_.allocate("c_array_and_primary", 4 * sizeof(std::uint32_t) + sizeof(std::uint32_t));
+  structure_bytes_ = bram_.used_bytes();
+
+  // II: the superblock class scan reads sf 4-bit fields through the wide
+  // port; everything downstream pipelines behind it.
+  const unsigned sf = occ.params().superblock_factor;
+  step_ii_ = static_cast<unsigned>(std::max<std::uint64_t>(
+      1, div_ceil(static_cast<std::uint64_t>(sf) * spec.class_field_bits,
+                  spec.port_width_bits)));
+
+  // Latency of one binary rank: BRAM read + class-scan beats + adder tree +
+  // table lookup; a symbol rank chains one per wavelet-tree level.
+  const unsigned scan_beats = step_ii_;
+  const unsigned tree_stages =
+      spec.adder_tree_latency_per_8 * ceil_log2(div_ceil(sf, 8) + 1);
+  const unsigned binary_rank_latency = spec.bram_read_latency + scan_beats +
+                                       tree_stages + spec.table_lookup_latency;
+  const unsigned levels = 2;  // log2(4) for the DNA alphabet
+  step_latency_ = levels * binary_rank_latency;
+}
+
+std::uint64_t HlsMapperKernel::structure_load_cycles() const noexcept {
+  return div_ceil(structure_bytes_, spec_.port_bytes_per_cycle());
+}
+
+KernelStats HlsMapperKernel::run_batch(std::span<const QueryPacket> batch,
+                                       std::vector<QueryResult>& results) const {
+  KernelStats stats;
+  if (batch.empty()) return stats;
+
+  // Multi-core extension: queries round-robin across engines; the batch
+  // finishes when the busiest engine drains.
+  const unsigned engines = std::max(1u, spec_.num_query_engines);
+  std::vector<std::uint64_t> engine_cycles(engines, 0);
+  std::size_t next_engine = 0;
+  for (const QueryPacket& packet : batch) {
+    const auto codes = packet.decode();
+    const auto rc = dna_reverse_complement(codes);
+
+    const StrandSearch fwd = search_counting(*index_, codes);
+    const StrandSearch rev = search_counting(*index_, rc);
+
+    QueryResult result;
+    result.id = packet.id();
+    result.fwd_lo = fwd.interval.lo;
+    result.fwd_hi = fwd.interval.hi;
+    result.rev_lo = rev.interval.lo;
+    result.rev_hi = rev.interval.hi;
+    results.push_back(result);
+
+    // Two strand units per engine: the query occupies its engine's
+    // pipeline for the slower strand.
+    const unsigned steps = std::max(fwd.steps, rev.steps);
+    engine_cycles[next_engine] +=
+        spec_.query_issue_overhead + static_cast<std::uint64_t>(steps) * step_ii_;
+    next_engine = (next_engine + 1) % engines;
+    stats.queries += 1;
+    stats.steps_executed += steps;
+    // Each executed step issues 2 bounds x 2 wavelet levels binary ranks,
+    // on each engine that is still active.
+    stats.rank_queries += 4ull * (fwd.steps + rev.steps);
+    stats.early_exits += (fwd.early_exit ? 1 : 0) + (rev.early_exit ? 1 : 0);
+  }
+  stats.compute_cycles = spec_.pipeline_fill_cycles + step_latency_ +
+                         *std::max_element(engine_cycles.begin(), engine_cycles.end());
+  return stats;
+}
+
+}  // namespace bwaver

@@ -1,0 +1,94 @@
+// Cycle-approximate model of the BWaveR HLS mapping kernel (paper,
+// Sec. III-C).
+//
+// Functional behaviour: the kernel executes the real backward search over
+// the real RRR wavelet tree, so results are bit-exact with the software
+// mapper. Timing behaviour: a throughput model of a deeply pipelined HLS
+// design —
+//
+//   * the whole succinct structure lives in on-chip BRAM/URAM (checked by
+//     the BramAllocator at program time);
+//   * the forward and reverse-complement searches run on two independent
+//     engines, so a query costs the *slower* strand's step count;
+//   * backward-search steps of one query form a sequential recurrence, but
+//     the rank pipeline interleaves many in-flight queries, so steady-state
+//     cost per step is the initiation interval (II) of the rank unit, not
+//     its latency: II = ceil(sf * class_bits / port_width) cycles (the wide
+//     BRAM read of the superblock's class fields is the II bottleneck; the
+//     adder tree and Global-Rank-Table lookup pipeline behind it);
+//   * per-query packet decode / reverse-complement / result write-back add
+//     a small per-query II overhead, and each batch pays one pipeline
+//     fill/drain.
+//
+// Non-mapping reads exit the pipeline early (the paper's explanation of the
+// Fig. 7 mapping-ratio dependence), which this model reproduces because it
+// counts *executed* steps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "fpga/bram.hpp"
+#include "fpga/device_spec.hpp"
+#include "fpga/query_packet.hpp"
+
+namespace bwaver {
+
+struct KernelStats {
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t steps_executed = 0;  ///< slower-strand steps, summed
+  std::uint64_t rank_queries = 0;    ///< binary rank operations issued
+  std::uint64_t early_exits = 0;     ///< strand searches that emptied early
+
+  KernelStats& operator+=(const KernelStats& other) noexcept {
+    compute_cycles += other.compute_cycles;
+    queries += other.queries;
+    steps_executed += other.steps_executed;
+    rank_queries += other.rank_queries;
+    early_exits += other.early_exits;
+    return *this;
+  }
+};
+
+class HlsMapperKernel {
+ public:
+  /// "Programs" the kernel: allocates the structure (wavelet-tree nodes,
+  /// shared tables, C array) in modeled on-chip memory. Throws
+  /// DeviceCapacityError when the reference does not fit — the paper's
+  /// ~100 Mbp limit surfaces here.
+  HlsMapperKernel(const DeviceSpec& spec, const FmIndex<RrrWaveletOcc>& index);
+
+  /// Bytes of device-resident data (succinct structure + shared tables).
+  std::size_t structure_bytes() const noexcept { return structure_bytes_; }
+
+  /// Cycles to stream the structure into BRAM through one 512-bit port.
+  std::uint64_t structure_load_cycles() const noexcept;
+
+  /// Steady-state initiation interval of one backward-search step.
+  unsigned step_initiation_interval() const noexcept { return step_ii_; }
+
+  /// Latency of one rank chain (used for the batch pipeline fill).
+  unsigned step_latency() const noexcept { return step_latency_; }
+
+  /// Executes a batch; appends one QueryResult per packet (in order) and
+  /// returns the batch's cycle accounting.
+  KernelStats run_batch(std::span<const QueryPacket> batch,
+                        std::vector<QueryResult>& results) const;
+
+  const BramAllocator& bram() const noexcept { return bram_; }
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+  const FmIndex<RrrWaveletOcc>* index_;
+  BramAllocator bram_;
+  std::size_t structure_bytes_ = 0;
+  unsigned step_ii_ = 1;
+  unsigned step_latency_ = 1;
+};
+
+}  // namespace bwaver

@@ -1,0 +1,28 @@
+// Power/energy model. The paper uses fixed reference power draws (25 W for
+// the Alveo U200, 135 W for the Xeon E5-2698 v3) and reports "power
+// efficiency" as the energy ratio: (t_base * P_base) / (t_x * P_x) —
+// i.e. speed-up scaled by the power ratio.
+#pragma once
+
+namespace bwaver {
+
+struct PowerReport {
+  double seconds = 0.0;
+  double watts = 0.0;
+
+  double joules() const noexcept { return seconds * watts; }
+};
+
+/// How many times less energy `candidate` uses than `baseline`
+/// (the paper's "power efficiency" column, with the FPGA as baseline 1x).
+inline double power_efficiency_ratio(const PowerReport& baseline,
+                                     const PowerReport& candidate) noexcept {
+  return baseline.joules() > 0.0 ? candidate.joules() / baseline.joules() : 0.0;
+}
+
+/// Plain speed-up factor.
+inline double speedup_ratio(double baseline_seconds, double candidate_seconds) noexcept {
+  return baseline_seconds > 0.0 ? candidate_seconds / baseline_seconds : 0.0;
+}
+
+}  // namespace bwaver

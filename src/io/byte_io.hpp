@@ -1,0 +1,74 @@
+// Little-endian binary (de)serialization helpers and whole-file I/O, used by
+// the pipeline to persist step-1 outputs (BWT + SA) and by the index
+// save/load paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bwaver {
+
+/// Raised on malformed or truncated inputs across the io module.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends scalars/vectors to a growing byte buffer (always little-endian).
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Length-prefixed (u64) byte vector.
+  void vec_u8(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u64) u32 vector.
+  void vec_u32(std::span<const std::uint32_t> data);
+  /// Length-prefixed (u64) string.
+  void str(const std::string& s);
+
+  const std::vector<std::uint8_t>& data() const noexcept { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reads scalars/vectors back; throws IoError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  void bytes(std::span<std::uint8_t> out);
+
+  std::vector<std::uint8_t> vec_u8();
+  std::vector<std::uint32_t> vec_u32();
+  std::string str();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t count) const {
+    if (pos_ + count > data_.size()) throw IoError("ByteReader: truncated input");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Whole-file helpers; throw IoError on failure.
+std::vector<std::uint8_t> read_file(const std::string& path);
+void write_file(const std::string& path, std::span<const std::uint8_t> data);
+void write_file(const std::string& path, const std::string& data);
+
+}  // namespace bwaver

@@ -1,0 +1,86 @@
+#include "io/fasta.hpp"
+
+#include "io/gzip.hpp"
+
+namespace bwaver {
+
+namespace {
+std::vector<std::uint8_t> maybe_decompress(std::span<const std::uint8_t> data) {
+  if (looks_like_gzip(data)) return gzip_decompress(data);
+  return {data.begin(), data.end()};
+}
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+}  // namespace
+
+std::vector<FastaRecord> parse_fasta(std::span<const std::uint8_t> raw) {
+  const auto bytes = maybe_decompress(raw);
+  const std::string_view text(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+
+  std::vector<FastaRecord> records;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Find the next line.
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    while (!line.empty() && (line.back() == '\r')) line.remove_suffix(1);
+    pos = eol + 1;
+
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      records.push_back(FastaRecord{std::string(line.substr(1)), {}});
+      // Trim trailing whitespace from the name.
+      while (!records.back().name.empty() && is_space(records.back().name.back())) {
+        records.back().name.pop_back();
+      }
+    } else {
+      if (records.empty()) {
+        throw IoError("parse_fasta: sequence data before first '>' header");
+      }
+      for (char c : line) {
+        if (!is_space(c)) records.back().sequence.push_back(c);
+      }
+    }
+  }
+  if (records.empty()) throw IoError("parse_fasta: no records found");
+  for (const auto& record : records) {
+    if (record.sequence.empty()) {
+      throw IoError("parse_fasta: record '" + record.name + "' has empty sequence");
+    }
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta(const std::string& path) {
+  const auto data = read_file(path);
+  return parse_fasta(data);
+}
+
+std::string format_fasta(std::span<const FastaRecord> records, std::size_t line_width) {
+  std::string out;
+  for (const auto& record : records) {
+    out += '>';
+    out += record.name;
+    out += '\n';
+    for (std::size_t i = 0; i < record.sequence.size(); i += line_width) {
+      out += record.sequence.substr(i, line_width);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void write_fasta(const std::string& path, std::span<const FastaRecord> records,
+                 bool gzipped, std::size_t line_width) {
+  const std::string text = format_fasta(records, line_width);
+  if (gzipped) {
+    const auto compressed = gzip_compress(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+    write_file(path, compressed);
+  } else {
+    write_file(path, text);
+  }
+}
+
+}  // namespace bwaver

@@ -1,0 +1,34 @@
+// FASTA reading/writing with transparent gzip support (the pipeline accepts
+// both plain and gzipped references, per the paper's web workflow).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/byte_io.hpp"
+
+namespace bwaver {
+
+struct FastaRecord {
+  std::string name;      ///< header line without the leading '>'
+  std::string sequence;  ///< concatenated sequence lines
+};
+
+/// Parses FASTA from an in-memory buffer (gzip detected by magic bytes).
+/// Throws IoError on structural problems (no records, data before the first
+/// header, empty sequences).
+std::vector<FastaRecord> parse_fasta(std::span<const std::uint8_t> data);
+
+/// Reads and parses a FASTA (or FASTA.gz) file.
+std::vector<FastaRecord> read_fasta(const std::string& path);
+
+/// Serializes records with sequence lines wrapped at `line_width`.
+std::string format_fasta(std::span<const FastaRecord> records,
+                         std::size_t line_width = 70);
+
+/// Writes a FASTA file; gzip-compresses when `gzipped` is true.
+void write_fasta(const std::string& path, std::span<const FastaRecord> records,
+                 bool gzipped = false, std::size_t line_width = 70);
+
+}  // namespace bwaver

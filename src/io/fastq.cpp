@@ -1,0 +1,103 @@
+#include "io/fastq.hpp"
+
+#include "io/gzip.hpp"
+
+namespace bwaver {
+
+namespace {
+std::vector<std::uint8_t> maybe_decompress(std::span<const std::uint8_t> data) {
+  if (looks_like_gzip(data)) return gzip_decompress(data);
+  return {data.begin(), data.end()};
+}
+
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view text) : text_(text) {}
+
+  /// Next line without the terminator; false at end of input.
+  bool next(std::string_view& line) {
+    if (pos_ >= text_.size()) return false;
+    std::size_t eol = text_.find('\n', pos_);
+    if (eol == std::string_view::npos) eol = text_.size();
+    line = text_.substr(pos_, eol - pos_);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos_ = eol + 1;
+    return true;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+}  // namespace
+
+std::vector<FastqRecord> parse_fastq(std::span<const std::uint8_t> raw) {
+  const auto bytes = maybe_decompress(raw);
+  const std::string_view text(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+
+  std::vector<FastqRecord> records;
+  LineScanner scanner(text);
+  std::string_view line;
+  std::size_t record_index = 0;
+  while (scanner.next(line)) {
+    if (line.empty()) continue;  // tolerate blank separator lines
+    if (line.front() != '@') {
+      throw IoError("parse_fastq: record " + std::to_string(record_index) +
+                    ": expected '@' header, got '" + std::string(line.substr(0, 20)) + "'");
+    }
+    FastqRecord record;
+    record.name = std::string(line.substr(1));
+
+    if (!scanner.next(line)) throw IoError("parse_fastq: truncated record (no sequence)");
+    record.sequence = std::string(line);
+
+    if (!scanner.next(line) || line.empty() || line.front() != '+') {
+      throw IoError("parse_fastq: record " + std::to_string(record_index) +
+                    ": missing '+' separator");
+    }
+    if (!scanner.next(line)) throw IoError("parse_fastq: truncated record (no quality)");
+    record.quality = std::string(line);
+
+    if (record.quality.size() != record.sequence.size()) {
+      throw IoError("parse_fastq: record " + std::to_string(record_index) +
+                    ": quality length " + std::to_string(record.quality.size()) +
+                    " != sequence length " + std::to_string(record.sequence.size()));
+    }
+    records.push_back(std::move(record));
+    ++record_index;
+  }
+  return records;
+}
+
+std::vector<FastqRecord> read_fastq(const std::string& path) {
+  const auto data = read_file(path);
+  return parse_fastq(data);
+}
+
+std::string format_fastq(std::span<const FastqRecord> records) {
+  std::string out;
+  for (const auto& record : records) {
+    out += '@';
+    out += record.name;
+    out += '\n';
+    out += record.sequence;
+    out += "\n+\n";
+    out += record.quality;
+    out += '\n';
+  }
+  return out;
+}
+
+void write_fastq(const std::string& path, std::span<const FastqRecord> records,
+                 bool gzipped) {
+  const std::string text = format_fastq(records);
+  if (gzipped) {
+    const auto compressed = gzip_compress(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+    write_file(path, compressed);
+  } else {
+    write_file(path, text);
+  }
+}
+
+}  // namespace bwaver

@@ -1,0 +1,31 @@
+// FASTQ reading/writing with transparent gzip support.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/byte_io.hpp"
+
+namespace bwaver {
+
+struct FastqRecord {
+  std::string name;      ///< without the leading '@'
+  std::string sequence;
+  std::string quality;   ///< same length as sequence
+};
+
+/// Parses FASTQ from an in-memory buffer (gzip detected by magic bytes).
+/// Throws IoError on malformed records (bad markers, quality/sequence
+/// length mismatch, truncation).
+std::vector<FastqRecord> parse_fastq(std::span<const std::uint8_t> data);
+
+/// Reads and parses a FASTQ (or FASTQ.gz) file.
+std::vector<FastqRecord> read_fastq(const std::string& path);
+
+std::string format_fastq(std::span<const FastqRecord> records);
+
+void write_fastq(const std::string& path, std::span<const FastqRecord> records,
+                 bool gzipped = false);
+
+}  // namespace bwaver

@@ -1,0 +1,431 @@
+#include "io/gzip.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <utility>
+
+namespace bwaver {
+
+namespace {
+
+// ---------------------------------------------------------------- CRC-32
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// ------------------------------------------------------------ bit reader
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Next `count` bits, LSB-first (count <= 32).
+  std::uint32_t bits(unsigned count) {
+    while (bit_count_ < count) {
+      if (pos_ >= data_.size()) throw GzipError("inflate: truncated stream");
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << bit_count_;
+      bit_count_ += 8;
+    }
+    const std::uint32_t value =
+        static_cast<std::uint32_t>(acc_ & ((std::uint64_t{1} << count) - 1));
+    acc_ >>= count;
+    bit_count_ -= count;
+    return value;
+  }
+
+  std::uint32_t bit() { return bits(1); }
+
+  /// Discards buffered bits to the next byte boundary (stored blocks).
+  void align() {
+    const unsigned drop = bit_count_ & 7;
+    acc_ >>= drop;
+    bit_count_ -= drop;
+  }
+
+  /// Copies `count` raw bytes (must be byte-aligned).
+  void raw(std::uint8_t* out, std::size_t count) {
+    while (count > 0 && bit_count_ >= 8) {
+      *out++ = static_cast<std::uint8_t>(acc_);
+      acc_ >>= 8;
+      bit_count_ -= 8;
+      --count;
+    }
+    if (pos_ + count > data_.size()) throw GzipError("inflate: truncated stored block");
+    std::memcpy(out, data_.data() + pos_, count);
+    pos_ += count;
+  }
+
+  std::size_t byte_position() const noexcept { return pos_; }
+
+  /// Input bytes consumed, counting a partially-used byte as consumed but
+  /// giving back whole buffered bytes (a DEFLATE stream ends mid-byte; the
+  /// next gzip member starts at the following byte boundary).
+  std::size_t byte_position_after_bits() const noexcept {
+    return pos_ - bit_count_ / 8;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned bit_count_ = 0;
+};
+
+// -------------------------------------------------------- Huffman tables
+
+/// Canonical Huffman decoder built from code lengths (RFC 1951 Sec. 3.2.2).
+class HuffmanDecoder {
+ public:
+  void build(std::span<const std::uint8_t> lengths) {
+    constexpr unsigned kMaxBits = 15;
+    count_.assign(kMaxBits + 1, 0);
+    for (std::uint8_t len : lengths) {
+      if (len > kMaxBits) throw GzipError("inflate: code length too long");
+      ++count_[len];
+    }
+    count_[0] = 0;
+
+    // Over-subscribed or incomplete codes are invalid (except the trivial
+    // empty/one-code cases the RFC tolerates for distance trees).
+    int left = 1;
+    for (unsigned len = 1; len <= kMaxBits; ++len) {
+      left <<= 1;
+      left -= static_cast<int>(count_[len]);
+      if (left < 0) throw GzipError("inflate: over-subscribed Huffman code");
+    }
+
+    offsets_.assign(kMaxBits + 2, 0);
+    for (unsigned len = 1; len <= kMaxBits; ++len) {
+      offsets_[len + 1] = offsets_[len] + count_[len];
+    }
+    symbols_.assign(lengths.size(), 0);
+    std::vector<std::uint16_t> next(offsets_.begin(), offsets_.end());
+    for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+      if (lengths[sym] != 0) {
+        symbols_[next[lengths[sym]]++] = static_cast<std::uint16_t>(sym);
+      }
+    }
+  }
+
+  std::uint16_t decode(BitReader& in) const {
+    int code = 0;
+    int first = 0;
+    int index = 0;
+    for (unsigned len = 1; len <= 15; ++len) {
+      code |= static_cast<int>(in.bit());
+      const int num = count_[len];
+      if (code - first < num) {
+        return symbols_[index + (code - first)];
+      }
+      index += num;
+      first = (first + num) << 1;
+      code <<= 1;
+    }
+    throw GzipError("inflate: invalid Huffman code");
+  }
+
+ private:
+  std::vector<std::uint16_t> count_;
+  std::vector<std::uint16_t> offsets_;
+  std::vector<std::uint16_t> symbols_;
+};
+
+// Length/distance code tables (RFC 1951 Sec. 3.2.5).
+constexpr std::uint16_t kLengthBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                                           15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                                           67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::uint8_t kLengthExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                           2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::uint16_t kDistBase[30] = {1,    2,    3,    4,    5,    7,     9,    13,
+                                         17,   25,   33,   49,   65,   97,    129,  193,
+                                         257,  385,  513,  769,  1025, 1537,  2049, 3073,
+                                         4097, 6145, 8193, 12289, 16385, 24577};
+constexpr std::uint8_t kDistExtra[30] = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5, 6,
+                                         6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+void fixed_trees(HuffmanDecoder& lit, HuffmanDecoder& dist) {
+  std::vector<std::uint8_t> lit_lengths(288);
+  for (int i = 0; i < 144; ++i) lit_lengths[i] = 8;
+  for (int i = 144; i < 256; ++i) lit_lengths[i] = 9;
+  for (int i = 256; i < 280; ++i) lit_lengths[i] = 7;
+  for (int i = 280; i < 288; ++i) lit_lengths[i] = 8;
+  lit.build(lit_lengths);
+  std::vector<std::uint8_t> dist_lengths(30, 5);
+  dist.build(dist_lengths);
+}
+
+void dynamic_trees(BitReader& in, HuffmanDecoder& lit, HuffmanDecoder& dist) {
+  const unsigned hlit = in.bits(5) + 257;
+  const unsigned hdist = in.bits(5) + 1;
+  const unsigned hclen = in.bits(4) + 4;
+  if (hlit > 286 || hdist > 30) throw GzipError("inflate: bad dynamic header");
+
+  static constexpr std::uint8_t kOrder[19] = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                              11, 4,  12, 3, 13, 2, 14, 1, 15};
+  std::vector<std::uint8_t> code_lengths(19, 0);
+  for (unsigned i = 0; i < hclen; ++i) {
+    code_lengths[kOrder[i]] = static_cast<std::uint8_t>(in.bits(3));
+  }
+  HuffmanDecoder code_tree;
+  code_tree.build(code_lengths);
+
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(hlit + hdist);
+  while (lengths.size() < hlit + hdist) {
+    const std::uint16_t sym = code_tree.decode(in);
+    if (sym < 16) {
+      lengths.push_back(static_cast<std::uint8_t>(sym));
+    } else if (sym == 16) {
+      if (lengths.empty()) throw GzipError("inflate: repeat with no previous length");
+      const unsigned repeat = in.bits(2) + 3;
+      lengths.insert(lengths.end(), repeat, lengths.back());
+    } else if (sym == 17) {
+      lengths.insert(lengths.end(), in.bits(3) + 3, 0);
+    } else {
+      lengths.insert(lengths.end(), in.bits(7) + 11, 0);
+    }
+  }
+  if (lengths.size() != hlit + hdist) throw GzipError("inflate: length overrun");
+
+  lit.build(std::span<const std::uint8_t>(lengths.data(), hlit));
+  dist.build(std::span<const std::uint8_t>(lengths.data() + hlit, hdist));
+}
+
+void inflate_block(BitReader& in, const HuffmanDecoder& lit, const HuffmanDecoder& dist,
+                   std::vector<std::uint8_t>& out) {
+  for (;;) {
+    const std::uint16_t sym = lit.decode(in);
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+    } else if (sym == 256) {
+      return;  // end of block
+    } else {
+      if (sym > 285) throw GzipError("inflate: invalid length symbol");
+      const unsigned idx = sym - 257;
+      const std::size_t length = kLengthBase[idx] + in.bits(kLengthExtra[idx]);
+      const std::uint16_t dsym = dist.decode(in);
+      if (dsym > 29) throw GzipError("inflate: invalid distance symbol");
+      const std::size_t distance = kDistBase[dsym] + in.bits(kDistExtra[dsym]);
+      if (distance > out.size()) throw GzipError("inflate: distance beyond output");
+      std::size_t from = out.size() - distance;
+      for (std::size_t k = 0; k < length; ++k) {
+        out.push_back(out[from + k]);  // may overlap; byte-by-byte is correct
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ bit writer
+
+class BitWriter {
+ public:
+  void bits(std::uint32_t value, unsigned count) {
+    acc_ |= static_cast<std::uint64_t>(value & ((1u << count) - 1)) << bit_count_;
+    bit_count_ += count;
+    while (bit_count_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ >>= 8;
+      bit_count_ -= 8;
+    }
+  }
+
+  void align() {
+    if (bit_count_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_));
+      acc_ = 0;
+      bit_count_ = 0;
+    }
+  }
+
+  void raw(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  std::vector<std::uint8_t> take() {
+    align();
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint64_t acc_ = 0;
+  unsigned bit_count_ = 0;
+};
+
+/// Fixed-Huffman code for a literal byte, returned bit-reversed (DEFLATE
+/// writes Huffman codes MSB-first into the LSB-first bit stream).
+std::pair<std::uint32_t, unsigned> fixed_literal_code(unsigned literal) {
+  std::uint32_t code;
+  unsigned len;
+  if (literal < 144) {
+    code = 0x30 + literal;
+    len = 8;
+  } else {
+    code = 0x190 + (literal - 144);
+    len = 9;
+  }
+  std::uint32_t reversed = 0;
+  for (unsigned i = 0; i < len; ++i) reversed |= ((code >> i) & 1) << (len - 1 - i);
+  return {reversed, len};
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> inflate(std::span<const std::uint8_t> compressed,
+                                  std::size_t* consumed) {
+  BitReader in(compressed);
+  std::vector<std::uint8_t> out;
+  bool final_block = false;
+  while (!final_block) {
+    final_block = in.bit() != 0;
+    const std::uint32_t type = in.bits(2);
+    if (type == 0) {
+      in.align();
+      const std::uint32_t len = in.bits(16);
+      const std::uint32_t nlen = in.bits(16);
+      if ((len ^ 0xFFFF) != nlen) throw GzipError("inflate: stored block LEN/NLEN mismatch");
+      const std::size_t old = out.size();
+      out.resize(old + len);
+      in.raw(out.data() + old, len);
+    } else if (type == 1) {
+      HuffmanDecoder lit, dist;
+      fixed_trees(lit, dist);
+      inflate_block(in, lit, dist, out);
+    } else if (type == 2) {
+      HuffmanDecoder lit, dist;
+      dynamic_trees(in, lit, dist);
+      inflate_block(in, lit, dist, out);
+    } else {
+      throw GzipError("inflate: reserved block type");
+    }
+  }
+  if (consumed) *consumed = in.byte_position_after_bits();
+  return out;
+}
+
+namespace {
+
+/// Decompresses one gzip member starting at `pos`; returns the position
+/// just past its trailer and appends the payload to `out`.
+std::size_t decompress_member(std::span<const std::uint8_t> data, std::size_t start,
+                              std::vector<std::uint8_t>& out) {
+  auto member = data.subspan(start);
+  if (member.size() < 18) throw GzipError("gzip: input shorter than minimal member");
+  if (member[0] != 0x1f || member[1] != 0x8b) throw GzipError("gzip: bad magic");
+  if (member[2] != 8) throw GzipError("gzip: unsupported compression method");
+  const std::uint8_t flags = member[3];
+  std::size_t pos = 10;
+
+  if (flags & 0x04) {  // FEXTRA
+    if (pos + 2 > member.size()) throw GzipError("gzip: truncated FEXTRA");
+    const std::size_t xlen = member[pos] | (member[pos + 1] << 8);
+    pos += 2 + xlen;
+  }
+  if (flags & 0x08) {  // FNAME
+    while (pos < member.size() && member[pos] != 0) ++pos;
+    ++pos;
+  }
+  if (flags & 0x10) {  // FCOMMENT
+    while (pos < member.size() && member[pos] != 0) ++pos;
+    ++pos;
+  }
+  if (flags & 0x02) pos += 2;  // FHCRC
+  if (pos + 8 > member.size()) throw GzipError("gzip: truncated member");
+
+  std::size_t deflate_consumed = 0;
+  auto payload =
+      inflate(member.subspan(pos, member.size() - pos - 8), &deflate_consumed);
+  pos += deflate_consumed;
+  if (pos + 8 > member.size()) throw GzipError("gzip: truncated trailer");
+
+  const auto trailer = member.subspan(pos, 8);
+  std::uint32_t crc = 0, isize = 0;
+  for (int i = 0; i < 4; ++i) crc |= static_cast<std::uint32_t>(trailer[i]) << (8 * i);
+  for (int i = 0; i < 4; ++i) isize |= static_cast<std::uint32_t>(trailer[4 + i]) << (8 * i);
+  if (crc32_ieee(payload) != crc) throw GzipError("gzip: CRC mismatch");
+  if (static_cast<std::uint32_t>(payload.size()) != isize) {
+    throw GzipError("gzip: size mismatch");
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return start + pos + 8;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> compressed) {
+  std::vector<std::uint8_t> out;
+  std::size_t pos = 0;
+  do {
+    pos = decompress_member(compressed, pos, out);
+  } while (pos < compressed.size());
+  return out;
+}
+
+std::vector<std::uint8_t> deflate(std::span<const std::uint8_t> data, DeflateMode mode) {
+  BitWriter out;
+  if (mode == DeflateMode::kStored) {
+    constexpr std::size_t kMaxStored = 0xFFFF;
+    std::size_t pos = 0;
+    do {
+      const std::size_t chunk = std::min(kMaxStored, data.size() - pos);
+      const bool final_block = pos + chunk == data.size();
+      out.bits(final_block ? 1 : 0, 1);
+      out.bits(0, 2);  // stored
+      out.align();
+      const auto len = static_cast<std::uint16_t>(chunk);
+      const std::uint8_t header[4] = {
+          static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+          static_cast<std::uint8_t>(~len), static_cast<std::uint8_t>(~len >> 8)};
+      out.raw(header);
+      out.raw(data.subspan(pos, chunk));
+      pos += chunk;
+    } while (pos < data.size());  // empty input emits one empty final block
+  } else {
+    out.bits(1, 1);  // final
+    out.bits(1, 2);  // fixed Huffman
+    for (std::uint8_t byte : data) {
+      const auto [code, len] = fixed_literal_code(byte);
+      out.bits(code, len);
+    }
+    const auto [eob, eob_len] = std::pair<std::uint32_t, unsigned>{0, 7};  // symbol 256
+    out.bits(eob, eob_len);
+  }
+  return out.take();
+}
+
+std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> data,
+                                        DeflateMode mode) {
+  std::vector<std::uint8_t> out = {0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 0xFF};
+  auto body = deflate(data, mode);
+  out.insert(out.end(), body.begin(), body.end());
+  const std::uint32_t crc = crc32_ieee(data);
+  const auto isize = static_cast<std::uint32_t>(data.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(isize >> (8 * i)));
+  return out;
+}
+
+bool looks_like_gzip(std::span<const std::uint8_t> data) noexcept {
+  return data.size() >= 2 && data[0] == 0x1f && data[1] == 0x8b;
+}
+
+}  // namespace bwaver

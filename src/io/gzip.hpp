@@ -1,0 +1,57 @@
+// Self-contained gzip / DEFLATE codec (RFC 1951/1952).
+//
+// The paper's web pipeline accepts gzipped FASTA/FASTQ uploads; to stay
+// dependency-free we implement the decompressor ourselves: a full inflate
+// (stored, fixed-Huffman and dynamic-Huffman blocks) plus gzip framing with
+// CRC-32 and size validation. A minimal compressor (stored or fixed-Huffman
+// literal blocks — valid DEFLATE, no LZ77 matching) exists so tests can
+// round-trip without external tools.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/byte_io.hpp"
+
+namespace bwaver {
+
+/// Raised on malformed compressed streams.
+class GzipError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// CRC-32 (IEEE, reflected) of `data`, seeded with `seed` for incremental use.
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+/// Decompresses a raw DEFLATE stream. If `consumed` is non-null it receives
+/// the number of input bytes the stream occupied (the final block's last
+/// byte, rounded up), enabling concatenated-stream parsing.
+std::vector<std::uint8_t> inflate(std::span<const std::uint8_t> compressed,
+                                  std::size_t* consumed = nullptr);
+
+/// Decompresses gzip data. Multi-member files (as produced by bgzip or by
+/// concatenating .gz files) are handled: members are inflated in sequence
+/// and their outputs concatenated, each validated against its own
+/// CRC32/ISIZE trailer.
+std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> compressed);
+
+enum class DeflateMode {
+  kStored,        ///< uncompressed stored blocks
+  kFixedHuffman,  ///< fixed-Huffman coded literals (no matches)
+};
+
+/// Compresses to a raw DEFLATE stream.
+std::vector<std::uint8_t> deflate(std::span<const std::uint8_t> data,
+                                  DeflateMode mode = DeflateMode::kFixedHuffman);
+
+/// Wraps deflate output in a gzip member.
+std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> data,
+                                        DeflateMode mode = DeflateMode::kFixedHuffman);
+
+/// True if `data` starts with the gzip magic bytes 0x1f 0x8b.
+bool looks_like_gzip(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace bwaver

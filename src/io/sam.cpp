@@ -1,0 +1,51 @@
+#include "io/sam.hpp"
+
+namespace bwaver {
+
+std::string format_sam(std::span<const SamSequence> sequences,
+                       std::span<const SamAlignment> alignments) {
+  std::string out;
+  out += "@HD\tVN:1.6\tSO:unsorted\n";
+  for (const SamSequence& seq : sequences) {
+    out += "@SQ\tSN:" + seq.name + "\tLN:" + std::to_string(seq.length) + "\n";
+  }
+  out += "@PG\tID:bwaver\tPN:bwaver\tVN:1.0\n";
+  out += format_sam_alignments(alignments);
+  return out;
+}
+
+std::string format_sam_alignments(std::span<const SamAlignment> alignments) {
+  std::string out;
+  for (const auto& aln : alignments) {
+    // FLAG: 4 = unmapped, 16 = reverse strand.
+    unsigned flag = 0;
+    if (!aln.mapped) flag |= 4;
+    if (aln.reverse_strand) flag |= 16;
+    out += aln.read_name;
+    out += '\t';
+    out += std::to_string(flag);
+    out += '\t';
+    out += aln.mapped ? aln.reference_name : "*";
+    out += '\t';
+    out += std::to_string(aln.mapped ? aln.position + 1 : 0);
+    out += '\t';
+    out += aln.mapped ? "60" : "0";  // MAPQ: exact match or unmapped
+    out += '\t';
+    if (aln.mapped) {
+      out += std::to_string(aln.length);
+      out += "M";
+    } else {
+      out += "*";
+    }
+    out += "\t*\t0\t0\t*\t*\n";
+  }
+  return out;
+}
+
+std::string format_sam(const std::string& reference_name, std::uint64_t reference_length,
+                       std::span<const SamAlignment> alignments) {
+  const SamSequence sequence{reference_name, reference_length};
+  return format_sam(std::span<const SamSequence>(&sequence, 1), alignments);
+}
+
+}  // namespace bwaver

@@ -1,0 +1,40 @@
+// Minimal SAM-style output for mapping results: header plus one line per
+// reported occurrence (exact matches only, so CIGAR is always <len>M).
+// This is the "results made available for download" artifact of the
+// paper's pipeline. Multi-sequence references emit one @SQ line per
+// chromosome/contig.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bwaver {
+
+struct SamSequence {
+  std::string name;
+  std::uint64_t length = 0;
+};
+
+struct SamAlignment {
+  std::string read_name;
+  bool reverse_strand = false;
+  std::string reference_name;  ///< per-hit (multi-chromosome references)
+  std::uint32_t position = 0;  ///< 0-based; SAM output converts to 1-based
+  std::uint32_t length = 0;
+  bool mapped = true;
+};
+
+/// Renders a SAM document: @HD/@SQ/@PG header plus alignment lines.
+std::string format_sam(std::span<const SamSequence> sequences,
+                       std::span<const SamAlignment> alignments);
+
+/// Renders alignment lines only (streaming emission after a header).
+std::string format_sam_alignments(std::span<const SamAlignment> alignments);
+
+/// Single-reference convenience overload.
+std::string format_sam(const std::string& reference_name, std::uint64_t reference_length,
+                       std::span<const SamAlignment> alignments);
+
+}  // namespace bwaver

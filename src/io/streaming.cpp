@@ -1,0 +1,150 @@
+#include "io/streaming.hpp"
+
+#include <fstream>
+
+#include "io/gzip.hpp"
+
+namespace bwaver {
+
+namespace {
+constexpr std::size_t kChunk = 1 << 16;
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+}  // namespace
+
+LineSource::LineSource(const std::string& path) {
+  // Sniff the magic bytes to decide between streaming and inflate-first.
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) throw IoError("LineSource: cannot open " + path);
+  unsigned char magic[2] = {0, 0};
+  probe.read(reinterpret_cast<char*>(magic), 2);
+  probe.close();
+
+  if (magic[0] == 0x1f && magic[1] == 0x8b) {
+    buffer_ = gzip_decompress(read_file(path));
+    buffer_end_ = buffer_.size();
+    from_memory_ = true;
+  } else {
+    file_ = std::make_unique<std::ifstream>(path, std::ios::binary);
+    buffer_.resize(kChunk);
+  }
+}
+
+LineSource::LineSource(std::vector<std::uint8_t> buffer)
+    : buffer_(std::move(buffer)), buffer_end_(buffer_.size()), from_memory_(true) {
+  if (looks_like_gzip(buffer_)) {
+    buffer_ = gzip_decompress(buffer_);
+    buffer_end_ = buffer_.size();
+  }
+}
+
+void LineSource::refill() {
+  if (from_memory_ || eof_) {
+    eof_ = true;
+    return;
+  }
+  file_->read(reinterpret_cast<char*>(buffer_.data()), static_cast<std::streamsize>(kChunk));
+  buffer_pos_ = 0;
+  buffer_end_ = static_cast<std::size_t>(file_->gcount());
+  if (buffer_end_ == 0) eof_ = true;
+}
+
+bool LineSource::next_line(std::string& line) {
+  line.clear();
+  for (;;) {
+    if (buffer_pos_ >= buffer_end_) {
+      if (from_memory_) {
+        break;  // memory source exhausted
+      }
+      refill();
+      if (eof_) break;
+    }
+    const char c = static_cast<char>(buffer_[buffer_pos_++]);
+    ++consumed_;
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    line.push_back(c);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return !line.empty();  // final line without terminator
+}
+
+bool FastqStreamReader::next(FastqRecord& record) {
+  std::string line;
+  // Skip blank separator lines.
+  do {
+    if (!source_.next_line(line)) return false;
+  } while (line.empty());
+
+  if (line.front() != '@') {
+    throw IoError("FastqStreamReader: record " + std::to_string(count_) +
+                  ": expected '@' header");
+  }
+  record.name.assign(line.begin() + 1, line.end());
+
+  if (!source_.next_line(record.sequence)) {
+    throw IoError("FastqStreamReader: truncated record (no sequence)");
+  }
+  if (!source_.next_line(line) || line.empty() || line.front() != '+') {
+    throw IoError("FastqStreamReader: record " + std::to_string(count_) +
+                  ": missing '+' separator");
+  }
+  if (!source_.next_line(record.quality)) {
+    throw IoError("FastqStreamReader: truncated record (no quality)");
+  }
+  if (record.quality.size() != record.sequence.size()) {
+    throw IoError("FastqStreamReader: record " + std::to_string(count_) +
+                  ": quality/sequence length mismatch");
+  }
+  ++count_;
+  return true;
+}
+
+bool FastaStreamReader::next(FastaRecord& record) {
+  if (done_) return false;
+
+  std::string line;
+  if (!have_held_) {
+    // Find the first header.
+    for (;;) {
+      if (!source_.next_line(line)) {
+        done_ = true;
+        return false;
+      }
+      if (line.empty()) continue;
+      if (line.front() != '>') {
+        throw IoError("FastaStreamReader: data before first '>' header");
+      }
+      break;
+    }
+  } else {
+    line = held_header_;
+    have_held_ = false;
+  }
+
+  record.name.assign(line.begin() + 1, line.end());
+  while (!record.name.empty() && is_space(record.name.back())) record.name.pop_back();
+  record.sequence.clear();
+
+  while (source_.next_line(line)) {
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      held_header_ = line;
+      have_held_ = true;
+      break;
+    }
+    for (char c : line) {
+      if (!is_space(c)) record.sequence.push_back(c);
+    }
+  }
+  if (!have_held_) done_ = true;
+  if (record.sequence.empty()) {
+    throw IoError("FastaStreamReader: record '" + record.name + "' has empty sequence");
+  }
+  ++count_;
+  return true;
+}
+
+}  // namespace bwaver

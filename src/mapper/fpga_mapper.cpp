@@ -1,0 +1,62 @@
+#include "mapper/fpga_mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bwaver {
+
+BwaverFpgaMapper::BwaverFpgaMapper(const FmIndex<RrrWaveletOcc>& index, DeviceSpec spec,
+                                   std::size_t batch_packets)
+    : index_(&index), runtime_(spec), batch_packets_(batch_packets) {
+  if (batch_packets_ == 0) {
+    throw std::invalid_argument("BwaverFpgaMapper: batch_packets must be >= 1");
+  }
+  const EventPtr event = runtime_.program(index);
+  program_seconds_ = static_cast<double>(event->duration_ns()) * 1e-9;
+}
+
+std::vector<QueryResult> BwaverFpgaMapper::map(const ReadBatch& batch,
+                                               FpgaMapReport* report) {
+  std::vector<QueryResult> results;
+  results.reserve(batch.size());
+
+  double transfer_seconds = 0.0;
+  double kernel_seconds = 0.0;
+  std::vector<QueryPacket> packets;
+  packets.reserve(std::min(batch_packets_, batch.size()));
+
+  std::size_t next = 0;
+  while (next < batch.size()) {
+    packets.clear();
+    const std::size_t end = std::min(batch.size(), next + batch_packets_);
+    for (std::size_t i = next; i < end; ++i) {
+      packets.push_back(
+          QueryPacket::encode(batch.read(i), static_cast<std::uint32_t>(i)));
+    }
+    next = end;
+
+    const EventPtr write =
+        runtime_.enqueue_write(packets.size() * QueryPacket::kBytes);
+    const EventPtr kernel = runtime_.enqueue_kernel(packets, results);
+    const EventPtr read = runtime_.enqueue_read(packets.size() * QueryResult::kBytes);
+    transfer_seconds +=
+        static_cast<double>(write->duration_ns() + read->duration_ns()) * 1e-9;
+    kernel_seconds += static_cast<double>(kernel->duration_ns()) * 1e-9;
+  }
+  runtime_.finish();
+
+  if (report) {
+    report->program_seconds = program_seconds_;
+    report->transfer_seconds = transfer_seconds;
+    report->kernel_seconds = kernel_seconds;
+    report->reads = batch.size();
+    report->mapped = 0;
+    for (const QueryResult& result : results) {
+      if (result.mapped()) ++report->mapped;
+    }
+    report->kernel_stats = runtime_.total_kernel_stats();
+  }
+  return results;
+}
+
+}  // namespace bwaver

@@ -1,0 +1,61 @@
+// Host driver for the FPGA kernel (paper, Sec. III-C/III-D).
+//
+// Mirrors the paper's execution flow: the succinct structure is loaded onto
+// the device once; query sequences are then streamed in fixed-size batches
+// of 512-bit packets through the OpenCL-style runtime (write buffer ->
+// kernel -> read buffer), and SA intervals come back for the host to
+// resolve into positions through the (host-resident) suffix array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/power.hpp"
+#include "fpga/runtime.hpp"
+#include "mapper/read_batch.hpp"
+
+namespace bwaver {
+
+/// Modeled-time report of one FPGA mapping run, broken down by stage the
+/// way the paper's OpenCL-event profiling reports it.
+struct FpgaMapReport {
+  double program_seconds = 0.0;   ///< structure transfer + on-chip load
+  double transfer_seconds = 0.0;  ///< query/result buffer movement
+  double kernel_seconds = 0.0;    ///< kernel execution
+  std::uint64_t reads = 0;
+  std::uint64_t mapped = 0;
+  KernelStats kernel_stats;
+
+  double total_seconds() const noexcept {
+    return program_seconds + transfer_seconds + kernel_seconds;
+  }
+  /// Mapping time excluding the one-time structure load — what Table II's
+  /// fixed-overhead discussion separates out.
+  double mapping_seconds() const noexcept { return transfer_seconds + kernel_seconds; }
+};
+
+class BwaverFpgaMapper {
+ public:
+  /// Programs a freshly created runtime with `index`. The index must
+  /// outlive the mapper. Throws DeviceCapacityError if the structure does
+  /// not fit on-chip.
+  BwaverFpgaMapper(const FmIndex<RrrWaveletOcc>& index, DeviceSpec spec = DeviceSpec{},
+                   std::size_t batch_packets = 8192);
+
+  /// Maps all reads; results are indexed by read (QueryResult::id).
+  std::vector<QueryResult> map(const ReadBatch& batch, FpgaMapReport* report = nullptr);
+
+  const FpgaRuntime& runtime() const noexcept { return runtime_; }
+
+  PowerReport power_report(double seconds) const noexcept {
+    return PowerReport{seconds, runtime_.spec().board_power_watts};
+  }
+
+ private:
+  const FmIndex<RrrWaveletOcc>* index_;
+  FpgaRuntime runtime_;
+  std::size_t batch_packets_;
+  double program_seconds_ = 0.0;
+};
+
+}  // namespace bwaver

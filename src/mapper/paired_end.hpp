@@ -1,0 +1,78 @@
+// Paired-end mapping.
+//
+// Short-read sequencers emit read *pairs* from the two ends of one DNA
+// fragment: in the standard FR library, mate 1 matches the forward strand
+// and mate 2 the reverse strand, separated by the fragment ("insert")
+// length. Pairing is a host-side post-process over the exact-match results
+// the BWaveR kernel already produces: for each candidate combination of
+// mate loci, check orientation, same reference sequence, and insert size
+// within the configured window. Resequencing pipelines (the paper's
+// motivating workload) rely on this to disambiguate repeats.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "fmindex/reference_set.hpp"
+#include "fpga/query_packet.hpp"
+#include "mapper/read_batch.hpp"
+
+namespace bwaver {
+
+struct PairedEndConfig {
+  std::uint32_t min_insert = 100;  ///< fragment length window (inclusive)
+  std::uint32_t max_insert = 1000;
+  std::size_t max_candidates = 64;  ///< per-mate loci examined before giving up
+};
+
+enum class PairClass {
+  kProperPair,   ///< FR orientation, insert within window, same sequence
+  kDiscordant,   ///< both mates map but no combination satisfies the window
+  kOneUnmapped,  ///< exactly one mate maps
+  kUnmapped,     ///< neither mate maps
+};
+
+struct PairedAlignment {
+  PairClass pair_class = PairClass::kUnmapped;
+  // Valid for kProperPair only:
+  std::uint32_t sequence_index = 0;
+  std::uint32_t mate1_pos = 0;  ///< local, 0-based, forward-strand mate
+  std::uint32_t mate2_pos = 0;
+  std::uint32_t insert_size = 0;
+  bool mate1_is_forward = true;  ///< orientation of the accepted combination
+};
+
+/// Pairs pre-computed per-mate results. `results1[i]` / `results2[i]` must
+/// describe mate pair i with read lengths `len1[i]` / `len2[i]`.
+std::vector<PairedAlignment> pair_alignments(
+    const FmIndex<RrrWaveletOcc>& index, const ReferenceSet& reference,
+    std::span<const QueryResult> results1, std::span<const QueryResult> results2,
+    std::span<const std::uint32_t> len1, std::span<const std::uint32_t> len2,
+    const PairedEndConfig& config);
+
+/// Convenience: map both mate batches on the CPU mapper and pair.
+std::vector<PairedAlignment> map_pairs(const FmIndex<RrrWaveletOcc>& index,
+                                       const ReferenceSet& reference,
+                                       const ReadBatch& mates1, const ReadBatch& mates2,
+                                       const PairedEndConfig& config,
+                                       unsigned threads = 1);
+
+/// Simulated read-pair set: fragments sampled uniformly, mates from the two
+/// fragment ends (FR), deterministic per seed.
+struct SimulatedPair {
+  std::vector<std::uint8_t> mate1;  ///< forward strand, fragment start
+  std::vector<std::uint8_t> mate2;  ///< reverse strand, fragment end
+  std::uint32_t fragment_start = 0;
+  std::uint32_t insert_size = 0;
+};
+
+std::vector<SimulatedPair> simulate_read_pairs(std::span<const std::uint8_t> reference,
+                                               std::size_t num_pairs,
+                                               unsigned read_length,
+                                               std::uint32_t mean_insert,
+                                               std::uint32_t insert_spread,
+                                               std::uint64_t seed);
+
+}  // namespace bwaver

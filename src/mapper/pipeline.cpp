@@ -1,0 +1,314 @@
+#include "mapper/pipeline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "fmindex/dna.hpp"
+#include "io/byte_io.hpp"
+#include "io/fasta.hpp"
+#include "io/sam.hpp"
+#include "io/streaming.hpp"
+#include "util/timer.hpp"
+
+namespace bwaver {
+
+namespace {
+constexpr std::uint32_t kIndexMagic = 0x52565742;  // "BWVR" little-endian
+constexpr std::uint32_t kIndexVersion = 2;         // v2: multi-sequence table
+}  // namespace
+
+void Pipeline::save_index_file(const std::string& path, const ReferenceSet& reference,
+                               const Bwt& bwt, const std::vector<std::uint32_t>& sa) {
+  ByteWriter writer;
+  writer.u32(kIndexMagic);
+  writer.u32(kIndexVersion);
+  writer.u64(reference.num_sequences());
+  for (const auto& seq : reference.sequences()) {
+    writer.str(seq.name);
+    writer.u32(seq.offset);
+    writer.u32(seq.length);
+  }
+  writer.u32(bwt.text_length);
+  writer.u32(bwt.primary);
+  writer.vec_u8(bwt.symbols);
+  writer.vec_u32(sa);
+  write_file(path, writer.data());
+}
+
+void Pipeline::load_index_file(const std::string& path, ReferenceSet& reference,
+                               Bwt& bwt, std::vector<std::uint32_t>& sa) {
+  const auto data = read_file(path);
+  ByteReader reader(data);
+  if (reader.u32() != kIndexMagic) throw IoError("index file: bad magic: " + path);
+  if (reader.u32() != kIndexVersion) throw IoError("index file: unsupported version");
+  struct SeqMeta {
+    std::string name;
+    std::uint32_t offset, length;
+  };
+  std::vector<SeqMeta> metas;
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SeqMeta meta;
+    meta.name = reader.str();
+    meta.offset = reader.u32();
+    meta.length = reader.u32();
+    metas.push_back(std::move(meta));
+  }
+  bwt.text_length = reader.u32();
+  bwt.primary = reader.u32();
+  bwt.symbols = reader.vec_u8();
+  sa = reader.vec_u32();
+  if (bwt.symbols.size() != bwt.text_length ||
+      sa.size() != static_cast<std::size_t>(bwt.text_length) + 1) {
+    throw IoError("index file: inconsistent sizes: " + path);
+  }
+
+  // Rebuild the reference set from the BWT (the index file stores the
+  // sequence *table* but not the raw text; the text is recoverable).
+  const auto text = inverse_bwt(bwt);
+  ReferenceSet rebuilt;
+  for (const SeqMeta& meta : metas) {
+    if (meta.offset + meta.length > text.size()) {
+      throw IoError("index file: sequence table out of range: " + path);
+    }
+    rebuilt.add(meta.name, std::span<const std::uint8_t>(text.data() + meta.offset,
+                                                         meta.length));
+  }
+  if (rebuilt.total_length() != text.size()) {
+    throw IoError("index file: sequence table does not cover text: " + path);
+  }
+  reference = std::move(rebuilt);
+}
+
+std::string Pipeline::compute_bwt_sa(const std::string& fasta_path,
+                                     const std::string& index_path) {
+  WallTimer timer;
+  const auto records = read_fasta(fasta_path);
+  ReferenceSet reference;
+  for (const auto& record : records) {
+    reference.add(record.name,
+                  dna_encode_string(record.sequence, /*substitute_invalid=*/true));
+  }
+  const auto sa = build_suffix_array(reference.concatenated());
+  const Bwt bwt = build_bwt(reference.concatenated(), sa);
+  save_index_file(index_path, reference, bwt, sa);
+  timings_.bwt_sa_seconds = timer.seconds();
+  return records.front().name;
+}
+
+void Pipeline::encode(const std::string& index_path) {
+  Bwt bwt;
+  std::vector<std::uint32_t> sa;
+  load_index_file(index_path, reference_, bwt, sa);
+  build_index(std::move(bwt), std::move(sa));
+}
+
+void Pipeline::build_from_sequence(const std::string& name, const std::string& bases) {
+  build_from_records({FastaRecord{name, bases}});
+}
+
+void Pipeline::build_from_records(const std::vector<FastaRecord>& records) {
+  WallTimer timer;
+  ReferenceSet reference;
+  for (const auto& record : records) {
+    reference.add(record.name,
+                  dna_encode_string(record.sequence, /*substitute_invalid=*/true));
+  }
+  const auto sa = build_suffix_array(reference.concatenated());
+  Bwt bwt = build_bwt(reference.concatenated(), sa);
+  timings_.bwt_sa_seconds = timer.seconds();
+  reference_ = std::move(reference);
+  build_index(std::move(bwt), std::move(sa));
+}
+
+void Pipeline::build_index(Bwt bwt, std::vector<std::uint32_t> sa) {
+  WallTimer timer;
+  const RrrParams params = config_.rrr;
+  index_ = std::make_unique<FmIndex<RrrWaveletOcc>>(
+      std::move(bwt), std::move(sa), [params](std::span<const std::uint8_t> symbols) {
+        return RrrWaveletOcc(symbols, params);
+      });
+  if (config_.engine == MappingEngine::kBowtie2Like) {
+    // The baseline builds its own index over the same concatenated text.
+    bowtie_ = std::make_unique<Bowtie2LikeMapper>(reference_.concatenated());
+  }
+  timings_.encode_seconds = timer.seconds();
+}
+
+MappingOutcome Pipeline::map_reads(const std::string& fastq_path,
+                                   const std::string& sam_path) {
+  const auto records = read_fastq(fastq_path);
+  MappingOutcome outcome = map_records(records);
+  if (!sam_path.empty()) {
+    write_file(sam_path, outcome.sam);
+  }
+  return outcome;
+}
+
+MappingOutcome Pipeline::map_records(const std::vector<FastqRecord>& records) {
+  if (!ready()) {
+    throw std::logic_error("Pipeline: map before encode()/build_from_sequence()");
+  }
+  const ReadBatch batch = ReadBatch::from_fastq(records);
+
+  std::vector<QueryResult> results;
+  double mapping_seconds = 0.0;
+  switch (config_.engine) {
+    case MappingEngine::kFpga: {
+      BwaverFpgaMapper mapper(*index_, config_.device);
+      FpgaMapReport report;
+      results = mapper.map(batch, &report);
+      mapping_seconds = report.total_seconds();
+      break;
+    }
+    case MappingEngine::kCpu: {
+      BwaverCpuMapper mapper(*index_);
+      SoftwareMapReport report;
+      results = mapper.map(batch, config_.threads, &report);
+      mapping_seconds = report.seconds;
+      break;
+    }
+    case MappingEngine::kBowtie2Like: {
+      SoftwareMapReport report;
+      results = bowtie_->map(batch, config_.threads, &report);
+      mapping_seconds = report.seconds;
+      break;
+    }
+  }
+  timings_.mapping_seconds = mapping_seconds;
+
+  MappingOutcome outcome;
+  std::vector<SamAlignment> alignments;
+  alignments.reserve(results.size());
+  resolve_results(records, results, outcome, alignments);
+  outcome.sam = format_sam(sam_sequences(), alignments);
+  return outcome;
+}
+
+void Pipeline::resolve_results(const std::vector<FastqRecord>& records,
+                               std::span<const QueryResult> results,
+                               MappingOutcome& outcome,
+                               std::vector<SamAlignment>& alignments) const {
+  // Resolve SA intervals to per-sequence positions, dropping matches that
+  // straddle a concatenation boundary.
+  outcome.reads += results.size();
+  const auto& sa = index_->suffix_array();
+  for (const QueryResult& result : results) {
+    const auto& record = records[result.id];
+    const auto read_length = static_cast<std::uint32_t>(record.sequence.size());
+    std::size_t survivors = 0;
+    std::size_t emitted = 0;
+    for (int strand = 0; strand < 2; ++strand) {
+      const bool reverse = strand == 1;
+      const std::uint32_t lo = reverse ? result.rev_lo : result.fwd_lo;
+      const std::uint32_t hi = reverse ? result.rev_hi : result.fwd_hi;
+      for (std::uint32_t row = lo; row < hi; ++row) {
+        const auto local = reference_.resolve_span(sa[row], read_length);
+        if (!local) continue;  // straddles a sequence boundary
+        ++survivors;
+        ++outcome.occurrences;
+        if (emitted < config_.max_hits_per_read) {
+          alignments.push_back(SamAlignment{
+              record.name, reverse, reference_.sequence(local->sequence_index).name,
+              local->offset, read_length, true});
+          ++emitted;
+        }
+      }
+    }
+    if (survivors == 0) {
+      alignments.push_back(
+          SamAlignment{record.name, false, "", 0, read_length, /*mapped=*/false});
+    } else {
+      ++outcome.mapped;
+    }
+  }
+}
+
+std::vector<SamSequence> Pipeline::sam_sequences() const {
+  std::vector<SamSequence> sequences;
+  sequences.reserve(reference_.num_sequences());
+  for (const auto& seq : reference_.sequences()) {
+    sequences.push_back(SamSequence{seq.name, seq.length});
+  }
+  return sequences;
+}
+
+MappingOutcome Pipeline::map_reads_streaming(const std::string& fastq_path,
+                                             const std::string& sam_path,
+                                             std::size_t batch_records) {
+  if (!ready()) {
+    throw std::logic_error("Pipeline: map before encode()/build_from_sequence()");
+  }
+  if (batch_records == 0) {
+    throw std::invalid_argument("Pipeline: batch_records must be >= 1");
+  }
+
+  // One engine instance for the whole stream: the FPGA model is programmed
+  // once and its fixed overhead amortizes over all batches.
+  std::unique_ptr<BwaverFpgaMapper> fpga;
+  if (config_.engine == MappingEngine::kFpga) {
+    fpga = std::make_unique<BwaverFpgaMapper>(*index_, config_.device);
+  }
+  const BwaverCpuMapper cpu(*index_);
+
+  std::ofstream sam;
+  if (!sam_path.empty()) {
+    sam.open(sam_path, std::ios::trunc);
+    if (!sam) throw IoError("map_reads_streaming: cannot open " + sam_path);
+    const std::string header = format_sam(sam_sequences(), {});
+    sam << header;
+  }
+
+  MappingOutcome outcome;
+  FastqStreamReader reader(fastq_path);
+  double mapping_seconds = 0.0;
+  std::vector<FastqRecord> batch_records_vec;
+  FastqRecord record;
+  bool more = true;
+  while (more) {
+    batch_records_vec.clear();
+    while (batch_records_vec.size() < batch_records && (more = reader.next(record))) {
+      batch_records_vec.push_back(std::move(record));
+    }
+    if (batch_records_vec.empty()) break;
+    const ReadBatch batch = ReadBatch::from_fastq(batch_records_vec);
+
+    std::vector<QueryResult> results;
+    switch (config_.engine) {
+      case MappingEngine::kFpga: {
+        FpgaMapReport report;
+        results = fpga->map(batch, &report);
+        mapping_seconds += report.mapping_seconds();
+        break;
+      }
+      case MappingEngine::kCpu: {
+        SoftwareMapReport report;
+        results = cpu.map(batch, config_.threads, &report);
+        mapping_seconds += report.seconds;
+        break;
+      }
+      case MappingEngine::kBowtie2Like: {
+        SoftwareMapReport report;
+        results = bowtie_->map(batch, config_.threads, &report);
+        mapping_seconds += report.seconds;
+        break;
+      }
+    }
+
+    std::vector<SamAlignment> alignments;
+    alignments.reserve(results.size());
+    resolve_results(batch_records_vec, results, outcome, alignments);
+    if (sam.is_open()) {
+      sam << format_sam_alignments(alignments);
+    }
+  }
+  if (config_.engine == MappingEngine::kFpga && fpga) {
+    mapping_seconds +=
+        static_cast<double>(fpga->runtime().events().front()->duration_ns()) * 1e-9;
+  }
+  timings_.mapping_seconds = mapping_seconds;
+  return outcome;
+}
+
+}  // namespace bwaver

@@ -1,0 +1,126 @@
+// The BWaveR hybrid workflow (paper, Sec. III-D / Fig. 4), three steps:
+//
+//   1. "BWT and SA computation" — parse the (optionally gzipped) FASTA,
+//      compute the suffix array and BWT, persist them to an index file;
+//   2. "BWT encoding"           — build the succinct RRR-wavelet-tree
+//      structure from the stored BWT;
+//   3. "Sequence mapping"       — map the (optionally gzipped) FASTQ reads
+//      and their reverse complements, resolve SA intervals to positions on
+//      the host, and emit SAM.
+//
+// Steps 1-2 and all memory management run on the host CPU; step 3 is
+// dispatched to the selected engine (the FPGA model, the pure-software
+// BWaveR mapper, or the Bowtie2-like baseline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "fmindex/reference_set.hpp"
+#include "io/fasta.hpp"
+#include "io/sam.hpp"
+#include "fpga/device_spec.hpp"
+#include "mapper/fpga_mapper.hpp"
+#include "mapper/software_mapper.hpp"
+
+namespace bwaver {
+
+enum class MappingEngine { kFpga, kCpu, kBowtie2Like };
+
+struct PipelineConfig {
+  RrrParams rrr{};
+  MappingEngine engine = MappingEngine::kFpga;
+  unsigned threads = 1;              ///< software engines only
+  DeviceSpec device{};               ///< FPGA engine only
+  std::size_t max_hits_per_read = 64;  ///< SAM lines emitted per read (cap)
+};
+
+struct PipelineTimings {
+  double bwt_sa_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double mapping_seconds = 0.0;  ///< wall-clock (software) or modeled (FPGA)
+};
+
+struct MappingOutcome {
+  std::uint64_t reads = 0;
+  std::uint64_t mapped = 0;
+  std::uint64_t occurrences = 0;  ///< total located positions, both strands
+  std::string sam;                ///< rendered SAM document
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config = PipelineConfig{}) : config_(config) {}
+
+  /// Step 1. Reads `fasta_path` (every record becomes a reference
+  /// sequence; multi-chromosome references are concatenated, BWA-style),
+  /// computes SA + BWT and writes them to `index_path`. Returns the first
+  /// sequence's name.
+  std::string compute_bwt_sa(const std::string& fasta_path,
+                             const std::string& index_path);
+
+  /// Step 2. Loads an index file and builds the succinct structure.
+  void encode(const std::string& index_path);
+
+  /// Steps 1+2 without touching disk (used by tests and the web server).
+  void build_from_sequence(const std::string& name, const std::string& bases);
+
+  /// Steps 1+2 over parsed multi-sequence FASTA records.
+  void build_from_records(const std::vector<FastaRecord>& records);
+
+  /// Step 3. Maps the reads in `fastq_path`; writes SAM to `sam_path` if
+  /// non-empty. Requires encode()/build_from_sequence() first.
+  MappingOutcome map_reads(const std::string& fastq_path,
+                           const std::string& sam_path = "");
+
+  /// Step 3 over in-memory records.
+  MappingOutcome map_records(const std::vector<FastqRecord>& records);
+
+  /// Step 3, streaming: reads the FASTQ(.gz) in batches of `batch_records`
+  /// (constant memory in the read count — required for the paper's 100 M
+  /// read workloads), maps each batch on a single engine instance (the
+  /// FPGA model is programmed once, so the fixed overhead is paid once),
+  /// and appends SAM incrementally to `sam_path`.
+  MappingOutcome map_reads_streaming(const std::string& fastq_path,
+                                     const std::string& sam_path,
+                                     std::size_t batch_records = 100'000);
+
+  bool ready() const noexcept { return index_ != nullptr; }
+  const PipelineTimings& timings() const noexcept { return timings_; }
+  const FmIndex<RrrWaveletOcc>& index() const { return *index_; }
+  const ReferenceSet& reference() const noexcept { return reference_; }
+  /// Name of the first reference sequence.
+  const std::string& reference_name() const {
+    return reference_.sequence(0).name;
+  }
+
+  /// Serialized index-file helpers (exposed for tests).
+  static void save_index_file(const std::string& path, const ReferenceSet& reference,
+                              const Bwt& bwt, const std::vector<std::uint32_t>& sa);
+  static void load_index_file(const std::string& path, ReferenceSet& reference,
+                              Bwt& bwt, std::vector<std::uint32_t>& sa);
+
+ private:
+  void build_index(Bwt bwt, std::vector<std::uint32_t> sa);
+
+  /// Resolves one batch's SA intervals to per-sequence SAM alignments
+  /// (boundary filtering, hit cap) and accumulates outcome counters.
+  void resolve_results(const std::vector<FastqRecord>& records,
+                       std::span<const QueryResult> results, MappingOutcome& outcome,
+                       std::vector<SamAlignment>& alignments) const;
+
+  std::vector<SamSequence> sam_sequences() const;
+
+  PipelineConfig config_;
+  PipelineTimings timings_;
+  ReferenceSet reference_;
+  std::unique_ptr<FmIndex<RrrWaveletOcc>> index_;
+  std::unique_ptr<Bowtie2LikeMapper> bowtie_;  ///< built lazily for that engine
+};
+
+}  // namespace bwaver

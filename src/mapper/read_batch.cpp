@@ -1,0 +1,27 @@
+#include "mapper/read_batch.hpp"
+
+#include "fmindex/dna.hpp"
+
+namespace bwaver {
+
+ReadBatch ReadBatch::from_simulated(std::span<const SimulatedRead> reads) {
+  ReadBatch batch;
+  std::size_t bases = 0;
+  for (const auto& read : reads) bases += read.codes.size();
+  batch.reserve(reads.size(), bases);
+  for (const auto& read : reads) batch.add(read.codes);
+  return batch;
+}
+
+ReadBatch ReadBatch::from_fastq(std::span<const FastqRecord> records) {
+  ReadBatch batch;
+  std::size_t bases = 0;
+  for (const auto& record : records) bases += record.sequence.size();
+  batch.reserve(records.size(), bases);
+  for (const auto& record : records) {
+    batch.add(dna_encode_string(record.sequence, /*substitute_invalid=*/true));
+  }
+  return batch;
+}
+
+}  // namespace bwaver

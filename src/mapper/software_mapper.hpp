@@ -1,0 +1,76 @@
+// Software mappers.
+//
+//   * BwaverCpuMapper   — the paper's "optimized pure software
+//     implementation": the identical RRR-wavelet-tree backward search run
+//     on the host CPU, optionally across T worker threads.
+//   * Bowtie2LikeMapper — the Bowtie2 stand-in for the paper's
+//     `-a --score-min C,0,-1` configuration (all exact matches): an
+//     FM-index over a 2-bit-packed BWT with checkpointed Occ counters
+//     (the index layout CPU mappers actually use), multithreaded.
+//
+// Both return the same QueryResult records as the FPGA kernel, so results
+// can be compared bit-for-bit ("without any loss in accuracy").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "fpga/query_packet.hpp"
+#include "mapper/read_batch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace bwaver {
+
+/// Wall-clock report of one software mapping run.
+struct SoftwareMapReport {
+  double seconds = 0.0;
+  unsigned threads = 1;
+  std::uint64_t reads = 0;
+  std::uint64_t mapped = 0;
+};
+
+namespace detail {
+/// Shared implementation: forward + reverse-complement backward search of
+/// every read in `batch` over `index`, chunked across `threads` workers.
+template <typename Occ>
+std::vector<QueryResult> map_batch(const FmIndex<Occ>& index, const ReadBatch& batch,
+                                   unsigned threads, SoftwareMapReport* report);
+}  // namespace detail
+
+class BwaverCpuMapper {
+ public:
+  /// Builds the succinct index over the reference (2-bit codes).
+  BwaverCpuMapper(std::span<const std::uint8_t> reference, RrrParams params);
+
+  /// Wraps an existing index (not owned).
+  explicit BwaverCpuMapper(const FmIndex<RrrWaveletOcc>& index) : index_(&index) {}
+
+  std::vector<QueryResult> map(const ReadBatch& batch, unsigned threads = 1,
+                               SoftwareMapReport* report = nullptr) const;
+
+  const FmIndex<RrrWaveletOcc>& index() const noexcept { return *index_; }
+
+ private:
+  std::unique_ptr<FmIndex<RrrWaveletOcc>> owned_;
+  const FmIndex<RrrWaveletOcc>* index_;
+};
+
+class Bowtie2LikeMapper {
+ public:
+  /// `checkpoint_words`: 64-bit words per Occ checkpoint block.
+  explicit Bowtie2LikeMapper(std::span<const std::uint8_t> reference,
+                             unsigned checkpoint_words = 4);
+
+  std::vector<QueryResult> map(const ReadBatch& batch, unsigned threads = 1,
+                               SoftwareMapReport* report = nullptr) const;
+
+  const FmIndex<SampledOcc>& index() const noexcept { return index_; }
+
+ private:
+  FmIndex<SampledOcc> index_;
+};
+
+}  // namespace bwaver

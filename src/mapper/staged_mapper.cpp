@@ -1,0 +1,132 @@
+#include "mapper/staged_mapper.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "fmindex/dna.hpp"
+#include "util/bits.hpp"
+#include "util/timer.hpp"
+
+namespace bwaver {
+
+namespace {
+
+/// Searches one read (both strands) at exactly the given mismatch budget
+/// and fills the result when anything aligns. Returns the executed
+/// backward-search steps (slower strand, the engine-occupancy metric).
+std::uint64_t search_read_stage(const FmIndex<RrrWaveletOcc>& index,
+                                std::span<const std::uint8_t> codes, unsigned budget,
+                                StagedReadResult& result) {
+  const auto rc = dna_reverse_complement(codes);
+
+  ApproxStats fwd_stats, rev_stats;
+  const auto fwd_hits = approx_count(index, codes, budget, &fwd_stats);
+  const auto rev_hits = approx_count(index, rc, budget, &rev_stats);
+
+  // Reads reaching stage k failed every stage < k, so any hit here is at
+  // stratum k for exact-stage reads; for robustness pick the minimum
+  // stratum actually present.
+  std::uint8_t best = StagedReadResult::kUnaligned;
+  for (const auto& hit : fwd_hits) best = std::min(best, hit.mismatches);
+  for (const auto& hit : rev_hits) best = std::min(best, hit.mismatches);
+  if (best != StagedReadResult::kUnaligned) {
+    result.stage = best;
+    bool first = true;
+    for (int strand = 0; strand < 2; ++strand) {
+      const auto& hits = strand == 0 ? fwd_hits : rev_hits;
+      for (const auto& hit : hits) {
+        if (hit.mismatches != best) continue;
+        if (first) {
+          result.reverse_strand = strand == 1;
+          first = false;
+        }
+        for (std::uint32_t row = hit.interval.lo; row < hit.interval.hi; ++row) {
+          result.positions.push_back(index.suffix_array()[row]);
+        }
+      }
+    }
+  }
+  return std::max(fwd_stats.steps_executed, rev_stats.steps_executed);
+}
+
+}  // namespace
+
+StagedFpgaMapper::StagedFpgaMapper(const FmIndex<RrrWaveletOcc>& index, DeviceSpec spec,
+                                   unsigned max_mismatches)
+    : index_(&index), spec_(spec), max_mismatches_(max_mismatches) {
+  if (max_mismatches > 2) {
+    throw std::invalid_argument(
+        "StagedFpgaMapper: staged designs support at most 2 mismatches");
+  }
+  const unsigned sf = index.occ_backend().params().superblock_factor;
+  step_ii_ = static_cast<unsigned>(std::max<std::uint64_t>(
+      1, div_ceil(static_cast<std::uint64_t>(sf) * spec.class_field_bits,
+                  spec.port_width_bits)));
+}
+
+std::vector<StagedReadResult> StagedFpgaMapper::map(const ReadBatch& batch,
+                                                    StagedMapReport* report) const {
+  std::vector<StagedReadResult> results(batch.size());
+  std::vector<std::size_t> pending(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) pending[i] = i;
+
+  for (unsigned stage = 0; stage <= max_mismatches_; ++stage) {
+    StageReport stage_report;
+    stage_report.mismatches = stage;
+    stage_report.reads_in = pending.size();
+    // Every stage reprograms the fabric with that stage's module and
+    // re-streams the succinct structure.
+    stage_report.reconfigure_seconds =
+        spec_.bitstream_program_seconds +
+        static_cast<double>(index_->occ_size_in_bytes()) /
+            spec_.pcie_bandwidth_bytes_per_sec;
+
+    std::vector<std::size_t> still_pending;
+    std::uint64_t stage_cycles = spec_.pipeline_fill_cycles;
+    for (std::size_t read_index : pending) {
+      StagedReadResult& result = results[read_index];
+      const std::uint64_t steps =
+          search_read_stage(*index_, batch.read(read_index), stage, result);
+      stage_cycles += spec_.query_issue_overhead + steps * step_ii_;
+      stage_report.steps_executed += steps;
+      if (result.stage != StagedReadResult::kUnaligned) {
+        ++stage_report.reads_aligned;
+      } else {
+        still_pending.push_back(read_index);
+      }
+    }
+    stage_report.kernel_seconds = spec_.cycles_to_seconds(stage_cycles);
+    if (report) report->stages.push_back(stage_report);
+
+    pending = std::move(still_pending);
+    if (pending.empty()) break;
+  }
+  return results;
+}
+
+std::vector<StagedReadResult> approx_map_batch(const FmIndex<RrrWaveletOcc>& index,
+                                               const ReadBatch& batch,
+                                               unsigned max_mismatches, unsigned threads,
+                                               double* seconds) {
+  std::vector<StagedReadResult> results(batch.size());
+  WallTimer timer;
+  auto work = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (unsigned stage = 0; stage <= max_mismatches; ++stage) {
+        search_read_stage(index, batch.read(i), stage, results[i]);
+        if (results[i].stage != StagedReadResult::kUnaligned) break;
+      }
+    }
+  };
+  if (threads <= 1) {
+    work(0, batch.size());
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(batch.size(), work);
+  }
+  if (seconds) *seconds = timer.seconds();
+  return results;
+}
+
+}  // namespace bwaver

@@ -1,0 +1,101 @@
+#include "sim/genome_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fmindex/dna.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver {
+
+GenomeSimConfig ecoli_like_config(std::uint64_t seed) {
+  GenomeSimConfig config;
+  config.length = 4'641'652;
+  config.gc_content = 0.508;
+  config.markov_persistence = 0.18;
+  config.repeat_fraction = 0.12;  // bacterial genomes are repeat-poor
+  config.repeat_unit_min = 300;
+  config.repeat_unit_max = 1500;
+  config.repeat_divergence = 0.02;
+  config.seed = seed;
+  return config;
+}
+
+GenomeSimConfig chr21_like_config(std::uint64_t seed) {
+  GenomeSimConfig config;
+  config.length = 40'088'619;
+  config.gc_content = 0.41;
+  config.markov_persistence = 0.25;
+  config.repeat_fraction = 0.40;  // mammalian chromosomes are repeat-rich
+  config.repeat_unit_min = 300;
+  config.repeat_unit_max = 6000;
+  config.repeat_divergence = 0.05;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<std::uint8_t> simulate_genome(const GenomeSimConfig& config) {
+  if (config.length == 0) {
+    throw std::invalid_argument("simulate_genome: length must be > 0");
+  }
+  if (config.gc_content < 0.0 || config.gc_content > 1.0 ||
+      config.repeat_fraction < 0.0 || config.repeat_fraction >= 1.0 ||
+      config.repeat_unit_min == 0 || config.repeat_unit_min > config.repeat_unit_max) {
+    throw std::invalid_argument("simulate_genome: invalid configuration");
+  }
+  Xoshiro256 rng(config.seed);
+
+  // Background composition: cumulative probabilities over A, C, G, T with
+  // optional persistence of the previous base.
+  const double p_at = (1.0 - config.gc_content) / 2.0;
+  const double p_gc = config.gc_content / 2.0;
+  const double cum[4] = {p_at, p_at + p_gc, p_at + 2 * p_gc, 1.0};  // A C G T
+
+  std::vector<std::uint8_t> genome(config.length);
+  std::uint8_t prev = 0;
+  for (std::size_t i = 0; i < config.length; ++i) {
+    if (i > 0 && rng.chance(config.markov_persistence)) {
+      genome[i] = prev;
+      continue;
+    }
+    const double u = rng.uniform();
+    std::uint8_t base = 3;
+    for (std::uint8_t c = 0; c < 3; ++c) {
+      if (u < cum[c]) {
+        base = c;
+        break;
+      }
+    }
+    genome[i] = base;
+    prev = base;
+  }
+
+  // Repeat families: copy already-generated regions elsewhere with point
+  // mutations until the target coverage is met.
+  const auto target = static_cast<std::size_t>(
+      config.repeat_fraction * static_cast<double>(config.length));
+  std::size_t covered = 0;
+  while (covered < target) {
+    const std::size_t span = config.repeat_unit_min +
+                             rng.below(config.repeat_unit_max - config.repeat_unit_min + 1);
+    const std::size_t unit = std::min(span, config.length / 2);
+    if (unit == 0) break;
+    const std::size_t src = rng.below(config.length - unit + 1);
+    const std::size_t dst = rng.below(config.length - unit + 1);
+    for (std::size_t k = 0; k < unit; ++k) {
+      std::uint8_t base = genome[src + k];
+      if (rng.chance(config.repeat_divergence)) {
+        base = static_cast<std::uint8_t>((base + 1 + rng.below(3)) & 3);
+      }
+      genome[dst + k] = base;
+    }
+    covered += unit;
+  }
+  return genome;
+}
+
+std::string simulate_genome_string(const GenomeSimConfig& config) {
+  return dna_decode_string(simulate_genome(config));
+}
+
+}  // namespace bwaver

@@ -1,0 +1,50 @@
+// Synthetic reference-genome generator.
+//
+// Substitute for the paper's real references (E. coli U00096.3 and human
+// chr21 GRCh38.p12), which are not available offline. The generator controls
+// the properties that the succinct structure actually responds to:
+//
+//   * length             — drives structure size and BRAM fit;
+//   * GC content         — zero-order composition;
+//   * Markov persistence — short-range correlation (homopolymer runs);
+//   * repeat families    — long-range self-similarity. Repeats make the BWT
+//                          runnier, lowering the zero-order entropy of the
+//                          wavelet-tree bit-vectors and hence the RRR offset
+//                          size, which is exactly the effect the paper's
+//                          Fig. 5 compression numbers rely on.
+//
+// Presets `ecoli_like` and `chr21_like` match the paper's reference lengths
+// (raw BWT ~4.64 MB and ~40.1 MB at 1 byte/char).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bwaver {
+
+struct GenomeSimConfig {
+  std::size_t length = 1 << 20;
+  double gc_content = 0.5;          ///< P(base is G or C)
+  double markov_persistence = 0.2;  ///< P(repeat the previous base verbatim)
+  double repeat_fraction = 0.25;    ///< target fraction of positions inside repeat copies
+  std::size_t repeat_unit_min = 200;
+  std::size_t repeat_unit_max = 2000;
+  double repeat_divergence = 0.02;  ///< point-mutation rate applied to repeat copies
+  std::uint64_t seed = 42;
+};
+
+/// E. coli-sized preset: 4,641,652 bp, ~50.8% GC.
+GenomeSimConfig ecoli_like_config(std::uint64_t seed = 42);
+
+/// Human chr21-sized preset: 40,088,619 bp, ~41% GC, heavier repeats.
+GenomeSimConfig chr21_like_config(std::uint64_t seed = 42);
+
+/// Generates a genome as 2-bit codes.
+std::vector<std::uint8_t> simulate_genome(const GenomeSimConfig& config);
+
+/// Convenience: generate and return as an ACGT string (e.g. to write FASTA).
+std::string simulate_genome_string(const GenomeSimConfig& config);
+
+}  // namespace bwaver

@@ -1,0 +1,87 @@
+#include "sim/read_sim.hpp"
+
+#include <stdexcept>
+
+#include "fmindex/dna.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver {
+
+std::vector<SimulatedRead> simulate_reads(std::span<const std::uint8_t> reference,
+                                          const ReadSimConfig& config) {
+  if (config.read_length == 0) {
+    throw std::invalid_argument("simulate_reads: read_length must be > 0");
+  }
+  if (config.read_length > reference.size()) {
+    throw std::invalid_argument("simulate_reads: read longer than reference");
+  }
+  if (config.mapping_ratio < 0.0 || config.mapping_ratio > 1.0) {
+    throw std::invalid_argument("simulate_reads: mapping_ratio must be in [0, 1]");
+  }
+  Xoshiro256 rng(config.seed);
+
+  std::vector<SimulatedRead> reads;
+  reads.reserve(config.num_reads);
+  const std::size_t positions = reference.size() - config.read_length + 1;
+  // Deterministic mapped count (not Bernoulli per read) so the requested
+  // ratio holds exactly — Fig. 7's x-axis values are exact percentages.
+  const auto num_mapping = static_cast<std::size_t>(
+      config.mapping_ratio * static_cast<double>(config.num_reads) + 0.5);
+
+  for (std::size_t r = 0; r < config.num_reads; ++r) {
+    SimulatedRead read;
+    read.codes.resize(config.read_length);
+    if (r < num_mapping) {
+      const auto origin = static_cast<std::uint32_t>(rng.below(positions));
+      read.origin = origin;
+      read.from_reverse_strand = rng.chance(config.revcomp_fraction);
+      if (read.from_reverse_strand) {
+        for (unsigned k = 0; k < config.read_length; ++k) {
+          read.codes[k] =
+              dna_complement(reference[origin + config.read_length - 1 - k]);
+        }
+      } else {
+        for (unsigned k = 0; k < config.read_length; ++k) {
+          read.codes[k] = reference[origin + k];
+        }
+      }
+    } else {
+      for (auto& code : read.codes) {
+        code = static_cast<std::uint8_t>(rng.below(4));
+      }
+    }
+    reads.push_back(std::move(read));
+  }
+
+  // Shuffle so mapped/unmapped reads interleave like a real run.
+  for (std::size_t i = reads.size(); i > 1; --i) {
+    std::swap(reads[i - 1], reads[rng.below(i)]);
+  }
+  return reads;
+}
+
+std::vector<FastqRecord> reads_to_fastq(std::span<const SimulatedRead> reads) {
+  std::vector<FastqRecord> records;
+  records.reserve(reads.size());
+  Xoshiro256 rng(0xC0FFEE);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const auto& read = reads[i];
+    FastqRecord record;
+    record.name = "read_" + std::to_string(i);
+    if (read.origin != SimulatedRead::kUnmapped) {
+      record.name += "_pos" + std::to_string(read.origin);
+      record.name += read.from_reverse_strand ? "_rev" : "_fwd";
+    } else {
+      record.name += "_random";
+    }
+    record.sequence = dna_decode_string(read.codes);
+    record.quality.resize(read.codes.size());
+    for (auto& q : record.quality) {
+      q = static_cast<char>('!' + 30 + rng.below(10));  // plausible Phred 30-39
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace bwaver

@@ -1,0 +1,73 @@
+// Shared tables for RRR block decoding (paper, Sec. III-B / Fig. 3).
+//
+// For block size b, the "Global Rank Table" holds all 2^b possible blocks of
+// b bits as 16-bit values, sorted first by class (number of 1s) and then in
+// ascending numeric order. The "class offsets" array gives, for each class c,
+// the index of the first block of that class inside the table. Both tables
+// are stored once per process and shared among every RRR sequence with the
+// same b — the paper notes this saves space when encoding all nodes of a
+// wavelet tree.
+//
+// For construction we additionally keep the inverse mapping
+// block value -> offset inside its class; the FPGA never needs it (encoding
+// happens on the host), so it is not counted in the device memory model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/binomial.hpp"
+
+namespace bwaver {
+
+class GlobalRankTable {
+ public:
+  /// Shared instance for block size `b` (1 <= b <= kMaxBlockBits).
+  /// Thread-safe; built on first use.
+  static const GlobalRankTable& get(unsigned b);
+
+  unsigned block_bits() const noexcept { return b_; }
+
+  /// Block bit pattern stored at `index` (index = class_offset(c) + offset).
+  std::uint16_t permutation(std::uint32_t index) const noexcept {
+    return permutations_[index];
+  }
+
+  /// Index in the permutation table of the first block with class `c`.
+  std::uint32_t class_offset(unsigned c) const noexcept { return class_offsets_[c]; }
+
+  /// Offset of `block` (a b-bit value) within its class, via the O(1)
+  /// host-side inverse table.
+  std::uint32_t offset_of(std::uint16_t block) const noexcept {
+    return offset_of_[block];
+  }
+
+  /// Offset of `block` within its class by scanning the permutation table —
+  /// what an implementation without the inverse table must do. Exposed so
+  /// the Fig. 6 bench can reproduce the paper's build-time growth with b
+  /// (the scan is O(C(b, c)) per block).
+  std::uint32_t offset_of_by_search(std::uint16_t block) const noexcept;
+
+  /// Width in bits of the offset field for class `c`: ceil(log2(C(b,c))).
+  unsigned offset_width(unsigned c) const noexcept {
+    return BinomialTable::instance().offset_width(b_, c);
+  }
+
+  /// Bytes the device-resident part occupies: 2^b 16-bit permutations plus
+  /// b+1 32-bit class offsets. Matches the 2^{b+1} + 4(b+1) terms of the
+  /// paper's size formula (the paper folds the "+4" into its constant).
+  std::size_t device_size_in_bytes() const noexcept {
+    return permutations_.size() * sizeof(std::uint16_t) +
+           class_offsets_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  explicit GlobalRankTable(unsigned b);
+
+  unsigned b_;
+  std::vector<std::uint16_t> permutations_;   // 2^b entries, class-major
+  std::vector<std::uint32_t> class_offsets_;  // b+1 entries
+  std::vector<std::uint16_t> offset_of_;      // 2^b entries (host-only)
+};
+
+}  // namespace bwaver

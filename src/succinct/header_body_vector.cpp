@@ -1,0 +1,137 @@
+#include "succinct/header_body_vector.hpp"
+
+#include <algorithm>
+
+namespace bwaver {
+
+HeaderBodyVector::HeaderBodyVector(const BitVector& bits, HeaderBodyParams params)
+    : params_(params), n_(bits.size()) {
+  if (params.body_bits == 0 || params.body_bits % 64 != 0) {
+    throw std::invalid_argument(
+        "HeaderBodyVector: body_bits must be a positive multiple of 64");
+  }
+  words_per_body_ = params.body_bits / 64;
+  const std::size_t codewords = div_ceil(std::max<std::size_t>(n_, 1), params.body_bits);
+  headers_.assign(codewords, 0);
+  body_.assign(codewords * words_per_body_, 0);
+
+  std::uint32_t running = 0;
+  for (std::size_t codeword = 0; codeword < codewords; ++codeword) {
+    headers_[codeword] = running;
+    const std::size_t start = codeword * params.body_bits;
+    for (unsigned w = 0; w < words_per_body_; ++w) {
+      const std::size_t bit_pos = start + w * 64;
+      if (bit_pos >= n_) break;
+      const unsigned width = static_cast<unsigned>(std::min<std::size_t>(64, n_ - bit_pos));
+      const std::uint64_t word = bits.get_bits(bit_pos, width);
+      body_[codeword * words_per_body_ + w] = word;
+      running += static_cast<std::uint32_t>(popcount64(word));
+    }
+  }
+  total_ones_ = running;
+}
+
+std::size_t HeaderBodyVector::rank1(std::size_t p) const noexcept {
+  if (p >= n_) return total_ones_;
+  const std::size_t codeword = p / params_.body_bits;
+  const std::size_t bit = p % params_.body_bits;
+  std::size_t count = headers_[codeword];
+  const std::size_t base = codeword * words_per_body_;
+  const std::size_t full_words = bit >> 6;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    count += static_cast<std::size_t>(popcount64(body_[base + w]));
+  }
+  const unsigned rem = bit & 63;
+  if (rem != 0) {
+    count += static_cast<std::size_t>(rank_in_word(body_[base + full_words], rem));
+  }
+  return count;
+}
+
+std::size_t HeaderBodyVector::select1(std::size_t k) const {
+  if (k >= total_ones_) {
+    throw std::out_of_range("HeaderBodyVector::select1: k >= number of ones");
+  }
+  std::size_t lo = 0, hi = headers_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (headers_[mid] <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  std::size_t remaining = k - headers_[lo];
+  const std::size_t base = lo * words_per_body_;
+  for (unsigned w = 0; w < words_per_body_; ++w) {
+    const int ones = popcount64(body_[base + w]);
+    if (remaining < static_cast<std::size_t>(ones)) {
+      return lo * params_.body_bits + w * 64 +
+             static_cast<std::size_t>(
+                 select_in_word(body_[base + w], static_cast<unsigned>(remaining)));
+    }
+    remaining -= static_cast<std::size_t>(ones);
+  }
+  throw std::out_of_range("HeaderBodyVector::select1: inconsistent headers");
+}
+
+std::size_t HeaderBodyVector::select0(std::size_t k) const {
+  if (k >= n_ - total_ones_) {
+    throw std::out_of_range("HeaderBodyVector::select0: k >= number of zeros");
+  }
+  auto zeros_before = [&](std::size_t codeword) {
+    return std::min(codeword * static_cast<std::size_t>(params_.body_bits), n_) -
+           headers_[codeword];
+  };
+  std::size_t lo = 0, hi = headers_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (zeros_before(mid) <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  std::size_t remaining = k - zeros_before(lo);
+  const std::size_t base = lo * words_per_body_;
+  for (unsigned w = 0; w < words_per_body_; ++w) {
+    const std::size_t bit_pos = lo * params_.body_bits + w * 64;
+    if (bit_pos >= n_) break;
+    const unsigned valid = static_cast<unsigned>(std::min<std::size_t>(64, n_ - bit_pos));
+    std::uint64_t inverted = ~body_[base + w];
+    if (valid < 64) inverted &= (std::uint64_t{1} << valid) - 1;
+    const int zeros = popcount64(inverted);
+    if (remaining < static_cast<std::size_t>(zeros)) {
+      return bit_pos + static_cast<std::size_t>(
+                           select_in_word(inverted, static_cast<unsigned>(remaining)));
+    }
+    remaining -= static_cast<std::size_t>(zeros);
+  }
+  throw std::out_of_range("HeaderBodyVector::select0: inconsistent headers");
+}
+
+void HeaderBodyVector::save(ByteWriter& writer) const {
+  writer.u32(params_.body_bits);
+  writer.u64(n_);
+  writer.u64(total_ones_);
+  writer.vec_u32(headers_);
+  writer.u64(body_.size());
+  for (std::uint64_t word : body_) writer.u64(word);
+}
+
+HeaderBodyVector HeaderBodyVector::load(ByteReader& reader) {
+  HeaderBodyVector v;
+  v.params_.body_bits = reader.u32();
+  if (v.params_.body_bits == 0 || v.params_.body_bits % 64 != 0) {
+    throw IoError("HeaderBodyVector::load: corrupt body width");
+  }
+  v.words_per_body_ = v.params_.body_bits / 64;
+  v.n_ = reader.u64();
+  v.total_ones_ = reader.u64();
+  v.headers_ = reader.vec_u32();
+  v.body_.resize(reader.u64());
+  for (auto& word : v.body_) word = reader.u64();
+  return v;
+}
+
+}  // namespace bwaver

@@ -1,0 +1,222 @@
+// Huffman-shaped wavelet tree.
+//
+// The paper uses a *balanced* tree (optimal for the near-uniform DNA
+// alphabet); SDSL — which the BWT-WT related work builds on — defaults to a
+// Huffman-shaped tree, where frequent symbols sit near the root, total
+// stored bits = sum_c freq(c) * codelen(c) <= N * ceil(log2 |alphabet|),
+// and expected rank cost follows the code length instead of log2|alphabet|.
+// Implemented here as the ablation comparator for skewed compositions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "succinct/bitvector.hpp"
+
+namespace bwaver {
+
+template <typename BV>
+class HuffmanWaveletTree {
+ public:
+  using Builder = std::function<BV(const BitVector&)>;
+
+  HuffmanWaveletTree() = default;
+
+  HuffmanWaveletTree(std::span<const std::uint8_t> symbols, unsigned alphabet_size,
+                     Builder builder)
+      : size_(symbols.size()), alphabet_size_(alphabet_size) {
+    if (alphabet_size < 2 || alphabet_size > 256) {
+      throw std::invalid_argument("HuffmanWaveletTree: alphabet size out of range");
+    }
+    std::vector<std::uint64_t> freq(alphabet_size, 0);
+    for (std::uint8_t s : symbols) {
+      if (s >= alphabet_size) {
+        throw std::invalid_argument("HuffmanWaveletTree: symbol out of range");
+      }
+      ++freq[s];
+    }
+    build_codes(freq);
+    if (distinct_ <= 1) return;  // degenerate: no bit-vectors needed
+    std::vector<std::uint8_t> work(symbols.begin(), symbols.end());
+    root_ = build_node(work, 0, builder);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  unsigned alphabet_size() const noexcept { return alphabet_size_; }
+
+  /// Code length assigned to symbol c (0 if c does not occur).
+  unsigned code_length(std::uint8_t c) const noexcept { return code_len_[c]; }
+
+  /// Frequency-weighted mean code length (bits per symbol actually stored).
+  double average_code_length() const noexcept { return average_code_length_; }
+
+  /// Occurrences of c in [0, p).
+  std::size_t rank(std::uint8_t c, std::size_t p) const noexcept {
+    if (code_len_[c] == 0) {
+      // Absent symbol — or the degenerate single-symbol sequence.
+      return (distinct_ == 1 && c == single_symbol_) ? p : 0;
+    }
+    const Node* node = root_.get();
+    for (unsigned depth = 0; depth < code_len_[c]; ++depth) {
+      const bool bit = (code_[c] >> (code_len_[c] - 1 - depth)) & 1;
+      p = bit ? node->bits.rank1(p) : node->bits.rank0(p);
+      node = (bit ? node->child1 : node->child0).get();
+    }
+    return p;
+  }
+
+  std::uint8_t access(std::size_t i) const noexcept {
+    if (distinct_ <= 1) return single_symbol_;
+    const Node* node = root_.get();
+    for (;;) {
+      const bool bit = node->bits.access(i);
+      i = bit ? node->bits.rank1(i) : node->bits.rank0(i);
+      const Node* next = (bit ? node->child1 : node->child0).get();
+      if (!next) return bit ? node->sym1 : node->sym0;
+      node = next;
+    }
+  }
+
+  std::size_t num_nodes() const noexcept { return count_nodes(root_.get()); }
+
+  std::size_t size_in_bytes() const noexcept { return node_bytes(root_.get()); }
+
+  /// Total bits stored across all node bit-vectors (= sum freq * codelen).
+  std::size_t stored_bits() const noexcept { return stored_bits_(root_.get()); }
+
+ private:
+  struct Node {
+    BV bits;
+    std::unique_ptr<Node> child0;
+    std::unique_ptr<Node> child1;
+    std::uint8_t sym0 = 0;  ///< leaf symbol when child0 is null
+    std::uint8_t sym1 = 0;
+  };
+
+  void build_codes(const std::vector<std::uint64_t>& freq) {
+    code_.fill(0);
+    code_len_.fill(0);
+
+    // Huffman merge with deterministic tie-breaking (frequency, then
+    // smallest contained symbol).
+    struct Item {
+      std::uint64_t freq;
+      std::uint8_t min_symbol;
+      int id;
+    };
+    auto cmp = [](const Item& a, const Item& b) {
+      if (a.freq != b.freq) return a.freq > b.freq;
+      return a.min_symbol > b.min_symbol;
+    };
+    std::priority_queue<Item, std::vector<Item>, decltype(cmp)> queue(cmp);
+
+    struct TreeNode {
+      int left = -1, right = -1;
+      int symbol = -1;
+    };
+    std::vector<TreeNode> nodes;
+    for (unsigned c = 0; c < freq.size(); ++c) {
+      if (freq[c] == 0) continue;
+      const int id = static_cast<int>(nodes.size());
+      nodes.push_back(TreeNode{-1, -1, static_cast<int>(c)});
+      queue.push(Item{freq[c], static_cast<std::uint8_t>(c), id});
+      ++distinct_;
+      single_symbol_ = static_cast<std::uint8_t>(c);
+    }
+    if (distinct_ <= 1) return;
+    while (queue.size() > 1) {
+      const Item a = queue.top();
+      queue.pop();
+      const Item b = queue.top();
+      queue.pop();
+      const int id = static_cast<int>(nodes.size());
+      nodes.push_back(TreeNode{a.id, b.id, -1});
+      queue.push(Item{a.freq + b.freq, std::min(a.min_symbol, b.min_symbol), id});
+    }
+
+    // Depth-first assignment of code bits (left = 0, right = 1).
+    std::uint64_t total_bits = 0;
+    std::uint64_t total_symbols = 0;
+    assign(nodes, queue.top().id, 0, 0);
+    for (unsigned c = 0; c < freq.size(); ++c) {
+      total_bits += freq[c] * code_len_[c];
+      total_symbols += freq[c];
+    }
+    average_code_length_ = total_symbols == 0
+                               ? 0.0
+                               : static_cast<double>(total_bits) /
+                                     static_cast<double>(total_symbols);
+  }
+
+  template <typename Nodes>
+  void assign(const Nodes& nodes, int id, std::uint64_t code, unsigned depth) {
+    const auto& node = nodes[static_cast<std::size_t>(id)];
+    if (node.symbol >= 0) {
+      code_[node.symbol] = code;
+      code_len_[node.symbol] = static_cast<std::uint8_t>(std::max(1u, depth));
+      if (depth == 0) code_len_[node.symbol] = 1;  // only with distinct_==1
+      return;
+    }
+    assign(nodes, node.left, code << 1, depth + 1);
+    assign(nodes, node.right, (code << 1) | 1, depth + 1);
+  }
+
+  std::unique_ptr<Node> build_node(const std::vector<std::uint8_t>& symbols,
+                                   unsigned depth, const Builder& builder) {
+    BitVector bits;
+    std::vector<std::uint8_t> left, right;
+    std::uint8_t sym0 = 0, sym1 = 0;
+    bool left_is_leaf = true, right_is_leaf = true;
+    for (std::uint8_t s : symbols) {
+      const bool bit = (code_[s] >> (code_len_[s] - 1 - depth)) & 1;
+      bits.push_back(bit);
+      (bit ? right : left).push_back(s);
+      if (bit) {
+        sym1 = s;
+        if (code_len_[s] != depth + 1) right_is_leaf = false;
+      } else {
+        sym0 = s;
+        if (code_len_[s] != depth + 1) left_is_leaf = false;
+      }
+    }
+    auto node = std::make_unique<Node>();
+    node->bits = builder(bits);
+    node->sym0 = sym0;
+    node->sym1 = sym1;
+    if (!left_is_leaf) node->child0 = build_node(left, depth + 1, builder);
+    if (!right_is_leaf) node->child1 = build_node(right, depth + 1, builder);
+    return node;
+  }
+
+  static std::size_t count_nodes(const Node* node) noexcept {
+    if (!node) return 0;
+    return 1 + count_nodes(node->child0.get()) + count_nodes(node->child1.get());
+  }
+  static std::size_t node_bytes(const Node* node) noexcept {
+    if (!node) return 0;
+    return sizeof(Node) + node->bits.size_in_bytes() + node_bytes(node->child0.get()) +
+           node_bytes(node->child1.get());
+  }
+  static std::size_t stored_bits_(const Node* node) noexcept {
+    if (!node) return 0;
+    return node->bits.size() + stored_bits_(node->child0.get()) +
+           stored_bits_(node->child1.get());
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  unsigned alphabet_size_ = 0;
+  unsigned distinct_ = 0;
+  std::uint8_t single_symbol_ = 0;
+  double average_code_length_ = 0.0;
+  std::array<std::uint64_t, 256> code_{};
+  std::array<std::uint8_t, 256> code_len_{};
+};
+
+}  // namespace bwaver

@@ -1,0 +1,56 @@
+#include "succinct/int_vector.hpp"
+
+namespace bwaver {
+
+IntVector::IntVector(std::size_t n, unsigned width) : size_(n), width_(width) {
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("IntVector: width must be in [1, 64]");
+  }
+  words_.assign((n * width + 63) / 64, 0);
+}
+
+void IntVector::save(ByteWriter& writer) const {
+  writer.u64(size_);
+  writer.u32(width_);
+  for (std::uint64_t word : words_) writer.u64(word);
+}
+
+IntVector IntVector::load(ByteReader& reader) {
+  IntVector v;
+  v.size_ = reader.u64();
+  v.width_ = reader.u32();
+  if (v.size_ > 0 && (v.width_ == 0 || v.width_ > 64)) {
+    throw IoError("IntVector::load: corrupt width field");
+  }
+  v.words_.resize((v.size_ * v.width_ + 63) / 64);
+  for (auto& word : v.words_) word = reader.u64();
+  return v;
+}
+
+std::uint64_t IntVector::get(std::size_t i) const noexcept {
+  const std::size_t bit = i * width_;
+  const std::size_t word = bit >> 6;
+  const unsigned shift = bit & 63;
+  std::uint64_t value = words_[word] >> shift;
+  if (shift + width_ > 64) {
+    value |= words_[word + 1] << (64 - shift);
+  }
+  if (width_ < 64) value &= (std::uint64_t{1} << width_) - 1;
+  return value;
+}
+
+void IntVector::set(std::size_t i, std::uint64_t value) noexcept {
+  if (width_ < 64) value &= (std::uint64_t{1} << width_) - 1;
+  const std::size_t bit = i * width_;
+  const std::size_t word = bit >> 6;
+  const unsigned shift = bit & 63;
+  words_[word] &= ~(((width_ < 64 ? (std::uint64_t{1} << width_) - 1 : ~std::uint64_t{0})) << shift);
+  words_[word] |= value << shift;
+  if (shift + width_ > 64) {
+    const unsigned spill = shift + width_ - 64;
+    words_[word + 1] &= ~((std::uint64_t{1} << spill) - 1);
+    words_[word + 1] |= value >> (64 - shift);
+  }
+}
+
+}  // namespace bwaver

@@ -1,0 +1,44 @@
+// Fixed-width packed integer vector: n integers of `width` bits each,
+// densely packed into 64-bit words. Used for the 4-bit RRR class array and
+// for sampled suffix-array values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "io/byte_io.hpp"
+
+namespace bwaver {
+
+class IntVector {
+ public:
+  IntVector() = default;
+
+  /// n entries of `width` bits (1 <= width <= 64), zero-initialized.
+  IntVector(std::size_t n, unsigned width);
+
+  std::size_t size() const noexcept { return size_; }
+  unsigned width() const noexcept { return width_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::uint64_t get(std::size_t i) const noexcept;
+  void set(std::size_t i, std::uint64_t value) noexcept;
+
+  std::uint64_t operator[](std::size_t i) const noexcept { return get(i); }
+
+  std::size_t size_in_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+  void save(ByteWriter& writer) const;
+  static IntVector load(ByteReader& reader);
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  unsigned width_ = 0;
+};
+
+}  // namespace bwaver

@@ -1,0 +1,111 @@
+#include "succinct/rank_support.hpp"
+
+#include <stdexcept>
+
+namespace bwaver {
+
+RankSupport::RankSupport(const BitVector& bv) : bv_(&bv) {
+  const std::size_t words = bv.word_count();
+  const std::size_t supers = words / kWordsPerSuper + 1;
+  super_.assign(supers, 0);
+  block_.assign(words + 1, 0);
+
+  std::uint64_t total = 0;
+  std::uint16_t in_super = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    if (w % kWordsPerSuper == 0) {
+      super_[w / kWordsPerSuper] = total;
+      in_super = 0;
+    }
+    block_[w] = in_super;
+    const int ones = popcount64(bv.words()[w]);
+    total += static_cast<std::uint64_t>(ones);
+    in_super = static_cast<std::uint16_t>(in_super + ones);
+  }
+  // Sentinel entry so rank1(size) works when size is word-aligned: word
+  // index `words` either starts a fresh superblock (absolute count = total,
+  // relative count = 0) or sits inside the last one.
+  if (words % kWordsPerSuper == 0) {
+    super_[words / kWordsPerSuper] = total;
+    block_[words] = 0;
+  } else {
+    block_[words] = in_super;
+  }
+}
+
+std::size_t RankSupport::select1(std::size_t k) const {
+  const std::size_t words = bv_->word_count();
+  const std::size_t total = rank1(bv_->size());
+  if (k >= total) {
+    throw std::out_of_range("RankSupport::select1: k >= number of ones");
+  }
+  // Binary search for the superblock holding the (k+1)-th one.
+  std::size_t lo = 0, hi = super_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (super_[mid] <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  std::size_t remaining = k - super_[lo];
+  for (std::size_t w = lo * kWordsPerSuper; w < words; ++w) {
+    const int ones = popcount64(bv_->words()[w]);
+    if (remaining < static_cast<std::size_t>(ones)) {
+      return w * 64 +
+             static_cast<std::size_t>(
+                 select_in_word(bv_->words()[w], static_cast<unsigned>(remaining)));
+    }
+    remaining -= static_cast<std::size_t>(ones);
+  }
+  throw std::out_of_range("RankSupport::select1: inconsistent directory");
+}
+
+std::size_t RankSupport::select0(std::size_t k) const {
+  const std::size_t size = bv_->size();
+  if (k >= size - rank1(size)) {
+    throw std::out_of_range("RankSupport::select0: k >= number of zeros");
+  }
+  // Zeros before superblock s = bits before it minus ones before it.
+  std::size_t lo = 0, hi = super_.size() - 1;
+  auto zeros_before = [&](std::size_t s) { return s * kWordsPerSuper * 64 - super_[s]; };
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (zeros_before(mid) <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  std::size_t remaining = k - zeros_before(lo);
+  const std::size_t words = bv_->word_count();
+  for (std::size_t w = lo * kWordsPerSuper; w < words; ++w) {
+    // Bits past size() are zero-padding; mask them in the final word so
+    // they are not selectable.
+    std::uint64_t word = ~bv_->words()[w];
+    if ((w + 1) * 64 > size) {
+      const unsigned valid = static_cast<unsigned>(size - w * 64);
+      word &= (valid == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << valid) - 1);
+    }
+    const int zeros = popcount64(word);
+    if (remaining < static_cast<std::size_t>(zeros)) {
+      return w * 64 +
+             static_cast<std::size_t>(select_in_word(word, static_cast<unsigned>(remaining)));
+    }
+    remaining -= static_cast<std::size_t>(zeros);
+  }
+  throw std::out_of_range("RankSupport::select0: inconsistent directory");
+}
+
+std::size_t RankSupport::rank1(std::size_t p) const noexcept {
+  const std::size_t word = p >> 6;
+  std::size_t result = super_[word / kWordsPerSuper] + block_[word];
+  const unsigned rem = p & 63;
+  if (rem != 0) {
+    result += static_cast<std::size_t>(rank_in_word(bv_->words()[word], rem));
+  }
+  return result;
+}
+
+}  // namespace bwaver

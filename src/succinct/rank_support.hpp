@@ -1,0 +1,85 @@
+// Two-level (Jacobson-style) rank directory over a plain BitVector:
+// 64-bit superblock absolute counts every 512 bits plus 16-bit in-superblock
+// counts every 64-bit word, answered with one popcount. This is the
+// uncompressed baseline the paper's software comparison ("re-sampling of the
+// index data") corresponds to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "succinct/bitvector.hpp"
+
+namespace bwaver {
+
+class RankSupport {
+ public:
+  RankSupport() = default;
+
+  /// Builds the directory; the caller keeps `bv` alive and unmodified.
+  explicit RankSupport(const BitVector& bv);
+
+  /// Number of 1s in bv[0, p), p in [0, size].
+  std::size_t rank1(std::size_t p) const noexcept;
+
+  std::size_t rank0(std::size_t p) const noexcept { return p - rank1(p); }
+
+  /// Position of the (k+1)-th 1-bit (0-based k). Throws std::out_of_range
+  /// when k >= total ones. O(log n) superblock search + word scan.
+  std::size_t select1(std::size_t k) const;
+
+  /// Position of the (k+1)-th 0-bit.
+  std::size_t select0(std::size_t k) const;
+
+  std::size_t size_in_bytes() const noexcept {
+    return super_.size() * sizeof(std::uint64_t) + block_.size() * sizeof(std::uint16_t);
+  }
+
+ private:
+  static constexpr std::size_t kWordsPerSuper = 8;  // 512 bits per superblock
+
+  const BitVector* bv_ = nullptr;
+  std::vector<std::uint64_t> super_;
+  std::vector<std::uint16_t> block_;
+};
+
+/// Plain bitvector bundled with its rank directory, presenting the same
+/// interface as RrrVector so the wavelet tree can be instantiated over
+/// either representation.
+class PlainRankBitVector {
+ public:
+  PlainRankBitVector() = default;
+  explicit PlainRankBitVector(BitVector bits)
+      : bits_(std::make_unique<BitVector>(std::move(bits))), rank_(*bits_) {}
+
+  std::size_t size() const noexcept { return bits_ ? bits_->size() : 0; }
+  bool access(std::size_t i) const noexcept { return bits_->get(i); }
+  std::size_t rank1(std::size_t p) const noexcept { return rank_.rank1(p); }
+  std::size_t rank0(std::size_t p) const noexcept { return rank_.rank0(p); }
+  std::size_t select1(std::size_t k) const { return rank_.select1(k); }
+  std::size_t select0(std::size_t k) const { return rank_.select0(k); }
+
+  std::size_t size_in_bytes() const noexcept {
+    return (bits_ ? bits_->size_in_bytes() : 0) + rank_.size_in_bytes();
+  }
+
+  /// Binary (de)serialization; the rank directory is rebuilt on load.
+  void save(ByteWriter& writer) const {
+    if (bits_) {
+      bits_->save(writer);
+    } else {
+      BitVector{}.save(writer);
+    }
+  }
+  static PlainRankBitVector load(ByteReader& reader) {
+    return PlainRankBitVector(BitVector::load(reader));
+  }
+
+ private:
+  std::unique_ptr<BitVector> bits_;  // stable address for the rank directory
+  RankSupport rank_;
+};
+
+}  // namespace bwaver

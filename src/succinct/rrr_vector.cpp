@@ -1,0 +1,229 @@
+#include "succinct/rrr_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace bwaver {
+
+RrrVector::RrrVector(const BitVector& bv, RrrParams params)
+    : params_(params), n_(bv.size()) {
+  const unsigned b = params.block_bits;
+  const unsigned sf = params.superblock_factor;
+  if (b == 0 || b > kMaxBlockBits) {
+    throw std::invalid_argument("RrrVector: block_bits must be in [1, 15]");
+  }
+  if (sf == 0) {
+    throw std::invalid_argument("RrrVector: superblock_factor must be >= 1");
+  }
+  table_ = &GlobalRankTable::get(b);
+
+  const std::size_t num_blocks = div_ceil(n_, b);
+  const std::size_t num_supers = div_ceil(num_blocks, sf);
+  if (n_ > std::numeric_limits<std::uint32_t>::max() / 2) {
+    throw std::length_error("RrrVector: sequence exceeds 32-bit counters");
+  }
+
+  classes_ = IntVector(num_blocks, 4);
+  partial_sum_.assign(num_supers, 0);
+  offset_sum_.assign(num_supers, 0);
+
+  std::uint32_t running_ones = 0;
+  for (std::size_t block = 0; block < num_blocks; ++block) {
+    if (block % sf == 0) {
+      const std::size_t super = block / sf;
+      partial_sum_[super] = running_ones;
+      offset_sum_[super] = static_cast<std::uint32_t>(offsets_.size());
+    }
+    const std::size_t bit_pos = block * b;
+    const unsigned width = static_cast<unsigned>(
+        bit_pos + b <= n_ ? b : n_ - bit_pos);
+    const auto value = static_cast<std::uint16_t>(bv.get_bits(bit_pos, width));
+    const unsigned cls = static_cast<unsigned>(popcount64(value));
+    classes_.set(block, cls);
+    const std::uint32_t offset = params.encode_mode == RrrEncodeMode::kInverseTable
+                                     ? table_->offset_of(value)
+                                     : table_->offset_of_by_search(value);
+    offsets_.append_bits(offset, table_->offset_width(cls));
+    running_ones += cls;
+  }
+  total_ones_ = running_ones;
+}
+
+std::size_t RrrVector::rank1(std::size_t p) const noexcept {
+  const unsigned b = params_.block_bits;
+  const unsigned sf = params_.superblock_factor;
+  const std::size_t super = p / (static_cast<std::size_t>(sf) * b);
+  if (super >= partial_sum_.size()) {
+    // Only reachable when p == size() lands exactly on a superblock
+    // boundary (or the vector is empty).
+    return total_ones_;
+  }
+  std::size_t count = partial_sum_[super];
+  const std::size_t first_block = super * sf;
+  const std::size_t last_block = p / b;
+  const unsigned rem = static_cast<unsigned>(p % b);
+
+  if (rem == 0) {
+    for (std::size_t i = first_block; i < last_block; ++i) {
+      count += classes_.get(i);
+    }
+    return count;
+  }
+
+  std::size_t offset_pos = offset_sum_[super];
+  for (std::size_t i = first_block; i < last_block; ++i) {
+    const unsigned cls = static_cast<unsigned>(classes_.get(i));
+    count += cls;
+    offset_pos += table_->offset_width(cls);
+  }
+  const unsigned cls = static_cast<unsigned>(classes_.get(last_block));
+  const std::uint64_t off = offsets_.get_bits(offset_pos, table_->offset_width(cls));
+  const std::uint16_t block_value =
+      table_->permutation(table_->class_offset(cls) + static_cast<std::uint32_t>(off));
+  count += static_cast<std::size_t>(rank_in_word(block_value, rem));
+  return count;
+}
+
+bool RrrVector::access(std::size_t i) const noexcept {
+  const unsigned b = params_.block_bits;
+  const unsigned sf = params_.superblock_factor;
+  const std::size_t block = i / b;
+  const std::size_t super = block / sf;
+
+  std::size_t offset_pos = offset_sum_[super];
+  for (std::size_t j = super * sf; j < block; ++j) {
+    offset_pos += table_->offset_width(static_cast<unsigned>(classes_.get(j)));
+  }
+  const unsigned cls = static_cast<unsigned>(classes_.get(block));
+  const std::uint64_t off = offsets_.get_bits(offset_pos, table_->offset_width(cls));
+  const std::uint16_t block_value =
+      table_->permutation(table_->class_offset(cls) + static_cast<std::uint32_t>(off));
+  return (block_value >> (i % b)) & 1;
+}
+
+std::size_t RrrVector::select1(std::size_t k) const {
+  if (k >= total_ones_) {
+    throw std::out_of_range("RrrVector::select1: k >= number of ones");
+  }
+  const unsigned b = params_.block_bits;
+  const unsigned sf = params_.superblock_factor;
+  // Superblock with the largest partial sum <= k.
+  std::size_t lo = 0, hi = partial_sum_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (partial_sum_[mid] <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  std::size_t remaining = k - partial_sum_[lo];
+  std::size_t offset_pos = offset_sum_[lo];
+  for (std::size_t block = lo * sf; block < classes_.size(); ++block) {
+    const unsigned cls = static_cast<unsigned>(classes_.get(block));
+    if (remaining < cls) {
+      const std::uint64_t off = offsets_.get_bits(offset_pos, table_->offset_width(cls));
+      const std::uint16_t value = table_->permutation(
+          table_->class_offset(cls) + static_cast<std::uint32_t>(off));
+      return block * b +
+             static_cast<std::size_t>(select_in_word(value, static_cast<unsigned>(remaining)));
+    }
+    remaining -= cls;
+    offset_pos += table_->offset_width(cls);
+  }
+  throw std::out_of_range("RrrVector::select1: inconsistent structure");
+}
+
+std::size_t RrrVector::select0(std::size_t k) const {
+  if (k >= n_ - total_ones_) {
+    throw std::out_of_range("RrrVector::select0: k >= number of zeros");
+  }
+  const unsigned b = params_.block_bits;
+  const unsigned sf = params_.superblock_factor;
+  const std::size_t super_span = static_cast<std::size_t>(sf) * b;
+  // Zeros before superblock s: bits before it minus ones before it (the
+  // final superblock may be short, but it is never *before* a probe).
+  auto zeros_before = [&](std::size_t s) {
+    return std::min(s * super_span, n_) - partial_sum_[s];
+  };
+  std::size_t lo = 0, hi = partial_sum_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (zeros_before(mid) <= k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  std::size_t remaining = k - zeros_before(lo);
+  std::size_t offset_pos = offset_sum_[lo];
+  for (std::size_t block = lo * sf; block < classes_.size(); ++block) {
+    const std::size_t bit_pos = block * b;
+    const unsigned width = static_cast<unsigned>(bit_pos + b <= n_ ? b : n_ - bit_pos);
+    const unsigned cls = static_cast<unsigned>(classes_.get(block));
+    const unsigned zeros = width - cls;
+    if (remaining < zeros) {
+      const std::uint64_t off = offsets_.get_bits(offset_pos, table_->offset_width(cls));
+      const std::uint16_t value = table_->permutation(
+          table_->class_offset(cls) + static_cast<std::uint32_t>(off));
+      // Select within the inverted block, masked to its width.
+      std::uint64_t inverted = ~static_cast<std::uint64_t>(value);
+      inverted &= (width == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+      return bit_pos +
+             static_cast<std::size_t>(select_in_word(inverted, static_cast<unsigned>(remaining)));
+    }
+    remaining -= zeros;
+    offset_pos += table_->offset_width(cls);
+  }
+  throw std::out_of_range("RrrVector::select0: inconsistent structure");
+}
+
+std::size_t RrrVector::size_in_bytes() const noexcept {
+  return classes_.size_in_bytes() + partial_sum_.size() * sizeof(std::uint32_t) +
+         offset_sum_.size() * sizeof(std::uint32_t) + offsets_.size_in_bytes() +
+         3 * sizeof(std::uint32_t);  // N, b, sf scalars
+}
+
+void RrrVector::save(ByteWriter& writer) const {
+  writer.u32(params_.block_bits);
+  writer.u32(params_.superblock_factor);
+  writer.u64(n_);
+  writer.u64(total_ones_);
+  classes_.save(writer);
+  writer.vec_u32(partial_sum_);
+  writer.vec_u32(offset_sum_);
+  offsets_.save(writer);
+}
+
+RrrVector RrrVector::load(ByteReader& reader) {
+  RrrVector rrr;
+  rrr.params_.block_bits = reader.u32();
+  rrr.params_.superblock_factor = reader.u32();
+  if (rrr.params_.block_bits == 0 || rrr.params_.block_bits > kMaxBlockBits ||
+      rrr.params_.superblock_factor == 0) {
+    throw IoError("RrrVector::load: corrupt parameters");
+  }
+  rrr.n_ = reader.u64();
+  rrr.total_ones_ = reader.u64();
+  rrr.classes_ = IntVector::load(reader);
+  rrr.partial_sum_ = reader.vec_u32();
+  rrr.offset_sum_ = reader.vec_u32();
+  rrr.offsets_ = BitVector::load(reader);
+  rrr.table_ = &GlobalRankTable::get(rrr.params_.block_bits);
+  return rrr;
+}
+
+double RrrVector::paper_size_in_bytes() const noexcept {
+  const double b = params_.block_bits;
+  const double sf = params_.superblock_factor;
+  const double n = static_cast<double>(n_);
+  const double lambda = static_cast<double>(offsets_.size());
+  return (sf + 16.0) * n / (2.0 * sf * b) + std::pow(2.0, b + 1) + 4.0 * b + 7.0 +
+         lambda / 8.0;
+}
+
+}  // namespace bwaver

@@ -1,0 +1,24 @@
+#include "util/binomial.hpp"
+
+#include "util/bits.hpp"
+
+namespace bwaver {
+
+BinomialTable::BinomialTable() {
+  for (unsigned n = 0; n <= kMaxBlockBits; ++n) {
+    table_[n][0] = 1;
+    for (unsigned k = 1; k <= n; ++k) {
+      table_[n][k] = (k == n) ? 1 : table_[n - 1][k - 1] + table_[n - 1][k];
+    }
+    for (unsigned k = 0; k <= n; ++k) {
+      widths_[n][k] = static_cast<std::uint8_t>(ceil_log2(table_[n][k]));
+    }
+  }
+}
+
+const BinomialTable& BinomialTable::instance() {
+  static const BinomialTable table;
+  return table;
+}
+
+}  // namespace bwaver

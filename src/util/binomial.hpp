@@ -1,0 +1,45 @@
+// Binomial coefficient tables for RRR block encoding.
+//
+// An RRR block of b bits with class c (= number of 1s) is identified inside
+// its class by an offset in [0, C(b,c)), stored in ceil(log2(C(b,c))) bits.
+// The paper fixes b = 15 in hardware but keeps the structure parametrizable;
+// we support b in [1, kMaxBlockBits].
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace bwaver {
+
+/// Largest supported RRR block size. Class numbers are stored in 4-bit
+/// fields (paper, Sec. III-B), so blocks can hold at most 15 ones.
+inline constexpr unsigned kMaxBlockBits = 15;
+
+/// Table of binomial coefficients C(n, k) for n, k in [0, kMaxBlockBits].
+class BinomialTable {
+ public:
+  BinomialTable();
+
+  /// C(n, k); 0 when k > n.
+  std::uint32_t choose(unsigned n, unsigned k) const noexcept {
+    if (k > n || n > kMaxBlockBits) return 0;
+    return table_[n][k];
+  }
+
+  /// Bits needed to store an offset within class k of blocks of n bits:
+  /// ceil(log2(C(n, k))), with the convention that a 1-element class
+  /// needs 0 bits.
+  unsigned offset_width(unsigned n, unsigned k) const noexcept {
+    if (k > n || n > kMaxBlockBits) return 0;
+    return widths_[n][k];
+  }
+
+  /// Process-wide shared instance.
+  static const BinomialTable& instance();
+
+ private:
+  std::array<std::array<std::uint32_t, kMaxBlockBits + 1>, kMaxBlockBits + 1> table_{};
+  std::array<std::array<std::uint8_t, kMaxBlockBits + 1>, kMaxBlockBits + 1> widths_{};
+};
+
+}  // namespace bwaver

@@ -1,0 +1,82 @@
+// Bit-level primitives used throughout the succinct data structures.
+//
+// All functions are constexpr-friendly, branch-light and operate on 64-bit
+// words; they are the software analogue of the LUT/popcount units that the
+// FPGA design instantiates in fabric.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace bwaver {
+
+/// Number of set bits in `x`.
+inline constexpr int popcount64(std::uint64_t x) noexcept {
+  return std::popcount(x);
+}
+
+/// Number of set bits among the `n` lowest-order bits of `x` (n in [0,64]).
+inline constexpr int rank_in_word(std::uint64_t x, unsigned n) noexcept {
+  if (n == 0) return 0;
+  if (n >= 64) return std::popcount(x);
+  return std::popcount(x & ((std::uint64_t{1} << n) - 1));
+}
+
+/// Position (0-based) of the (k+1)-th set bit of `x`; 64 if there is none.
+inline constexpr int select_in_word(std::uint64_t x, unsigned k) noexcept {
+  for (unsigned i = 0; i < 64; ++i) {
+    if (x & (std::uint64_t{1} << i)) {
+      if (k == 0) return static_cast<int>(i);
+      --k;
+    }
+  }
+  return 64;
+}
+
+/// ceil(log2(x)) for x >= 1; 0 for x <= 1.
+inline constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return static_cast<unsigned>(64 - std::countl_zero(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+inline constexpr unsigned floor_log2(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  return static_cast<unsigned>(63 - std::countl_zero(x));
+}
+
+/// True if x is a power of two (x > 0).
+inline constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two >= x.
+inline constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  if (x <= 1) return 1;
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+/// ceil(a / b) for b > 0.
+inline constexpr std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Extract `width` bits of `x` starting at bit `lsb` (low-order first).
+inline constexpr std::uint64_t bits_extract(std::uint64_t x, unsigned lsb,
+                                            unsigned width) noexcept {
+  if (width == 0) return 0;
+  x >>= lsb;
+  if (width >= 64) return x;
+  return x & ((std::uint64_t{1} << width) - 1);
+}
+
+/// Reverse the `n` lowest-order bits of `x` (others dropped).
+inline constexpr std::uint64_t reverse_bits(std::uint64_t x, unsigned n) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    r = (r << 1) | ((x >> i) & 1);
+  }
+  return r;
+}
+
+}  // namespace bwaver

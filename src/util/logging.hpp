@@ -1,0 +1,48 @@
+// Minimal leveled logger. Severity is filtered at runtime; output goes to
+// stderr so benchmark tables on stdout stay machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bwaver {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define BWAVER_LOG(level)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::bwaver::log_level())) { \
+  } else                                                    \
+    ::bwaver::detail::LogLine(level)
+
+#define LOG_DEBUG BWAVER_LOG(::bwaver::LogLevel::kDebug)
+#define LOG_INFO BWAVER_LOG(::bwaver::LogLevel::kInfo)
+#define LOG_WARN BWAVER_LOG(::bwaver::LogLevel::kWarn)
+#define LOG_ERROR BWAVER_LOG(::bwaver::LogLevel::kError)
+
+}  // namespace bwaver

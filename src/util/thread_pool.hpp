@@ -1,0 +1,47 @@
+// Fixed-size thread pool with a blocking task queue and a chunked
+// parallel_for helper. Used by the multithreaded software mappers
+// (BWaveR-CPU with T threads and the Bowtie2-like baseline).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bwaver {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it has run.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(begin, end) over [0, n) split into roughly equal contiguous
+  /// chunks, one per worker, and wait for completion. Exceptions from the
+  /// chunks are rethrown (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace bwaver

@@ -1,0 +1,152 @@
+// End-to-end smoke tests of the `bwaver` CLI binary (subprocess level):
+// simulate -> index -> map / map-approx / stats, checking exit codes and
+// the artifacts left on disk. The binary path is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fmindex/dna.hpp"
+#include "io/byte_io.hpp"
+#include "io/fasta.hpp"
+#include "io/fastq.hpp"
+#include "mapper/paired_end.hpp"
+
+#ifndef BWAVER_BIN
+#error "BWAVER_BIN must be defined by the build"
+#endif
+
+namespace bwaver {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "bwaver_cli_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Runs the CLI with `args`, returns its exit code; stdout goes to a log.
+  int run(const std::string& args) {
+    const std::string log = (dir_ / "cli.log").string();
+    const std::string command =
+        std::string(BWAVER_BIN) + " " + args + " > " + log + " 2>&1";
+    const int status = std::system(command.c_str());
+    return WEXITSTATUS(status);
+  }
+
+  std::string log_contents() {
+    return std::string(reinterpret_cast<const char*>(
+                           read_file((dir_ / "cli.log").string()).data()),
+                       read_file((dir_ / "cli.log").string()).size());
+  }
+
+  std::string path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  EXPECT_EQ(run(""), 2);
+  EXPECT_NE(log_contents().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownSubcommandFails) {
+  EXPECT_EQ(run("frobnicate"), 2);
+}
+
+TEST_F(CliTest, FullWorkflow) {
+  ASSERT_EQ(run("simulate-genome --length 60000 --seed 3 --out " + path("ref.fa")), 0);
+  ASSERT_TRUE(std::filesystem::exists(path("ref.fa")));
+
+  ASSERT_EQ(run("simulate-reads --ref " + path("ref.fa") +
+                " --num 500 --length 50 --mapping-ratio 0.8 --out " +
+                path("reads.fq.gz")),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(path("reads.fq.gz")));
+
+  ASSERT_EQ(run("index --ref " + path("ref.fa") + " --out " + path("ref.bwvr")), 0);
+  ASSERT_TRUE(std::filesystem::exists(path("ref.bwvr")));
+
+  ASSERT_EQ(run("map --index " + path("ref.bwvr") + " --reads " + path("reads.fq.gz") +
+                " --engine fpga --out " + path("out.sam")),
+            0);
+  const auto contents = log_contents();
+  EXPECT_NE(contents.find("mapped 400/500"), std::string::npos) << contents;
+  ASSERT_TRUE(std::filesystem::exists(path("out.sam")));
+}
+
+TEST_F(CliTest, MapApproxReportsStages) {
+  ASSERT_EQ(run("simulate-genome --length 40000 --seed 5 --out " + path("ref.fa")), 0);
+  ASSERT_EQ(run("simulate-reads --ref " + path("ref.fa") +
+                " --num 100 --length 40 --out " + path("reads.fq")),
+            0);
+  ASSERT_EQ(run("index --ref " + path("ref.fa") + " --out " + path("ref.bwvr")), 0);
+  ASSERT_EQ(run("map-approx --index " + path("ref.bwvr") + " --reads " +
+                path("reads.fq") + " --mismatches 1"),
+            0);
+  const auto contents = log_contents();
+  EXPECT_NE(contents.find("staged approximate mapping"), std::string::npos);
+  EXPECT_NE(contents.find("0 mm"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsReportsStructure) {
+  ASSERT_EQ(run("simulate-genome --length 30000 --seed 7 --out " + path("ref.fa")), 0);
+  ASSERT_EQ(run("index --ref " + path("ref.fa") + " --out " + path("ref.bwvr")), 0);
+  ASSERT_EQ(run("stats --index " + path("ref.bwvr")), 0);
+  const auto contents = log_contents();
+  EXPECT_NE(contents.find("BWT runs:"), std::string::npos);
+  EXPECT_NE(contents.find("device fit:       YES"), std::string::npos) << contents;
+}
+
+TEST_F(CliTest, PipelineSubcommandEndToEnd) {
+  ASSERT_EQ(run("simulate-genome --length 50000 --seed 11 --out " + path("r.fa")), 0);
+  ASSERT_EQ(run("simulate-reads --ref " + path("r.fa") +
+                " --num 300 --length 60 --mapping-ratio 0.5 --out " + path("r.fq")),
+            0);
+  ASSERT_EQ(run("pipeline --ref " + path("r.fa") + " --reads " + path("r.fq") +
+                " --engine cpu --threads 2 --out " + path("p.sam")),
+            0);
+  EXPECT_NE(log_contents().find("mapped 150/300"), std::string::npos);
+}
+
+TEST_F(CliTest, MapPairedClassifiesPairs) {
+  ASSERT_EQ(run("simulate-genome --length 80000 --seed 13 --out " + path("r.fa")), 0);
+  ASSERT_EQ(run("index --ref " + path("r.fa") + " --out " + path("r.bwvr")), 0);
+
+  // Build FR mate files from the reference itself.
+  const auto fasta = read_fasta(path("r.fa"));
+  const auto genome = dna_encode_string(fasta.front().sequence, true);
+  const auto pairs = simulate_read_pairs(genome, 50, 60, 400, 50, 21);
+  std::vector<FastqRecord> m1, m2;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    m1.push_back({"p" + std::to_string(i), dna_decode_string(pairs[i].mate1),
+                  std::string(60, 'I')});
+    m2.push_back({"p" + std::to_string(i), dna_decode_string(pairs[i].mate2),
+                  std::string(60, 'I')});
+  }
+  write_fastq(path("m1.fq"), m1);
+  write_fastq(path("m2.fq"), m2);
+
+  ASSERT_EQ(run("map-paired --index " + path("r.bwvr") + " --reads1 " + path("m1.fq") +
+                " --reads2 " + path("m2.fq") + " --min-insert 200 --max-insert 600"),
+            0);
+  const auto contents = log_contents();
+  EXPECT_NE(contents.find("proper:       50"), std::string::npos) << contents;
+}
+
+TEST_F(CliTest, MapWithMissingIndexFails) {
+  EXPECT_EQ(run("map --index " + path("nope.bwvr") + " --reads " + path("nope.fq")),
+            1);
+  EXPECT_NE(log_contents().find("error"), std::string::npos);
+}
+
+TEST_F(CliTest, MapMissingArgumentsShowsUsage) {
+  EXPECT_EQ(run("map"), 2);
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,202 @@
+#include "app/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "app/web_service.hpp"
+#include "io/fasta.hpp"
+#include "io/fastq.hpp"
+#include "io/gzip.hpp"
+#include "sim/genome_sim.hpp"
+#include "sim/read_sim.hpp"
+
+namespace bwaver {
+namespace {
+
+/// Blocking loopback HTTP client good enough for tests.
+std::string http_request(std::uint16_t port, const std::string& method,
+                         const std::string& path, const std::string& body = "") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: localhost\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpServer, RoutesAndResponds) {
+  HttpServer server;
+  server.route("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse::text(200, "pong");
+  });
+  server.start(0);
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = http_request(server.port(), "GET", "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("pong"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, UnknownPathIs404) {
+  HttpServer server;
+  server.start(0);
+  const std::string response = http_request(server.port(), "GET", "/missing");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, PostBodyIsDelivered) {
+  HttpServer server;
+  std::string received;
+  server.route("POST", "/echo", [&](const HttpRequest& request) {
+    received.assign(request.body.begin(), request.body.end());
+    return HttpResponse::text(200, "got " + std::to_string(request.body.size()));
+  });
+  server.start(0);
+  const std::string body(10000, 'x');  // larger than one recv chunk
+  const std::string response = http_request(server.port(), "POST", "/echo", body);
+  EXPECT_NE(response.find("got 10000"), std::string::npos);
+  EXPECT_EQ(received, body);
+  server.stop();
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500) {
+  HttpServer server;
+  server.route("GET", "/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("kaboom");
+  });
+  server.start(0);
+  const std::string response = http_request(server.port(), "GET", "/boom");
+  EXPECT_NE(response.find("HTTP/1.1 500"), std::string::npos);
+  EXPECT_NE(response.find("kaboom"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, MultipleSequentialRequests) {
+  HttpServer server;
+  server.route("GET", "/n", [](const HttpRequest&) {
+    static int counter = 0;
+    return HttpResponse::text(200, std::to_string(++counter));
+  });
+  server.start(0);
+  for (int i = 1; i <= 5; ++i) {
+    const std::string response = http_request(server.port(), "GET", "/n");
+    EXPECT_NE(response.find(std::to_string(i)), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST(HttpServer, DoubleStartThrows) {
+  HttpServer server;
+  server.start(0);
+  EXPECT_THROW(server.start(0), std::logic_error);
+  server.stop();
+}
+
+// --------------------------------------------------------- WebService
+
+class WebServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GenomeSimConfig config;
+    config.length = 20000;
+    config.seed = 5;
+    genome_codes_ = simulate_genome(config);
+
+    const FastaRecord ref{"web_ref", dna_decode_string(genome_codes_)};
+    fasta_text_ = format_fasta(std::span<const FastaRecord>(&ref, 1));
+
+    ReadSimConfig rc;
+    rc.num_reads = 50;
+    rc.read_length = 40;
+    rc.mapping_ratio = 1.0;
+    const auto reads = simulate_reads(genome_codes_, rc);
+    fastq_text_ = format_fastq(reads_to_fastq(reads));
+
+    service_.start(0);
+  }
+
+  void TearDown() override { service_.stop(); }
+
+  std::vector<std::uint8_t> genome_codes_;
+  std::string fasta_text_;
+  std::string fastq_text_;
+  WebService service_;
+};
+
+TEST_F(WebServiceTest, LandingPageIsHtml) {
+  const std::string response = http_request(service_.port(), "GET", "/");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("BWaveR"), std::string::npos);
+  EXPECT_NE(response.find("text/html"), std::string::npos);
+}
+
+TEST_F(WebServiceTest, StatusBeforeReference) {
+  const std::string response = http_request(service_.port(), "GET", "/status");
+  EXPECT_NE(response.find("no reference loaded"), std::string::npos);
+}
+
+TEST_F(WebServiceTest, MapBeforeReferenceIs409) {
+  const std::string response =
+      http_request(service_.port(), "POST", "/map", fastq_text_);
+  EXPECT_NE(response.find("HTTP/1.1 409"), std::string::npos);
+}
+
+TEST_F(WebServiceTest, FullUploadIndexMapWorkflow) {
+  const std::string upload =
+      http_request(service_.port(), "POST", "/reference", fasta_text_);
+  EXPECT_NE(upload.find("200 OK"), std::string::npos);
+  EXPECT_NE(upload.find("web_ref"), std::string::npos);
+
+  const std::string status = http_request(service_.port(), "GET", "/status");
+  EXPECT_NE(status.find("state: ready"), std::string::npos);
+  EXPECT_NE(status.find("20000 bp"), std::string::npos);
+
+  const std::string sam = http_request(service_.port(), "POST", "/map", fastq_text_);
+  EXPECT_NE(sam.find("200 OK"), std::string::npos);
+  EXPECT_NE(sam.find("@SQ\tSN:web_ref"), std::string::npos);
+  EXPECT_NE(sam.find("40M"), std::string::npos);  // 40 bp exact matches
+}
+
+TEST_F(WebServiceTest, GzippedUploadsAccepted) {
+  const auto gz_fasta = gzip_compress(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(fasta_text_.data()), fasta_text_.size()));
+  const std::string upload = http_request(
+      service_.port(), "POST", "/reference",
+      std::string(gz_fasta.begin(), gz_fasta.end()));
+  EXPECT_NE(upload.find("200 OK"), std::string::npos);
+}
+
+TEST_F(WebServiceTest, EmptyUploadRejected) {
+  const std::string response = http_request(service_.port(), "POST", "/reference", "");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST_F(WebServiceTest, MalformedFastaIs500) {
+  const std::string response =
+      http_request(service_.port(), "POST", "/reference", "garbage not fasta");
+  EXPECT_NE(response.find("HTTP/1.1 500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,157 @@
+#include "fmindex/approx_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fmindex/occ_backends.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver {
+namespace {
+
+FmIndex<RrrWaveletOcc> make_index(std::span<const std::uint8_t> text) {
+  return FmIndex<RrrWaveletOcc>(text, [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  });
+}
+
+/// Oracle: positions where `text` matches `pattern` with <= k substitutions.
+std::set<std::pair<std::uint32_t, std::uint8_t>> naive_approx(
+    std::span<const std::uint8_t> text, std::span<const std::uint8_t> pattern,
+    unsigned k) {
+  std::set<std::pair<std::uint32_t, std::uint8_t>> hits;
+  if (pattern.empty() || pattern.size() > text.size()) return hits;
+  for (std::size_t pos = 0; pos + pattern.size() <= text.size(); ++pos) {
+    unsigned mismatches = 0;
+    for (std::size_t i = 0; i < pattern.size() && mismatches <= k; ++i) {
+      mismatches += text[pos + i] != pattern[i];
+    }
+    if (mismatches <= k) {
+      hits.emplace(static_cast<std::uint32_t>(pos),
+                   static_cast<std::uint8_t>(mismatches));
+    }
+  }
+  return hits;
+}
+
+class ApproxSearchK : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ApproxSearchK, LocateMatchesBruteForce) {
+  const unsigned k = GetParam();
+  const auto text = testing::random_symbols(2000, 4, 400 + k);
+  const auto index = make_index(text);
+  Xoshiro256 rng(401 + k);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t len = 6 + rng.below(15);
+    std::vector<std::uint8_t> pattern;
+    if (trial % 2 == 0) {
+      const std::size_t start = rng.below(text.size() - len);
+      pattern.assign(text.begin() + start, text.begin() + start + len);
+      // Inject up to k mutations so approximate paths are exercised.
+      for (unsigned m = 0; m < k && !pattern.empty(); ++m) {
+        const std::size_t at = rng.below(pattern.size());
+        pattern[at] = static_cast<std::uint8_t>((pattern[at] + 1) & 3);
+      }
+    } else {
+      pattern = testing::random_symbols(len, 4, rng());
+    }
+    const auto expected = naive_approx(text, pattern, k);
+    const auto found = approx_locate(index, pattern, k);
+    std::set<std::pair<std::uint32_t, std::uint8_t>> got(found.begin(), found.end());
+    ASSERT_EQ(got, expected) << "k=" << k << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ApproxSearchK, ::testing::Values(0u, 1u, 2u));
+
+TEST(ApproxSearch, ZeroBudgetEqualsExactCount) {
+  const auto text = testing::random_symbols(3000, 4, 410);
+  const auto index = make_index(text);
+  std::vector<std::uint8_t> pattern(text.begin() + 100, text.begin() + 130);
+  const auto hits = approx_count(index, pattern, 0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].interval, index.count(pattern));
+  EXPECT_EQ(hits[0].mismatches, 0);
+}
+
+TEST(ApproxSearch, IntervalsAreDisjoint) {
+  const auto text = testing::random_symbols(5000, 4, 411);
+  const auto index = make_index(text);
+  std::vector<std::uint8_t> pattern(text.begin() + 700, text.begin() + 716);
+  const auto hits = approx_count(index, pattern, 2);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  for (const auto& hit : hits) ranges.emplace_back(hit.interval.lo, hit.interval.hi);
+  std::sort(ranges.begin(), ranges.end());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    ASSERT_LE(ranges[i - 1].second, ranges[i].first) << "overlapping intervals";
+  }
+}
+
+TEST(ApproxSearch, EmptyPatternYieldsNothing) {
+  const auto text = testing::random_symbols(100, 4, 412);
+  const auto index = make_index(text);
+  EXPECT_TRUE(approx_count(index, {}, 2).empty());
+}
+
+TEST(ApproxSearch, StatsCountWork) {
+  const auto text = testing::random_symbols(3000, 4, 413);
+  const auto index = make_index(text);
+  std::vector<std::uint8_t> pattern(text.begin() + 50, text.begin() + 80);
+
+  ApproxStats k0, k2;
+  approx_count(index, pattern, 0, &k0);
+  approx_count(index, pattern, 2, &k2);
+  // A bigger budget explores strictly more of the search tree.
+  EXPECT_GT(k2.steps_executed, k0.steps_executed);
+  EXPECT_GE(k2.hits, k0.hits);
+  EXPECT_GT(k2.branches_pruned, 0u);
+}
+
+TEST(ApproxSearch, BestStratumStopsAtExact) {
+  const auto text = testing::random_symbols(4000, 4, 414);
+  const auto index = make_index(text);
+  std::vector<std::uint8_t> pattern(text.begin() + 900, text.begin() + 930);
+  const auto best = approx_count_best(index, pattern, 2);
+  ASSERT_FALSE(best.empty());
+  for (const auto& hit : best) EXPECT_EQ(hit.mismatches, 0);
+}
+
+TEST(ApproxSearch, BestStratumFindsOneMismatchWhenExactFails) {
+  const auto text = testing::random_symbols(4000, 4, 415);
+  const auto index = make_index(text);
+  std::vector<std::uint8_t> pattern(text.begin() + 1200, text.begin() + 1240);
+  pattern[20] = static_cast<std::uint8_t>((pattern[20] + 2) & 3);
+  // The mutated 40-mer almost surely does not occur exactly.
+  if (!index.count(pattern).empty()) GTEST_SKIP() << "unlucky: mutation still exact";
+  const auto best = approx_count_best(index, pattern, 2);
+  ASSERT_FALSE(best.empty());
+  for (const auto& hit : best) EXPECT_EQ(hit.mismatches, 1);
+  // The original locus must be among the 1-mismatch hits.
+  bool found = false;
+  for (const auto& hit : best) {
+    for (std::uint32_t row = hit.interval.lo; row < hit.interval.hi; ++row) {
+      if (index.suffix_array()[row] == 1200) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ApproxSearch, WorksOverSampledOccToo) {
+  const auto text = testing::random_symbols(2000, 4, 416);
+  const FmIndex<SampledOcc> index(
+      text, [](std::span<const std::uint8_t> bwt) { return SampledOcc(bwt); });
+  const auto rrr_index = make_index(text);
+  std::vector<std::uint8_t> pattern(text.begin() + 10, text.begin() + 30);
+  pattern[5] = static_cast<std::uint8_t>((pattern[5] + 1) & 3);
+  const auto a = approx_locate(index, pattern, 2);
+  const auto b = approx_locate(rrr_index, pattern, 2);
+  std::set<std::pair<std::uint32_t, std::uint8_t>> sa(a.begin(), a.end());
+  std::set<std::pair<std::uint32_t, std::uint8_t>> sb(b.begin(), b.end());
+  EXPECT_EQ(sa, sb);
+}
+
+}  // namespace
+}  // namespace bwaver

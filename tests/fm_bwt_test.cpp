@@ -1,0 +1,138 @@
+#include "fmindex/bwt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fmindex/dna.hpp"
+#include "fmindex/suffix_array.hpp"
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+/// Oracle: BWT via explicit rotation sort. Returns the full (n+1)-column
+/// with 4 marking the sentinel.
+std::vector<std::uint8_t> naive_bwt_column(std::span<const std::uint8_t> text) {
+  const std::size_t n = text.size();
+  std::vector<std::uint8_t> padded(text.begin(), text.end());
+  padded.push_back(4);  // sentinel, smaller than nothing here...
+  // Build rotations of text+$ with $ encoded as a value smaller than all:
+  // shift symbols by +1 and use 0 for $.
+  std::vector<std::uint8_t> shifted(n + 1);
+  for (std::size_t i = 0; i < n; ++i) shifted[i] = static_cast<std::uint8_t>(text[i] + 1);
+  shifted[n] = 0;
+
+  std::vector<std::uint32_t> rotation(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) rotation[i] = static_cast<std::uint32_t>(i);
+  std::sort(rotation.begin(), rotation.end(), [&](std::uint32_t a, std::uint32_t b) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      const std::uint8_t ca = shifted[(a + k) % (n + 1)];
+      const std::uint8_t cb = shifted[(b + k) % (n + 1)];
+      if (ca != cb) return ca < cb;
+    }
+    return false;
+  });
+
+  std::vector<std::uint8_t> column(n + 1);
+  for (std::size_t row = 0; row <= n; ++row) {
+    const std::uint8_t s = shifted[(rotation[row] + n) % (n + 1)];
+    column[row] = s == 0 ? 4 : static_cast<std::uint8_t>(s - 1);
+  }
+  return column;
+}
+
+TEST(Bwt, MatchesRotationSortOracle) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const std::size_t size = 1 + (seed * 37) % 300;
+    const auto text = testing::random_symbols(size, 4, seed + 50);
+    const Bwt bwt = build_bwt(text);
+    const auto oracle = naive_bwt_column(text);
+    ASSERT_EQ(bwt.symbols.size(), size);
+    for (std::size_t row = 0; row <= size; ++row) {
+      ASSERT_EQ(bwt.column(row), oracle[row]) << "seed=" << seed << " row=" << row;
+    }
+  }
+}
+
+TEST(Bwt, KnownMississippiLikeExample) {
+  // Text "ACGACG": verify squeezed symbols + primary against the oracle.
+  const auto text = dna_encode_string("ACGACG");
+  const Bwt bwt = build_bwt(text);
+  const auto oracle = naive_bwt_column(text);
+  for (std::size_t row = 0; row < oracle.size(); ++row) {
+    EXPECT_EQ(bwt.column(row), oracle[row]);
+  }
+  EXPECT_EQ(bwt.text_length, 6u);
+}
+
+TEST(Bwt, PrimaryIsSentinelRow) {
+  const auto text = testing::random_symbols(500, 4, 3);
+  const auto sa = build_suffix_array(text);
+  const Bwt bwt = build_bwt(text, sa);
+  // The primary row is where SA == 0 (suffix starting at 0, preceded by $).
+  std::size_t expected = 0;
+  for (std::size_t row = 0; row < sa.size(); ++row) {
+    if (sa[row] == 0) expected = row;
+  }
+  EXPECT_EQ(bwt.primary, expected);
+  EXPECT_EQ(bwt.column(bwt.primary), 4);
+}
+
+TEST(Bwt, RejectsMismatchedSaSize) {
+  const auto text = testing::random_symbols(100, 4, 4);
+  const std::vector<std::uint32_t> bad_sa(50);
+  EXPECT_THROW(build_bwt(text, bad_sa), std::invalid_argument);
+}
+
+class BwtRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BwtRoundTrip, InverseBwtRecoversText) {
+  const std::size_t size = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto text = testing::random_symbols(size, 4, seed * 11 + size);
+    const Bwt bwt = build_bwt(text);
+    ASSERT_EQ(inverse_bwt(bwt), text) << "size=" << size << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BwtRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 10u, 63u, 64u, 65u, 255u,
+                                           1000u, 10000u));
+
+TEST(Bwt, RoundTripOnRepeatRichText) {
+  auto text = testing::random_symbols(2000, 4, 60);
+  text.insert(text.end(), text.begin(), text.begin() + 1000);
+  const Bwt bwt = build_bwt(text);
+  EXPECT_EQ(inverse_bwt(bwt), text);
+}
+
+TEST(Bwt, RoundTripOnHomopolymer) {
+  const std::vector<std::uint8_t> text(300, 1);
+  const Bwt bwt = build_bwt(text);
+  EXPECT_EQ(inverse_bwt(bwt), text);
+}
+
+TEST(Bwt, BwtOfRepeatsHasLongRuns) {
+  // The BWT groups characters by context; a highly repetitive text must
+  // produce a runnier BWT than random (the compression premise).
+  auto repetitive = testing::random_symbols(1000, 4, 70);
+  for (int i = 0; i < 4; ++i) {
+    repetitive.insert(repetitive.end(), repetitive.begin(), repetitive.begin() + 1000);
+  }
+  const auto random_text = testing::random_symbols(repetitive.size(), 4, 71);
+
+  auto count_runs = [](const std::vector<std::uint8_t>& s) {
+    std::size_t runs = s.empty() ? 0 : 1;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (s[i] != s[i - 1]) ++runs;
+    }
+    return runs;
+  };
+  const std::size_t runs_rep = count_runs(build_bwt(repetitive).symbols);
+  const std::size_t runs_rand = count_runs(build_bwt(random_text).symbols);
+  EXPECT_LT(runs_rep * 2, runs_rand);
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,83 @@
+#include "fmindex/dna.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bwaver {
+namespace {
+
+TEST(Dna, EncodeCanonicalBases) {
+  EXPECT_EQ(dna_encode('A'), 0);
+  EXPECT_EQ(dna_encode('C'), 1);
+  EXPECT_EQ(dna_encode('G'), 2);
+  EXPECT_EQ(dna_encode('T'), 3);
+}
+
+TEST(Dna, EncodeLowercaseAndUracil) {
+  EXPECT_EQ(dna_encode('a'), 0);
+  EXPECT_EQ(dna_encode('c'), 1);
+  EXPECT_EQ(dna_encode('g'), 2);
+  EXPECT_EQ(dna_encode('t'), 3);
+  EXPECT_EQ(dna_encode('U'), 3);
+  EXPECT_EQ(dna_encode('u'), 3);
+}
+
+TEST(Dna, EncodeInvalidYieldsSentinel) {
+  for (char c : {'N', 'n', 'X', '-', ' ', '@', '5'}) {
+    EXPECT_EQ(dna_encode(c), kDnaInvalid) << c;
+  }
+}
+
+TEST(Dna, DecodeRoundTrip) {
+  for (std::uint8_t code = 0; code < 4; ++code) {
+    EXPECT_EQ(dna_encode(dna_decode(code)), code);
+  }
+}
+
+TEST(Dna, ComplementPairs) {
+  EXPECT_EQ(dna_complement(dna_encode('A')), dna_encode('T'));
+  EXPECT_EQ(dna_complement(dna_encode('T')), dna_encode('A'));
+  EXPECT_EQ(dna_complement(dna_encode('C')), dna_encode('G'));
+  EXPECT_EQ(dna_complement(dna_encode('G')), dna_encode('C'));
+}
+
+TEST(Dna, EncodeStringStrictThrowsOnInvalid) {
+  EXPECT_THROW(dna_encode_string("ACGTN"), std::invalid_argument);
+  EXPECT_THROW(dna_encode_string("XACGT"), std::invalid_argument);
+}
+
+TEST(Dna, EncodeStringSubstitutesDeterministically) {
+  const auto a = dna_encode_string("ACNNGT", true);
+  const auto b = dna_encode_string("ACNNGT", true);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 6u);
+  for (std::uint8_t code : a) EXPECT_LT(code, 4);
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 1);
+  EXPECT_EQ(a[4], 2);
+  EXPECT_EQ(a[5], 3);
+}
+
+TEST(Dna, EncodeDecodeStringRoundTrip) {
+  const std::string bases = "ACGTACGTTTGGCCAA";
+  EXPECT_EQ(dna_decode_string(dna_encode_string(bases)), bases);
+}
+
+TEST(Dna, ReverseComplementKnownCase) {
+  EXPECT_EQ(dna_reverse_complement_string("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(dna_reverse_complement_string("AAAA"), "TTTT");
+  EXPECT_EQ(dna_reverse_complement_string("ACCTG"), "CAGGT");
+}
+
+TEST(Dna, ReverseComplementIsInvolution) {
+  const auto codes = dna_encode_string("GATTACAGATTACAGGG");
+  EXPECT_EQ(dna_reverse_complement(dna_reverse_complement(codes)), codes);
+}
+
+TEST(Dna, EmptyStringHandling) {
+  EXPECT_TRUE(dna_encode_string("").empty());
+  EXPECT_EQ(dna_decode_string({}), "");
+  EXPECT_TRUE(dna_reverse_complement({}).empty());
+}
+
+}  // namespace
+}  // namespace bwaver

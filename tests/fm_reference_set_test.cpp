@@ -1,0 +1,117 @@
+#include "fmindex/reference_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+ReferenceSet three_sequences() {
+  ReferenceSet set;
+  set.add("chrA", testing::random_symbols(100, 4, 1));
+  set.add("chrB", testing::random_symbols(250, 4, 2));
+  set.add("chrC", testing::random_symbols(50, 4, 3));
+  return set;
+}
+
+TEST(ReferenceSet, ConcatenationLayout) {
+  const auto set = three_sequences();
+  EXPECT_EQ(set.num_sequences(), 3u);
+  EXPECT_EQ(set.total_length(), 400u);
+  EXPECT_EQ(set.sequence(0).offset, 0u);
+  EXPECT_EQ(set.sequence(1).offset, 100u);
+  EXPECT_EQ(set.sequence(2).offset, 350u);
+  EXPECT_EQ(set.sequence(2).length, 50u);
+}
+
+TEST(ReferenceSet, RejectsEmptySequence) {
+  ReferenceSet set;
+  EXPECT_THROW(set.add("empty", {}), std::invalid_argument);
+}
+
+TEST(ReferenceSet, ResolveMapsGlobalToLocal) {
+  const auto set = three_sequences();
+  EXPECT_EQ(set.resolve(0).sequence_index, 0u);
+  EXPECT_EQ(set.resolve(0).offset, 0u);
+  EXPECT_EQ(set.resolve(99).sequence_index, 0u);
+  EXPECT_EQ(set.resolve(99).offset, 99u);
+  EXPECT_EQ(set.resolve(100).sequence_index, 1u);
+  EXPECT_EQ(set.resolve(100).offset, 0u);
+  EXPECT_EQ(set.resolve(349).sequence_index, 1u);
+  EXPECT_EQ(set.resolve(350).sequence_index, 2u);
+  EXPECT_EQ(set.resolve(399).offset, 49u);
+  EXPECT_THROW(set.resolve(400), std::out_of_range);
+}
+
+TEST(ReferenceSet, SpanWithinSequenceFiltersBoundaryStraddlers) {
+  const auto set = three_sequences();
+  EXPECT_TRUE(set.span_within_sequence(0, 100));    // exactly chrA
+  EXPECT_FALSE(set.span_within_sequence(0, 101));   // spills into chrB
+  EXPECT_FALSE(set.span_within_sequence(95, 10));   // straddles A|B
+  EXPECT_TRUE(set.span_within_sequence(100, 250));  // exactly chrB
+  EXPECT_FALSE(set.span_within_sequence(340, 20));  // straddles B|C
+  EXPECT_TRUE(set.span_within_sequence(390, 10));   // tail of chrC
+  EXPECT_FALSE(set.span_within_sequence(390, 11));  // past the end
+  EXPECT_FALSE(set.span_within_sequence(0, 0));     // empty span
+}
+
+TEST(ReferenceSet, ResolveSpanCombinesBoth) {
+  const auto set = three_sequences();
+  const auto hit = set.resolve_span(120, 30);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->sequence_index, 1u);
+  EXPECT_EQ(hit->offset, 20u);
+  EXPECT_FALSE(set.resolve_span(95, 10).has_value());
+}
+
+TEST(ReferenceSet, SerializationRoundTrip) {
+  const auto original = three_sequences();
+  ByteWriter writer;
+  original.save(writer);
+  ByteReader reader(writer.data());
+  const auto loaded = ReferenceSet::load(reader);
+  EXPECT_EQ(loaded.num_sequences(), 3u);
+  EXPECT_EQ(loaded.sequence(1).name, "chrB");
+  EXPECT_EQ(loaded.concatenated(), original.concatenated());
+}
+
+TEST(ReferenceSet, LoadRejectsCorruptTable) {
+  ByteWriter writer;
+  writer.u64(1);
+  writer.str("bad");
+  writer.u32(5);   // offset should be 0
+  writer.u32(10);
+  writer.vec_u8(std::vector<std::uint8_t>(15, 0));
+  ByteReader reader(writer.data());
+  EXPECT_THROW(ReferenceSet::load(reader), IoError);
+}
+
+TEST(ReferenceSet, SingleSequenceDegenerateCase) {
+  ReferenceSet set;
+  set.add("only", testing::random_symbols(42, 4, 9));
+  EXPECT_TRUE(set.span_within_sequence(0, 42));
+  EXPECT_EQ(set.resolve(41).sequence_index, 0u);
+}
+
+TEST(ReferenceSet, CoordinateOverflowGuard) {
+  ReferenceSet set;
+  // The guard triggers on total size, not per-sequence size; simulate with
+  // a fake large count via repeated adds being too slow — instead check the
+  // documented limit directly on one oversized request.
+  std::vector<std::uint8_t> big;
+  EXPECT_THROW(
+      {
+        // Can't actually allocate >1 GiB here; the guard fires before the
+        // insert, so pass a span with a forged size over a small buffer.
+        std::vector<std::uint8_t> tiny(1);
+        set.add("huge", std::span<const std::uint8_t>(
+                            tiny.data(), std::numeric_limits<std::uint32_t>::max()));
+      },
+      std::length_error);
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,188 @@
+#include "fmindex/sampled_sa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+FmIndex<RrrWaveletOcc> make_index(std::span<const std::uint8_t> text) {
+  return FmIndex<RrrWaveletOcc>(text, [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  });
+}
+
+TEST(FmIndexLf, LfWalksTextBackwards) {
+  const auto text = testing::random_symbols(500, 4, 500);
+  const auto index = make_index(text);
+  const auto& sa = index.suffix_array();
+  for (std::uint32_t row = 0; row < index.rows(); ++row) {
+    const std::uint32_t next = index.lf(row);
+    if (sa[row] == 0) {
+      // Primary row: LF wraps to the first row (the sentinel suffix).
+      EXPECT_EQ(next, 0u);
+    } else {
+      EXPECT_EQ(sa[next], sa[row] - 1) << "row=" << row;
+    }
+  }
+}
+
+TEST(FmIndexLf, BwtAtMatchesColumn) {
+  const auto text = testing::random_symbols(300, 4, 501);
+  const auto index = make_index(text);
+  for (std::uint32_t row = 0; row < index.rows(); ++row) {
+    EXPECT_EQ(index.bwt_at(row), index.bwt().column(row));
+  }
+}
+
+class SampledSaRate : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SampledSaRate, LookupMatchesFullArray) {
+  const unsigned rate = GetParam();
+  const auto text = testing::random_symbols(2000, 4, 502);
+  const auto index = make_index(text);
+  const auto& sa = index.suffix_array();
+  const SampledSuffixArray sampled(sa, rate);
+  for (std::uint32_t row = 0; row < index.rows(); ++row) {
+    ASSERT_EQ(sampled.lookup(index, row), sa[row]) << "rate=" << rate << " row=" << row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SampledSaRate,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u, 100u));
+
+TEST(SampledSa, RejectsZeroRate) {
+  const std::vector<std::uint32_t> sa = {3, 2, 1, 0};
+  EXPECT_THROW(SampledSuffixArray(sa, 0), std::invalid_argument);
+}
+
+TEST(SampledSa, MemoryShrinksWithRate) {
+  const auto text = testing::random_symbols(50000, 4, 503);
+  const auto index = make_index(text);
+  const SampledSuffixArray rate4(index.suffix_array(), 4);
+  const SampledSuffixArray rate32(index.suffix_array(), 32);
+  EXPECT_LT(rate32.size_in_bytes(), rate4.size_in_bytes());
+  // The full SA costs 4 B/row; rate-32 sampling must be far below 1 B/row.
+  EXPECT_LT(static_cast<double>(rate32.size_in_bytes()) /
+                static_cast<double>(index.rows()),
+            1.0);
+}
+
+TEST(SampledSa, Rate1KeepsEverySample) {
+  const auto text = testing::random_symbols(200, 4, 504);
+  const auto index = make_index(text);
+  const SampledSuffixArray sampled(index.suffix_array(), 1);
+  for (std::uint32_t row = 0; row < index.rows(); ++row) {
+    EXPECT_TRUE(sampled.is_sampled(row));
+  }
+}
+
+TEST(SampledSa, LocateThroughSampledArrayMatchesBruteForce) {
+  const auto text = testing::random_symbols(3000, 4, 505);
+  const auto index = make_index(text);
+  const SampledSuffixArray sampled(index.suffix_array(), 16);
+  std::vector<std::uint8_t> pattern(text.begin() + 42, text.begin() + 60);
+  const SaInterval iv = index.count(pattern);
+  std::vector<std::uint32_t> positions;
+  for (std::uint32_t row = iv.lo; row < iv.hi; ++row) {
+    positions.push_back(sampled.lookup(index, row));
+  }
+  std::sort(positions.begin(), positions.end());
+  EXPECT_EQ(positions, testing::naive_find_all(text, pattern));
+}
+
+TEST(SampledSa, SerializationRoundTrip) {
+  const auto text = testing::random_symbols(1500, 4, 506);
+  const auto index = make_index(text);
+  const SampledSuffixArray original(index.suffix_array(), 8);
+
+  ByteWriter writer;
+  original.save(writer);
+  ByteReader reader(writer.data());
+  const SampledSuffixArray loaded = SampledSuffixArray::load(reader);
+  EXPECT_EQ(loaded.rate(), original.rate());
+  for (std::uint32_t row = 0; row < index.rows(); row += 7) {
+    ASSERT_EQ(loaded.lookup(index, row), index.suffix_array()[row]);
+  }
+}
+
+class SampledIsaRate : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SampledIsaRate, ExtractRecoversArbitraryWindows) {
+  const unsigned rate = GetParam();
+  const auto text = testing::random_symbols(3000, 4, 510);
+  const auto index = make_index(text);
+  const SampledInverseSuffixArray isa(index.suffix_array(), rate);
+
+  Xoshiro256 rng(511);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint32_t start = static_cast<std::uint32_t>(rng.below(text.size()));
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(rng.below(text.size() - start + 1));
+    const auto extracted = isa.extract(index, start, length);
+    ASSERT_EQ(extracted.size(), length);
+    for (std::uint32_t k = 0; k < length; ++k) {
+      ASSERT_EQ(extracted[k], text[start + k])
+          << "rate=" << rate << " start=" << start << " len=" << length << " k=" << k;
+    }
+  }
+}
+
+TEST_P(SampledIsaRate, ExtractFullTextAndEdges) {
+  const unsigned rate = GetParam();
+  const auto text = testing::random_symbols(500, 4, 512);
+  const auto index = make_index(text);
+  const SampledInverseSuffixArray isa(index.suffix_array(), rate);
+  EXPECT_EQ(isa.extract(index, 0, static_cast<std::uint32_t>(text.size())), text);
+  EXPECT_TRUE(isa.extract(index, 100, 0).empty());
+  const auto tail = isa.extract(index, static_cast<std::uint32_t>(text.size()) - 1, 1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0], text.back());
+  EXPECT_THROW(isa.extract(index, 0, static_cast<std::uint32_t>(text.size()) + 1),
+               std::out_of_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SampledIsaRate, ::testing::Values(1u, 4u, 16u, 64u));
+
+TEST(SampledIsa, RejectsZeroRate) {
+  const std::vector<std::uint32_t> sa = {3, 2, 1, 0};
+  EXPECT_THROW(SampledInverseSuffixArray(sa, 0), std::invalid_argument);
+}
+
+TEST(SampledIsa, SerializationRoundTrip) {
+  const auto text = testing::random_symbols(800, 4, 513);
+  const auto index = make_index(text);
+  const SampledInverseSuffixArray original(index.suffix_array(), 8);
+  ByteWriter writer;
+  original.save(writer);
+  ByteReader reader(writer.data());
+  const auto loaded = SampledInverseSuffixArray::load(reader);
+  EXPECT_EQ(loaded.extract(index, 13, 200), original.extract(index, 13, 200));
+}
+
+TEST(SampledIsa, SelfIndexWithoutTextMemory) {
+  // The combination ISA samples + Occ backend replaces the text: memory is
+  // a small fraction of the raw 2-bit text at rate 32.
+  const auto text = testing::random_symbols(60000, 4, 514);
+  const auto index = make_index(text);
+  const SampledInverseSuffixArray isa(index.suffix_array(), 32);
+  EXPECT_LT(isa.size_in_bytes(), text.size() / 4);  // well under 2 bits/base
+}
+
+TEST(SampledSa, MoveKeepsRankValid) {
+  const auto text = testing::random_symbols(800, 4, 507);
+  const auto index = make_index(text);
+  SampledSuffixArray a(index.suffix_array(), 8);
+  const SampledSuffixArray b = std::move(a);
+  for (std::uint32_t row = 0; row < index.rows(); row += 13) {
+    ASSERT_EQ(b.lookup(index, row), index.suffix_array()[row]);
+  }
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,126 @@
+#include "fmindex/suffix_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+void expect_valid_suffix_array(std::span<const std::uint8_t> text,
+                               std::span<const std::uint32_t> sa) {
+  const std::size_t n = text.size();
+  ASSERT_EQ(sa.size(), n + 1);
+  ASSERT_EQ(sa[0], n);  // sentinel suffix is always smallest
+
+  // Permutation check.
+  std::vector<bool> seen(n + 1, false);
+  for (std::uint32_t s : sa) {
+    ASSERT_LE(s, n);
+    ASSERT_FALSE(seen[s]) << "duplicate suffix index " << s;
+    seen[s] = true;
+  }
+
+  // Adjacent suffixes must be strictly increasing (sentinel-terminated
+  // suffixes are never equal).
+  auto suffix_less = [&](std::uint32_t a, std::uint32_t b) {
+    while (a < n && b < n) {
+      if (text[a] != text[b]) return text[a] < text[b];
+      ++a;
+      ++b;
+    }
+    return a == n;  // shorter (sentinel-reaching) suffix is smaller
+  };
+  for (std::size_t i = 1; i < sa.size(); ++i) {
+    ASSERT_TRUE(suffix_less(sa[i - 1], sa[i])) << "order violated at " << i;
+  }
+}
+
+TEST(SuffixArray, EmptyText) {
+  const auto sa = build_suffix_array({});
+  ASSERT_EQ(sa.size(), 1u);
+  EXPECT_EQ(sa[0], 0u);
+}
+
+TEST(SuffixArray, SingleCharacter) {
+  const std::vector<std::uint8_t> text = {2};
+  const auto sa = build_suffix_array(text);
+  ASSERT_EQ(sa.size(), 2u);
+  EXPECT_EQ(sa[0], 1u);
+  EXPECT_EQ(sa[1], 0u);
+}
+
+TEST(SuffixArray, KnownBanannaLikeCase) {
+  // "banana" over alphabet {a=0, b=1, n=2}: SA of banana$ is
+  // $ a$ ana$ anana$ banana$ na$ nana$ -> 6 5 3 1 0 4 2.
+  const std::vector<std::uint8_t> text = {1, 0, 2, 0, 2, 0};
+  const auto sa = build_suffix_array(text, 3);
+  const std::vector<std::uint32_t> expected = {6, 5, 3, 1, 0, 4, 2};
+  EXPECT_EQ(sa, expected);
+}
+
+TEST(SuffixArray, MatchesNaiveOnRandomDna) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const std::size_t size = 1 + (seed * 97) % 600;
+    const auto text = testing::random_symbols(size, 4, seed + 1000);
+    ASSERT_EQ(build_suffix_array(text), build_suffix_array_naive(text))
+        << "seed=" << seed << " size=" << size;
+  }
+}
+
+TEST(SuffixArray, AllSameCharacter) {
+  for (std::size_t n : {1u, 2u, 10u, 100u, 1000u}) {
+    const std::vector<std::uint8_t> text(n, 3);
+    const auto sa = build_suffix_array(text);
+    // Suffixes of T^n$ sort by decreasing start position.
+    for (std::size_t i = 0; i <= n; ++i) {
+      ASSERT_EQ(sa[i], n - i) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SuffixArray, PeriodicText) {
+  std::vector<std::uint8_t> text;
+  for (int i = 0; i < 200; ++i) text.push_back(static_cast<std::uint8_t>(i % 3));
+  EXPECT_EQ(build_suffix_array(text), build_suffix_array_naive(text));
+}
+
+TEST(SuffixArray, FibonacciLikeText) {
+  // Fibonacci words stress LMS recursion depth.
+  std::vector<std::uint8_t> a = {0}, b = {0, 1};
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::uint8_t> next = b;
+    next.insert(next.end(), a.begin(), a.end());
+    a = std::move(b);
+    b = std::move(next);
+  }
+  EXPECT_EQ(build_suffix_array(b, 2), build_suffix_array_naive(b));
+}
+
+TEST(SuffixArray, ValidOnLargerRandomInput) {
+  const auto text = testing::random_symbols(50000, 4, 777);
+  const auto sa = build_suffix_array(text);
+  expect_valid_suffix_array(text, sa);
+}
+
+TEST(SuffixArray, ValidOnRepeatRichInput) {
+  auto text = testing::random_symbols(5000, 4, 778);
+  // Duplicate a large chunk to force shared LMS substrings and recursion.
+  text.insert(text.end(), text.begin(), text.begin() + 2500);
+  text.insert(text.end(), text.begin(), text.begin() + 2500);
+  const auto sa = build_suffix_array(text);
+  expect_valid_suffix_array(text, sa);
+}
+
+TEST(SuffixArray, RejectsOutOfRangeSymbols) {
+  const std::vector<std::uint8_t> text = {0, 1, 4};
+  EXPECT_THROW(build_suffix_array(text, 4), std::invalid_argument);
+}
+
+TEST(SuffixArray, LargerAlphabet) {
+  const auto text = testing::random_symbols(2000, 100, 9);
+  EXPECT_EQ(build_suffix_array(text, 100), build_suffix_array_naive(text));
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,128 @@
+#include "fpga/bram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fpga/query_packet.hpp"
+
+namespace bwaver {
+namespace {
+
+DeviceSpec tiny_spec() {
+  DeviceSpec spec;
+  spec.bram_bytes = 1000;
+  spec.uram_bytes = 0;
+  return spec;
+}
+
+TEST(Bram, TracksAllocations) {
+  BramAllocator bram(tiny_spec());
+  EXPECT_EQ(bram.capacity_bytes(), 1000u);
+  bram.allocate("a", 400);
+  bram.allocate("b", 500);
+  EXPECT_EQ(bram.used_bytes(), 900u);
+  EXPECT_EQ(bram.free_bytes(), 100u);
+  ASSERT_EQ(bram.allocations().size(), 2u);
+  EXPECT_EQ(bram.allocations()[0].label, "a");
+  EXPECT_EQ(bram.allocations()[1].bytes, 500u);
+}
+
+TEST(Bram, OverflowThrowsWithContext) {
+  BramAllocator bram(tiny_spec());
+  bram.allocate("big", 900);
+  try {
+    bram.allocate("straw", 101);
+    FAIL() << "expected DeviceCapacityError";
+  } catch (const DeviceCapacityError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("straw"), std::string::npos);
+    EXPECT_NE(what.find("900"), std::string::npos);
+  }
+  // Failed allocation must not change accounting.
+  EXPECT_EQ(bram.used_bytes(), 900u);
+}
+
+TEST(Bram, ExactFitSucceeds) {
+  BramAllocator bram(tiny_spec());
+  bram.allocate("exact", 1000);
+  EXPECT_EQ(bram.free_bytes(), 0u);
+}
+
+TEST(Bram, ResetReleasesEverything) {
+  BramAllocator bram(tiny_spec());
+  bram.allocate("x", 800);
+  bram.reset();
+  EXPECT_EQ(bram.used_bytes(), 0u);
+  EXPECT_TRUE(bram.allocations().empty());
+  bram.allocate("y", 1000);  // capacity available again
+}
+
+TEST(DeviceSpec, DefaultsMatchPaperAssumptions) {
+  const DeviceSpec spec;
+  EXPECT_EQ(spec.port_width_bits, 512u);
+  EXPECT_EQ(spec.port_bytes_per_cycle(), 64u);
+  EXPECT_DOUBLE_EQ(spec.board_power_watts, 25.0);
+  EXPECT_DOUBLE_EQ(spec.reference_cpu_watts, 135.0);
+  // The combined on-chip capacity must hold the paper's chr21 structure
+  // (~12.73 MB at b=15, sf=100) with room to spare.
+  EXPECT_GT(spec.total_on_chip_bytes(), 13'000'000u);
+}
+
+TEST(DeviceSpec, CyclesToSeconds) {
+  DeviceSpec spec;
+  spec.kernel_clock_hz = 250e6;
+  EXPECT_DOUBLE_EQ(spec.cycles_to_seconds(250'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(spec.cycles_to_seconds(0), 0.0);
+}
+
+// ------------------------------------------------------------ QueryPacket
+
+TEST(QueryPacket, EncodeDecodeRoundTrip) {
+  std::vector<std::uint8_t> codes;
+  for (unsigned i = 0; i < 100; ++i) codes.push_back(static_cast<std::uint8_t>(i % 4));
+  const QueryPacket packet = QueryPacket::encode(codes, 0xDEADBEEF);
+  EXPECT_EQ(packet.length(), 100u);
+  EXPECT_EQ(packet.id(), 0xDEADBEEFu);
+  EXPECT_EQ(packet.decode(), codes);
+}
+
+TEST(QueryPacket, MaxLengthRead) {
+  std::vector<std::uint8_t> codes(QueryPacket::kMaxBases, 3);
+  const QueryPacket packet = QueryPacket::encode(codes, 7);
+  EXPECT_EQ(packet.decode(), codes);
+}
+
+TEST(QueryPacket, RejectsOversizedRead) {
+  std::vector<std::uint8_t> codes(QueryPacket::kMaxBases + 1, 0);
+  EXPECT_THROW(QueryPacket::encode(codes, 0), std::length_error);
+}
+
+TEST(QueryPacket, RejectsEmptyRead) {
+  EXPECT_THROW(QueryPacket::encode({}, 0), std::invalid_argument);
+}
+
+TEST(QueryPacket, MalformedLengthFieldThrowsOnDecode) {
+  QueryPacket packet;
+  packet.raw[44] = 0xFF;
+  packet.raw[45] = 0xFF;
+  EXPECT_THROW(packet.decode(), std::invalid_argument);
+  QueryPacket zero;
+  EXPECT_THROW(zero.decode(), std::invalid_argument);
+}
+
+TEST(QueryPacket, PacketIs512Bits) {
+  EXPECT_EQ(sizeof(QueryPacket), 64u);
+  EXPECT_EQ(QueryPacket::kBytes * 8, 512u);
+}
+
+TEST(QueryResult, MappedFlags) {
+  QueryResult result;
+  EXPECT_FALSE(result.mapped());
+  result.fwd_lo = 3;
+  result.fwd_hi = 5;
+  EXPECT_TRUE(result.fwd_mapped());
+  EXPECT_FALSE(result.rev_mapped());
+  EXPECT_TRUE(result.mapped());
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,183 @@
+#include "fpga/hls_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fmindex/dna.hpp"
+#include "sim/genome_sim.hpp"
+#include "sim/read_sim.hpp"
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+FmIndex<RrrWaveletOcc> make_index(std::span<const std::uint8_t> text,
+                                  RrrParams params = {15, 50}) {
+  return FmIndex<RrrWaveletOcc>(text, [params](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, params);
+  });
+}
+
+std::vector<QueryPacket> packets_from_reads(const std::vector<SimulatedRead>& reads) {
+  std::vector<QueryPacket> packets;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    packets.push_back(QueryPacket::encode(reads[i].codes, static_cast<std::uint32_t>(i)));
+  }
+  return packets;
+}
+
+class HlsKernelTest : public ::testing::Test {
+ protected:
+  HlsKernelTest() {
+    GenomeSimConfig config;
+    config.length = 30000;
+    config.seed = 77;
+    reference_ = simulate_genome(config);
+    index_ = std::make_unique<FmIndex<RrrWaveletOcc>>(make_index(reference_));
+  }
+
+  std::vector<std::uint8_t> reference_;
+  std::unique_ptr<FmIndex<RrrWaveletOcc>> index_;
+};
+
+TEST_F(HlsKernelTest, ResultsAreBitExactWithHostSearch) {
+  const HlsMapperKernel kernel(DeviceSpec{}, *index_);
+  ReadSimConfig config;
+  config.num_reads = 300;
+  config.read_length = 50;
+  config.mapping_ratio = 0.7;
+  const auto reads = simulate_reads(reference_, config);
+  const auto packets = packets_from_reads(reads);
+
+  std::vector<QueryResult> results;
+  kernel.run_batch(packets, results);
+  ASSERT_EQ(results.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    const auto [fwd, rev] = index_->count_both_strands(reads[i].codes);
+    ASSERT_EQ(results[i].id, i);
+    ASSERT_EQ(results[i].fwd_lo, fwd.lo);
+    ASSERT_EQ(results[i].fwd_hi, fwd.hi);
+    ASSERT_EQ(results[i].rev_lo, rev.lo);
+    ASSERT_EQ(results[i].rev_hi, rev.hi);
+  }
+}
+
+TEST_F(HlsKernelTest, MappedReadsAreFoundAtOrigin) {
+  const HlsMapperKernel kernel(DeviceSpec{}, *index_);
+  ReadSimConfig config;
+  config.num_reads = 100;
+  config.read_length = 40;
+  config.mapping_ratio = 1.0;
+  const auto reads = simulate_reads(reference_, config);
+  std::vector<QueryResult> results;
+  kernel.run_batch(packets_from_reads(reads), results);
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    ASSERT_TRUE(results[i].mapped()) << "read " << i;
+  }
+}
+
+TEST_F(HlsKernelTest, CyclesScaleWithBatchSize) {
+  const HlsMapperKernel kernel(DeviceSpec{}, *index_);
+  ReadSimConfig config;
+  config.read_length = 50;
+  config.mapping_ratio = 1.0;
+
+  config.num_reads = 100;
+  std::vector<QueryResult> r1;
+  const KernelStats small = kernel.run_batch(
+      packets_from_reads(simulate_reads(reference_, config)), r1);
+
+  config.num_reads = 1000;
+  std::vector<QueryResult> r2;
+  const KernelStats large = kernel.run_batch(
+      packets_from_reads(simulate_reads(reference_, config)), r2);
+
+  // 10x the reads -> ~10x the cycles (within pipeline-fill noise).
+  const double ratio = static_cast<double>(large.compute_cycles) /
+                       static_cast<double>(small.compute_cycles);
+  EXPECT_NEAR(ratio, 10.0, 1.5);
+}
+
+TEST_F(HlsKernelTest, NonMappingReadsExitEarly) {
+  const HlsMapperKernel kernel(DeviceSpec{}, *index_);
+  ReadSimConfig config;
+  config.num_reads = 300;
+  config.read_length = 100;
+
+  config.mapping_ratio = 1.0;
+  std::vector<QueryResult> r1;
+  const KernelStats mapped = kernel.run_batch(
+      packets_from_reads(simulate_reads(reference_, config)), r1);
+
+  config.mapping_ratio = 0.0;
+  std::vector<QueryResult> r2;
+  const KernelStats unmapped = kernel.run_batch(
+      packets_from_reads(simulate_reads(reference_, config)), r2);
+
+  // Random 100-mers die after a handful of steps; fully-mapping reads run
+  // all 100 steps (paper Sec. IV: time depends on mapping ratio).
+  EXPECT_LT(unmapped.steps_executed * 2, mapped.steps_executed);
+  EXPECT_LT(unmapped.compute_cycles, mapped.compute_cycles);
+  EXPECT_GT(unmapped.early_exits, 0u);
+}
+
+TEST_F(HlsKernelTest, StatsAccounting) {
+  const HlsMapperKernel kernel(DeviceSpec{}, *index_);
+  ReadSimConfig config;
+  config.num_reads = 50;
+  config.read_length = 30;
+  config.mapping_ratio = 1.0;
+  std::vector<QueryResult> results;
+  const KernelStats stats = kernel.run_batch(
+      packets_from_reads(simulate_reads(reference_, config)), results);
+  EXPECT_EQ(stats.queries, 50u);
+  // Every fully-mapping read executes exactly read_length steps per strand;
+  // the slower strand defines the query's step count.
+  EXPECT_EQ(stats.steps_executed, 50u * 30u);
+  EXPECT_GT(stats.rank_queries, stats.steps_executed);
+  EXPECT_GT(stats.compute_cycles, 0u);
+}
+
+TEST_F(HlsKernelTest, EmptyBatchCostsNothing) {
+  const HlsMapperKernel kernel(DeviceSpec{}, *index_);
+  std::vector<QueryResult> results;
+  const KernelStats stats = kernel.run_batch({}, results);
+  EXPECT_EQ(stats.compute_cycles, 0u);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(HlsKernelTest, StructureLoadCyclesMatchPortWidth) {
+  const DeviceSpec spec;
+  const HlsMapperKernel kernel(spec, *index_);
+  EXPECT_EQ(kernel.structure_load_cycles(),
+            (kernel.structure_bytes() + 63) / 64);
+}
+
+TEST_F(HlsKernelTest, StepIiDependsOnSuperblockFactor) {
+  const auto index_sf50 = make_index(reference_, {15, 50});
+  const auto index_sf200 = make_index(reference_, {15, 200});
+  const HlsMapperKernel k50(DeviceSpec{}, index_sf50);
+  const HlsMapperKernel k200(DeviceSpec{}, index_sf200);
+  // sf=50 -> 200 class bits -> 1 beat; sf=200 -> 800 bits -> 2 beats.
+  EXPECT_EQ(k50.step_initiation_interval(), 1u);
+  EXPECT_EQ(k200.step_initiation_interval(), 2u);
+}
+
+TEST(HlsKernel, OversizedStructureThrows) {
+  const auto reference = testing::random_symbols(50000, 4, 3);
+  const auto index = make_index(reference);
+  DeviceSpec tiny;
+  tiny.bram_bytes = 1024;
+  tiny.uram_bytes = 0;
+  EXPECT_THROW(HlsMapperKernel(tiny, index), DeviceCapacityError);
+}
+
+TEST(HlsKernel, BramHoldsStructureAllocations) {
+  const auto reference = testing::random_symbols(20000, 4, 4);
+  const auto index = make_index(reference);
+  const HlsMapperKernel kernel(DeviceSpec{}, index);
+  ASSERT_EQ(kernel.bram().allocations().size(), 3u);
+  EXPECT_EQ(kernel.bram().used_bytes(), kernel.structure_bytes());
+}
+
+}  // namespace
+}  // namespace bwaver

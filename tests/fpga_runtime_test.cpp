@@ -1,0 +1,143 @@
+#include "fpga/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fpga/power.hpp"
+#include "sim/genome_sim.hpp"
+#include "sim/read_sim.hpp"
+
+namespace bwaver {
+namespace {
+
+FmIndex<RrrWaveletOcc> small_index() {
+  GenomeSimConfig config;
+  config.length = 20000;
+  config.seed = 31;
+  const auto genome = simulate_genome(config);
+  return FmIndex<RrrWaveletOcc>(genome, [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  });
+}
+
+std::vector<QueryPacket> small_batch(const FmIndex<RrrWaveletOcc>& index,
+                                     std::size_t count) {
+  GenomeSimConfig config;
+  config.length = 20000;
+  config.seed = 31;
+  const auto genome = simulate_genome(config);
+  ReadSimConfig rc;
+  rc.num_reads = count;
+  rc.read_length = 40;
+  const auto reads = simulate_reads(genome, rc);
+  std::vector<QueryPacket> packets;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    packets.push_back(QueryPacket::encode(reads[i].codes, static_cast<std::uint32_t>(i)));
+  }
+  (void)index;
+  return packets;
+}
+
+TEST(FpgaRuntime, KernelBeforeProgramThrows) {
+  FpgaRuntime runtime;
+  std::vector<QueryResult> results;
+  EXPECT_THROW(runtime.enqueue_kernel({}, results), std::logic_error);
+}
+
+TEST(FpgaRuntime, ProgramRecordsEvent) {
+  FpgaRuntime runtime;
+  const auto index = small_index();
+  const EventPtr event = runtime.program(index);
+  EXPECT_EQ(event->type, CommandType::kProgram);
+  EXPECT_GT(event->duration_ns(), 0u);
+  EXPECT_TRUE(runtime.programmed());
+}
+
+TEST(FpgaRuntime, TimelineIsMonotonicAndGapless) {
+  FpgaRuntime runtime;
+  const auto index = small_index();
+  runtime.program(index);
+  std::vector<QueryResult> results;
+  const auto batch = small_batch(index, 100);
+  runtime.enqueue_write(batch.size() * QueryPacket::kBytes);
+  runtime.enqueue_kernel(batch, results);
+  runtime.enqueue_read(batch.size() * QueryResult::kBytes);
+
+  const auto& events = runtime.events();
+  ASSERT_EQ(events.size(), 4u);
+  std::uint64_t cursor = 0;
+  for (const auto& event : events) {
+    ASSERT_EQ(event->start_ns, cursor);  // in-order queue, no gaps
+    ASSERT_GE(event->end_ns, event->start_ns);
+    ASSERT_LE(event->queued_ns, event->start_ns);
+    cursor = event->end_ns;
+  }
+  EXPECT_EQ(runtime.device_time_ns(), cursor);
+}
+
+TEST(FpgaRuntime, TransferTimeMatchesBandwidthModel) {
+  DeviceSpec spec;
+  spec.pcie_bandwidth_bytes_per_sec = 1e9;  // 1 GB/s for easy arithmetic
+  FpgaRuntime runtime(spec);
+  const EventPtr event = runtime.enqueue_write(1'000'000);  // 1 MB -> 1 ms
+  EXPECT_NEAR(static_cast<double>(event->duration_ns()), 1e6, 1e3);
+}
+
+TEST(FpgaRuntime, KernelDurationMatchesCycleModel) {
+  FpgaRuntime runtime;
+  const auto index = small_index();
+  runtime.program(index);
+  std::vector<QueryResult> results;
+  const auto batch = small_batch(index, 200);
+  const EventPtr event = runtime.enqueue_kernel(batch, results);
+  const KernelStats& stats = runtime.total_kernel_stats();
+  const double expected_ns =
+      runtime.spec().cycles_to_seconds(stats.compute_cycles) * 1e9;
+  EXPECT_NEAR(static_cast<double>(event->duration_ns()), expected_ns, 1.0);
+  EXPECT_EQ(results.size(), batch.size());
+}
+
+TEST(FpgaRuntime, KernelStatsAccumulateAcrossBatches) {
+  FpgaRuntime runtime;
+  const auto index = small_index();
+  runtime.program(index);
+  std::vector<QueryResult> results;
+  const auto batch = small_batch(index, 50);
+  runtime.enqueue_kernel(batch, results);
+  const auto after_one = runtime.total_kernel_stats().queries;
+  runtime.enqueue_kernel(batch, results);
+  EXPECT_EQ(runtime.total_kernel_stats().queries, after_one * 2);
+}
+
+TEST(FpgaRuntime, ReprogramResetsStats) {
+  FpgaRuntime runtime;
+  const auto index = small_index();
+  runtime.program(index);
+  std::vector<QueryResult> results;
+  runtime.enqueue_kernel(small_batch(index, 50), results);
+  EXPECT_GT(runtime.total_kernel_stats().queries, 0u);
+  runtime.program(index);
+  EXPECT_EQ(runtime.total_kernel_stats().queries, 0u);
+}
+
+// ---------------------------------------------------------------- power
+
+TEST(Power, JoulesIsTimesWatts) {
+  const PowerReport report{2.0, 25.0};
+  EXPECT_DOUBLE_EQ(report.joules(), 50.0);
+}
+
+TEST(Power, EfficiencyRatioMatchesPaperDefinition) {
+  // FPGA: 1 s at 25 W; CPU: 10 s at 135 W -> CPU uses 54x the energy.
+  const PowerReport fpga{1.0, 25.0};
+  const PowerReport cpu{10.0, 135.0};
+  EXPECT_DOUBLE_EQ(power_efficiency_ratio(fpga, cpu), 54.0);
+  EXPECT_DOUBLE_EQ(power_efficiency_ratio(fpga, fpga), 1.0);
+}
+
+TEST(Power, SpeedupRatio) {
+  EXPECT_DOUBLE_EQ(speedup_ratio(1.0, 68.23), 68.23);
+  EXPECT_DOUBLE_EQ(speedup_ratio(0.0, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,178 @@
+// End-to-end integration: simulated genome -> simulated reads -> all three
+// engines -> located positions verified against the simulator's ground
+// truth, plus the paper's accuracy claim (FPGA == software, bit-exact).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fmindex/dna.hpp"
+#include "mapper/fpga_mapper.hpp"
+#include "mapper/pipeline.hpp"
+#include "mapper/software_mapper.hpp"
+#include "sim/genome_sim.hpp"
+#include "sim/read_sim.hpp"
+
+namespace bwaver {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  EndToEnd() {
+    GenomeSimConfig gc;
+    gc.length = 100000;
+    gc.seed = 2024;
+    gc.repeat_fraction = 0.2;
+    genome_ = simulate_genome(gc);
+
+    ReadSimConfig rc;
+    rc.num_reads = 1000;
+    rc.read_length = 64;
+    rc.mapping_ratio = 0.75;
+    rc.seed = 99;
+    reads_ = simulate_reads(genome_, rc);
+    batch_ = ReadBatch::from_simulated(reads_);
+  }
+
+  std::vector<std::uint8_t> genome_;
+  std::vector<SimulatedRead> reads_;
+  ReadBatch batch_;
+};
+
+TEST_F(EndToEnd, EveryMappedReadLocatesItsTrueOrigin) {
+  const BwaverCpuMapper mapper(genome_, RrrParams{15, 50});
+  const auto results = mapper.map(batch_, 2);
+  const auto& index = mapper.index();
+
+  std::size_t verified = 0;
+  for (std::size_t i = 0; i < reads_.size(); ++i) {
+    const auto& read = reads_[i];
+    if (read.origin == SimulatedRead::kUnmapped) {
+      // 64-mer random reads must not occur in a 100 kb reference.
+      ASSERT_FALSE(results[i].mapped()) << "random read " << i << " mapped";
+      continue;
+    }
+    const SaInterval iv = read.from_reverse_strand
+                              ? SaInterval{results[i].rev_lo, results[i].rev_hi}
+                              : SaInterval{results[i].fwd_lo, results[i].fwd_hi};
+    const auto positions = index.locate(iv);
+    ASSERT_TRUE(std::find(positions.begin(), positions.end(), read.origin) !=
+                positions.end())
+        << "read " << i;
+    // Every reported position must be a true occurrence.
+    const auto probe = read.from_reverse_strand
+                           ? dna_reverse_complement(read.codes)
+                           : read.codes;
+    for (std::uint32_t pos : positions) {
+      ASSERT_LE(pos + probe.size(), genome_.size());
+      ASSERT_TRUE(std::equal(probe.begin(), probe.end(), genome_.begin() + pos));
+    }
+    ++verified;
+  }
+  EXPECT_EQ(verified, 750u);
+}
+
+TEST_F(EndToEnd, AllThreeEnginesAreBitExact) {
+  const BwaverCpuMapper cpu(genome_, RrrParams{15, 50});
+  const Bowtie2LikeMapper bowtie(genome_);
+  BwaverFpgaMapper fpga(cpu.index());
+
+  const auto a = cpu.map(batch_);
+  const auto b = bowtie.map(batch_);
+  const auto c = fpga.map(batch_);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].fwd_lo, b[i].fwd_lo);
+    ASSERT_EQ(a[i].fwd_hi, b[i].fwd_hi);
+    ASSERT_EQ(a[i].rev_lo, b[i].rev_lo);
+    ASSERT_EQ(a[i].rev_hi, b[i].rev_hi);
+    ASSERT_EQ(a[i].fwd_lo, c[i].fwd_lo);
+    ASSERT_EQ(a[i].fwd_hi, c[i].fwd_hi);
+    ASSERT_EQ(a[i].rev_lo, c[i].rev_lo);
+    ASSERT_EQ(a[i].rev_hi, c[i].rev_hi);
+  }
+}
+
+TEST_F(EndToEnd, RrrParametersDoNotChangeResults) {
+  // b and sf trade memory for time but never accuracy.
+  const BwaverCpuMapper baseline(genome_, RrrParams{15, 50});
+  const auto expected = baseline.map(batch_);
+  for (const RrrParams params : {RrrParams{15, 200}, RrrParams{7, 10}, RrrParams{4, 5}}) {
+    const BwaverCpuMapper variant(genome_, params);
+    const auto results = variant.map(batch_);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(results[i].fwd_lo, expected[i].fwd_lo)
+          << "b=" << params.block_bits << " sf=" << params.superblock_factor;
+      ASSERT_EQ(results[i].fwd_hi, expected[i].fwd_hi);
+      ASSERT_EQ(results[i].rev_lo, expected[i].rev_lo);
+      ASSERT_EQ(results[i].rev_hi, expected[i].rev_hi);
+    }
+  }
+}
+
+TEST_F(EndToEnd, MappingRatioDrivesKernelWork) {
+  // Fig. 7's mechanism end-to-end: higher mapping ratio -> more executed
+  // steps -> more kernel cycles, on the same reference and read count.
+  const BwaverCpuMapper cpu(genome_, RrrParams{15, 50});
+  std::uint64_t prev_cycles = 0;
+  for (double ratio : {0.0, 0.5, 1.0}) {
+    ReadSimConfig rc;
+    rc.num_reads = 500;
+    rc.read_length = 100;
+    rc.mapping_ratio = ratio;
+    const auto reads = simulate_reads(genome_, rc);
+    BwaverFpgaMapper fpga(cpu.index());
+    FpgaMapReport report;
+    fpga.map(ReadBatch::from_simulated(reads), &report);
+    EXPECT_GT(report.kernel_stats.compute_cycles, prev_cycles) << "ratio=" << ratio;
+    prev_cycles = report.kernel_stats.compute_cycles;
+  }
+}
+
+TEST_F(EndToEnd, SearchTimeIndependentOfReferenceSize) {
+  // Paper Sec. IV: mapping cost depends on reads, not reference length.
+  // Modeled kernel cycles for the same fully-mapping workload must be equal
+  // (up to early-exit noise) across a 50 kb and a 200 kb reference.
+  GenomeSimConfig small_cfg;
+  small_cfg.length = 50000;
+  small_cfg.seed = 1;
+  GenomeSimConfig large_cfg;
+  large_cfg.length = 200000;
+  large_cfg.seed = 2;
+  const auto small_genome = simulate_genome(small_cfg);
+  const auto large_genome = simulate_genome(large_cfg);
+
+  ReadSimConfig rc;
+  rc.num_reads = 300;
+  rc.read_length = 80;
+  rc.mapping_ratio = 1.0;
+
+  std::uint64_t cycles[2];
+  const std::vector<std::uint8_t>* genomes[2] = {&small_genome, &large_genome};
+  for (int i = 0; i < 2; ++i) {
+    const BwaverCpuMapper cpu(*genomes[i], RrrParams{15, 50});
+    BwaverFpgaMapper fpga(cpu.index());
+    FpgaMapReport report;
+    fpga.map(ReadBatch::from_simulated(simulate_reads(*genomes[i], rc)), &report);
+    cycles[i] = report.kernel_stats.compute_cycles;
+  }
+  EXPECT_NEAR(static_cast<double>(cycles[1]) / static_cast<double>(cycles[0]), 1.0,
+              0.01);
+}
+
+TEST_F(EndToEnd, FpgaModelOutpacesMeasuredSoftware) {
+  // The qualitative headline: the modeled FPGA mapping time beats the
+  // wall-clock software time on any realistic batch.
+  const BwaverCpuMapper cpu(genome_, RrrParams{15, 50});
+  SoftwareMapReport sw;
+  cpu.map(batch_, 1, &sw);
+
+  BwaverFpgaMapper fpga(cpu.index());
+  FpgaMapReport hw;
+  fpga.map(batch_, &hw);
+  EXPECT_LT(hw.mapping_seconds(), sw.seconds);
+}
+
+}  // namespace
+}  // namespace bwaver

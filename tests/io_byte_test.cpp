@@ -1,0 +1,118 @@
+#include "io/byte_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace bwaver {
+namespace {
+
+TEST(ByteIo, ScalarRoundTrip) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u16(0xBEEF);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0123456789ABCDEFull);
+
+  ByteReader reader(writer.data());
+  EXPECT_EQ(reader.u8(), 0xAB);
+  EXPECT_EQ(reader.u16(), 0xBEEF);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(ByteIo, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.u32(0x01020304);
+  ASSERT_EQ(writer.data().size(), 4u);
+  EXPECT_EQ(writer.data()[0], 0x04);
+  EXPECT_EQ(writer.data()[3], 0x01);
+}
+
+TEST(ByteIo, VectorRoundTrip) {
+  ByteWriter writer;
+  const std::vector<std::uint8_t> bytes = {1, 2, 3, 255};
+  const std::vector<std::uint32_t> ints = {0, 42, 0xFFFFFFFF};
+  writer.vec_u8(bytes);
+  writer.vec_u32(ints);
+  writer.str("hello world");
+
+  ByteReader reader(writer.data());
+  EXPECT_EQ(reader.vec_u8(), bytes);
+  EXPECT_EQ(reader.vec_u32(), ints);
+  EXPECT_EQ(reader.str(), "hello world");
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(ByteIo, EmptyVectorsRoundTrip) {
+  ByteWriter writer;
+  writer.vec_u8({});
+  writer.vec_u32({});
+  writer.str("");
+  ByteReader reader(writer.data());
+  EXPECT_TRUE(reader.vec_u8().empty());
+  EXPECT_TRUE(reader.vec_u32().empty());
+  EXPECT_TRUE(reader.str().empty());
+}
+
+TEST(ByteIo, TruncationThrows) {
+  ByteWriter writer;
+  writer.u32(7);
+  {
+    ByteReader reader(writer.data());
+    reader.u16();
+    EXPECT_THROW(reader.u32(), IoError);
+  }
+  {
+    ByteReader reader(writer.data());
+    EXPECT_THROW(reader.u64(), IoError);
+  }
+}
+
+TEST(ByteIo, TruncatedVectorThrows) {
+  ByteWriter writer;
+  writer.u64(1000);  // claims 1000 bytes follow, none do
+  ByteReader reader(writer.data());
+  EXPECT_THROW(reader.vec_u8(), IoError);
+}
+
+TEST(ByteIo, BytesReadsExactSpan) {
+  ByteWriter writer;
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6};
+  writer.bytes(payload);
+  ByteReader reader(writer.data());
+  std::vector<std::uint8_t> out(4);
+  reader.bytes(out);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(ByteIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bwaver_byte_io_test.bin").string();
+  const std::vector<std::uint8_t> payload = {0, 1, 2, 3, 0xFF, 0x80};
+  write_file(path, payload);
+  EXPECT_EQ(read_file(path), payload);
+  std::remove(path.c_str());
+}
+
+TEST(ByteIo, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/definitely/not/here.bin"), IoError);
+}
+
+TEST(ByteIo, WriteToBadPathThrows) {
+  EXPECT_THROW(write_file("/nonexistent/dir/file.bin",
+                          std::span<const std::uint8_t>{}),
+               IoError);
+}
+
+TEST(ByteIo, TakeMovesBuffer) {
+  ByteWriter writer;
+  writer.u32(5);
+  auto data = writer.take();
+  EXPECT_EQ(data.size(), 4u);
+}
+
+}  // namespace
+}  // namespace bwaver

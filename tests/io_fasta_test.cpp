@@ -1,0 +1,98 @@
+#include "io/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/gzip.hpp"
+
+namespace bwaver {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Fasta, ParseSingleRecord) {
+  const auto records = parse_fasta(bytes_of(">chr1 test\nACGT\nACGT\n"));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "chr1 test");
+  EXPECT_EQ(records[0].sequence, "ACGTACGT");
+}
+
+TEST(Fasta, ParseMultiRecord) {
+  const auto records = parse_fasta(bytes_of(">a\nAC\nGT\n>b\nTTT\n>c\nG\n"));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[1].name, "b");
+  EXPECT_EQ(records[1].sequence, "TTT");
+  EXPECT_EQ(records[2].sequence, "G");
+}
+
+TEST(Fasta, HandlesCrlfAndBlankLines) {
+  const auto records = parse_fasta(bytes_of(">x\r\nAC\r\n\r\nGT\r\n"));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "x");
+  EXPECT_EQ(records[0].sequence, "ACGT");
+}
+
+TEST(Fasta, NoTrailingNewline) {
+  const auto records = parse_fasta(bytes_of(">x\nACGT"));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "ACGT");
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows) {
+  EXPECT_THROW(parse_fasta(bytes_of("ACGT\n>x\nAC\n")), IoError);
+}
+
+TEST(Fasta, EmptyInputThrows) {
+  EXPECT_THROW(parse_fasta(bytes_of("")), IoError);
+  EXPECT_THROW(parse_fasta(bytes_of("\n\n")), IoError);
+}
+
+TEST(Fasta, EmptySequenceThrows) {
+  EXPECT_THROW(parse_fasta(bytes_of(">x\n>y\nAC\n")), IoError);
+}
+
+TEST(Fasta, GzippedInputTransparent) {
+  const auto plain = bytes_of(">gz test\nACGTACGTACGT\n");
+  const auto compressed = gzip_compress(plain);
+  const auto records = parse_fasta(compressed);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "ACGTACGTACGT");
+}
+
+TEST(Fasta, FormatWrapsLines) {
+  const FastaRecord record{"r", std::string(25, 'A')};
+  const std::string text = format_fasta(std::span<const FastaRecord>(&record, 1), 10);
+  EXPECT_EQ(text, ">r\nAAAAAAAAAA\nAAAAAAAAAA\nAAAAA\n");
+}
+
+TEST(Fasta, FormatParseRoundTrip) {
+  std::vector<FastaRecord> records = {{"one", "ACGTACGTAA"}, {"two", "GGGCCC"}};
+  const std::string text = format_fasta(records, 4);
+  const auto parsed = parse_fasta(bytes_of(text));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, records[0].name);
+  EXPECT_EQ(parsed[0].sequence, records[0].sequence);
+  EXPECT_EQ(parsed[1].sequence, records[1].sequence);
+}
+
+TEST(Fasta, FileRoundTripPlainAndGzip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  std::vector<FastaRecord> records = {{"ref", "ACGTTGCAACGT"}};
+  for (bool gzipped : {false, true}) {
+    const std::string path =
+        (dir / (gzipped ? "bwaver_t.fa.gz" : "bwaver_t.fa")).string();
+    write_fasta(path, records, gzipped);
+    const auto loaded = read_fasta(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].sequence, records[0].sequence);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,87 @@
+#include "io/fastq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/gzip.hpp"
+
+namespace bwaver {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Fastq, ParseSingleRecord) {
+  const auto records = parse_fastq(bytes_of("@r1\nACGT\n+\nIIII\n"));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "r1");
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[0].quality, "IIII");
+}
+
+TEST(Fastq, ParseMultipleRecords) {
+  const auto records =
+      parse_fastq(bytes_of("@a\nAC\n+\nII\n@b\nGGT\n+anything\n!!!\n"));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].name, "b");
+  EXPECT_EQ(records[1].sequence, "GGT");
+  EXPECT_EQ(records[1].quality, "!!!");
+}
+
+TEST(Fastq, EmptyInputYieldsNoRecords) {
+  EXPECT_TRUE(parse_fastq(bytes_of("")).empty());
+}
+
+TEST(Fastq, MissingAtThrows) {
+  EXPECT_THROW(parse_fastq(bytes_of("r1\nACGT\n+\nIIII\n")), IoError);
+}
+
+TEST(Fastq, MissingPlusThrows) {
+  EXPECT_THROW(parse_fastq(bytes_of("@r1\nACGT\nIIII\n")), IoError);
+}
+
+TEST(Fastq, QualityLengthMismatchThrows) {
+  EXPECT_THROW(parse_fastq(bytes_of("@r1\nACGT\n+\nII\n")), IoError);
+}
+
+TEST(Fastq, TruncatedRecordThrows) {
+  EXPECT_THROW(parse_fastq(bytes_of("@r1\nACGT\n+\n")), IoError);
+  EXPECT_THROW(parse_fastq(bytes_of("@r1\n")), IoError);
+}
+
+TEST(Fastq, GzippedInputTransparent) {
+  const auto compressed = gzip_compress(bytes_of("@z\nACGTAC\n+\nIIIIII\n"));
+  const auto records = parse_fastq(compressed);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "ACGTAC");
+}
+
+TEST(Fastq, FormatParseRoundTrip) {
+  std::vector<FastqRecord> records = {{"a", "ACGT", "IIII"}, {"b", "GG", "!!"}};
+  const auto parsed = parse_fastq(bytes_of(format_fastq(records)));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, "a");
+  EXPECT_EQ(parsed[0].sequence, "ACGT");
+  EXPECT_EQ(parsed[0].quality, "IIII");
+  EXPECT_EQ(parsed[1].sequence, "GG");
+}
+
+TEST(Fastq, FileRoundTripPlainAndGzip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  std::vector<FastqRecord> records = {{"read", "ACGTACGT", "IIIIIIII"}};
+  for (bool gzipped : {false, true}) {
+    const std::string path =
+        (dir / (gzipped ? "bwaver_t.fq.gz" : "bwaver_t.fq")).string();
+    write_fastq(path, records, gzipped);
+    const auto loaded = read_fastq(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].sequence, records[0].sequence);
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bwaver

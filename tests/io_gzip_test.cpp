@@ -1,0 +1,201 @@
+#include "io/gzip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "io/byte_io.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // The canonical check value.
+  EXPECT_EQ(crc32_ieee(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32_ieee({}), 0u);
+  EXPECT_EQ(crc32_ieee(bytes_of("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  const std::uint32_t whole = crc32_ieee(data);
+  const std::uint32_t first =
+      crc32_ieee(std::span<const std::uint8_t>(data.data(), 10));
+  const std::uint32_t continued =
+      crc32_ieee(std::span<const std::uint8_t>(data.data() + 10, data.size() - 10), first);
+  EXPECT_EQ(continued, whole);
+}
+
+TEST(Inflate, HandBuiltStoredBlock) {
+  // BFINAL=1, BTYPE=00, aligned, LEN=5, NLEN=~5, "hello".
+  std::vector<std::uint8_t> stream = {0x01, 0x05, 0x00, 0xFA, 0xFF, 'h', 'e', 'l', 'l', 'o'};
+  EXPECT_EQ(inflate(stream), bytes_of("hello"));
+}
+
+TEST(Inflate, TruncatedStreamThrows) {
+  std::vector<std::uint8_t> stream = {0x01, 0x05, 0x00, 0xFA, 0xFF, 'h'};
+  EXPECT_THROW(inflate(stream), GzipError);
+}
+
+TEST(Inflate, StoredLenMismatchThrows) {
+  std::vector<std::uint8_t> stream = {0x01, 0x05, 0x00, 0x00, 0x00, 'h', 'e', 'l', 'l', 'o'};
+  EXPECT_THROW(inflate(stream), GzipError);
+}
+
+TEST(Inflate, ReservedBlockTypeThrows) {
+  std::vector<std::uint8_t> stream = {0x07};  // BFINAL=1, BTYPE=11
+  EXPECT_THROW(inflate(stream), GzipError);
+}
+
+class DeflateRoundTrip
+    : public ::testing::TestWithParam<std::tuple<DeflateMode, std::size_t>> {};
+
+TEST_P(DeflateRoundTrip, InflateRecoversInput) {
+  const auto [mode, size] = GetParam();
+  Xoshiro256 rng(size + 1);
+  std::vector<std::uint8_t> data(size);
+  for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.below(256));
+  EXPECT_EQ(inflate(deflate(data, mode)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSizes, DeflateRoundTrip,
+    ::testing::Combine(::testing::Values(DeflateMode::kStored, DeflateMode::kFixedHuffman),
+                       ::testing::Values(0u, 1u, 2u, 100u, 65535u, 65536u, 200000u)));
+
+TEST(Gzip, CompressDecompressRoundTrip) {
+  const auto data = bytes_of("GATTACA GATTACA GATTACA\n");
+  for (DeflateMode mode : {DeflateMode::kStored, DeflateMode::kFixedHuffman}) {
+    EXPECT_EQ(gzip_decompress(gzip_compress(data, mode)), data);
+  }
+}
+
+TEST(Gzip, LooksLikeGzipDetection) {
+  const auto compressed = gzip_compress(bytes_of("x"));
+  EXPECT_TRUE(looks_like_gzip(compressed));
+  EXPECT_FALSE(looks_like_gzip(bytes_of(">seq\nACGT\n")));
+  EXPECT_FALSE(looks_like_gzip({}));
+}
+
+TEST(Gzip, BadMagicThrows) {
+  auto compressed = gzip_compress(bytes_of("payload"));
+  compressed[0] = 0x00;
+  EXPECT_THROW(gzip_decompress(compressed), GzipError);
+}
+
+TEST(Gzip, CorruptCrcThrows) {
+  auto compressed = gzip_compress(bytes_of("payload"));
+  compressed[compressed.size() - 5] ^= 0xFF;  // flip a CRC byte
+  EXPECT_THROW(gzip_decompress(compressed), GzipError);
+}
+
+TEST(Gzip, CorruptSizeThrows) {
+  auto compressed = gzip_compress(bytes_of("payload"));
+  compressed[compressed.size() - 1] ^= 0xFF;  // flip an ISIZE byte
+  EXPECT_THROW(gzip_decompress(compressed), GzipError);
+}
+
+TEST(Gzip, TruncatedMemberThrows) {
+  auto compressed = gzip_compress(bytes_of("payload"));
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW(gzip_decompress(compressed), GzipError);
+}
+
+TEST(Gzip, TooShortInputThrows) {
+  std::vector<std::uint8_t> tiny = {0x1f, 0x8b, 8};
+  EXPECT_THROW(gzip_decompress(tiny), GzipError);
+}
+
+TEST(Gzip, SystemGzipInterop) {
+  // Round-trip against the system gzip when available: its output uses
+  // dynamic Huffman blocks and real LZ77 matches, exercising the inflate
+  // paths our own compressor cannot produce.
+  if (std::system("command -v gzip > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "system gzip not available";
+  }
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string raw_path = (dir / "bwaver_gzip_interop.txt").string();
+  const std::string gz_path = raw_path + ".gz";
+
+  // Repetitive text forces LZ77 matches and dynamic trees.
+  std::string payload;
+  for (int i = 0; i < 2000; ++i) {
+    payload += "ACGTACGTACGT line " + std::to_string(i % 17) + "\n";
+  }
+  write_file(raw_path, payload);
+  const std::string cmd = "gzip -kf9 " + raw_path;
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+  const auto decompressed = gzip_decompress(read_file(gz_path));
+  EXPECT_EQ(std::string(decompressed.begin(), decompressed.end()), payload);
+  std::remove(raw_path.c_str());
+  std::remove(gz_path.c_str());
+}
+
+TEST(Gzip, MultiMemberConcatenationDecodes) {
+  // `cat a.gz b.gz` (and bgzip output) is a valid gzip stream whose members
+  // must be inflated in sequence.
+  const auto part1 = bytes_of("first half | ");
+  const auto part2 = bytes_of("second half");
+  auto concatenated = gzip_compress(part1, DeflateMode::kFixedHuffman);
+  const auto second = gzip_compress(part2, DeflateMode::kStored);
+  concatenated.insert(concatenated.end(), second.begin(), second.end());
+
+  const auto out = gzip_decompress(concatenated);
+  EXPECT_EQ(std::string(out.begin(), out.end()), "first half | second half");
+}
+
+TEST(Gzip, ThreeMembersIncludingEmpty) {
+  auto stream = gzip_compress(bytes_of("a"));
+  const auto empty = gzip_compress({});
+  const auto tail = gzip_compress(bytes_of("z"));
+  stream.insert(stream.end(), empty.begin(), empty.end());
+  stream.insert(stream.end(), tail.begin(), tail.end());
+  const auto out = gzip_decompress(stream);
+  EXPECT_EQ(std::string(out.begin(), out.end()), "az");
+}
+
+TEST(Gzip, GarbageAfterMemberThrows) {
+  auto stream = gzip_compress(bytes_of("payload"));
+  stream.push_back(0x42);  // trailing junk is not a valid next member
+  EXPECT_THROW(gzip_decompress(stream), GzipError);
+}
+
+TEST(Inflate, ConsumedReportsStreamEnd) {
+  const auto data = bytes_of("hello inflate");
+  auto stream = deflate(data, DeflateMode::kFixedHuffman);
+  const std::size_t real_size = stream.size();
+  stream.push_back(0xAA);  // unrelated trailing bytes
+  stream.push_back(0xBB);
+  std::size_t consumed = 0;
+  const auto out = inflate(stream, &consumed);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(consumed, real_size);
+}
+
+TEST(Gzip, FnameHeaderFlagIsSkipped) {
+  // Hand-build a member with FNAME set.
+  const auto data = bytes_of("abc");
+  auto body = deflate(data, DeflateMode::kFixedHuffman);
+  std::vector<std::uint8_t> member = {0x1f, 0x8b, 8, 0x08, 0, 0, 0, 0, 0, 0xFF};
+  const std::string name = "file.txt";
+  member.insert(member.end(), name.begin(), name.end());
+  member.push_back(0);
+  member.insert(member.end(), body.begin(), body.end());
+  const std::uint32_t crc = crc32_ieee(data);
+  for (int i = 0; i < 4; ++i) member.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  const std::uint32_t isize = 3;
+  for (int i = 0; i < 4; ++i) member.push_back(static_cast<std::uint8_t>(isize >> (8 * i)));
+  EXPECT_EQ(gzip_decompress(member), data);
+}
+
+}  // namespace
+}  // namespace bwaver

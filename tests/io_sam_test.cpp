@@ -1,0 +1,54 @@
+#include "io/sam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bwaver {
+namespace {
+
+TEST(Sam, HeaderContainsReference) {
+  const std::string sam = format_sam("chrX", 12345, {});
+  EXPECT_NE(sam.find("@HD\tVN:1.6"), std::string::npos);
+  EXPECT_NE(sam.find("@SQ\tSN:chrX\tLN:12345"), std::string::npos);
+  EXPECT_NE(sam.find("@PG\tID:bwaver"), std::string::npos);
+}
+
+TEST(Sam, MappedForwardAlignmentLine) {
+  std::vector<SamAlignment> alignments = {
+      {"read1", false, "ref", 99, 50, true}};
+  const std::string sam = format_sam("ref", 1000, alignments);
+  EXPECT_NE(sam.find("read1\t0\tref\t100\t60\t50M"), std::string::npos)
+      << sam;  // position converts to 1-based
+}
+
+TEST(Sam, ReverseStrandSetsFlag16) {
+  std::vector<SamAlignment> alignments = {{"r", true, "ref", 0, 35, true}};
+  const std::string sam = format_sam("ref", 1000, alignments);
+  EXPECT_NE(sam.find("r\t16\tref\t1\t60\t35M"), std::string::npos) << sam;
+}
+
+TEST(Sam, UnmappedReadUsesFlag4AndStars) {
+  std::vector<SamAlignment> alignments = {{"lost", false, "ref", 0, 35, false}};
+  const std::string sam = format_sam("ref", 1000, alignments);
+  EXPECT_NE(sam.find("lost\t4\t*\t0\t0\t*"), std::string::npos) << sam;
+}
+
+TEST(Sam, OneLinePerAlignment) {
+  std::vector<SamAlignment> alignments = {
+      {"a", false, "ref", 1, 10, true},
+      {"a", false, "ref", 50, 10, true},
+      {"b", true, "ref", 2, 10, true},
+  };
+  const std::string sam = format_sam("ref", 100, alignments);
+  std::istringstream stream(sam);
+  std::string line;
+  int alignment_lines = 0;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line[0] != '@') ++alignment_lines;
+  }
+  EXPECT_EQ(alignment_lines, 3);
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,161 @@
+#include "io/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/gzip.hpp"
+
+namespace bwaver {
+namespace {
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "bwaver_streaming_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write(const std::string& name, const std::string& content,
+                    bool gzipped = false) {
+    const std::string path = (dir_ / name).string();
+    if (gzipped) {
+      write_file(path, gzip_compress(std::span<const std::uint8_t>(
+                           reinterpret_cast<const std::uint8_t*>(content.data()),
+                           content.size())));
+    } else {
+      write_file(path, content);
+    }
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StreamingTest, LineSourceSplitsLines) {
+  const auto path = write("lines.txt", "one\ntwo\r\nthree");
+  LineSource source(path);
+  std::string line;
+  ASSERT_TRUE(source.next_line(line));
+  EXPECT_EQ(line, "one");
+  ASSERT_TRUE(source.next_line(line));
+  EXPECT_EQ(line, "two");
+  ASSERT_TRUE(source.next_line(line));
+  EXPECT_EQ(line, "three");  // no trailing newline
+  EXPECT_FALSE(source.next_line(line));
+}
+
+TEST_F(StreamingTest, LineSourceHandlesLinesAcrossChunkBoundaries) {
+  // One very long line that spans multiple 64 KiB refills.
+  std::string content(200'000, 'x');
+  content += "\nshort\n";
+  const auto path = write("long.txt", content);
+  LineSource source(path);
+  std::string line;
+  ASSERT_TRUE(source.next_line(line));
+  EXPECT_EQ(line.size(), 200'000u);
+  ASSERT_TRUE(source.next_line(line));
+  EXPECT_EQ(line, "short");
+  EXPECT_FALSE(source.next_line(line));
+}
+
+TEST_F(StreamingTest, LineSourceMissingFileThrows) {
+  EXPECT_THROW(LineSource((dir_ / "missing.txt").string()), IoError);
+}
+
+TEST_F(StreamingTest, FastqStreamingMatchesWholeFileParser) {
+  std::string content;
+  for (int i = 0; i < 1000; ++i) {
+    content += "@read_" + std::to_string(i) + "\nACGTACGT\n+\nIIIIIIII\n";
+  }
+  const auto path = write("reads.fq", content);
+
+  FastqStreamReader reader(path);
+  const auto whole = parse_fastq(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(content.data()), content.size()));
+
+  FastqRecord record;
+  std::size_t i = 0;
+  while (reader.next(record)) {
+    ASSERT_LT(i, whole.size());
+    ASSERT_EQ(record.name, whole[i].name);
+    ASSERT_EQ(record.sequence, whole[i].sequence);
+    ASSERT_EQ(record.quality, whole[i].quality);
+    ++i;
+  }
+  EXPECT_EQ(i, whole.size());
+  EXPECT_EQ(reader.records_read(), 1000u);
+}
+
+TEST_F(StreamingTest, FastqStreamingFromGzip) {
+  const auto path = write("reads.fq.gz", "@a\nACGT\n+\nIIII\n@b\nGG\n+\n!!\n", true);
+  FastqStreamReader reader(path);
+  FastqRecord record;
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_EQ(record.name, "a");
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_EQ(record.sequence, "GG");
+  EXPECT_FALSE(reader.next(record));
+}
+
+TEST_F(StreamingTest, FastqStreamingMalformedThrows) {
+  const auto path = write("bad.fq", "@a\nACGT\nIIII\n");  // missing '+'
+  FastqStreamReader reader(path);
+  FastqRecord record;
+  EXPECT_THROW(reader.next(record), IoError);
+}
+
+TEST_F(StreamingTest, FastqStreamingTruncatedThrows) {
+  const auto path = write("trunc.fq", "@a\nACGT\n+\n");
+  FastqStreamReader reader(path);
+  FastqRecord record;
+  EXPECT_THROW(reader.next(record), IoError);
+}
+
+TEST_F(StreamingTest, FastaStreamingMultiRecord) {
+  const auto path = write("ref.fa", ">chr1 desc\nACGT\nAC\n>chr2\nTTTT\n");
+  FastaStreamReader reader(path);
+  FastaRecord record;
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_EQ(record.name, "chr1 desc");
+  EXPECT_EQ(record.sequence, "ACGTAC");
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_EQ(record.name, "chr2");
+  EXPECT_EQ(record.sequence, "TTTT");
+  EXPECT_FALSE(reader.next(record));
+  EXPECT_EQ(reader.records_read(), 2u);
+}
+
+TEST_F(StreamingTest, FastaStreamingGzip) {
+  const auto path = write("ref.fa.gz", ">g\nACGTACGT\n", true);
+  FastaStreamReader reader(path);
+  FastaRecord record;
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_EQ(record.sequence, "ACGTACGT");
+}
+
+TEST_F(StreamingTest, FastaStreamingDataBeforeHeaderThrows) {
+  const auto path = write("bad.fa", "ACGT\n>late\nAC\n");
+  FastaStreamReader reader(path);
+  FastaRecord record;
+  EXPECT_THROW(reader.next(record), IoError);
+}
+
+TEST_F(StreamingTest, FastaStreamingEmptySequenceThrows) {
+  const auto path = write("empty.fa", ">a\n>b\nAC\n");
+  FastaStreamReader reader(path);
+  FastaRecord record;
+  EXPECT_THROW(reader.next(record), IoError);
+}
+
+TEST_F(StreamingTest, EmptyFileYieldsNothing) {
+  const auto path = write("nothing.fq", "");
+  FastqStreamReader reader(path);
+  FastqRecord record;
+  EXPECT_FALSE(reader.next(record));
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,153 @@
+#include "mapper/staged_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/genome_sim.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver {
+namespace {
+
+class StagedMapperTest : public ::testing::Test {
+ protected:
+  StagedMapperTest() {
+    GenomeSimConfig config;
+    config.length = 50000;
+    config.seed = 600;
+    genome_ = simulate_genome(config);
+    index_ = std::make_unique<FmIndex<RrrWaveletOcc>>(
+        genome_, [](std::span<const std::uint8_t> bwt) {
+          return RrrWaveletOcc(bwt, RrrParams{15, 50});
+        });
+
+    // Reads with 0, 1 and 2 substitutions plus pure-random ones.
+    Xoshiro256 rng(601);
+    constexpr unsigned kLength = 48;
+    for (unsigned mutations = 0; mutations <= 2; ++mutations) {
+      for (int n = 0; n < 30; ++n) {
+        const std::size_t origin = rng.below(genome_.size() - kLength);
+        std::vector<std::uint8_t> read(genome_.begin() + origin,
+                                       genome_.begin() + origin + kLength);
+        // Distinct positions so the distance is exactly `mutations`.
+        for (unsigned m = 0; m < mutations; ++m) {
+          const std::size_t at = 5 + m * 17;
+          read[at] = static_cast<std::uint8_t>((read[at] + 1 + rng.below(3)) & 3);
+        }
+        batch_.add(read);
+        expected_stage_.push_back(mutations);
+        origins_.push_back(static_cast<std::uint32_t>(origin));
+      }
+    }
+    for (int n = 0; n < 20; ++n) {
+      std::vector<std::uint8_t> read(kLength);
+      for (auto& base : read) base = static_cast<std::uint8_t>(rng.below(4));
+      batch_.add(read);
+      expected_stage_.push_back(StagedReadResult::kUnaligned);
+      origins_.push_back(0);
+    }
+  }
+
+  std::vector<std::uint8_t> genome_;
+  std::unique_ptr<FmIndex<RrrWaveletOcc>> index_;
+  ReadBatch batch_;
+  std::vector<std::uint8_t> expected_stage_;
+  std::vector<std::uint32_t> origins_;
+};
+
+TEST_F(StagedMapperTest, ReadsAlignAtTheirMutationStage) {
+  const StagedFpgaMapper mapper(*index_);
+  StagedMapReport report;
+  const auto results = mapper.map(batch_, &report);
+  ASSERT_EQ(results.size(), batch_.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // A mutated read could by chance match elsewhere with fewer mismatches,
+    // so the aligned stage is at most the mutation count.
+    if (expected_stage_[i] == StagedReadResult::kUnaligned) {
+      EXPECT_EQ(results[i].stage, StagedReadResult::kUnaligned) << "read " << i;
+    } else {
+      ASSERT_NE(results[i].stage, StagedReadResult::kUnaligned) << "read " << i;
+      EXPECT_LE(results[i].stage, expected_stage_[i]) << "read " << i;
+      // The true origin must be among the reported loci when the stage
+      // equals the mutation count.
+      if (results[i].stage == expected_stage_[i]) {
+        EXPECT_TRUE(std::find(results[i].positions.begin(), results[i].positions.end(),
+                              origins_[i]) != results[i].positions.end())
+            << "read " << i;
+      }
+    }
+  }
+}
+
+TEST_F(StagedMapperTest, StageReportsAccountAllReads) {
+  const StagedFpgaMapper mapper(*index_);
+  StagedMapReport report;
+  mapper.map(batch_, &report);
+  ASSERT_EQ(report.stages.size(), 3u);
+  EXPECT_EQ(report.stages[0].reads_in, batch_.size());
+  for (std::size_t s = 1; s < report.stages.size(); ++s) {
+    EXPECT_EQ(report.stages[s].reads_in,
+              report.stages[s - 1].reads_in - report.stages[s - 1].reads_aligned);
+    EXPECT_GT(report.stages[s].reconfigure_seconds, 0.0);
+  }
+  // Roughly 30 reads align per stage (some mutated reads luck into earlier
+  // stages, so the exact split varies).
+  EXPECT_GE(report.stages[0].reads_aligned, 28u);
+  EXPECT_GT(report.total_seconds(), 0.0);
+}
+
+TEST_F(StagedMapperTest, LaterStagesCostMoreStepsPerRead) {
+  const StagedFpgaMapper mapper(*index_);
+  StagedMapReport report;
+  mapper.map(batch_, &report);
+  const auto per_read = [](const StageReport& stage) {
+    return stage.reads_in == 0 ? 0.0
+                               : static_cast<double>(stage.steps_executed) /
+                                     static_cast<double>(stage.reads_in);
+  };
+  EXPECT_GT(per_read(report.stages[1]), per_read(report.stages[0]));
+  EXPECT_GT(per_read(report.stages[2]), per_read(report.stages[1]));
+}
+
+TEST_F(StagedMapperTest, SoftwareComparatorMatchesFpgaModel) {
+  const StagedFpgaMapper fpga(*index_);
+  const auto hw = fpga.map(batch_);
+  double seconds = 0.0;
+  const auto sw = approx_map_batch(*index_, batch_, 2, 2, &seconds);
+  ASSERT_EQ(hw.size(), sw.size());
+  for (std::size_t i = 0; i < hw.size(); ++i) {
+    ASSERT_EQ(hw[i].stage, sw[i].stage) << i;
+    auto hw_pos = hw[i].positions;
+    auto sw_pos = sw[i].positions;
+    std::sort(hw_pos.begin(), hw_pos.end());
+    std::sort(sw_pos.begin(), sw_pos.end());
+    ASSERT_EQ(hw_pos, sw_pos) << i;
+  }
+  EXPECT_GT(seconds, 0.0);
+}
+
+TEST_F(StagedMapperTest, ExactOnlyConfigurationSkipsLaterStages) {
+  const StagedFpgaMapper mapper(*index_, DeviceSpec{}, 0);
+  StagedMapReport report;
+  const auto results = mapper.map(batch_, &report);
+  EXPECT_EQ(report.stages.size(), 1u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].stage != StagedReadResult::kUnaligned) {
+      EXPECT_EQ(results[i].stage, 0);
+    }
+  }
+}
+
+TEST(StagedMapper, RejectsMoreThanTwoMismatches) {
+  GenomeSimConfig config;
+  config.length = 1000;
+  const auto genome = simulate_genome(config);
+  const FmIndex<RrrWaveletOcc> index(genome, [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  });
+  EXPECT_THROW(StagedFpgaMapper(index, DeviceSpec{}, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwaver

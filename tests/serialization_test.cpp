@@ -1,0 +1,173 @@
+// Round-trip serialization tests across the whole index stack.
+#include <gtest/gtest.h>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "io/byte_io.hpp"
+#include "succinct/rank_support.hpp"
+#include "succinct/rrr_vector.hpp"
+#include "succinct/wavelet_tree.hpp"
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+TEST(Serialization, BitVectorRoundTrip) {
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 1000u}) {
+    const BitVector original = testing::random_bits(n, 0.5, n + 1);
+    ByteWriter writer;
+    original.save(writer);
+    ByteReader reader(writer.data());
+    const BitVector loaded = BitVector::load(reader);
+    EXPECT_TRUE(loaded == original) << "n=" << n;
+    EXPECT_TRUE(reader.done());
+  }
+}
+
+TEST(Serialization, IntVectorRoundTrip) {
+  for (unsigned width : {1u, 4u, 13u, 64u}) {
+    IntVector original(100, width);
+    Xoshiro256 rng(width);
+    for (std::size_t i = 0; i < 100; ++i) {
+      original.set(i, rng() & ((width == 64) ? ~0ull : ((1ull << width) - 1)));
+    }
+    ByteWriter writer;
+    original.save(writer);
+    ByteReader reader(writer.data());
+    const IntVector loaded = IntVector::load(reader);
+    ASSERT_EQ(loaded.size(), original.size());
+    ASSERT_EQ(loaded.width(), original.width());
+    for (std::size_t i = 0; i < 100; ++i) ASSERT_EQ(loaded.get(i), original.get(i));
+  }
+}
+
+TEST(Serialization, IntVectorCorruptWidthThrows) {
+  ByteWriter writer;
+  writer.u64(10);   // size
+  writer.u32(200);  // invalid width
+  ByteReader reader(writer.data());
+  EXPECT_THROW(IntVector::load(reader), IoError);
+}
+
+TEST(Serialization, RrrVectorRoundTrip) {
+  const BitVector bits = testing::random_bits(50000, 0.35, 9);
+  const RrrVector original(bits, RrrParams{15, 50});
+  ByteWriter writer;
+  original.save(writer);
+  ByteReader reader(writer.data());
+  const RrrVector loaded = RrrVector::load(reader);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.ones(), original.ones());
+  EXPECT_EQ(loaded.block_bits(), 15u);
+  EXPECT_EQ(loaded.superblock_factor(), 50u);
+  for (std::size_t p = 0; p <= bits.size(); p += 97) {
+    ASSERT_EQ(loaded.rank1(p), original.rank1(p));
+  }
+  for (std::size_t i = 0; i < bits.size(); i += 89) {
+    ASSERT_EQ(loaded.access(i), bits.get(i));
+  }
+}
+
+TEST(Serialization, RrrVectorCorruptParamsThrow) {
+  ByteWriter writer;
+  writer.u32(0);  // block_bits = 0
+  writer.u32(50);
+  ByteReader reader(writer.data());
+  EXPECT_THROW(RrrVector::load(reader), IoError);
+}
+
+TEST(Serialization, WaveletTreeRrrRoundTrip) {
+  const auto symbols = testing::random_symbols(20000, 4, 10);
+  const WaveletTree<RrrVector> original(
+      symbols, 4, [](const BitVector& bits) { return RrrVector(bits, {15, 50}); });
+  ByteWriter writer;
+  original.save(writer);
+  ByteReader reader(writer.data());
+  const auto loaded = WaveletTree<RrrVector>::load(reader);
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.num_nodes(), original.num_nodes());
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    for (std::size_t p = 0; p <= symbols.size(); p += 311) {
+      ASSERT_EQ(loaded.rank(c, p), original.rank(c, p));
+    }
+  }
+  for (std::size_t i = 0; i < symbols.size(); i += 307) {
+    ASSERT_EQ(loaded.access(i), symbols[i]);
+  }
+}
+
+TEST(Serialization, WaveletTreePlainRoundTrip) {
+  const auto symbols = testing::random_symbols(5000, 8, 11);
+  const WaveletTree<PlainRankBitVector> original(
+      symbols, 8, [](const BitVector& bits) {
+        return PlainRankBitVector(BitVector(bits));
+      });
+  ByteWriter writer;
+  original.save(writer);
+  ByteReader reader(writer.data());
+  const auto loaded = WaveletTree<PlainRankBitVector>::load(reader);
+  for (std::uint8_t c = 0; c < 8; ++c) {
+    ASSERT_EQ(loaded.rank(c, symbols.size()),
+              testing::naive_rank(symbols, c, symbols.size()));
+  }
+}
+
+template <typename Occ>
+class FmIndexSerialization : public ::testing::Test {};
+
+template <typename Occ>
+FmIndex<Occ> build_index(std::span<const std::uint8_t> text);
+
+template <>
+FmIndex<RrrWaveletOcc> build_index(std::span<const std::uint8_t> text) {
+  return FmIndex<RrrWaveletOcc>(text, [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  });
+}
+template <>
+FmIndex<PlainWaveletOcc> build_index(std::span<const std::uint8_t> text) {
+  return FmIndex<PlainWaveletOcc>(
+      text, [](std::span<const std::uint8_t> bwt) { return PlainWaveletOcc(bwt); });
+}
+template <>
+FmIndex<SampledOcc> build_index(std::span<const std::uint8_t> text) {
+  return FmIndex<SampledOcc>(
+      text, [](std::span<const std::uint8_t> bwt) { return SampledOcc(bwt, 3); });
+}
+
+using OccTypes = ::testing::Types<RrrWaveletOcc, PlainWaveletOcc, SampledOcc>;
+TYPED_TEST_SUITE(FmIndexSerialization, OccTypes);
+
+TYPED_TEST(FmIndexSerialization, FullIndexRoundTrip) {
+  const auto text = testing::random_symbols(8000, 4, 12);
+  const auto original = build_index<TypeParam>(text);
+  ByteWriter writer;
+  original.save(writer);
+  ByteReader reader(writer.data());
+  const auto loaded = FmIndex<TypeParam>::load(reader);
+  EXPECT_TRUE(reader.done());
+
+  ASSERT_EQ(loaded.size(), original.size());
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pattern = testing::random_symbols(1 + rng.below(25), 4, rng());
+    const SaInterval a = original.count(pattern);
+    const SaInterval b = loaded.count(pattern);
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(original.locate(a), loaded.locate(b));
+  }
+}
+
+TYPED_TEST(FmIndexSerialization, TruncatedStreamThrows) {
+  const auto text = testing::random_symbols(2000, 4, 14);
+  const auto original = build_index<TypeParam>(text);
+  ByteWriter writer;
+  original.save(writer);
+  auto data = writer.take();
+  data.resize(data.size() / 2);
+  ByteReader reader(data);
+  EXPECT_THROW(FmIndex<TypeParam>::load(reader), IoError);
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,98 @@
+#include "sim/genome_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fmindex/bwt.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "succinct/rrr_vector.hpp"
+
+namespace bwaver {
+namespace {
+
+GenomeSimConfig small_config(std::size_t length, std::uint64_t seed = 1) {
+  GenomeSimConfig config;
+  config.length = length;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GenomeSim, ProducesRequestedLength) {
+  for (std::size_t length : {1u, 100u, 12345u}) {
+    EXPECT_EQ(simulate_genome(small_config(length)).size(), length);
+  }
+}
+
+TEST(GenomeSim, DeterministicPerSeed) {
+  const auto a = simulate_genome(small_config(10000, 5));
+  const auto b = simulate_genome(small_config(10000, 5));
+  const auto c = simulate_genome(small_config(10000, 6));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(GenomeSim, AllCodesValid) {
+  const auto genome = simulate_genome(small_config(50000));
+  for (std::uint8_t code : genome) ASSERT_LT(code, 4);
+}
+
+TEST(GenomeSim, GcContentApproximatelyRespected) {
+  for (double gc : {0.3, 0.5, 0.7}) {
+    GenomeSimConfig config = small_config(200000, 11);
+    config.gc_content = gc;
+    config.repeat_fraction = 0.0;  // repeats would skew composition slightly
+    const auto genome = simulate_genome(config);
+    std::size_t gc_count = 0;
+    for (std::uint8_t code : genome) gc_count += (code == 1 || code == 2);
+    EXPECT_NEAR(static_cast<double>(gc_count) / genome.size(), gc, 0.03) << "gc=" << gc;
+  }
+}
+
+TEST(GenomeSim, InvalidConfigsThrow) {
+  EXPECT_THROW(simulate_genome(GenomeSimConfig{.length = 0}), std::invalid_argument);
+  GenomeSimConfig bad_gc = small_config(100);
+  bad_gc.gc_content = 1.5;
+  EXPECT_THROW(simulate_genome(bad_gc), std::invalid_argument);
+  GenomeSimConfig bad_repeat = small_config(100);
+  bad_repeat.repeat_fraction = 1.0;
+  EXPECT_THROW(simulate_genome(bad_repeat), std::invalid_argument);
+  GenomeSimConfig bad_unit = small_config(100);
+  bad_unit.repeat_unit_min = 10;
+  bad_unit.repeat_unit_max = 5;
+  EXPECT_THROW(simulate_genome(bad_unit), std::invalid_argument);
+}
+
+TEST(GenomeSim, PresetLengthsMatchPaperReferences) {
+  EXPECT_EQ(ecoli_like_config().length, 4'641'652u);
+  EXPECT_EQ(chr21_like_config().length, 40'088'619u);
+  EXPECT_GT(chr21_like_config().repeat_fraction, ecoli_like_config().repeat_fraction);
+}
+
+TEST(GenomeSim, StringVariantDecodes) {
+  const std::string genome = simulate_genome_string(small_config(1000));
+  EXPECT_EQ(genome.size(), 1000u);
+  for (char base : genome) {
+    EXPECT_TRUE(base == 'A' || base == 'C' || base == 'G' || base == 'T');
+  }
+}
+
+TEST(GenomeSim, RepeatsLowerBwtEntropy) {
+  // The design premise: a repeat-rich genome yields a runnier BWT whose
+  // wavelet-tree bit-vectors RRR-compress better than a repeat-free one.
+  GenomeSimConfig repeat_rich = small_config(200000, 21);
+  repeat_rich.repeat_fraction = 0.6;
+  repeat_rich.markov_persistence = 0.3;
+  GenomeSimConfig repeat_free = small_config(200000, 21);
+  repeat_free.repeat_fraction = 0.0;
+  repeat_free.markov_persistence = 0.0;
+
+  const RrrParams params{15, 50};
+  const auto occ_bytes = [&](const GenomeSimConfig& config) {
+    const auto genome = simulate_genome(config);
+    const Bwt bwt = build_bwt(genome);
+    return RrrWaveletOcc(bwt.symbols, params).size_in_bytes();
+  };
+  EXPECT_LT(occ_bytes(repeat_rich), occ_bytes(repeat_free));
+}
+
+}  // namespace
+}  // namespace bwaver

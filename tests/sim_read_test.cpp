@@ -1,0 +1,144 @@
+#include "sim/read_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fmindex/dna.hpp"
+#include "sim/genome_sim.hpp"
+
+namespace bwaver {
+namespace {
+
+std::vector<std::uint8_t> test_reference() {
+  GenomeSimConfig config;
+  config.length = 50000;
+  config.seed = 3;
+  return simulate_genome(config);
+}
+
+TEST(ReadSim, ProducesRequestedCountAndLength) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 500;
+  config.read_length = 75;
+  const auto reads = simulate_reads(reference, config);
+  ASSERT_EQ(reads.size(), 500u);
+  for (const auto& read : reads) ASSERT_EQ(read.codes.size(), 75u);
+}
+
+TEST(ReadSim, MappingRatioIsExact) {
+  const auto reference = test_reference();
+  for (double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    ReadSimConfig config;
+    config.num_reads = 400;
+    config.read_length = 50;
+    config.mapping_ratio = ratio;
+    const auto reads = simulate_reads(reference, config);
+    const auto mapped = std::count_if(reads.begin(), reads.end(), [](const auto& r) {
+      return r.origin != SimulatedRead::kUnmapped;
+    });
+    EXPECT_EQ(mapped, static_cast<long>(ratio * 400 + 0.5)) << "ratio=" << ratio;
+  }
+}
+
+TEST(ReadSim, ForwardReadsMatchReferenceAtOrigin) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 200;
+  config.read_length = 60;
+  config.revcomp_fraction = 0.0;  // all forward
+  const auto reads = simulate_reads(reference, config);
+  for (const auto& read : reads) {
+    ASSERT_NE(read.origin, SimulatedRead::kUnmapped);
+    ASSERT_FALSE(read.from_reverse_strand);
+    for (std::size_t k = 0; k < read.codes.size(); ++k) {
+      ASSERT_EQ(read.codes[k], reference[read.origin + k]);
+    }
+  }
+}
+
+TEST(ReadSim, ReverseReadsAreRevcompOfReference) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 200;
+  config.read_length = 60;
+  config.revcomp_fraction = 1.0;  // all reverse
+  const auto reads = simulate_reads(reference, config);
+  for (const auto& read : reads) {
+    ASSERT_TRUE(read.from_reverse_strand);
+    const auto rc = dna_reverse_complement(read.codes);
+    for (std::size_t k = 0; k < rc.size(); ++k) {
+      ASSERT_EQ(rc[k], reference[read.origin + k]);
+    }
+  }
+}
+
+TEST(ReadSim, DeterministicPerSeed) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 100;
+  config.read_length = 40;
+  config.mapping_ratio = 0.5;
+  const auto a = simulate_reads(reference, config);
+  const auto b = simulate_reads(reference, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].codes, b[i].codes);
+    ASSERT_EQ(a[i].origin, b[i].origin);
+  }
+}
+
+TEST(ReadSim, InvalidConfigsThrow) {
+  const auto reference = test_reference();
+  ReadSimConfig zero_len;
+  zero_len.read_length = 0;
+  EXPECT_THROW(simulate_reads(reference, zero_len), std::invalid_argument);
+
+  ReadSimConfig too_long;
+  too_long.read_length = static_cast<unsigned>(reference.size() + 1);
+  EXPECT_THROW(simulate_reads(reference, too_long), std::invalid_argument);
+
+  ReadSimConfig bad_ratio;
+  bad_ratio.read_length = 10;
+  bad_ratio.mapping_ratio = 1.5;
+  EXPECT_THROW(simulate_reads(reference, bad_ratio), std::invalid_argument);
+}
+
+TEST(ReadSim, FastqConversionPreservesReads) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 50;
+  config.read_length = 30;
+  config.mapping_ratio = 0.5;
+  const auto reads = simulate_reads(reference, config);
+  const auto fastq = reads_to_fastq(reads);
+  ASSERT_EQ(fastq.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(fastq[i].sequence, dna_decode_string(reads[i].codes));
+    EXPECT_EQ(fastq[i].quality.size(), fastq[i].sequence.size());
+    if (reads[i].origin != SimulatedRead::kUnmapped) {
+      EXPECT_NE(fastq[i].name.find("pos" + std::to_string(reads[i].origin)),
+                std::string::npos);
+    } else {
+      EXPECT_NE(fastq[i].name.find("random"), std::string::npos);
+    }
+  }
+}
+
+TEST(ReadSim, QualityCharactersInPhredRange) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 20;
+  config.read_length = 30;
+  const auto fastq = reads_to_fastq(simulate_reads(reference, config));
+  for (const auto& record : fastq) {
+    for (char q : record.quality) {
+      ASSERT_GE(q, '!' + 30);
+      ASSERT_LE(q, '!' + 39);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bwaver

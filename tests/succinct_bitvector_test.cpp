@@ -1,0 +1,134 @@
+#include "succinct/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver {
+namespace {
+
+TEST(BitVector, EmptyByDefault) {
+  BitVector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_TRUE(bv.empty());
+  EXPECT_EQ(bv.count_ones(), 0u);
+}
+
+TEST(BitVector, SizedConstructorZeros) {
+  BitVector bv(100);
+  EXPECT_EQ(bv.size(), 100u);
+  EXPECT_EQ(bv.count_ones(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_FALSE(bv.get(i));
+}
+
+TEST(BitVector, SizedConstructorOnesClampsTail) {
+  // Non-word-aligned size with value=true must not count padding bits.
+  for (std::size_t n : {1u, 63u, 64u, 65u, 100u, 128u, 129u}) {
+    BitVector bv(n, true);
+    EXPECT_EQ(bv.size(), n);
+    EXPECT_EQ(bv.count_ones(), n) << "n=" << n;
+  }
+}
+
+TEST(BitVector, PushBackAndGet) {
+  BitVector bv;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (bool b : pattern) bv.push_back(b);
+  ASSERT_EQ(bv.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(bv.get(i), pattern[i]);
+}
+
+TEST(BitVector, SetOverwrites) {
+  BitVector bv(130);
+  bv.set(0, true);
+  bv.set(64, true);
+  bv.set(129, true);
+  EXPECT_EQ(bv.count_ones(), 3u);
+  bv.set(64, false);
+  EXPECT_EQ(bv.count_ones(), 2u);
+  EXPECT_FALSE(bv.get(64));
+  EXPECT_TRUE(bv.get(0));
+  EXPECT_TRUE(bv.get(129));
+}
+
+TEST(BitVector, AppendBitsGetBitsRoundTrip) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector bv;
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    std::size_t total = 0;
+    for (int f = 0; f < 100; ++f) {
+      const unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+      const std::uint64_t value =
+          width == 64 ? rng() : rng() & ((std::uint64_t{1} << width) - 1);
+      fields.emplace_back(value, width);
+      bv.append_bits(value, width);
+      total += width;
+    }
+    ASSERT_EQ(bv.size(), total);
+    std::size_t pos = 0;
+    for (const auto& [value, width] : fields) {
+      ASSERT_EQ(bv.get_bits(pos, width), value) << "pos=" << pos << " width=" << width;
+      pos += width;
+    }
+  }
+}
+
+TEST(BitVector, AppendBitsZeroWidthIsNoop) {
+  BitVector bv;
+  bv.append_bits(0xFFFF, 0);
+  EXPECT_EQ(bv.size(), 0u);
+}
+
+TEST(BitVector, AppendBitsMasksHighBits) {
+  BitVector bv;
+  bv.append_bits(~std::uint64_t{0}, 4);
+  EXPECT_EQ(bv.size(), 4u);
+  EXPECT_EQ(bv.get_bits(0, 4), 0xFu);
+  EXPECT_EQ(bv.count_ones(), 4u);
+}
+
+TEST(BitVector, GetBitsAcrossWordBoundary) {
+  BitVector bv;
+  bv.append_bits(0, 60);
+  bv.append_bits(0b1011, 4);  // last 4 bits of word 0
+  bv.append_bits(0b1101, 4);  // first 4 bits of word 1
+  EXPECT_EQ(bv.get_bits(60, 8), 0b11011011u);
+}
+
+TEST(BitVector, RankLinearMatchesManual) {
+  const BitVector bv = testing::random_bits(1000, 0.3, 42);
+  std::size_t ones = 0;
+  for (std::size_t p = 0; p <= bv.size(); ++p) {
+    ASSERT_EQ(bv.rank1_linear(p), ones);
+    if (p < bv.size() && bv.get(p)) ++ones;
+  }
+}
+
+TEST(BitVector, CountOnesMatchesDensity) {
+  const BitVector bv = testing::random_bits(100000, 0.5, 7);
+  EXPECT_NEAR(static_cast<double>(bv.count_ones()) / bv.size(), 0.5, 0.02);
+}
+
+TEST(BitVector, EqualityComparesContentAndSize) {
+  BitVector a = testing::random_bits(500, 0.4, 9);
+  BitVector b = a;
+  EXPECT_TRUE(a == b);
+  b.set(250, !b.get(250));
+  EXPECT_FALSE(a == b);
+
+  BitVector c = testing::random_bits(501, 0.4, 9);
+  EXPECT_FALSE(a == c);  // different size
+}
+
+TEST(BitVector, WordsExposeRawStorage) {
+  BitVector bv;
+  bv.append_bits(0xDEADBEEF, 32);
+  bv.append_bits(0xCAFE, 16);
+  ASSERT_GE(bv.word_count(), 1u);
+  EXPECT_EQ(bv.words()[0] & 0xFFFFFFFF, 0xDEADBEEFu);
+}
+
+}  // namespace
+}  // namespace bwaver

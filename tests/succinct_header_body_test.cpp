@@ -1,0 +1,99 @@
+#include "succinct/header_body_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+struct HbCase {
+  std::size_t size;
+  double density;
+  unsigned body_bits;
+};
+
+class HeaderBodyParam : public ::testing::TestWithParam<HbCase> {};
+
+TEST_P(HeaderBodyParam, RankMatchesLinearOracle) {
+  const auto [size, density, body_bits] = GetParam();
+  const BitVector bv = testing::random_bits(size, density, size + body_bits);
+  const HeaderBodyVector hb(bv, HeaderBodyParams{body_bits});
+  ASSERT_EQ(hb.size(), size);
+  for (std::size_t p = 0; p <= size; ++p) {
+    ASSERT_EQ(hb.rank1(p), bv.rank1_linear(p)) << "p=" << p;
+  }
+  EXPECT_EQ(hb.ones(), bv.count_ones());
+}
+
+TEST_P(HeaderBodyParam, AccessMatchesOriginal) {
+  const auto [size, density, body_bits] = GetParam();
+  const BitVector bv = testing::random_bits(size, density, size * 3 + body_bits);
+  const HeaderBodyVector hb(bv, HeaderBodyParams{body_bits});
+  for (std::size_t i = 0; i < size; ++i) {
+    ASSERT_EQ(hb.access(i), bv.get(i)) << "i=" << i;
+  }
+}
+
+TEST_P(HeaderBodyParam, SelectInvertsRank) {
+  const auto [size, density, body_bits] = GetParam();
+  const BitVector bv = testing::random_bits(size, density, size * 5 + body_bits);
+  const HeaderBodyVector hb(bv, HeaderBodyParams{body_bits});
+  for (std::size_t k = 0; k < hb.ones(); k += 3) {
+    const std::size_t pos = hb.select1(k);
+    ASSERT_TRUE(bv.get(pos));
+    ASSERT_EQ(hb.rank1(pos), k);
+  }
+  const std::size_t zeros = size - hb.ones();
+  for (std::size_t k = 0; k < zeros; k += 3) {
+    const std::size_t pos = hb.select0(k);
+    ASSERT_FALSE(bv.get(pos));
+    ASSERT_EQ(hb.rank0(pos), k);
+  }
+  EXPECT_THROW(hb.select1(hb.ones()), std::out_of_range);
+  EXPECT_THROW(hb.select0(zeros), std::out_of_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, HeaderBodyParam,
+    ::testing::Values(HbCase{1, 0.5, 64}, HbCase{64, 0.5, 64}, HbCase{65, 0.5, 64},
+                      HbCase{512, 0.5, 512}, HbCase{513, 0.3, 512},
+                      HbCase{3000, 0.05, 512}, HbCase{3000, 0.95, 128},
+                      HbCase{3000, 0.5, 1024}, HbCase{511, 0.5, 512}));
+
+TEST(HeaderBody, RejectsBadBodyWidth) {
+  const BitVector bv = testing::random_bits(100, 0.5, 1);
+  EXPECT_THROW(HeaderBodyVector(bv, HeaderBodyParams{0}), std::invalid_argument);
+  EXPECT_THROW(HeaderBodyVector(bv, HeaderBodyParams{100}), std::invalid_argument);
+}
+
+TEST(HeaderBody, OverheadMatchesHeaderRatio) {
+  // The related work reports ~5.5% total overhead; with 32-bit headers per
+  // 512-bit body the header overhead alone is 6.25%.
+  const BitVector bv = testing::random_bits(512 * 100, 0.5, 2);
+  const HeaderBodyVector hb(bv, HeaderBodyParams{512});
+  EXPECT_NEAR(hb.overhead_fraction(), 32.0 / 512.0, 0.005);
+}
+
+TEST(HeaderBody, SerializationRoundTrip) {
+  const BitVector bv = testing::random_bits(4000, 0.4, 3);
+  const HeaderBodyVector original(bv, HeaderBodyParams{256});
+  ByteWriter writer;
+  original.save(writer);
+  ByteReader reader(writer.data());
+  const HeaderBodyVector loaded = HeaderBodyVector::load(reader);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t p = 0; p <= bv.size(); p += 7) {
+    ASSERT_EQ(loaded.rank1(p), original.rank1(p));
+  }
+}
+
+TEST(HeaderBody, EmptyVector) {
+  BitVector bv;
+  const HeaderBodyVector hb(bv);
+  EXPECT_EQ(hb.size(), 0u);
+  EXPECT_EQ(hb.rank1(0), 0u);
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,142 @@
+#include "succinct/huffman_wavelet_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "succinct/rank_support.hpp"
+#include "succinct/rrr_vector.hpp"
+#include "succinct/wavelet_tree.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver {
+namespace {
+
+HuffmanWaveletTree<PlainRankBitVector>::Builder plain_builder() {
+  return [](const BitVector& bits) { return PlainRankBitVector(BitVector(bits)); };
+}
+
+/// Skewed symbol stream: symbol s has weight ~ 2^-(s+1).
+std::vector<std::uint8_t> skewed_symbols(std::size_t n, unsigned alphabet,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& s : out) {
+    std::uint8_t symbol = 0;
+    while (symbol + 1u < alphabet && rng.chance(0.5)) ++symbol;
+    s = symbol;
+  }
+  return out;
+}
+
+TEST(HuffmanWavelet, RankMatchesNaiveUniform) {
+  const auto symbols = testing::random_symbols(3000, 4, 900);
+  const HuffmanWaveletTree<PlainRankBitVector> tree(symbols, 4, plain_builder());
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    for (std::size_t p = 0; p <= symbols.size(); p += 11) {
+      ASSERT_EQ(tree.rank(c, p), testing::naive_rank(symbols, c, p))
+          << "c=" << int(c) << " p=" << p;
+    }
+  }
+}
+
+TEST(HuffmanWavelet, RankMatchesNaiveSkewed) {
+  for (unsigned alphabet : {2u, 4u, 8u, 16u}) {
+    const auto symbols = skewed_symbols(2000, alphabet, alphabet + 901);
+    const HuffmanWaveletTree<PlainRankBitVector> tree(symbols, alphabet,
+                                                      plain_builder());
+    for (std::uint8_t c = 0; c < alphabet; ++c) {
+      for (std::size_t p = 0; p <= symbols.size(); p += 29) {
+        ASSERT_EQ(tree.rank(c, p), testing::naive_rank(symbols, c, p))
+            << "alphabet=" << alphabet << " c=" << int(c) << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(HuffmanWavelet, AccessReconstructsSequence) {
+  const auto symbols = skewed_symbols(1500, 8, 902);
+  const HuffmanWaveletTree<PlainRankBitVector> tree(symbols, 8, plain_builder());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    ASSERT_EQ(tree.access(i), symbols[i]) << "i=" << i;
+  }
+}
+
+TEST(HuffmanWavelet, AbsentSymbolRankIsZero) {
+  std::vector<std::uint8_t> symbols(500, 0);
+  symbols[100] = 1;  // symbol 2 and 3 never occur
+  const HuffmanWaveletTree<PlainRankBitVector> tree(symbols, 4, plain_builder());
+  EXPECT_EQ(tree.rank(2, 500), 0u);
+  EXPECT_EQ(tree.rank(3, 500), 0u);
+  EXPECT_EQ(tree.code_length(2), 0u);
+}
+
+TEST(HuffmanWavelet, SingleSymbolDegenerateCase) {
+  const std::vector<std::uint8_t> symbols(300, 2);
+  const HuffmanWaveletTree<PlainRankBitVector> tree(symbols, 4, plain_builder());
+  EXPECT_EQ(tree.rank(2, 300), 300u);
+  EXPECT_EQ(tree.rank(2, 150), 150u);
+  EXPECT_EQ(tree.rank(0, 300), 0u);
+  EXPECT_EQ(tree.access(42), 2);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+}
+
+TEST(HuffmanWavelet, CodeLengthsSatisfyKraftAndOrdering) {
+  const auto symbols = skewed_symbols(5000, 8, 903);
+  const HuffmanWaveletTree<PlainRankBitVector> tree(symbols, 8, plain_builder());
+  double kraft = 0.0;
+  for (unsigned c = 0; c < 8; ++c) {
+    if (tree.code_length(static_cast<std::uint8_t>(c)) == 0) continue;
+    kraft += std::pow(2.0, -static_cast<double>(tree.code_length(
+                                static_cast<std::uint8_t>(c))));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+  // The most frequent symbol (0) must not have a longer code than the
+  // least frequent occurring one.
+  unsigned longest = 0;
+  for (unsigned c = 0; c < 8; ++c) {
+    longest = std::max(longest, tree.code_length(static_cast<std::uint8_t>(c)));
+  }
+  EXPECT_LE(tree.code_length(0), longest);
+  EXPECT_LE(tree.code_length(0), 2u);
+}
+
+TEST(HuffmanWavelet, StoresFewerBitsThanBalancedOnSkewedInput) {
+  const auto symbols = skewed_symbols(20000, 4, 904);
+  const HuffmanWaveletTree<PlainRankBitVector> huffman(symbols, 4, plain_builder());
+  const WaveletTree<PlainRankBitVector> balanced(
+      symbols, 4,
+      [](const BitVector& bits) { return PlainRankBitVector(BitVector(bits)); });
+  // Balanced stores exactly 2 bits/symbol across levels; Huffman should be
+  // well under for the ~(1/2, 1/4, 1/8, 1/8) composition (entropy ~1.75).
+  EXPECT_LT(huffman.stored_bits(), symbols.size() * 2);
+  EXPECT_LT(huffman.average_code_length(), 2.0);
+  EXPECT_GE(huffman.average_code_length(), 1.0);
+  (void)balanced;
+}
+
+TEST(HuffmanWavelet, MatchesBalancedTreeAnswers) {
+  const auto symbols = skewed_symbols(4000, 4, 905);
+  const HuffmanWaveletTree<RrrVector> huffman(
+      symbols, 4, [](const BitVector& bits) { return RrrVector(bits, {15, 50}); });
+  const WaveletTree<RrrVector> balanced(
+      symbols, 4, [](const BitVector& bits) { return RrrVector(bits, {15, 50}); });
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    for (std::size_t p = 0; p <= symbols.size(); p += 41) {
+      ASSERT_EQ(huffman.rank(c, p), balanced.rank(c, p));
+    }
+  }
+}
+
+TEST(HuffmanWavelet, RejectsBadInputs) {
+  const auto symbols = testing::random_symbols(100, 4, 906);
+  EXPECT_THROW(HuffmanWaveletTree<PlainRankBitVector>(symbols, 1, plain_builder()),
+               std::invalid_argument);
+  std::vector<std::uint8_t> bad = {0, 5};
+  EXPECT_THROW(HuffmanWaveletTree<PlainRankBitVector>(bad, 4, plain_builder()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwaver

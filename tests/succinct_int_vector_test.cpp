@@ -1,0 +1,85 @@
+#include "succinct/int_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bwaver {
+namespace {
+
+TEST(IntVector, EmptyByDefault) {
+  IntVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(IntVector, ZeroInitialized) {
+  IntVector v(100, 7);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_EQ(v.get(i), 0u);
+}
+
+TEST(IntVector, InvalidWidthThrows) {
+  EXPECT_THROW(IntVector(10, 0), std::invalid_argument);
+  EXPECT_THROW(IntVector(10, 65), std::invalid_argument);
+}
+
+class IntVectorWidth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntVectorWidth, SetGetRoundTripRandom) {
+  const unsigned width = GetParam();
+  const std::size_t n = 300;
+  IntVector v(n, width);
+  Xoshiro256 rng(width);
+  std::vector<std::uint64_t> expected(n);
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = rng() & mask;
+    v.set(i, expected[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(v.get(i), expected[i]) << "width=" << width << " i=" << i;
+  }
+}
+
+TEST_P(IntVectorWidth, OverwriteDoesNotDisturbNeighbors) {
+  const unsigned width = GetParam();
+  IntVector v(10, width);
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  for (std::size_t i = 0; i < 10; ++i) v.set(i, mask);
+  v.set(5, 0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(v.get(i), i == 5 ? 0 : mask);
+  }
+}
+
+TEST_P(IntVectorWidth, ValueAboveWidthIsMasked) {
+  const unsigned width = GetParam();
+  if (width == 64) GTEST_SKIP() << "no overflow possible at 64 bits";
+  IntVector v(4, width);
+  v.set(2, ~std::uint64_t{0});
+  EXPECT_EQ(v.get(2), (std::uint64_t{1} << width) - 1);
+  EXPECT_EQ(v.get(1), 0u);
+  EXPECT_EQ(v.get(3), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IntVectorWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 13u, 15u,
+                                           16u, 17u, 31u, 32u, 33u, 63u, 64u));
+
+TEST(IntVector, FourBitClassArrayUseCase) {
+  // The RRR class array stores values 0..15 in 4-bit fields.
+  IntVector classes(1000, 4);
+  Xoshiro256 rng(99);
+  std::vector<std::uint8_t> expected(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    expected[i] = static_cast<std::uint8_t>(rng.below(16));
+    classes.set(i, expected[i]);
+  }
+  for (std::size_t i = 0; i < 1000; ++i) ASSERT_EQ(classes.get(i), expected[i]);
+  EXPECT_EQ(classes.size_in_bytes(), ((1000 * 4 + 63) / 64) * 8u);
+}
+
+}  // namespace
+}  // namespace bwaver

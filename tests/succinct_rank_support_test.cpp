@@ -1,0 +1,88 @@
+#include "succinct/rank_support.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+struct RankCase {
+  std::size_t size;
+  double density;
+};
+
+class RankSupportParam : public ::testing::TestWithParam<RankCase> {};
+
+TEST_P(RankSupportParam, MatchesLinearOracleEverywhere) {
+  const auto [size, density] = GetParam();
+  const BitVector bv = testing::random_bits(size, density, size * 31 + 1);
+  const RankSupport rank(bv);
+  for (std::size_t p = 0; p <= size; ++p) {
+    ASSERT_EQ(rank.rank1(p), bv.rank1_linear(p)) << "p=" << p;
+    ASSERT_EQ(rank.rank0(p), p - bv.rank1_linear(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, RankSupportParam,
+    ::testing::Values(RankCase{1, 0.5}, RankCase{63, 0.1}, RankCase{64, 0.5},
+                      RankCase{65, 0.9}, RankCase{511, 0.5}, RankCase{512, 0.3},
+                      RankCase{513, 0.7}, RankCase{1000, 0.01}, RankCase{1000, 0.99},
+                      RankCase{4096, 0.5}, RankCase{10000, 0.25}));
+
+TEST(RankSupport, EmptyVector) {
+  BitVector bv;
+  RankSupport rank(bv);
+  EXPECT_EQ(rank.rank1(0), 0u);
+}
+
+TEST(RankSupport, AllZeros) {
+  BitVector bv(2000, false);
+  RankSupport rank(bv);
+  EXPECT_EQ(rank.rank1(2000), 0u);
+  EXPECT_EQ(rank.rank0(2000), 2000u);
+}
+
+TEST(RankSupport, AllOnes) {
+  BitVector bv(2000, true);
+  RankSupport rank(bv);
+  for (std::size_t p : {0u, 1u, 64u, 512u, 1999u, 2000u}) {
+    ASSERT_EQ(rank.rank1(p), p);
+  }
+}
+
+TEST(RankSupport, WordAlignedEnd) {
+  // rank at exactly size when size is a multiple of 64 and of the
+  // superblock span (512) — regression test for the sentinel entry.
+  for (std::size_t size : {512u, 1024u, 4096u}) {
+    const BitVector bv = testing::random_bits(size, 0.5, size);
+    const RankSupport rank(bv);
+    ASSERT_EQ(rank.rank1(size), bv.count_ones()) << "size=" << size;
+  }
+}
+
+TEST(PlainRankBitVector, WrapsBitsAndRank) {
+  const BitVector bits = testing::random_bits(777, 0.4, 123);
+  const BitVector copy = bits;
+  PlainRankBitVector prbv(std::move(const_cast<BitVector&>(copy)));
+  ASSERT_EQ(prbv.size(), 777u);
+  for (std::size_t i = 0; i < 777; ++i) {
+    ASSERT_EQ(prbv.access(i), bits.get(i));
+  }
+  for (std::size_t p = 0; p <= 777; p += 7) {
+    ASSERT_EQ(prbv.rank1(p), bits.rank1_linear(p));
+  }
+  EXPECT_GT(prbv.size_in_bytes(), 0u);
+}
+
+TEST(PlainRankBitVector, MoveKeepsRankValid) {
+  PlainRankBitVector a(testing::random_bits(1000, 0.5, 5));
+  const std::size_t expected = a.rank1(1000);
+  PlainRankBitVector b = std::move(a);
+  EXPECT_EQ(b.rank1(1000), expected);
+  EXPECT_EQ(b.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace bwaver

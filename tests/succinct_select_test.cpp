@@ -1,0 +1,140 @@
+// Select support across the succinct stack: plain rank directory, RRR
+// vector, and wavelet tree. Oracle: linear scan.
+#include <gtest/gtest.h>
+
+#include "succinct/rank_support.hpp"
+#include "succinct/rrr_vector.hpp"
+#include "succinct/wavelet_tree.hpp"
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+std::vector<std::size_t> naive_positions(const BitVector& bv, bool bit) {
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < bv.size(); ++i) {
+    if (bv.get(i) == bit) positions.push_back(i);
+  }
+  return positions;
+}
+
+struct SelectCase {
+  std::size_t size;
+  double density;
+};
+
+class PlainSelect : public ::testing::TestWithParam<SelectCase> {};
+
+TEST_P(PlainSelect, MatchesLinearOracle) {
+  const auto [size, density] = GetParam();
+  const BitVector bv = testing::random_bits(size, density, size * 7 + 3);
+  const RankSupport rank(bv);
+  const auto ones = naive_positions(bv, true);
+  const auto zeros = naive_positions(bv, false);
+  for (std::size_t k = 0; k < ones.size(); ++k) {
+    ASSERT_EQ(rank.select1(k), ones[k]) << "k=" << k;
+  }
+  for (std::size_t k = 0; k < zeros.size(); ++k) {
+    ASSERT_EQ(rank.select0(k), zeros[k]) << "k=" << k;
+  }
+  EXPECT_THROW(rank.select1(ones.size()), std::out_of_range);
+  EXPECT_THROW(rank.select0(zeros.size()), std::out_of_range);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PlainSelect,
+    ::testing::Values(SelectCase{1, 1.0}, SelectCase{64, 0.5}, SelectCase{65, 0.5},
+                      SelectCase{511, 0.9}, SelectCase{512, 0.1},
+                      SelectCase{513, 0.5}, SelectCase{5000, 0.01},
+                      SelectCase{5000, 0.99}, SelectCase{5000, 0.5}));
+
+TEST(PlainSelect, Select0SkipsWordPadding) {
+  // A short all-ones vector: the padding bits of the final word are zeros
+  // at the storage level and must never be selected.
+  BitVector bv(10, true);
+  const RankSupport rank(bv);
+  EXPECT_THROW(rank.select0(0), std::out_of_range);
+}
+
+class RrrSelect : public ::testing::TestWithParam<SelectCase> {};
+
+TEST_P(RrrSelect, MatchesLinearOracle) {
+  const auto [size, density] = GetParam();
+  const BitVector bv = testing::random_bits(size, density, size * 13 + 5);
+  for (const RrrParams params : {RrrParams{15, 50}, RrrParams{7, 4}}) {
+    const RrrVector rrr(bv, params);
+    const auto ones = naive_positions(bv, true);
+    const auto zeros = naive_positions(bv, false);
+    for (std::size_t k = 0; k < ones.size(); k += 3) {
+      ASSERT_EQ(rrr.select1(k), ones[k]) << "k=" << k << " b=" << params.block_bits;
+    }
+    for (std::size_t k = 0; k < zeros.size(); k += 3) {
+      ASSERT_EQ(rrr.select0(k), zeros[k]) << "k=" << k << " b=" << params.block_bits;
+    }
+    if (!ones.empty()) {
+      ASSERT_EQ(rrr.select1(ones.size() - 1), ones.back());
+    }
+    EXPECT_THROW(rrr.select1(ones.size()), std::out_of_range);
+    EXPECT_THROW(rrr.select0(zeros.size()), std::out_of_range);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, RrrSelect,
+    ::testing::Values(SelectCase{1, 1.0}, SelectCase{14, 0.5}, SelectCase{15, 0.5},
+                      SelectCase{750, 0.5},  // exactly one superblock at b=15,sf=50
+                      SelectCase{751, 0.5}, SelectCase{3000, 0.05},
+                      SelectCase{3000, 0.95}, SelectCase{3000, 0.5}));
+
+TEST(RrrSelect, RankSelectInverse) {
+  const BitVector bv = testing::random_bits(10000, 0.3, 77);
+  const RrrVector rrr(bv, RrrParams{15, 50});
+  for (std::size_t k = 0; k < rrr.ones(); k += 17) {
+    const std::size_t pos = rrr.select1(k);
+    ASSERT_TRUE(bv.get(pos));
+    ASSERT_EQ(rrr.rank1(pos), k);
+  }
+}
+
+TEST(WaveletSelect, InverseOfRankOverDna) {
+  const auto symbols = testing::random_symbols(3000, 4, 88);
+  const WaveletTree<RrrVector> tree(
+      symbols, 4, [](const BitVector& bits) { return RrrVector(bits, {15, 50}); });
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    const std::size_t occurrences = tree.rank(c, symbols.size());
+    for (std::size_t k = 0; k < occurrences; k += 7) {
+      const std::size_t pos = tree.select(c, k);
+      ASSERT_EQ(symbols[pos], c) << "c=" << int(c) << " k=" << k;
+      ASSERT_EQ(tree.rank(c, pos), k);
+    }
+    EXPECT_THROW(tree.select(c, occurrences), std::out_of_range);
+  }
+}
+
+TEST(WaveletSelect, WorksOnPlainBackendAndLargerAlphabet) {
+  const auto symbols = testing::random_symbols(2000, 11, 89);
+  const WaveletTree<PlainRankBitVector> tree(
+      symbols, 11,
+      [](const BitVector& bits) { return PlainRankBitVector(BitVector(bits)); });
+  for (std::uint8_t c = 0; c < 11; ++c) {
+    const std::size_t occurrences = tree.rank(c, symbols.size());
+    for (std::size_t k = 0; k < occurrences; k += 13) {
+      ASSERT_EQ(symbols[tree.select(c, k)], c);
+    }
+  }
+}
+
+TEST(WaveletSelect, FirstAndLastOccurrence) {
+  std::vector<std::uint8_t> symbols = {3, 0, 1, 3, 2, 3, 0};
+  const WaveletTree<PlainRankBitVector> tree(
+      symbols, 4,
+      [](const BitVector& bits) { return PlainRankBitVector(BitVector(bits)); });
+  EXPECT_EQ(tree.select(3, 0), 0u);
+  EXPECT_EQ(tree.select(3, 1), 3u);
+  EXPECT_EQ(tree.select(3, 2), 5u);
+  EXPECT_EQ(tree.select(0, 1), 6u);
+  EXPECT_EQ(tree.select(2, 0), 4u);
+}
+
+}  // namespace
+}  // namespace bwaver

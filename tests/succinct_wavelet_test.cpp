@@ -1,0 +1,138 @@
+#include "succinct/wavelet_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "succinct/rank_support.hpp"
+#include "succinct/rrr_vector.hpp"
+#include "test_util.hpp"
+
+namespace bwaver {
+namespace {
+
+WaveletTree<RrrVector>::Builder rrr_builder(RrrParams params = {15, 50}) {
+  return [params](const BitVector& bits) { return RrrVector(bits, params); };
+}
+
+WaveletTree<PlainRankBitVector>::Builder plain_builder() {
+  return [](const BitVector& bits) { return PlainRankBitVector(BitVector(bits)); };
+}
+
+template <typename BV>
+typename WaveletTree<BV>::Builder make_builder();
+
+template <>
+WaveletTree<RrrVector>::Builder make_builder<RrrVector>() {
+  return rrr_builder();
+}
+template <>
+WaveletTree<PlainRankBitVector>::Builder make_builder<PlainRankBitVector>() {
+  return plain_builder();
+}
+
+template <typename BV>
+class WaveletTreeTyped : public ::testing::Test {};
+
+using Backends = ::testing::Types<RrrVector, PlainRankBitVector>;
+TYPED_TEST_SUITE(WaveletTreeTyped, Backends);
+
+TYPED_TEST(WaveletTreeTyped, RankMatchesNaiveDnaAlphabet) {
+  const auto symbols = testing::random_symbols(2000, 4, 101);
+  const WaveletTree<TypeParam> tree(symbols, 4, make_builder<TypeParam>());
+  ASSERT_EQ(tree.size(), symbols.size());
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    for (std::size_t p = 0; p <= symbols.size(); p += 13) {
+      ASSERT_EQ(tree.rank(c, p), testing::naive_rank(symbols, c, p))
+          << "c=" << int(c) << " p=" << p;
+    }
+    ASSERT_EQ(tree.rank(c, symbols.size()),
+              testing::naive_rank(symbols, c, symbols.size()));
+  }
+}
+
+TYPED_TEST(WaveletTreeTyped, AccessReconstructsSequence) {
+  const auto symbols = testing::random_symbols(1500, 4, 103);
+  const WaveletTree<TypeParam> tree(symbols, 4, make_builder<TypeParam>());
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    ASSERT_EQ(tree.access(i), symbols[i]) << "i=" << i;
+  }
+}
+
+TYPED_TEST(WaveletTreeTyped, LargerAlphabets) {
+  for (unsigned alphabet : {2u, 3u, 5u, 8u, 16u, 27u, 64u}) {
+    const auto symbols = testing::random_symbols(800, alphabet, alphabet * 7);
+    const WaveletTree<TypeParam> tree(symbols, alphabet, make_builder<TypeParam>());
+    EXPECT_EQ(tree.num_nodes(), alphabet - 1) << "alphabet=" << alphabet;
+    for (std::uint8_t c = 0; c < alphabet; ++c) {
+      for (std::size_t p = 0; p <= symbols.size(); p += 97) {
+        ASSERT_EQ(tree.rank(c, p), testing::naive_rank(symbols, c, p))
+            << "alphabet=" << alphabet << " c=" << int(c) << " p=" << p;
+      }
+    }
+    for (std::size_t i = 0; i < symbols.size(); i += 11) {
+      ASSERT_EQ(tree.access(i), symbols[i]);
+    }
+  }
+}
+
+TYPED_TEST(WaveletTreeTyped, SingleSymbolRuns) {
+  std::vector<std::uint8_t> symbols(500, 2);
+  const WaveletTree<TypeParam> tree(symbols, 4, make_builder<TypeParam>());
+  EXPECT_EQ(tree.rank(2, 500), 500u);
+  EXPECT_EQ(tree.rank(0, 500), 0u);
+  EXPECT_EQ(tree.rank(3, 500), 0u);
+  EXPECT_EQ(tree.access(250), 2);
+}
+
+TEST(WaveletTree, LevelsIsCeilLog2Alphabet) {
+  const auto symbols = testing::random_symbols(100, 4, 1);
+  const WaveletTree<PlainRankBitVector> tree(symbols, 4, plain_builder());
+  EXPECT_EQ(tree.levels(), 2u);
+  const auto symbols8 = testing::random_symbols(100, 8, 1);
+  const WaveletTree<PlainRankBitVector> tree8(symbols8, 8, plain_builder());
+  EXPECT_EQ(tree8.levels(), 3u);
+}
+
+TEST(WaveletTree, RejectsBadInputs) {
+  const auto symbols = testing::random_symbols(100, 4, 2);
+  EXPECT_THROW(WaveletTree<PlainRankBitVector>(symbols, 1, plain_builder()),
+               std::invalid_argument);
+  std::vector<std::uint8_t> bad = {0, 1, 2, 4};  // 4 outside alphabet of size 4
+  EXPECT_THROW(WaveletTree<PlainRankBitVector>(bad, 4, plain_builder()),
+               std::invalid_argument);
+}
+
+TEST(WaveletTree, DnaTreeHasThreeNodes) {
+  // Balanced tree over {A,C,G,T}: root + two children.
+  const auto symbols = testing::random_symbols(1000, 4, 3);
+  const WaveletTree<RrrVector> tree(symbols, 4, rrr_builder());
+  EXPECT_EQ(tree.num_nodes(), 3u);
+}
+
+TEST(WaveletTree, SizeInBytesGrowsWithInput) {
+  const auto small = testing::random_symbols(1000, 4, 4);
+  const auto large = testing::random_symbols(100000, 4, 4);
+  const WaveletTree<RrrVector> tree_small(small, 4, rrr_builder());
+  const WaveletTree<RrrVector> tree_large(large, 4, rrr_builder());
+  EXPECT_GT(tree_large.size_in_bytes(), tree_small.size_in_bytes());
+}
+
+TEST(WaveletTree, RrrAndPlainBackendsAgree) {
+  const auto symbols = testing::random_symbols(5000, 4, 5);
+  const WaveletTree<RrrVector> rrr(symbols, 4, rrr_builder());
+  const WaveletTree<PlainRankBitVector> plain(symbols, 4, plain_builder());
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    for (std::size_t p = 0; p <= symbols.size(); p += 37) {
+      ASSERT_EQ(rrr.rank(c, p), plain.rank(c, p));
+    }
+  }
+}
+
+TEST(WaveletTree, EmptySequence) {
+  std::vector<std::uint8_t> empty;
+  const WaveletTree<PlainRankBitVector> tree(empty, 4, plain_builder());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.rank(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace bwaver

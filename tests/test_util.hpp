@@ -1,0 +1,53 @@
+// Shared test helpers: random data generation and brute-force oracles.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "succinct/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver::testing {
+
+/// Random bit-vector of `n` bits with ones-density `density`.
+inline BitVector random_bits(std::size_t n, double density, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BitVector bv;
+  for (std::size_t i = 0; i < n; ++i) bv.push_back(rng.chance(density));
+  return bv;
+}
+
+/// Random symbol sequence over [0, alphabet).
+inline std::vector<std::uint8_t> random_symbols(std::size_t n, unsigned alphabet,
+                                                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& s : out) s = static_cast<std::uint8_t>(rng.below(alphabet));
+  return out;
+}
+
+/// Brute-force rank oracle: occurrences of `symbol` in s[0, p).
+inline std::size_t naive_rank(std::span<const std::uint8_t> s, std::uint8_t symbol,
+                              std::size_t p) {
+  return static_cast<std::size_t>(
+      std::count(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(p), symbol));
+}
+
+/// Brute-force substring search: all 0-based occurrence positions of
+/// `pattern` in `text`.
+inline std::vector<std::uint32_t> naive_find_all(std::span<const std::uint8_t> text,
+                                                 std::span<const std::uint8_t> pattern) {
+  std::vector<std::uint32_t> positions;
+  if (pattern.empty() || pattern.size() > text.size()) return positions;
+  for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    if (std::equal(pattern.begin(), pattern.end(), text.begin() + i)) {
+      positions.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return positions;
+}
+
+}  // namespace bwaver::testing

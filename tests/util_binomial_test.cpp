@@ -1,0 +1,73 @@
+#include "util/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+
+namespace bwaver {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  const auto& table = BinomialTable::instance();
+  EXPECT_EQ(table.choose(0, 0), 1u);
+  EXPECT_EQ(table.choose(5, 0), 1u);
+  EXPECT_EQ(table.choose(5, 5), 1u);
+  EXPECT_EQ(table.choose(5, 2), 10u);
+  EXPECT_EQ(table.choose(15, 7), 6435u);
+  EXPECT_EQ(table.choose(15, 8), 6435u);
+  EXPECT_EQ(table.choose(10, 3), 120u);
+}
+
+TEST(Binomial, OutOfRangeIsZero) {
+  const auto& table = BinomialTable::instance();
+  EXPECT_EQ(table.choose(3, 4), 0u);
+  EXPECT_EQ(table.choose(16, 1), 0u);  // beyond kMaxBlockBits
+}
+
+TEST(Binomial, Symmetry) {
+  const auto& table = BinomialTable::instance();
+  for (unsigned n = 0; n <= kMaxBlockBits; ++n) {
+    for (unsigned k = 0; k <= n; ++k) {
+      EXPECT_EQ(table.choose(n, k), table.choose(n, n - k));
+    }
+  }
+}
+
+TEST(Binomial, PascalIdentity) {
+  const auto& table = BinomialTable::instance();
+  for (unsigned n = 1; n <= kMaxBlockBits; ++n) {
+    for (unsigned k = 1; k < n; ++k) {
+      EXPECT_EQ(table.choose(n, k), table.choose(n - 1, k - 1) + table.choose(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, RowSumsArePowersOfTwo) {
+  const auto& table = BinomialTable::instance();
+  for (unsigned n = 0; n <= kMaxBlockBits; ++n) {
+    std::uint64_t sum = 0;
+    for (unsigned k = 0; k <= n; ++k) sum += table.choose(n, k);
+    EXPECT_EQ(sum, std::uint64_t{1} << n);
+  }
+}
+
+TEST(Binomial, OffsetWidthIsCeilLog2) {
+  const auto& table = BinomialTable::instance();
+  for (unsigned n = 0; n <= kMaxBlockBits; ++n) {
+    for (unsigned k = 0; k <= n; ++k) {
+      EXPECT_EQ(table.offset_width(n, k), ceil_log2(table.choose(n, k)));
+    }
+  }
+  // Singleton classes need zero offset bits.
+  EXPECT_EQ(table.offset_width(15, 0), 0u);
+  EXPECT_EQ(table.offset_width(15, 15), 0u);
+}
+
+TEST(Binomial, SharedInstanceIsStable) {
+  const auto& a = BinomialTable::instance();
+  const auto& b = BinomialTable::instance();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,114 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bwaver {
+namespace {
+
+TEST(Bits, Popcount64Basics) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(1), 1);
+  EXPECT_EQ(popcount64(~std::uint64_t{0}), 64);
+  EXPECT_EQ(popcount64(0x5555555555555555ULL), 32);
+  EXPECT_EQ(popcount64(0x8000000000000001ULL), 2);
+}
+
+TEST(Bits, RankInWordMatchesManualCount) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t word = rng();
+    for (unsigned n = 0; n <= 64; ++n) {
+      int expected = 0;
+      for (unsigned i = 0; i < n; ++i) expected += (word >> i) & 1;
+      ASSERT_EQ(rank_in_word(word, n), expected) << "word=" << word << " n=" << n;
+    }
+  }
+}
+
+TEST(Bits, RankInWordBoundaries) {
+  EXPECT_EQ(rank_in_word(~std::uint64_t{0}, 0), 0);
+  EXPECT_EQ(rank_in_word(~std::uint64_t{0}, 64), 64);
+  EXPECT_EQ(rank_in_word(~std::uint64_t{0}, 1), 1);
+  EXPECT_EQ(rank_in_word(0, 64), 0);
+}
+
+TEST(Bits, SelectInWordInvertsRank) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t word = rng();
+    const int ones = popcount64(word);
+    for (int k = 0; k < ones; ++k) {
+      const int pos = select_in_word(word, static_cast<unsigned>(k));
+      ASSERT_LT(pos, 64);
+      ASSERT_TRUE((word >> pos) & 1);
+      ASSERT_EQ(rank_in_word(word, static_cast<unsigned>(pos)), k);
+    }
+    EXPECT_EQ(select_in_word(word, static_cast<unsigned>(ones)), 64);
+  }
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(0), 0u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1ull << 40), 40u);
+  EXPECT_EQ(ceil_log2((1ull << 40) + 1), 41u);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(~std::uint64_t{0}), 63u);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+}
+
+TEST(Bits, DivCeil) {
+  EXPECT_EQ(div_ceil(0, 3), 0u);
+  EXPECT_EQ(div_ceil(1, 3), 1u);
+  EXPECT_EQ(div_ceil(3, 3), 1u);
+  EXPECT_EQ(div_ceil(4, 3), 2u);
+  EXPECT_EQ(div_ceil(100, 15), 7u);
+}
+
+TEST(Bits, BitsExtract) {
+  const std::uint64_t x = 0xDEADBEEFCAFEBABEULL;
+  EXPECT_EQ(bits_extract(x, 0, 8), 0xBEu);
+  EXPECT_EQ(bits_extract(x, 8, 8), 0xBAu);
+  EXPECT_EQ(bits_extract(x, 0, 64), x);
+  EXPECT_EQ(bits_extract(x, 60, 4), 0xDu);
+  EXPECT_EQ(bits_extract(x, 0, 0), 0u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b1, 1), 0b1u);
+  EXPECT_EQ(reverse_bits(0b01, 2), 0b10u);
+  EXPECT_EQ(reverse_bits(0b0011, 4), 0b1100u);
+  // Involution.
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t x = rng() & 0xFFFFF;
+    EXPECT_EQ(reverse_bits(reverse_bits(x, 20), 20), x);
+  }
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,73 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bwaver {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversSmallRange) {
+  Xoshiro256 rng(11);
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.below(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Xoshiro256 rng(17);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+  }
+}
+
+TEST(Rng, WorksWithStdDistributionInterface) {
+  EXPECT_EQ(Xoshiro256::min(), 0u);
+  EXPECT_EQ(Xoshiro256::max(), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace bwaver

@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bwaver {
+namespace {
+
+TEST(ThreadPool, ZeroRequestBecomesOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  pool.submit([&] { value = 42; }).get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.parallel_for(1000, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) ASSERT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end) {
+    counter.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<long long> partial(4, 0);
+  std::atomic<std::size_t> slot{0};
+  pool.parallel_for(100000, [&](std::size_t begin, std::size_t end) {
+    long long local = 0;
+    for (std::size_t i = begin; i < end; ++i) local += static_cast<long long>(i);
+    partial[slot.fetch_add(1)] = local;
+  });
+  const long long total = std::accumulate(partial.begin(), partial.end(), 0LL);
+  EXPECT_EQ(total, 100000LL * 99999 / 2);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromTask) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::runtime_error("chunk failed");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SequentialParallelForsReusePool) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> counter{0};
+    pool.parallel_for(50, [&](std::size_t begin, std::size_t end) {
+      counter.fetch_add(static_cast<int>(end - begin));
+    });
+    ASSERT_EQ(counter.load(), 50);
+  }
+}
+
+}  // namespace
+}  // namespace bwaver
