@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fpga_ports.dir/ablation_fpga_ports.cpp.o"
+  "CMakeFiles/ablation_fpga_ports.dir/ablation_fpga_ports.cpp.o.d"
+  "ablation_fpga_ports"
+  "ablation_fpga_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fpga_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_locate.dir/ablation_locate.cpp.o"
+  "CMakeFiles/ablation_locate.dir/ablation_locate.cpp.o.d"
+  "ablation_locate"
+  "ablation_locate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_locate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

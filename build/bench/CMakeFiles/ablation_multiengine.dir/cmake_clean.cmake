@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiengine.dir/ablation_multiengine.cpp.o"
+  "CMakeFiles/ablation_multiengine.dir/ablation_multiengine.cpp.o.d"
+  "ablation_multiengine"
+  "ablation_multiengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_occ_backend.dir/ablation_occ_backend.cpp.o"
+  "CMakeFiles/ablation_occ_backend.dir/ablation_occ_backend.cpp.o.d"
+  "ablation_occ_backend"
+  "ablation_occ_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_occ_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mapping_ratio.dir/fig7_mapping_ratio.cpp.o"
+  "CMakeFiles/fig7_mapping_ratio.dir/fig7_mapping_ratio.cpp.o.d"
+  "fig7_mapping_ratio"
+  "fig7_mapping_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mapping_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

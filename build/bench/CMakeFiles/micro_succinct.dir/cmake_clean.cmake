@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_succinct.dir/micro_succinct.cpp.o"
+  "CMakeFiles/micro_succinct.dir/micro_succinct.cpp.o.d"
+  "micro_succinct"
+  "micro_succinct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_succinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

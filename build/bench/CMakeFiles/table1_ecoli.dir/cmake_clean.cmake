@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ecoli.dir/table1_ecoli.cpp.o"
+  "CMakeFiles/table1_ecoli.dir/table1_ecoli.cpp.o.d"
+  "table1_ecoli"
+  "table1_ecoli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ecoli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_chr21.dir/table2_chr21.cpp.o"
+  "CMakeFiles/table2_chr21.dir/table2_chr21.cpp.o.d"
+  "table2_chr21"
+  "table2_chr21.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_chr21.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paired_end_demo.dir/paired_end_demo.cpp.o"
+  "CMakeFiles/paired_end_demo.dir/paired_end_demo.cpp.o.d"
+  "paired_end_demo"
+  "paired_end_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paired_end_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resequencing.dir/resequencing.cpp.o"
+  "CMakeFiles/resequencing.dir/resequencing.cpp.o.d"
+  "resequencing"
+  "resequencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resequencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

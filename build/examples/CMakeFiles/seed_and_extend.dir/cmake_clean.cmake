@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_and_extend.dir/seed_and_extend.cpp.o"
+  "CMakeFiles/seed_and_extend.dir/seed_and_extend.cpp.o.d"
+  "seed_and_extend"
+  "seed_and_extend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_and_extend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

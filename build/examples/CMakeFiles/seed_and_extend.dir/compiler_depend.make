@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seed_and_extend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server_demo.dir/web_server_demo.cpp.o"
+  "CMakeFiles/web_server_demo.dir/web_server_demo.cpp.o.d"
+  "web_server_demo"
+  "web_server_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwaver.dir/bwaver_main.cpp.o"
+  "CMakeFiles/bwaver.dir/bwaver_main.cpp.o.d"
+  "bwaver"
+  "bwaver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwaver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwaver_app.dir/cli.cpp.o"
+  "CMakeFiles/bwaver_app.dir/cli.cpp.o.d"
+  "CMakeFiles/bwaver_app.dir/http_server.cpp.o"
+  "CMakeFiles/bwaver_app.dir/http_server.cpp.o.d"
+  "CMakeFiles/bwaver_app.dir/web_service.cpp.o"
+  "CMakeFiles/bwaver_app.dir/web_service.cpp.o.d"
+  "libbwaver_app.a"
+  "libbwaver_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwaver_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

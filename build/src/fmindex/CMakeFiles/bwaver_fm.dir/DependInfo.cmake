@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fmindex/bwt.cpp" "src/fmindex/CMakeFiles/bwaver_fm.dir/bwt.cpp.o" "gcc" "src/fmindex/CMakeFiles/bwaver_fm.dir/bwt.cpp.o.d"
+  "/root/repo/src/fmindex/dna.cpp" "src/fmindex/CMakeFiles/bwaver_fm.dir/dna.cpp.o" "gcc" "src/fmindex/CMakeFiles/bwaver_fm.dir/dna.cpp.o.d"
+  "/root/repo/src/fmindex/index_stats.cpp" "src/fmindex/CMakeFiles/bwaver_fm.dir/index_stats.cpp.o" "gcc" "src/fmindex/CMakeFiles/bwaver_fm.dir/index_stats.cpp.o.d"
+  "/root/repo/src/fmindex/occ_backends.cpp" "src/fmindex/CMakeFiles/bwaver_fm.dir/occ_backends.cpp.o" "gcc" "src/fmindex/CMakeFiles/bwaver_fm.dir/occ_backends.cpp.o.d"
+  "/root/repo/src/fmindex/reference_set.cpp" "src/fmindex/CMakeFiles/bwaver_fm.dir/reference_set.cpp.o" "gcc" "src/fmindex/CMakeFiles/bwaver_fm.dir/reference_set.cpp.o.d"
+  "/root/repo/src/fmindex/suffix_array.cpp" "src/fmindex/CMakeFiles/bwaver_fm.dir/suffix_array.cpp.o" "gcc" "src/fmindex/CMakeFiles/bwaver_fm.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/succinct/CMakeFiles/bwaver_succinct.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwaver_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/bwaver_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

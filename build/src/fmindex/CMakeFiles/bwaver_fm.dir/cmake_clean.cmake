@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwaver_fm.dir/bwt.cpp.o"
+  "CMakeFiles/bwaver_fm.dir/bwt.cpp.o.d"
+  "CMakeFiles/bwaver_fm.dir/dna.cpp.o"
+  "CMakeFiles/bwaver_fm.dir/dna.cpp.o.d"
+  "CMakeFiles/bwaver_fm.dir/index_stats.cpp.o"
+  "CMakeFiles/bwaver_fm.dir/index_stats.cpp.o.d"
+  "CMakeFiles/bwaver_fm.dir/occ_backends.cpp.o"
+  "CMakeFiles/bwaver_fm.dir/occ_backends.cpp.o.d"
+  "CMakeFiles/bwaver_fm.dir/reference_set.cpp.o"
+  "CMakeFiles/bwaver_fm.dir/reference_set.cpp.o.d"
+  "CMakeFiles/bwaver_fm.dir/suffix_array.cpp.o"
+  "CMakeFiles/bwaver_fm.dir/suffix_array.cpp.o.d"
+  "libbwaver_fm.a"
+  "libbwaver_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwaver_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bram.cpp" "src/fpga/CMakeFiles/bwaver_fpga.dir/bram.cpp.o" "gcc" "src/fpga/CMakeFiles/bwaver_fpga.dir/bram.cpp.o.d"
+  "/root/repo/src/fpga/hls_kernel.cpp" "src/fpga/CMakeFiles/bwaver_fpga.dir/hls_kernel.cpp.o" "gcc" "src/fpga/CMakeFiles/bwaver_fpga.dir/hls_kernel.cpp.o.d"
+  "/root/repo/src/fpga/runtime.cpp" "src/fpga/CMakeFiles/bwaver_fpga.dir/runtime.cpp.o" "gcc" "src/fpga/CMakeFiles/bwaver_fpga.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fmindex/CMakeFiles/bwaver_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwaver_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/succinct/CMakeFiles/bwaver_succinct.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/bwaver_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

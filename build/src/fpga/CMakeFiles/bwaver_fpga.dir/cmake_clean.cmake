@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwaver_fpga.dir/bram.cpp.o"
+  "CMakeFiles/bwaver_fpga.dir/bram.cpp.o.d"
+  "CMakeFiles/bwaver_fpga.dir/hls_kernel.cpp.o"
+  "CMakeFiles/bwaver_fpga.dir/hls_kernel.cpp.o.d"
+  "CMakeFiles/bwaver_fpga.dir/runtime.cpp.o"
+  "CMakeFiles/bwaver_fpga.dir/runtime.cpp.o.d"
+  "libbwaver_fpga.a"
+  "libbwaver_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwaver_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/byte_io.cpp" "src/io/CMakeFiles/bwaver_io.dir/byte_io.cpp.o" "gcc" "src/io/CMakeFiles/bwaver_io.dir/byte_io.cpp.o.d"
+  "/root/repo/src/io/fasta.cpp" "src/io/CMakeFiles/bwaver_io.dir/fasta.cpp.o" "gcc" "src/io/CMakeFiles/bwaver_io.dir/fasta.cpp.o.d"
+  "/root/repo/src/io/fastq.cpp" "src/io/CMakeFiles/bwaver_io.dir/fastq.cpp.o" "gcc" "src/io/CMakeFiles/bwaver_io.dir/fastq.cpp.o.d"
+  "/root/repo/src/io/gzip.cpp" "src/io/CMakeFiles/bwaver_io.dir/gzip.cpp.o" "gcc" "src/io/CMakeFiles/bwaver_io.dir/gzip.cpp.o.d"
+  "/root/repo/src/io/sam.cpp" "src/io/CMakeFiles/bwaver_io.dir/sam.cpp.o" "gcc" "src/io/CMakeFiles/bwaver_io.dir/sam.cpp.o.d"
+  "/root/repo/src/io/streaming.cpp" "src/io/CMakeFiles/bwaver_io.dir/streaming.cpp.o" "gcc" "src/io/CMakeFiles/bwaver_io.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bwaver_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwaver_io.dir/byte_io.cpp.o"
+  "CMakeFiles/bwaver_io.dir/byte_io.cpp.o.d"
+  "CMakeFiles/bwaver_io.dir/fasta.cpp.o"
+  "CMakeFiles/bwaver_io.dir/fasta.cpp.o.d"
+  "CMakeFiles/bwaver_io.dir/fastq.cpp.o"
+  "CMakeFiles/bwaver_io.dir/fastq.cpp.o.d"
+  "CMakeFiles/bwaver_io.dir/gzip.cpp.o"
+  "CMakeFiles/bwaver_io.dir/gzip.cpp.o.d"
+  "CMakeFiles/bwaver_io.dir/sam.cpp.o"
+  "CMakeFiles/bwaver_io.dir/sam.cpp.o.d"
+  "CMakeFiles/bwaver_io.dir/streaming.cpp.o"
+  "CMakeFiles/bwaver_io.dir/streaming.cpp.o.d"
+  "libbwaver_io.a"
+  "libbwaver_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwaver_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

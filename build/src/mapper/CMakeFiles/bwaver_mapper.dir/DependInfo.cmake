@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapper/fpga_mapper.cpp" "src/mapper/CMakeFiles/bwaver_mapper.dir/fpga_mapper.cpp.o" "gcc" "src/mapper/CMakeFiles/bwaver_mapper.dir/fpga_mapper.cpp.o.d"
+  "/root/repo/src/mapper/paired_end.cpp" "src/mapper/CMakeFiles/bwaver_mapper.dir/paired_end.cpp.o" "gcc" "src/mapper/CMakeFiles/bwaver_mapper.dir/paired_end.cpp.o.d"
+  "/root/repo/src/mapper/pipeline.cpp" "src/mapper/CMakeFiles/bwaver_mapper.dir/pipeline.cpp.o" "gcc" "src/mapper/CMakeFiles/bwaver_mapper.dir/pipeline.cpp.o.d"
+  "/root/repo/src/mapper/read_batch.cpp" "src/mapper/CMakeFiles/bwaver_mapper.dir/read_batch.cpp.o" "gcc" "src/mapper/CMakeFiles/bwaver_mapper.dir/read_batch.cpp.o.d"
+  "/root/repo/src/mapper/software_mapper.cpp" "src/mapper/CMakeFiles/bwaver_mapper.dir/software_mapper.cpp.o" "gcc" "src/mapper/CMakeFiles/bwaver_mapper.dir/software_mapper.cpp.o.d"
+  "/root/repo/src/mapper/staged_mapper.cpp" "src/mapper/CMakeFiles/bwaver_mapper.dir/staged_mapper.cpp.o" "gcc" "src/mapper/CMakeFiles/bwaver_mapper.dir/staged_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/bwaver_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmindex/CMakeFiles/bwaver_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/bwaver_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bwaver_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwaver_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/succinct/CMakeFiles/bwaver_succinct.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwaver_mapper.dir/fpga_mapper.cpp.o"
+  "CMakeFiles/bwaver_mapper.dir/fpga_mapper.cpp.o.d"
+  "CMakeFiles/bwaver_mapper.dir/paired_end.cpp.o"
+  "CMakeFiles/bwaver_mapper.dir/paired_end.cpp.o.d"
+  "CMakeFiles/bwaver_mapper.dir/pipeline.cpp.o"
+  "CMakeFiles/bwaver_mapper.dir/pipeline.cpp.o.d"
+  "CMakeFiles/bwaver_mapper.dir/read_batch.cpp.o"
+  "CMakeFiles/bwaver_mapper.dir/read_batch.cpp.o.d"
+  "CMakeFiles/bwaver_mapper.dir/software_mapper.cpp.o"
+  "CMakeFiles/bwaver_mapper.dir/software_mapper.cpp.o.d"
+  "CMakeFiles/bwaver_mapper.dir/staged_mapper.cpp.o"
+  "CMakeFiles/bwaver_mapper.dir/staged_mapper.cpp.o.d"
+  "libbwaver_mapper.a"
+  "libbwaver_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwaver_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwaver_sim.dir/genome_sim.cpp.o"
+  "CMakeFiles/bwaver_sim.dir/genome_sim.cpp.o.d"
+  "CMakeFiles/bwaver_sim.dir/read_sim.cpp.o"
+  "CMakeFiles/bwaver_sim.dir/read_sim.cpp.o.d"
+  "libbwaver_sim.a"
+  "libbwaver_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwaver_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

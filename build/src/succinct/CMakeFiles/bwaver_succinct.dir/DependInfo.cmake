@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/succinct/bitvector.cpp" "src/succinct/CMakeFiles/bwaver_succinct.dir/bitvector.cpp.o" "gcc" "src/succinct/CMakeFiles/bwaver_succinct.dir/bitvector.cpp.o.d"
+  "/root/repo/src/succinct/global_rank_table.cpp" "src/succinct/CMakeFiles/bwaver_succinct.dir/global_rank_table.cpp.o" "gcc" "src/succinct/CMakeFiles/bwaver_succinct.dir/global_rank_table.cpp.o.d"
+  "/root/repo/src/succinct/header_body_vector.cpp" "src/succinct/CMakeFiles/bwaver_succinct.dir/header_body_vector.cpp.o" "gcc" "src/succinct/CMakeFiles/bwaver_succinct.dir/header_body_vector.cpp.o.d"
+  "/root/repo/src/succinct/int_vector.cpp" "src/succinct/CMakeFiles/bwaver_succinct.dir/int_vector.cpp.o" "gcc" "src/succinct/CMakeFiles/bwaver_succinct.dir/int_vector.cpp.o.d"
+  "/root/repo/src/succinct/rank_support.cpp" "src/succinct/CMakeFiles/bwaver_succinct.dir/rank_support.cpp.o" "gcc" "src/succinct/CMakeFiles/bwaver_succinct.dir/rank_support.cpp.o.d"
+  "/root/repo/src/succinct/rrr_vector.cpp" "src/succinct/CMakeFiles/bwaver_succinct.dir/rrr_vector.cpp.o" "gcc" "src/succinct/CMakeFiles/bwaver_succinct.dir/rrr_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/bwaver_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwaver_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwaver_succinct.dir/bitvector.cpp.o"
+  "CMakeFiles/bwaver_succinct.dir/bitvector.cpp.o.d"
+  "CMakeFiles/bwaver_succinct.dir/global_rank_table.cpp.o"
+  "CMakeFiles/bwaver_succinct.dir/global_rank_table.cpp.o.d"
+  "CMakeFiles/bwaver_succinct.dir/header_body_vector.cpp.o"
+  "CMakeFiles/bwaver_succinct.dir/header_body_vector.cpp.o.d"
+  "CMakeFiles/bwaver_succinct.dir/int_vector.cpp.o"
+  "CMakeFiles/bwaver_succinct.dir/int_vector.cpp.o.d"
+  "CMakeFiles/bwaver_succinct.dir/rank_support.cpp.o"
+  "CMakeFiles/bwaver_succinct.dir/rank_support.cpp.o.d"
+  "CMakeFiles/bwaver_succinct.dir/rrr_vector.cpp.o"
+  "CMakeFiles/bwaver_succinct.dir/rrr_vector.cpp.o.d"
+  "libbwaver_succinct.a"
+  "libbwaver_succinct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwaver_succinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwaver_util.dir/binomial.cpp.o"
+  "CMakeFiles/bwaver_util.dir/binomial.cpp.o.d"
+  "CMakeFiles/bwaver_util.dir/logging.cpp.o"
+  "CMakeFiles/bwaver_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bwaver_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/bwaver_util.dir/thread_pool.cpp.o.d"
+  "libbwaver_util.a"
+  "libbwaver_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwaver_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbwaver_util.a"
+)

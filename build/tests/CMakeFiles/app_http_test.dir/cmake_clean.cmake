@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_http_test.dir/app_http_test.cpp.o"
+  "CMakeFiles/app_http_test.dir/app_http_test.cpp.o.d"
+  "app_http_test"
+  "app_http_test.pdb"
+  "app_http_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_approx_test.dir/fm_approx_test.cpp.o"
+  "CMakeFiles/fm_approx_test.dir/fm_approx_test.cpp.o.d"
+  "fm_approx_test"
+  "fm_approx_test.pdb"
+  "fm_approx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_approx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_bwt_test.dir/fm_bwt_test.cpp.o"
+  "CMakeFiles/fm_bwt_test.dir/fm_bwt_test.cpp.o.d"
+  "fm_bwt_test"
+  "fm_bwt_test.pdb"
+  "fm_bwt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_bwt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

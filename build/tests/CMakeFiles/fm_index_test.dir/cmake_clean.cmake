@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_index_test.dir/fm_index_test.cpp.o"
+  "CMakeFiles/fm_index_test.dir/fm_index_test.cpp.o.d"
+  "fm_index_test"
+  "fm_index_test.pdb"
+  "fm_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

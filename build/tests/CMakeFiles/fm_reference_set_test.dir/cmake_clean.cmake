@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_reference_set_test.dir/fm_reference_set_test.cpp.o"
+  "CMakeFiles/fm_reference_set_test.dir/fm_reference_set_test.cpp.o.d"
+  "fm_reference_set_test"
+  "fm_reference_set_test.pdb"
+  "fm_reference_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_reference_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_sampled_sa_test.dir/fm_sampled_sa_test.cpp.o"
+  "CMakeFiles/fm_sampled_sa_test.dir/fm_sampled_sa_test.cpp.o.d"
+  "fm_sampled_sa_test"
+  "fm_sampled_sa_test.pdb"
+  "fm_sampled_sa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_sampled_sa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_stats_test.dir/fm_stats_test.cpp.o"
+  "CMakeFiles/fm_stats_test.dir/fm_stats_test.cpp.o.d"
+  "fm_stats_test"
+  "fm_stats_test.pdb"
+  "fm_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

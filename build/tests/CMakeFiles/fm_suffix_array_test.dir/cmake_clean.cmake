@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_suffix_array_test.dir/fm_suffix_array_test.cpp.o"
+  "CMakeFiles/fm_suffix_array_test.dir/fm_suffix_array_test.cpp.o.d"
+  "fm_suffix_array_test"
+  "fm_suffix_array_test.pdb"
+  "fm_suffix_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_suffix_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

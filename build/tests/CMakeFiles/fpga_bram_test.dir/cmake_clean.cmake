@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_bram_test.dir/fpga_bram_test.cpp.o"
+  "CMakeFiles/fpga_bram_test.dir/fpga_bram_test.cpp.o.d"
+  "fpga_bram_test"
+  "fpga_bram_test.pdb"
+  "fpga_bram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_bram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_kernel_test.dir/fpga_kernel_test.cpp.o"
+  "CMakeFiles/fpga_kernel_test.dir/fpga_kernel_test.cpp.o.d"
+  "fpga_kernel_test"
+  "fpga_kernel_test.pdb"
+  "fpga_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

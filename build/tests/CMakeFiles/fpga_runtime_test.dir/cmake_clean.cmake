@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_runtime_test.dir/fpga_runtime_test.cpp.o"
+  "CMakeFiles/fpga_runtime_test.dir/fpga_runtime_test.cpp.o.d"
+  "fpga_runtime_test"
+  "fpga_runtime_test.pdb"
+  "fpga_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

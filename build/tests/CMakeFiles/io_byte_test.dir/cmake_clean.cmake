@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_byte_test.dir/io_byte_test.cpp.o"
+  "CMakeFiles/io_byte_test.dir/io_byte_test.cpp.o.d"
+  "io_byte_test"
+  "io_byte_test.pdb"
+  "io_byte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_byte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_fasta_test.dir/io_fasta_test.cpp.o"
+  "CMakeFiles/io_fasta_test.dir/io_fasta_test.cpp.o.d"
+  "io_fasta_test"
+  "io_fasta_test.pdb"
+  "io_fasta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_fasta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

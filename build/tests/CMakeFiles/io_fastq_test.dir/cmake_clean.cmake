@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_fastq_test.dir/io_fastq_test.cpp.o"
+  "CMakeFiles/io_fastq_test.dir/io_fastq_test.cpp.o.d"
+  "io_fastq_test"
+  "io_fastq_test.pdb"
+  "io_fastq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_fastq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

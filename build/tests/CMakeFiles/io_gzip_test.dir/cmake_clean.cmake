@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_gzip_test.dir/io_gzip_test.cpp.o"
+  "CMakeFiles/io_gzip_test.dir/io_gzip_test.cpp.o.d"
+  "io_gzip_test"
+  "io_gzip_test.pdb"
+  "io_gzip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_gzip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

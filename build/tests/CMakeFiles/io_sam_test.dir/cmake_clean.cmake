@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_sam_test.dir/io_sam_test.cpp.o"
+  "CMakeFiles/io_sam_test.dir/io_sam_test.cpp.o.d"
+  "io_sam_test"
+  "io_sam_test.pdb"
+  "io_sam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_sam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

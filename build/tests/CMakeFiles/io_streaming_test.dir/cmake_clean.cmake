@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_streaming_test.dir/io_streaming_test.cpp.o"
+  "CMakeFiles/io_streaming_test.dir/io_streaming_test.cpp.o.d"
+  "io_streaming_test"
+  "io_streaming_test.pdb"
+  "io_streaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

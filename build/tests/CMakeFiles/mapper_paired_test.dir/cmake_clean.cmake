@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_paired_test.dir/mapper_paired_test.cpp.o"
+  "CMakeFiles/mapper_paired_test.dir/mapper_paired_test.cpp.o.d"
+  "mapper_paired_test"
+  "mapper_paired_test.pdb"
+  "mapper_paired_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_paired_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

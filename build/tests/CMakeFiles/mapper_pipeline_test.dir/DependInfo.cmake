@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapper_pipeline_test.cpp" "tests/CMakeFiles/mapper_pipeline_test.dir/mapper_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/mapper_pipeline_test.dir/mapper_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/bwaver_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/bwaver_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bwaver_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/bwaver_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmindex/CMakeFiles/bwaver_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/succinct/CMakeFiles/bwaver_succinct.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/bwaver_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bwaver_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

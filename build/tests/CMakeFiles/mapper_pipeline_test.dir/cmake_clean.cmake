@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_pipeline_test.dir/mapper_pipeline_test.cpp.o"
+  "CMakeFiles/mapper_pipeline_test.dir/mapper_pipeline_test.cpp.o.d"
+  "mapper_pipeline_test"
+  "mapper_pipeline_test.pdb"
+  "mapper_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_software_test.dir/mapper_software_test.cpp.o"
+  "CMakeFiles/mapper_software_test.dir/mapper_software_test.cpp.o.d"
+  "mapper_software_test"
+  "mapper_software_test.pdb"
+  "mapper_software_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_software_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapper_staged_test.dir/mapper_staged_test.cpp.o"
+  "CMakeFiles/mapper_staged_test.dir/mapper_staged_test.cpp.o.d"
+  "mapper_staged_test"
+  "mapper_staged_test.pdb"
+  "mapper_staged_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapper_staged_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

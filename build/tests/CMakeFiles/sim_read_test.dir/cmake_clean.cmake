@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_read_test.dir/sim_read_test.cpp.o"
+  "CMakeFiles/sim_read_test.dir/sim_read_test.cpp.o.d"
+  "sim_read_test"
+  "sim_read_test.pdb"
+  "sim_read_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_read_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_bitvector_test.dir/succinct_bitvector_test.cpp.o"
+  "CMakeFiles/succinct_bitvector_test.dir/succinct_bitvector_test.cpp.o.d"
+  "succinct_bitvector_test"
+  "succinct_bitvector_test.pdb"
+  "succinct_bitvector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_bitvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_header_body_test.dir/succinct_header_body_test.cpp.o"
+  "CMakeFiles/succinct_header_body_test.dir/succinct_header_body_test.cpp.o.d"
+  "succinct_header_body_test"
+  "succinct_header_body_test.pdb"
+  "succinct_header_body_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_header_body_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

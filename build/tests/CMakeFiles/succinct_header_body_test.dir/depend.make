@@ -1,0 +1,2 @@
+# Empty dependencies file for succinct_header_body_test.
+# This may be replaced when dependencies are built.

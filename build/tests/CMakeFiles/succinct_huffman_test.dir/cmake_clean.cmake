@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_huffman_test.dir/succinct_huffman_test.cpp.o"
+  "CMakeFiles/succinct_huffman_test.dir/succinct_huffman_test.cpp.o.d"
+  "succinct_huffman_test"
+  "succinct_huffman_test.pdb"
+  "succinct_huffman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_huffman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

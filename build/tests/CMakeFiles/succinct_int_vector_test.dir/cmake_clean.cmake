@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_int_vector_test.dir/succinct_int_vector_test.cpp.o"
+  "CMakeFiles/succinct_int_vector_test.dir/succinct_int_vector_test.cpp.o.d"
+  "succinct_int_vector_test"
+  "succinct_int_vector_test.pdb"
+  "succinct_int_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_int_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_rank_support_test.dir/succinct_rank_support_test.cpp.o"
+  "CMakeFiles/succinct_rank_support_test.dir/succinct_rank_support_test.cpp.o.d"
+  "succinct_rank_support_test"
+  "succinct_rank_support_test.pdb"
+  "succinct_rank_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_rank_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_rrr_test.dir/succinct_rrr_test.cpp.o"
+  "CMakeFiles/succinct_rrr_test.dir/succinct_rrr_test.cpp.o.d"
+  "succinct_rrr_test"
+  "succinct_rrr_test.pdb"
+  "succinct_rrr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_rrr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_select_test.dir/succinct_select_test.cpp.o"
+  "CMakeFiles/succinct_select_test.dir/succinct_select_test.cpp.o.d"
+  "succinct_select_test"
+  "succinct_select_test.pdb"
+  "succinct_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

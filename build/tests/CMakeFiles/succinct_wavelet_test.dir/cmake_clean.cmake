@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/succinct_wavelet_test.dir/succinct_wavelet_test.cpp.o"
+  "CMakeFiles/succinct_wavelet_test.dir/succinct_wavelet_test.cpp.o.d"
+  "succinct_wavelet_test"
+  "succinct_wavelet_test.pdb"
+  "succinct_wavelet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/succinct_wavelet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_binomial_test.dir/util_binomial_test.cpp.o"
+  "CMakeFiles/util_binomial_test.dir/util_binomial_test.cpp.o.d"
+  "util_binomial_test"
+  "util_binomial_test.pdb"
+  "util_binomial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_binomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
