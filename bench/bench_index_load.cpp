@@ -1,0 +1,72 @@
+// Index store benchmark: cold pipeline build (SA + BWT + RRR encoding)
+// versus loading the same index back from a checksummed archive.
+//
+// The archive is the build-once/load-many split the paper's three-step
+// pipeline implies: deployment pays only the load column, which skips
+// suffix-array construction entirely and replaces BWT encoding with a
+// sequential checksummed read (plus one inverse-BWT pass to recover the
+// reference text).
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "fmindex/dna.hpp"
+#include "mapper/pipeline.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace bwaver;
+using namespace bwaver::bench;
+
+void run_reference(const char* label, const std::vector<std::uint8_t>& genome,
+                   const std::filesystem::path& dir) {
+  const std::string archive = (dir / (std::string(label) + ".bwva")).string();
+
+  WallTimer timer;
+  Pipeline built;
+  built.build_from_sequence(label, dna_decode_string(genome));
+  const double build_ms = timer.milliseconds();
+
+  timer.reset();
+  built.save_index(archive);
+  const double save_ms = timer.milliseconds();
+
+  timer.reset();
+  const Pipeline loaded = Pipeline::from_archive(archive);
+  const double load_ms = timer.milliseconds();
+
+  const auto archive_mb =
+      static_cast<double>(std::filesystem::file_size(archive)) / (1024.0 * 1024.0);
+  std::printf("%-18s %10zu %12.1f %10.1f %10.1f %9.2f %8.1fx\n", label,
+              genome.size(), build_ms, save_ms, load_ms, archive_mb,
+              build_ms / (load_ms > 0.0 ? load_ms : 1.0));
+
+  // The loaded index must be the built one, structure for structure.
+  if (loaded.index().suffix_array() != built.index().suffix_array() ||
+      loaded.reference().concatenated() != built.reference().concatenated()) {
+    std::printf("!! archive round-trip mismatch for %s\n", label);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto setup = parse_setup(argc, argv, /*default_scale=*/0.1);
+  print_header("Index store: cold build vs archive load", setup);
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "bwaver_bench_index_load";
+  std::filesystem::create_directories(dir);
+
+  std::printf("%-18s %10s %12s %10s %10s %9s %8s\n", "reference", "bp",
+              "build [ms]", "save [ms]", "load [ms]", "MiB", "speedup");
+  run_reference("ecoli_like", ecoli_reference(setup), dir);
+  run_reference("chr21_like", chr21_reference(setup), dir);
+
+  std::filesystem::remove_all(dir);
+  std::printf("\nbuild = SA + BWT + RRR encoding in memory; load = checksummed\n"
+              "archive read + inverse BWT. The speedup is what `bwaver serve\n"
+              "--store-dir` gains on every restart and registry reload.\n");
+  return 0;
+}

@@ -4,17 +4,25 @@
 //   simulate-genome  --preset ecoli|chr21 | --length N [--gc F] [--seed S] --out ref.fa[.gz]
 //   simulate-reads   --ref ref.fa[.gz] --num N --length L [--mapping-ratio F] --out reads.fq[.gz]
 //   index            --ref ref.fa[.gz] --out ref.bwvr            (pipeline step 1)
+//   index build      --ref ref.fa[.gz] --store-dir DIR [--name N] [--b B] [--sf SF]
+//                    builds steps 1+2 and persists a checksummed archive into
+//                    the store directory (creating/updating its manifest)
+//   index info       --archive ref.bwva | --store-dir DIR
+//                    archive section table / store manifest listing
 //   map              --index ref.bwvr --reads reads.fq[.gz] --out out.sam
 //                    [--engine fpga|cpu|bowtie2like] [--threads T] [--b B] [--sf SF]
+//                    or: --store-dir DIR --ref-name N (load from the store)
 //   map-approx       --index ref.bwvr --reads reads.fq[.gz] [--mismatches K<=2]
 //                    staged exact -> 1-mm -> 2-mm mapping (FPGA model)
 //   map-paired       --index ref.bwvr --reads1 m1.fq[.gz] --reads2 m2.fq[.gz]
 //                    [--min-insert N] [--max-insert N] [--threads T]
 //   pipeline         --ref ref.fa[.gz] --reads reads.fq[.gz] --out out.sam [same options]
 //   stats            --index ref.bwvr [--b B] [--sf SF]   entropy/size/device-fit report
-//   serve            [--port P] [--b B] [--sf SF] [--engine ...]  web front-end
+//   serve            [--port P] [--b B] [--sf SF] [--engine ...] [--store-dir DIR]
+//                    [--memory-budget-mb M]                       web front-end
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <string>
 
 #include <thread>
@@ -28,8 +36,11 @@
 #include "mapper/paired_end.hpp"
 #include "mapper/pipeline.hpp"
 #include "mapper/staged_mapper.hpp"
+#include "store/index_archive.hpp"
+#include "store/index_registry.hpp"
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -112,7 +123,90 @@ int cmd_simulate_reads(const ArgParser& args) {
   return 0;
 }
 
+int cmd_index_build(const ArgParser& args) {
+  const std::string ref_path = args.get("ref");
+  const std::string store_dir = args.get("store-dir");
+  if (ref_path.empty() || store_dir.empty()) return usage();
+
+  const PipelineConfig config = config_from_args(args);
+  const auto records = read_fasta(ref_path);
+  const std::string name = args.get("name", records.front().name);
+
+  ReferenceSet reference;
+  for (const auto& record : records) {
+    reference.add(record.name,
+                  dna_encode_string(record.sequence, /*substitute_invalid=*/true));
+  }
+  WallTimer timer;
+  const auto sa = build_suffix_array(reference.concatenated());
+  Bwt bwt = build_bwt(reference.concatenated(), sa);
+  const double bwt_sa_seconds = timer.seconds();
+  timer.reset();
+  const RrrParams params = config.rrr;
+  FmIndex<RrrWaveletOcc> index(
+      std::move(bwt), sa, [params](std::span<const std::uint8_t> symbols) {
+        return RrrWaveletOcc(symbols, params);
+      });
+  const double encode_seconds = timer.seconds();
+
+  const std::size_t length = index.size();
+  const std::size_t num_sequences = reference.num_sequences();
+  IndexRegistry registry(store_dir);
+  registry.add(name, StoredIndex{std::move(reference), std::move(index)});
+  const std::string archive = registry.archive_path(name);
+  std::printf("built '%s' (%zu bp, %zu sequence(s)) -> %s (%llu bytes)\n"
+              "bwt+sa %.3f s, encode %.3f s\n",
+              name.c_str(), length, num_sequences, archive.c_str(),
+              static_cast<unsigned long long>(std::filesystem::file_size(archive)),
+              bwt_sa_seconds, encode_seconds);
+  return 0;
+}
+
+int cmd_index_info(const ArgParser& args) {
+  const std::string archive = args.get("archive");
+  const std::string store_dir = args.get("store-dir");
+  if (!archive.empty()) {
+    const ArchiveInfo info = read_index_archive_info(archive);
+    std::printf("archive: %s\nformat version: %u\nfile bytes: %llu\n",
+                archive.c_str(), info.version,
+                static_cast<unsigned long long>(info.file_bytes));
+    std::printf("%-8s %12s %12s %10s\n", "section", "offset", "bytes", "crc32");
+    for (const auto& section : info.sections) {
+      std::printf("%-8s %12llu %12llu   %08x\n", section.name.c_str(),
+                  static_cast<unsigned long long>(section.offset),
+                  static_cast<unsigned long long>(section.length), section.crc32);
+    }
+    std::printf("text: %u bp, %zu sequence(s)\n", info.text_length,
+                info.sequences.size());
+    for (const auto& seq : info.sequences) {
+      std::printf("  %s: offset %u, %u bp\n", seq.name.c_str(), seq.offset, seq.length);
+    }
+    return 0;
+  }
+  if (!store_dir.empty()) {
+    IndexRegistry registry(store_dir);
+    std::printf("store: %s (%zu reference(s))\n", store_dir.c_str(), registry.size());
+    for (const auto& entry : registry.list()) {
+      std::printf("  %s: %llu bp, %llu sequence(s), %llu archive bytes\n",
+                  entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.text_length),
+                  static_cast<unsigned long long>(entry.num_sequences),
+                  static_cast<unsigned long long>(entry.archive_bytes));
+    }
+    return 0;
+  }
+  return usage();
+}
+
 int cmd_index(const ArgParser& args) {
+  if (!args.positional().empty()) {
+    const std::string& verb = args.positional().front();
+    if (verb == "build") return cmd_index_build(args);
+    if (verb == "info") return cmd_index_info(args);
+    std::fprintf(stderr, "unknown index verb '%s' (build|info)\n", verb.c_str());
+    return 2;
+  }
+  // Legacy step-1-only form: BWT + SA to a .bwvr file.
   const std::string ref_path = args.get("ref");
   const std::string out = args.get("out", "reference.bwvr");
   if (ref_path.empty()) return usage();
@@ -125,12 +219,22 @@ int cmd_index(const ArgParser& args) {
 
 int cmd_map(const ArgParser& args) {
   const std::string index_path = args.get("index");
+  const std::string store_dir = args.get("store-dir");
+  const std::string ref_name = args.get("ref-name");
   const std::string reads_path = args.get("reads");
   const std::string out = args.get("out", "out.sam");
-  if (index_path.empty() || reads_path.empty()) return usage();
+  if (reads_path.empty() || (index_path.empty() && (store_dir.empty() || ref_name.empty()))) {
+    return usage();
+  }
 
   Pipeline pipeline(config_from_args(args));
-  pipeline.encode(index_path);
+  if (!index_path.empty()) {
+    pipeline.encode(index_path);
+  } else {
+    IndexRegistry registry(store_dir);
+    pipeline = Pipeline::from_archive(registry.archive_path(ref_name),
+                                      config_from_args(args));
+  }
   const MappingOutcome outcome = pipeline.map_reads(reads_path, out);
   std::printf("mapped %llu/%llu reads (%llu occurrences) -> %s\n"
               "encode %.3f s, mapping %.3f s\n",
@@ -222,10 +326,22 @@ int cmd_stats(const ArgParser& args) {
 }
 
 int cmd_serve(const ArgParser& args) {
-  WebService service(config_from_args(args));
+  WebServiceOptions options;
+  options.pipeline = config_from_args(args);
+  options.store_dir = args.get("store-dir");
+  options.memory_budget_bytes =
+      static_cast<std::size_t>(args.get_int(
+          "memory-budget-mb",
+          static_cast<std::int64_t>(IndexRegistry::kDefaultMemoryBudget >> 20)))
+      << 20;
+  WebService service(options);
   service.start(static_cast<std::uint16_t>(args.get_int("port", 8080)));
   std::printf("BWaveR web service on http://127.0.0.1:%u/ (Ctrl-C to stop)\n",
               service.port());
+  if (!options.store_dir.empty()) {
+    std::printf("serving %zu reference(s) from %s\n", service.registry().size(),
+                options.store_dir.c_str());
+  }
   for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
 }
 

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 #include <stdexcept>
 
@@ -29,6 +30,44 @@ const char* status_text(int status) {
     case 500: return "Internal Server Error";
     default: return "Unknown";
   }
+}
+
+/// Percent- and '+'-decoding for query strings; malformed escapes pass
+/// through verbatim.
+std::string url_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() && std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      out.push_back(static_cast<char>(std::stoi(s.substr(i + 1, 2), nullptr, 16)));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_query(const std::string& query) {
+  std::map<std::string, std::string> params;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      params[url_decode(pair)] = "";
+    } else {
+      params[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+  }
+  return params;
 }
 
 bool send_all(int fd, const void* data, std::size_t size) {
@@ -110,6 +149,9 @@ void HttpServer::stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   if (thread_.joinable()) thread_.join();
+  // In-flight connection workers finish their responses before we return.
+  std::unique_lock lock(workers_mutex_);
+  workers_cv_.wait(lock, [this] { return active_workers_ == 0; });
 }
 
 void HttpServer::serve_loop() {
@@ -119,8 +161,16 @@ void HttpServer::serve_loop() {
       if (!running_.load()) break;
       continue;
     }
-    handle_connection(client);
-    ::close(client);
+    {
+      std::lock_guard lock(workers_mutex_);
+      ++active_workers_;
+    }
+    std::thread([this, client] {
+      handle_connection(client);
+      ::close(client);
+      std::lock_guard lock(workers_mutex_);
+      if (--active_workers_ == 0) workers_cv_.notify_all();
+    }).detach();
   }
 }
 
@@ -148,6 +198,10 @@ void HttpServer::handle_connection(int client_fd) {
     if (sp1 == std::string::npos || sp2 == std::string::npos) return;
     request.method = request_line.substr(0, sp1);
     request.path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const std::size_t qmark = request.path.find('?'); qmark != std::string::npos) {
+      request.query = parse_query(request.path.substr(qmark + 1));
+      request.path.resize(qmark);
+    }
 
     pos = (eol == std::string::npos) ? head.size() : eol + 2;
     while (pos < head.size()) {

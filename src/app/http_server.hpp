@@ -1,14 +1,17 @@
 // Minimal HTTP/1.1 server over POSIX sockets — the C++ substitute for the
-// paper's Flask web server. One background accept thread, connections
-// handled sequentially, Content-Length bodies, connection-close semantics.
+// paper's Flask web server. One background accept thread, each connection
+// handled on its own worker thread (so long mapping requests don't block
+// other clients), Content-Length bodies, connection-close semantics.
 // Sufficient for the upload/index/map/download workflow and for tests to
 // exercise end-to-end over loopback.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,9 +20,16 @@ namespace bwaver {
 
 struct HttpRequest {
   std::string method;
-  std::string path;
+  std::string path;                            ///< without the query string
+  std::map<std::string, std::string> query;    ///< decoded ?key=value params
   std::map<std::string, std::string> headers;  ///< lower-cased names
   std::vector<std::uint8_t> body;
+
+  /// Query parameter lookup with a fallback.
+  std::string query_param(const std::string& key, const std::string& fallback = "") const {
+    const auto it = query.find(key);
+    return it == query.end() ? fallback : it->second;
+  }
 };
 
 struct HttpResponse {
@@ -63,6 +73,11 @@ class HttpServer {
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+
+  // Detached per-connection workers; stop() waits for the count to drain.
+  std::mutex workers_mutex_;
+  std::condition_variable workers_cv_;
+  std::size_t active_workers_ = 0;
 };
 
 }  // namespace bwaver

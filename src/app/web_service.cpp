@@ -1,20 +1,57 @@
 #include "app/web_service.hpp"
 
 #include <cstdio>
+#include <stdexcept>
+#include <utility>
 
+#include "fmindex/dna.hpp"
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
+#include "mapper/map_service.hpp"
 
 namespace bwaver {
 
-WebService::WebService(PipelineConfig config) : config_(config) {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+WebService::WebService(WebServiceOptions options)
+    : options_(std::move(options)),
+      registry_(options_.store_dir, options_.memory_budget_bytes) {
   server_.route("GET", "/", [this](const HttpRequest&) { return handle_index(); });
   server_.route("GET", "/status",
                 [this](const HttpRequest&) { return handle_status(); });
+  server_.route("GET", "/references",
+                [this](const HttpRequest&) { return handle_references(); });
   server_.route("POST", "/reference",
                 [this](const HttpRequest& request) { return handle_reference(request); });
   server_.route("POST", "/map",
                 [this](const HttpRequest& request) { return handle_map(request); });
+  server_.route("POST", "/evict",
+                [this](const HttpRequest& request) { return handle_evict(request); });
 }
 
 void WebService::start(std::uint16_t port) { server_.start(port); }
@@ -24,59 +61,149 @@ HttpResponse WebService::handle_index() const {
       "<html><head><title>BWaveR</title></head><body>"
       "<h1>BWaveR &mdash; hybrid DNA sequence mapper</h1>"
       "<p>Succinct-data-structure FM-index mapping with an FPGA-modeled "
-      "backend.</p>"
+      "backend, serving multiple persisted references concurrently.</p>"
       "<ol>"
-      "<li>POST a FASTA (or FASTA.gz) reference to <code>/reference</code></li>"
-      "<li>POST a FASTQ (or FASTQ.gz) read set to <code>/map</code> and "
+      "<li>POST a FASTA (or FASTA.gz) reference to "
+      "<code>/reference?name=X</code></li>"
+      "<li>POST a FASTQ (or FASTQ.gz) read set to <code>/map?ref=X</code> and "
       "download the SAM response</li>"
       "</ol>"
-      "<p>See <code>/status</code> for pipeline state.</p>"
+      "<p>See <code>/references</code> for the loaded indexes and "
+      "<code>/status</code> for registry state.</p>"
       "</body></html>");
 }
 
 HttpResponse WebService::handle_status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!pipeline_ || !pipeline_->ready()) {
+  const auto entries = registry_.list();
+  if (entries.empty()) {
     return HttpResponse::text(200, "state: no reference loaded\n");
   }
-  char buffer[512];
-  std::snprintf(buffer, sizeof(buffer),
-                "state: ready\nreference: %s\nlength: %zu bp\n"
-                "bwt_sa_seconds: %.3f\nencode_seconds: %.3f\n",
-                pipeline_->reference_name().c_str(), pipeline_->index().size(),
-                pipeline_->timings().bwt_sa_seconds,
-                pipeline_->timings().encode_seconds);
-  return HttpResponse::text(200, buffer);
+  std::size_t resident = 0;
+  for (const auto& entry : entries) resident += entry.resident ? 1 : 0;
+  std::string out = "state: ready\n";
+  out += "references: " + std::to_string(entries.size()) + " (" +
+         std::to_string(resident) + " resident)\n";
+  out += "resident_bytes: " + std::to_string(registry_.resident_bytes()) + " / " +
+         std::to_string(registry_.memory_budget()) + "\n";
+  if (!registry_.store_dir().empty()) {
+    out += "store_dir: " + registry_.store_dir() + "\n";
+  }
+  for (const auto& entry : entries) {
+    out += "- " + entry.name + ": " + std::to_string(entry.text_length) + " bp, " +
+           std::to_string(entry.num_sequences) + " sequence(s), " +
+           (entry.resident ? "resident" : "on disk") + "\n";
+  }
+  return HttpResponse::text(200, out);
+}
+
+HttpResponse WebService::handle_references() const {
+  std::string json = "[";
+  bool first = true;
+  for (const auto& entry : registry_.list()) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"" + json_escape(entry.name) + "\"";
+    json += ",\"length_bp\":" + std::to_string(entry.text_length);
+    json += ",\"sequences\":" + std::to_string(entry.num_sequences);
+    json += ",\"resident\":" + std::string(entry.resident ? "true" : "false");
+    json += ",\"resident_bytes\":" + std::to_string(entry.resident_bytes);
+    json += ",\"archive_bytes\":" + std::to_string(entry.archive_bytes);
+    json += "}";
+  }
+  json += "]\n";
+  return HttpResponse::bytes("application/json",
+                             std::vector<std::uint8_t>(json.begin(), json.end()));
 }
 
 HttpResponse WebService::handle_reference(const HttpRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
   if (request.body.empty()) {
     return HttpResponse::text(400, "empty reference upload\n");
   }
   const auto records = parse_fasta(request.body);
-  auto pipeline = std::make_unique<Pipeline>(config_);
-  pipeline->build_from_records(records);
-  pipeline_ = std::move(pipeline);
-  return HttpResponse::text(
-      200, "reference '" + pipeline_->reference_name() + "' indexed (" +
-               std::to_string(records.size()) + " sequence(s), " +
-               std::to_string(pipeline_->index().size()) + " bp)\n");
+  std::string name = request.query_param("name");
+  if (name.empty()) name = records.front().name;
+
+  // Builds are CPU-heavy and briefly take the registry write lock at the
+  // end; serialize them so concurrent uploads don't thrash the host. Mapping
+  // requests keep flowing against already-registered references meanwhile.
+  std::lock_guard<std::mutex> build_lock(build_mutex_);
+  ReferenceSet reference;
+  for (const auto& record : records) {
+    reference.add(record.name,
+                  dna_encode_string(record.sequence, /*substitute_invalid=*/true));
+  }
+  const auto sa = build_suffix_array(reference.concatenated());
+  Bwt bwt = build_bwt(reference.concatenated(), sa);
+  const RrrParams params = options_.pipeline.rrr;
+  FmIndex<RrrWaveletOcc> index(
+      std::move(bwt), std::move(sa), [params](std::span<const std::uint8_t> symbols) {
+        return RrrWaveletOcc(symbols, params);
+      });
+  const std::size_t length = index.size();
+  registry_.add(name, StoredIndex{std::move(reference), std::move(index)});
+
+  std::string out = "reference '" + name + "' indexed (" +
+                    std::to_string(records.size()) + " sequence(s), " +
+                    std::to_string(length) + " bp)";
+  if (!registry_.store_dir().empty()) {
+    out += ", persisted to " + registry_.archive_path(name);
+  }
+  return HttpResponse::text(200, out + "\n");
+}
+
+std::string WebService::resolve_ref_name(const HttpRequest& request,
+                                         HttpResponse& error) const {
+  std::string name = request.query_param("ref");
+  if (!name.empty()) {
+    if (!registry_.contains(name)) {
+      error = HttpResponse::text(404, "unknown reference '" + name + "'\n");
+      return "";
+    }
+    return name;
+  }
+  const auto entries = registry_.list();
+  if (entries.empty()) {
+    error = HttpResponse::text(409, "no reference loaded; POST /reference first\n");
+    return "";
+  }
+  if (entries.size() > 1) {
+    error = HttpResponse::text(
+        409, "multiple references loaded; select one with ?ref=NAME\n");
+    return "";
+  }
+  return entries.front().name;
 }
 
 HttpResponse WebService::handle_map(const HttpRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!pipeline_ || !pipeline_->ready()) {
-    return HttpResponse::text(409, "no reference loaded; POST /reference first\n");
-  }
+  HttpResponse error;
+  const std::string name = resolve_ref_name(request, error);
+  if (name.empty()) return error;
   if (request.body.empty()) {
     return HttpResponse::text(400, "empty read upload\n");
   }
   const auto records = parse_fastq(request.body);
-  const MappingOutcome outcome = pipeline_->map_records(records);
-  HttpResponse response = HttpResponse::bytes(
+
+  // A refcounted read handle: mapping runs with no registry lock held, so
+  // any number of /map requests proceed concurrently, and eviction of this
+  // index mid-request cannot pull it out from under us.
+  const IndexRegistry::Handle handle = registry_.acquire(name);
+  const MappingOutcome outcome =
+      map_records_over(handle->index, handle->reference, options_.pipeline, records);
+  return HttpResponse::bytes(
       "text/x-sam", std::vector<std::uint8_t>(outcome.sam.begin(), outcome.sam.end()));
-  return response;
+}
+
+HttpResponse WebService::handle_evict(const HttpRequest& request) {
+  const std::string name = request.query_param("ref");
+  if (name.empty()) {
+    return HttpResponse::text(400, "select a reference with ?ref=NAME\n");
+  }
+  if (!registry_.contains(name)) {
+    return HttpResponse::text(404, "unknown reference '" + name + "'\n");
+  }
+  const bool evicted = registry_.evict(name);
+  return HttpResponse::text(200, std::string(evicted ? "evicted" : "not resident") +
+                                     ": " + name + "\n");
 }
 
 }  // namespace bwaver

@@ -1,43 +1,69 @@
 // BWaveR web service (paper, Sec. III-D / Fig. 4): the "intuitive web
-// application" front-end over the three-step pipeline. Endpoints:
+// application" front-end over the three-step pipeline, grown into a
+// multi-tenant serving layer. Endpoints:
 //
-//   GET  /           — HTML landing page with usage instructions
-//   GET  /status     — reference state and step timings
-//   POST /reference  — body: FASTA or FASTA.gz; runs steps 1+2
-//   POST /map        — body: FASTQ or FASTQ.gz; runs step 3, returns SAM
+//   GET  /              — HTML landing page with usage instructions
+//   GET  /status        — registry state and memory budget
+//   GET  /references    — JSON listing of the loaded/stored references
+//   POST /reference     — body: FASTA or FASTA.gz; runs steps 1+2 and
+//                         registers (and, with a store directory, persists)
+//                         the index. `?name=X` overrides the reference name
+//                         (default: the first FASTA record's name).
+//   POST /map           — body: FASTQ or FASTQ.gz; runs step 3 against
+//                         `?ref=X` (optional when exactly one reference is
+//                         loaded) and returns SAM.
+//   POST /evict         — `?ref=X`; drops the resident copy (still
+//                         acquirable from its archive in persistent mode)
 //
-// The web layer holds one pipeline (one reference at a time), mirroring the
-// paper's single-board deployment; concurrent POSTs are serialized.
+// Indexes come from an IndexRegistry: mapping requests take refcounted read
+// handles and run concurrently; only build and evict take the registry's
+// write lock. With a store directory the registry serves archives built by
+// `bwaver index build` and persists uploads across restarts.
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <mutex>
 #include <string>
 
 #include "app/http_server.hpp"
 #include "mapper/pipeline.hpp"
+#include "store/index_registry.hpp"
 
 namespace bwaver {
 
+struct WebServiceOptions {
+  PipelineConfig pipeline{};
+  std::string store_dir;  ///< empty: memory-only (no persistence)
+  std::size_t memory_budget_bytes = IndexRegistry::kDefaultMemoryBudget;
+};
+
 class WebService {
  public:
-  explicit WebService(PipelineConfig config = PipelineConfig{});
+  explicit WebService(PipelineConfig config) : WebService(WebServiceOptions{config, "", IndexRegistry::kDefaultMemoryBudget}) {}
+  explicit WebService(WebServiceOptions options = WebServiceOptions{});
 
   /// Starts serving on 127.0.0.1:`port` (0 = ephemeral).
   void start(std::uint16_t port = 0);
   void stop() { server_.stop(); }
 
   std::uint16_t port() const noexcept { return server_.port(); }
+  const IndexRegistry& registry() const noexcept { return registry_; }
 
  private:
   HttpResponse handle_index() const;
   HttpResponse handle_status() const;
+  HttpResponse handle_references() const;
   HttpResponse handle_reference(const HttpRequest& request);
   HttpResponse handle_map(const HttpRequest& request);
+  HttpResponse handle_evict(const HttpRequest& request);
 
-  PipelineConfig config_;
-  std::unique_ptr<Pipeline> pipeline_;
-  mutable std::mutex mutex_;
+  /// Resolves `?ref=` to a registry name, defaulting to the single loaded
+  /// reference. Returns "" (with `error` filled) when ambiguous or unknown.
+  std::string resolve_ref_name(const HttpRequest& request, HttpResponse& error) const;
+
+  WebServiceOptions options_;
+  IndexRegistry registry_;
+  std::mutex build_mutex_;  ///< serializes index *builds* (CPU-heavy), not maps
   HttpServer server_;
 };
 

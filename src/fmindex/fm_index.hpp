@@ -64,6 +64,19 @@ class FmIndex {
     init_c_array();
   }
 
+  /// Assembles from a fully deserialized Occ backend (the archive load path:
+  /// the encoded structure comes off disk, nothing is rebuilt).
+  FmIndex(Bwt bwt, std::vector<std::uint32_t> sa, Occ occ_backend)
+      : bwt_(std::move(bwt)), sa_(std::move(sa)), occ_backend_(std::move(occ_backend)) {
+    if (sa_.size() != static_cast<std::size_t>(bwt_.text_length) + 1) {
+      throw std::invalid_argument("FmIndex: SA/BWT size mismatch");
+    }
+    if (occ_backend_.size() != bwt_.symbols.size()) {
+      throw std::invalid_argument("FmIndex: Occ/BWT size mismatch");
+    }
+    init_c_array();
+  }
+
   /// Text length n (rows in the BW matrix = n + 1).
   std::size_t size() const noexcept { return bwt_.text_length; }
   std::size_t rows() const noexcept { return static_cast<std::size_t>(bwt_.text_length) + 1; }

@@ -1,0 +1,32 @@
+#include "io/checksum.hpp"
+
+#include <array>
+
+namespace bwaver {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace bwaver

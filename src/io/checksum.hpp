@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum shared
+// by the gzip framing layer and the index-archive section table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace bwaver {
+
+/// CRC-32 (IEEE, reflected) of `data`, seeded with `seed` for incremental use.
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace bwaver

@@ -9,20 +9,6 @@ namespace bwaver {
 
 namespace {
 
-// ---------------------------------------------------------------- CRC-32
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
 // ------------------------------------------------------------ bit reader
 
 class BitReader {
@@ -280,15 +266,6 @@ std::pair<std::uint32_t, unsigned> fixed_literal_code(unsigned literal) {
 }
 
 }  // namespace
-
-std::uint32_t crc32_ieee(std::span<const std::uint8_t> data, std::uint32_t seed) {
-  static const auto table = make_crc_table();
-  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
-  for (std::uint8_t byte : data) {
-    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
 
 std::vector<std::uint8_t> inflate(std::span<const std::uint8_t> compressed,
                                   std::size_t* consumed) {

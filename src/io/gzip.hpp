@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "io/byte_io.hpp"
+#include "io/checksum.hpp"
 
 namespace bwaver {
 
@@ -22,9 +23,6 @@ class GzipError : public IoError {
  public:
   using IoError::IoError;
 };
-
-/// CRC-32 (IEEE, reflected) of `data`, seeded with `seed` for incremental use.
-std::uint32_t crc32_ieee(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
 
 /// Decompresses a raw DEFLATE stream. If `consumed` is non-null it receives
 /// the number of input bytes the stream occupied (the final block's last

@@ -1,0 +1,108 @@
+#include "mapper/map_service.hpp"
+
+#include <memory>
+
+#include "mapper/fpga_mapper.hpp"
+#include "mapper/pipeline.hpp"
+#include "mapper/read_batch.hpp"
+
+namespace bwaver {
+
+std::vector<SamSequence> sam_sequences_for(const ReferenceSet& reference) {
+  std::vector<SamSequence> sequences;
+  sequences.reserve(reference.num_sequences());
+  for (const auto& seq : reference.sequences()) {
+    sequences.push_back(SamSequence{seq.name, seq.length});
+  }
+  return sequences;
+}
+
+void resolve_query_results(const ReferenceSet& reference,
+                           const std::vector<std::uint32_t>& suffix_array,
+                           const std::vector<FastqRecord>& records,
+                           std::span<const QueryResult> results,
+                           std::size_t max_hits_per_read, MappingOutcome& outcome,
+                           std::vector<SamAlignment>& alignments) {
+  // Resolve SA intervals to per-sequence positions, dropping matches that
+  // straddle a concatenation boundary.
+  outcome.reads += results.size();
+  for (const QueryResult& result : results) {
+    const auto& record = records[result.id];
+    const auto read_length = static_cast<std::uint32_t>(record.sequence.size());
+    std::size_t survivors = 0;
+    std::size_t emitted = 0;
+    for (int strand = 0; strand < 2; ++strand) {
+      const bool reverse = strand == 1;
+      const std::uint32_t lo = reverse ? result.rev_lo : result.fwd_lo;
+      const std::uint32_t hi = reverse ? result.rev_hi : result.fwd_hi;
+      for (std::uint32_t row = lo; row < hi; ++row) {
+        const auto local = reference.resolve_span(suffix_array[row], read_length);
+        if (!local) continue;  // straddles a sequence boundary
+        ++survivors;
+        ++outcome.occurrences;
+        if (emitted < max_hits_per_read) {
+          alignments.push_back(SamAlignment{
+              record.name, reverse, reference.sequence(local->sequence_index).name,
+              local->offset, read_length, true});
+          ++emitted;
+        }
+      }
+    }
+    if (survivors == 0) {
+      alignments.push_back(
+          SamAlignment{record.name, false, "", 0, read_length, /*mapped=*/false});
+    } else {
+      ++outcome.mapped;
+    }
+  }
+}
+
+MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
+                                const ReferenceSet& reference,
+                                const PipelineConfig& config,
+                                const std::vector<FastqRecord>& records,
+                                const Bowtie2LikeMapper* bowtie,
+                                double* mapping_seconds) {
+  const ReadBatch batch = ReadBatch::from_fastq(records);
+
+  std::vector<QueryResult> results;
+  double seconds = 0.0;
+  switch (config.engine) {
+    case MappingEngine::kFpga: {
+      BwaverFpgaMapper mapper(index, config.device);
+      FpgaMapReport report;
+      results = mapper.map(batch, &report);
+      seconds = report.total_seconds();
+      break;
+    }
+    case MappingEngine::kCpu: {
+      BwaverCpuMapper mapper(index);
+      SoftwareMapReport report;
+      results = mapper.map(batch, config.threads, &report);
+      seconds = report.seconds;
+      break;
+    }
+    case MappingEngine::kBowtie2Like: {
+      std::unique_ptr<Bowtie2LikeMapper> transient;
+      if (bowtie == nullptr) {
+        transient = std::make_unique<Bowtie2LikeMapper>(reference.concatenated());
+        bowtie = transient.get();
+      }
+      SoftwareMapReport report;
+      results = bowtie->map(batch, config.threads, &report);
+      seconds = report.seconds;
+      break;
+    }
+  }
+  if (mapping_seconds != nullptr) *mapping_seconds = seconds;
+
+  MappingOutcome outcome;
+  std::vector<SamAlignment> alignments;
+  alignments.reserve(results.size());
+  resolve_query_results(reference, index.suffix_array(), records, results,
+                        config.max_hits_per_read, outcome, alignments);
+  outcome.sam = format_sam(sam_sequences_for(reference), alignments);
+  return outcome;
+}
+
+}  // namespace bwaver

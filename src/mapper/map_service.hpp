@@ -1,0 +1,53 @@
+// Engine dispatch + result resolution over *borrowed* index state.
+//
+// Pipeline owns its index and maps against it; the multi-tenant web service
+// instead borrows refcounted read handles from the IndexRegistry and must
+// run many mapping requests concurrently against shared, immutable indexes.
+// Both paths funnel through these free functions so their SAM output is
+// byte-identical by construction.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "fmindex/reference_set.hpp"
+#include "io/fastq.hpp"
+#include "io/sam.hpp"
+#include "fpga/query_packet.hpp"
+#include "mapper/software_mapper.hpp"
+
+namespace bwaver {
+
+struct PipelineConfig;
+struct MappingOutcome;
+
+/// @SQ header lines for `reference`, in sequence order.
+std::vector<SamSequence> sam_sequences_for(const ReferenceSet& reference);
+
+/// Resolves one batch's SA intervals to per-sequence SAM alignments
+/// (boundary filtering, `max_hits_per_read` cap) and accumulates the
+/// outcome counters.
+void resolve_query_results(const ReferenceSet& reference,
+                           const std::vector<std::uint32_t>& suffix_array,
+                           const std::vector<FastqRecord>& records,
+                           std::span<const QueryResult> results,
+                           std::size_t max_hits_per_read, MappingOutcome& outcome,
+                           std::vector<SamAlignment>& alignments);
+
+/// Maps `records` against a borrowed index/reference pair with the engine
+/// selected in `config` and renders the SAM document. `bowtie` supplies a
+/// prebuilt baseline mapper for MappingEngine::kBowtie2Like; when null one
+/// is built transiently from the reference (expensive — callers holding an
+/// index long-term should cache it). If `mapping_seconds` is non-null it
+/// receives the engine's wall-clock (software) or modeled (FPGA) time.
+MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
+                                const ReferenceSet& reference,
+                                const PipelineConfig& config,
+                                const std::vector<FastqRecord>& records,
+                                const Bowtie2LikeMapper* bowtie = nullptr,
+                                double* mapping_seconds = nullptr);
+
+}  // namespace bwaver

@@ -9,6 +9,8 @@
 #include "io/fasta.hpp"
 #include "io/sam.hpp"
 #include "io/streaming.hpp"
+#include "mapper/map_service.hpp"
+#include "store/index_archive.hpp"
 #include "util/timer.hpp"
 
 namespace bwaver {
@@ -150,88 +152,40 @@ MappingOutcome Pipeline::map_records(const std::vector<FastqRecord>& records) {
   if (!ready()) {
     throw std::logic_error("Pipeline: map before encode()/build_from_sequence()");
   }
-  const ReadBatch batch = ReadBatch::from_fastq(records);
-
-  std::vector<QueryResult> results;
-  double mapping_seconds = 0.0;
-  switch (config_.engine) {
-    case MappingEngine::kFpga: {
-      BwaverFpgaMapper mapper(*index_, config_.device);
-      FpgaMapReport report;
-      results = mapper.map(batch, &report);
-      mapping_seconds = report.total_seconds();
-      break;
-    }
-    case MappingEngine::kCpu: {
-      BwaverCpuMapper mapper(*index_);
-      SoftwareMapReport report;
-      results = mapper.map(batch, config_.threads, &report);
-      mapping_seconds = report.seconds;
-      break;
-    }
-    case MappingEngine::kBowtie2Like: {
-      SoftwareMapReport report;
-      results = bowtie_->map(batch, config_.threads, &report);
-      mapping_seconds = report.seconds;
-      break;
-    }
-  }
-  timings_.mapping_seconds = mapping_seconds;
-
-  MappingOutcome outcome;
-  std::vector<SamAlignment> alignments;
-  alignments.reserve(results.size());
-  resolve_results(records, results, outcome, alignments);
-  outcome.sam = format_sam(sam_sequences(), alignments);
-  return outcome;
+  return map_records_over(*index_, reference_, config_, records, bowtie_.get(),
+                          &timings_.mapping_seconds);
 }
 
 void Pipeline::resolve_results(const std::vector<FastqRecord>& records,
                                std::span<const QueryResult> results,
                                MappingOutcome& outcome,
                                std::vector<SamAlignment>& alignments) const {
-  // Resolve SA intervals to per-sequence positions, dropping matches that
-  // straddle a concatenation boundary.
-  outcome.reads += results.size();
-  const auto& sa = index_->suffix_array();
-  for (const QueryResult& result : results) {
-    const auto& record = records[result.id];
-    const auto read_length = static_cast<std::uint32_t>(record.sequence.size());
-    std::size_t survivors = 0;
-    std::size_t emitted = 0;
-    for (int strand = 0; strand < 2; ++strand) {
-      const bool reverse = strand == 1;
-      const std::uint32_t lo = reverse ? result.rev_lo : result.fwd_lo;
-      const std::uint32_t hi = reverse ? result.rev_hi : result.fwd_hi;
-      for (std::uint32_t row = lo; row < hi; ++row) {
-        const auto local = reference_.resolve_span(sa[row], read_length);
-        if (!local) continue;  // straddles a sequence boundary
-        ++survivors;
-        ++outcome.occurrences;
-        if (emitted < config_.max_hits_per_read) {
-          alignments.push_back(SamAlignment{
-              record.name, reverse, reference_.sequence(local->sequence_index).name,
-              local->offset, read_length, true});
-          ++emitted;
-        }
-      }
-    }
-    if (survivors == 0) {
-      alignments.push_back(
-          SamAlignment{record.name, false, "", 0, read_length, /*mapped=*/false});
-    } else {
-      ++outcome.mapped;
-    }
-  }
+  resolve_query_results(reference_, index_->suffix_array(), records, results,
+                        config_.max_hits_per_read, outcome, alignments);
 }
 
 std::vector<SamSequence> Pipeline::sam_sequences() const {
-  std::vector<SamSequence> sequences;
-  sequences.reserve(reference_.num_sequences());
-  for (const auto& seq : reference_.sequences()) {
-    sequences.push_back(SamSequence{seq.name, seq.length});
+  return sam_sequences_for(reference_);
+}
+
+void Pipeline::save_index(const std::string& path) const {
+  if (!ready()) {
+    throw std::logic_error("Pipeline: save_index before encode()/build_from_sequence()");
   }
-  return sequences;
+  write_index_archive(path, reference_, *index_);
+}
+
+Pipeline Pipeline::from_archive(const std::string& path, PipelineConfig config) {
+  StoredIndex stored = read_index_archive(path);
+  Pipeline pipeline(config);
+  pipeline.reference_ = std::move(stored.reference);
+  pipeline.index_ =
+      std::make_unique<FmIndex<RrrWaveletOcc>>(std::move(stored.index));
+  if (config.engine == MappingEngine::kBowtie2Like) {
+    pipeline.bowtie_ =
+        std::make_unique<Bowtie2LikeMapper>(pipeline.reference_.concatenated());
+  }
+  return pipeline;
 }
 
 MappingOutcome Pipeline::map_reads_streaming(const std::string& fastq_path,

@@ -73,6 +73,17 @@ class Pipeline {
   /// Steps 1+2 over parsed multi-sequence FASTA records.
   void build_from_records(const std::vector<FastaRecord>& records);
 
+  /// Writes the complete built index (reference metadata, C table, succinct
+  /// structure, suffix array) to a checksummed archive (see
+  /// store/index_archive.hpp). Requires encode()/build_from_*() first.
+  void save_index(const std::string& path) const;
+
+  /// Loads a pipeline from an archive written by save_index() — no
+  /// construction work is redone, so this is the fast deployment path. The
+  /// RRR parameters in `config` are ignored (they come from the archive).
+  static Pipeline from_archive(const std::string& path,
+                               PipelineConfig config = PipelineConfig{});
+
   /// Step 3. Maps the reads in `fastq_path`; writes SAM to `sam_path` if
   /// non-empty. Requires encode()/build_from_sequence() first.
   MappingOutcome map_reads(const std::string& fastq_path,

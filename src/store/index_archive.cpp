@@ -1,0 +1,265 @@
+#include "store/index_archive.hpp"
+
+#include <array>
+#include <utility>
+
+#include "fmindex/bwt.hpp"
+#include "io/byte_io.hpp"
+#include "io/checksum.hpp"
+
+namespace bwaver {
+
+namespace {
+
+constexpr std::uint32_t kArchiveMagic = 0x41565742;  // "BWVA" little-endian
+constexpr std::uint32_t kArchiveVersion = 1;
+
+constexpr const char* kSectionMeta = "meta";
+constexpr const char* kSectionBwt = "bwt";
+constexpr const char* kSectionOcc = "occ";
+constexpr const char* kSectionSa = "sa";
+
+std::array<std::uint32_t, 4> c_table_of(const Bwt& bwt) {
+  std::array<std::uint32_t, 4> counts{};
+  for (std::uint8_t c : bwt.symbols) ++counts[c];
+  std::array<std::uint32_t, 4> c_table{};
+  std::uint32_t sum = 1;  // the sentinel precedes every base
+  for (unsigned c = 0; c < 4; ++c) {
+    c_table[c] = sum;
+    sum += counts[c];
+  }
+  return c_table;
+}
+
+struct ParsedHeader {
+  std::uint32_t version = 0;
+  std::vector<ArchiveSection> sections;
+};
+
+/// Parses and validates the header, the header CRC, the section bounds and
+/// every section payload CRC.
+ParsedHeader parse_header(std::span<const std::uint8_t> file, const std::string& path) {
+  ByteReader reader(file);
+  if (reader.u32() != kArchiveMagic) {
+    throw IoError("index archive: bad magic: " + path);
+  }
+  ParsedHeader header;
+  header.version = reader.u32();
+  if (header.version != kArchiveVersion) {
+    throw IoError("index archive: unsupported version " +
+                  std::to_string(header.version) + " (expected " +
+                  std::to_string(kArchiveVersion) + "): " + path);
+  }
+  const std::uint32_t section_count = reader.u32();
+  if (section_count == 0 || section_count > 64) {
+    throw IoError("index archive: implausible section count: " + path);
+  }
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    ArchiveSection section;
+    section.name = reader.str();
+    section.offset = reader.u64();
+    section.length = reader.u64();
+    section.crc32 = reader.u32();
+    header.sections.push_back(std::move(section));
+  }
+  const std::size_t header_bytes = file.size() - reader.remaining();
+  const std::uint32_t stored_header_crc = reader.u32();
+  if (crc32_ieee(file.subspan(0, header_bytes)) != stored_header_crc) {
+    throw IoError("index archive: header checksum mismatch: " + path);
+  }
+  for (const ArchiveSection& section : header.sections) {
+    if (section.offset > file.size() || section.length > file.size() - section.offset) {
+      throw IoError("index archive: truncated section '" + section.name +
+                    "': " + path);
+    }
+    if (crc32_ieee(file.subspan(section.offset, section.length)) != section.crc32) {
+      throw IoError("index archive: section '" + section.name +
+                    "' checksum mismatch: " + path);
+    }
+  }
+  return header;
+}
+
+std::span<const std::uint8_t> find_section(std::span<const std::uint8_t> file,
+                                           const ParsedHeader& header,
+                                           const std::string& name,
+                                           const std::string& path) {
+  for (const ArchiveSection& section : header.sections) {
+    if (section.name == name) return file.subspan(section.offset, section.length);
+  }
+  throw IoError("index archive: missing section '" + name + "': " + path);
+}
+
+struct MetaSection {
+  std::vector<ReferenceSet::Sequence> sequences;
+  std::uint32_t text_length = 0;
+  std::array<std::uint32_t, 4> c_table{};
+};
+
+MetaSection parse_meta(std::span<const std::uint8_t> payload, const std::string& path) {
+  ByteReader reader(payload);
+  MetaSection meta;
+  const std::uint64_t count = reader.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ReferenceSet::Sequence seq;
+    seq.name = reader.str();
+    seq.offset = reader.u32();
+    seq.length = reader.u32();
+    meta.sequences.push_back(std::move(seq));
+  }
+  meta.text_length = reader.u32();
+  for (auto& c : meta.c_table) c = reader.u32();
+  if (!reader.done()) {
+    throw IoError("index archive: trailing bytes in meta section: " + path);
+  }
+  return meta;
+}
+
+}  // namespace
+
+std::size_t stored_index_bytes(const StoredIndex& stored) {
+  return stored.reference.total_length() + stored.index.bwt().symbols.size() +
+         stored.index.suffix_array().size() * sizeof(std::uint32_t) +
+         stored.index.occ_size_in_bytes();
+}
+
+void write_index_archive(const std::string& path, const ReferenceSet& reference,
+                         const FmIndex<RrrWaveletOcc>& index) {
+  const Bwt& bwt = index.bwt();
+
+  ByteWriter meta;
+  meta.u64(reference.num_sequences());
+  for (const auto& seq : reference.sequences()) {
+    meta.str(seq.name);
+    meta.u32(seq.offset);
+    meta.u32(seq.length);
+  }
+  meta.u32(bwt.text_length);
+  for (const std::uint32_t c : c_table_of(bwt)) meta.u32(c);
+
+  ByteWriter bwt_section;
+  bwt_section.u32(bwt.text_length);
+  bwt_section.u32(bwt.primary);
+  bwt_section.vec_u8(bwt.symbols);
+
+  ByteWriter occ_section;
+  index.occ_backend().save(occ_section);
+
+  ByteWriter sa_section;
+  sa_section.vec_u32(index.suffix_array());
+
+  const std::pair<const char*, const std::vector<std::uint8_t>*> sections[] = {
+      {kSectionMeta, &meta.data()},
+      {kSectionBwt, &bwt_section.data()},
+      {kSectionOcc, &occ_section.data()},
+      {kSectionSa, &sa_section.data()},
+  };
+
+  // The header size is known up front (str = u64 length prefix + bytes), so
+  // absolute payload offsets can be written in one pass.
+  std::size_t header_bytes = 3 * sizeof(std::uint32_t);
+  for (const auto& [name, payload] : sections) {
+    header_bytes += 8 + std::string(name).size() + 8 + 8 + 4;
+  }
+  const std::size_t payload_start = header_bytes + sizeof(std::uint32_t);  // + header CRC
+
+  ByteWriter writer;
+  writer.u32(kArchiveMagic);
+  writer.u32(kArchiveVersion);
+  writer.u32(static_cast<std::uint32_t>(std::size(sections)));
+  std::uint64_t offset = payload_start;
+  for (const auto& [name, payload] : sections) {
+    writer.str(name);
+    writer.u64(offset);
+    writer.u64(payload->size());
+    writer.u32(crc32_ieee(*payload));
+    offset += payload->size();
+  }
+  writer.u32(crc32_ieee(writer.data()));
+  for (const auto& [name, payload] : sections) {
+    writer.bytes(*payload);
+  }
+  write_file(path, writer.data());
+}
+
+StoredIndex read_index_archive(const std::string& path) {
+  const auto file = read_file(path);
+  const ParsedHeader header = parse_header(file, path);
+  const MetaSection meta = parse_meta(find_section(file, header, kSectionMeta, path), path);
+
+  Bwt bwt;
+  {
+    ByteReader reader(find_section(file, header, kSectionBwt, path));
+    bwt.text_length = reader.u32();
+    bwt.primary = reader.u32();
+    bwt.symbols = reader.vec_u8();
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in bwt section: " + path);
+    }
+  }
+  if (bwt.symbols.size() != bwt.text_length || bwt.text_length != meta.text_length ||
+      bwt.primary > bwt.text_length) {
+    throw IoError("index archive: inconsistent BWT metadata: " + path);
+  }
+
+  RrrWaveletOcc occ;
+  {
+    ByteReader reader(find_section(file, header, kSectionOcc, path));
+    occ = RrrWaveletOcc::load(reader);
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in occ section: " + path);
+    }
+  }
+
+  std::vector<std::uint32_t> sa;
+  {
+    ByteReader reader(find_section(file, header, kSectionSa, path));
+    sa = reader.vec_u32();
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in sa section: " + path);
+    }
+  }
+  if (sa.size() != static_cast<std::size_t>(bwt.text_length) + 1) {
+    throw IoError("index archive: SA/BWT size mismatch: " + path);
+  }
+  if (occ.size() != bwt.symbols.size()) {
+    throw IoError("index archive: Occ/BWT size mismatch: " + path);
+  }
+  if (c_table_of(bwt) != meta.c_table) {
+    throw IoError("index archive: C table does not match BWT: " + path);
+  }
+
+  // The reference text is recovered from the BWT; the meta section's
+  // sequence table carves it back into named sequences.
+  const auto text = inverse_bwt(bwt);
+  ReferenceSet reference;
+  for (const auto& seq : meta.sequences) {
+    if (static_cast<std::size_t>(seq.offset) + seq.length > text.size()) {
+      throw IoError("index archive: sequence table out of range: " + path);
+    }
+    reference.add(seq.name,
+                  std::span<const std::uint8_t>(text.data() + seq.offset, seq.length));
+  }
+  if (reference.total_length() != text.size()) {
+    throw IoError("index archive: sequence table does not cover text: " + path);
+  }
+
+  StoredIndex stored{std::move(reference),
+                     FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ))};
+  return stored;
+}
+
+ArchiveInfo read_index_archive_info(const std::string& path) {
+  const auto file = read_file(path);
+  const ParsedHeader header = parse_header(file, path);
+  const MetaSection meta = parse_meta(find_section(file, header, kSectionMeta, path), path);
+  ArchiveInfo info;
+  info.version = header.version;
+  info.file_bytes = file.size();
+  info.sections = header.sections;
+  info.sequences = meta.sequences;
+  info.text_length = meta.text_length;
+  return info;
+}
+
+}  // namespace bwaver

@@ -1,0 +1,82 @@
+// Versioned on-disk archive of one fully built BWaveR index.
+//
+// The paper's pipeline rebuilds BWT + SA + the succinct structure for every
+// deployment; the archive makes the build-once/load-many split explicit: a
+// reference is indexed once (`bwaver index build`, POST /reference) and the
+// complete structure — reference metadata, C table, RRR-wavelet-tree Occ
+// backend and the suffix array — is written as independently checksummed
+// sections, so loading skips every construction step and corruption is
+// detected before an index is served.
+//
+// Layout (all integers little-endian):
+//
+//   u32 magic   "BWVA"
+//   u32 version (currently 1)
+//   u32 section_count
+//   section table, section_count entries:
+//     str name | u64 file offset | u64 length | u32 crc32 (IEEE, of payload)
+//   u32 crc32 of every header byte above
+//   section payloads, in table order
+//
+// v1 sections, each a self-contained ByteWriter stream:
+//   "meta" — sequence table (name/offset/length per sequence), text length,
+//            and the 4-entry C table (validated against the loaded BWT);
+//   "bwt"  — text_length, primary row, squeezed BWT symbols;
+//   "occ"  — the serialized RrrWaveletOcc (params + wavelet tree of RRR);
+//   "sa"   — the (n+1)-entry suffix array.
+//
+// The reference text itself is not stored: it is recovered from the BWT on
+// load, exactly like the step-1 index file. Any truncation, bad magic,
+// unknown version, or checksum mismatch raises IoError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "fmindex/reference_set.hpp"
+
+namespace bwaver {
+
+/// A complete loaded index: what the registry hands to concurrent readers.
+struct StoredIndex {
+  ReferenceSet reference;
+  FmIndex<RrrWaveletOcc> index;
+};
+
+/// Approximate resident heap footprint of a loaded index (reference text +
+/// BWT + SA + succinct structure) — the unit of the registry memory budget.
+std::size_t stored_index_bytes(const StoredIndex& stored);
+
+struct ArchiveSection {
+  std::string name;
+  std::uint64_t offset = 0;  ///< absolute file offset of the payload
+  std::uint64_t length = 0;
+  std::uint32_t crc32 = 0;
+};
+
+struct ArchiveInfo {
+  std::uint32_t version = 0;
+  std::uint64_t file_bytes = 0;
+  std::vector<ArchiveSection> sections;
+  std::vector<ReferenceSet::Sequence> sequences;  ///< from the meta section
+  std::uint32_t text_length = 0;
+};
+
+/// Serializes a built index to `path` (archive v1). Takes components by
+/// reference: FmIndex is move-only, and the writer only reads.
+void write_index_archive(const std::string& path, const ReferenceSet& reference,
+                         const FmIndex<RrrWaveletOcc>& index);
+
+/// Loads and fully validates an archive. Throws IoError on any truncation,
+/// bad magic, version mismatch, checksum failure, or cross-section
+/// inconsistency.
+StoredIndex read_index_archive(const std::string& path);
+
+/// Header + section table + meta section only (every section CRC is still
+/// verified against the payload bytes) — the `index info` path.
+ArchiveInfo read_index_archive_info(const std::string& path);
+
+}  // namespace bwaver

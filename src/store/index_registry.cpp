@@ -1,0 +1,224 @@
+#include "store/index_registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/byte_io.hpp"
+
+namespace bwaver {
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.tsv";
+
+bool valid_reference_name(const std::string& name) {
+  if (name.empty() || name.size() > 256) return false;
+  for (const char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '/' || c == '\0') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+IndexRegistry::IndexRegistry(std::string store_dir, std::size_t memory_budget_bytes)
+    : store_dir_(std::move(store_dir)), memory_budget_(memory_budget_bytes) {
+  if (!store_dir_.empty()) {
+    std::filesystem::create_directories(store_dir_);
+    load_manifest();
+  }
+}
+
+void IndexRegistry::load_manifest() {
+  const auto manifest_path = std::filesystem::path(store_dir_) / kManifestName;
+  std::ifstream manifest(manifest_path);
+  if (!manifest) return;  // fresh store directory
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream fields(line);
+    std::string name, filename, bytes_str;
+    if (!std::getline(fields, name, '\t') || !std::getline(fields, filename, '\t') ||
+        !std::getline(fields, bytes_str, '\t')) {
+      throw IoError("IndexRegistry: malformed manifest line: " + line);
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->archive_path = (std::filesystem::path(store_dir_) / filename).string();
+    entry->archive_bytes = std::stoull(bytes_str);
+    // Sequence table and text length come from the (cheap) archive header so
+    // listings don't need the index resident.
+    const ArchiveInfo info = read_index_archive_info(entry->archive_path);
+    entry->text_length = info.text_length;
+    entry->num_sequences = info.sequences.size();
+    entries_[name] = std::move(entry);
+  }
+}
+
+void IndexRegistry::save_manifest_locked() const {
+  const auto manifest_path = std::filesystem::path(store_dir_) / kManifestName;
+  std::ofstream manifest(manifest_path, std::ios::trunc);
+  if (!manifest) {
+    throw IoError("IndexRegistry: cannot write manifest: " + manifest_path.string());
+  }
+  manifest << "# BWaveR index store manifest: name\tarchive\tbytes\n";
+  for (const auto& [name, entry] : entries_) {
+    manifest << name << '\t'
+             << std::filesystem::path(entry->archive_path).filename().string() << '\t'
+             << entry->archive_bytes << '\n';
+  }
+}
+
+std::size_t IndexRegistry::resident_bytes_locked() const {
+  std::size_t total = 0;
+  for (const auto& [name, entry] : entries_) {
+    total += entry->resident_bytes;
+  }
+  return total;
+}
+
+void IndexRegistry::enforce_budget_locked(const std::string& keep) {
+  while (resident_bytes_locked() > memory_budget_) {
+    Entry* victim = nullptr;
+    std::string victim_name;
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& [name, entry] : entries_) {
+      if (!entry->resident || name == keep) continue;
+      const std::uint64_t used = entry->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = entry.get();
+        victim_name = name;
+      }
+    }
+    if (victim == nullptr) break;  // only `keep` is resident; nothing to drop
+    victim->resident.reset();
+    victim->resident_bytes = 0;
+  }
+}
+
+IndexRegistry::Handle IndexRegistry::acquire(const std::string& name) {
+  const std::uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw std::out_of_range("IndexRegistry: unknown reference '" + name + "'");
+    }
+    if (it->second->resident) {
+      it->second->last_used.store(now, std::memory_order_relaxed);
+      return it->second->resident;
+    }
+  }
+
+  std::unique_lock lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("IndexRegistry: unknown reference '" + name + "'");
+  }
+  Entry& entry = *it->second;
+  if (!entry.resident) {
+    if (entry.archive_path.empty()) {
+      // Memory-only entry whose resident copy was evicted: unrecoverable.
+      throw std::out_of_range("IndexRegistry: reference '" + name +
+                              "' was evicted and has no archive");
+    }
+    auto loaded = std::make_shared<const StoredIndex>(read_index_archive(entry.archive_path));
+    entry.resident_bytes = stored_index_bytes(*loaded);
+    entry.resident = std::move(loaded);
+    entry.text_length = entry.resident->reference.total_length();
+    entry.num_sequences = entry.resident->reference.num_sequences();
+  }
+  entry.last_used.store(now, std::memory_order_relaxed);
+  Handle handle = entry.resident;
+  enforce_budget_locked(name);
+  return handle;
+}
+
+IndexRegistry::Handle IndexRegistry::add(const std::string& name, StoredIndex stored) {
+  if (!valid_reference_name(name)) {
+    throw std::invalid_argument("IndexRegistry: invalid reference name '" + name + "'");
+  }
+  auto handle = std::make_shared<const StoredIndex>(std::move(stored));
+
+  std::unique_lock lock(mutex_);
+  auto& slot = entries_[name];
+  if (!slot) slot = std::make_unique<Entry>();
+  Entry& entry = *slot;
+  if (!store_dir_.empty()) {
+    const auto archive =
+        std::filesystem::path(store_dir_) / (name + ".bwva");
+    write_index_archive(archive.string(), handle->reference, handle->index);
+    entry.archive_path = archive.string();
+    entry.archive_bytes = std::filesystem::file_size(archive);
+  }
+  entry.resident = handle;
+  entry.resident_bytes = stored_index_bytes(*handle);
+  entry.text_length = handle->reference.total_length();
+  entry.num_sequences = handle->reference.num_sequences();
+  entry.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  if (!store_dir_.empty()) save_manifest_locked();
+  enforce_budget_locked(name);
+  return handle;
+}
+
+bool IndexRegistry::evict(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || !it->second->resident) return false;
+  it->second->resident.reset();
+  it->second->resident_bytes = 0;
+  return true;
+}
+
+bool IndexRegistry::contains(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+std::size_t IndexRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<RegistryEntry> IndexRegistry::list() const {
+  std::shared_lock lock(mutex_);
+  std::vector<RegistryEntry> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    RegistryEntry snapshot;
+    snapshot.name = name;
+    snapshot.archive_path = entry->archive_path;
+    snapshot.archive_bytes = entry->archive_bytes;
+    snapshot.resident = entry->resident != nullptr;
+    snapshot.resident_bytes = entry->resident_bytes;
+    snapshot.text_length = entry->text_length;
+    snapshot.num_sequences = entry->num_sequences;
+    entries.push_back(std::move(snapshot));
+  }
+  return entries;
+}
+
+std::size_t IndexRegistry::resident_bytes() const {
+  std::shared_lock lock(mutex_);
+  return resident_bytes_locked();
+}
+
+std::string IndexRegistry::archive_path(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("IndexRegistry: unknown reference '" + name + "'");
+  }
+  return it->second->archive_path;
+}
+
+}  // namespace bwaver

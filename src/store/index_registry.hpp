@@ -1,0 +1,112 @@
+// Multi-reference index registry — the serving-side counterpart of the
+// archive format.
+//
+// A registry manages a set of named references backed by a store directory
+// (`<dir>/manifest.tsv` mapping name -> archive file -> size). Indexes are
+// loaded lazily on first acquire() and handed out as refcounted
+// shared_ptr<const StoredIndex> read handles: any number of mapping requests
+// can read one index concurrently (all FmIndex/ReferenceSet queries are
+// const), while add/evict/load take the write side of a shared_mutex. When
+// resident indexes exceed the memory budget the least-recently-used ones are
+// evicted — eviction only drops the registry's reference, so in-flight
+// readers holding a handle finish undisturbed and the memory is reclaimed
+// when the last handle dies.
+//
+// With an empty store directory the registry is memory-only: add() keeps the
+// index resident but nothing is persisted (the web service's legacy
+// upload-and-map mode).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "store/index_archive.hpp"
+
+namespace bwaver {
+
+/// Snapshot of one registry entry, for listings and the web API.
+struct RegistryEntry {
+  std::string name;
+  std::string archive_path;        ///< empty in memory-only mode
+  std::uint64_t archive_bytes = 0; ///< on-disk size (0 in memory-only mode)
+  std::size_t resident_bytes = 0;  ///< 0 when not resident
+  bool resident = false;
+  std::uint64_t text_length = 0;
+  std::uint64_t num_sequences = 0;
+};
+
+class IndexRegistry {
+ public:
+  using Handle = std::shared_ptr<const StoredIndex>;
+
+  static constexpr std::size_t kDefaultMemoryBudget = std::size_t{4} << 30;  // 4 GiB
+
+  /// Opens (or creates) a registry. A non-empty `store_dir` is created if
+  /// missing and its manifest is scanned; archives are not loaded until
+  /// acquired.
+  explicit IndexRegistry(std::string store_dir = "",
+                         std::size_t memory_budget_bytes = kDefaultMemoryBudget);
+
+  /// Returns a read handle for `name`, loading the archive if the index is
+  /// not resident. Throws std::out_of_range for unknown names and IoError
+  /// for unreadable/corrupt archives.
+  Handle acquire(const std::string& name);
+
+  /// Registers a freshly built index under `name` (replacing any previous
+  /// entry), persists it to the store directory when one is configured, and
+  /// returns a read handle. Names must be non-empty and free of whitespace
+  /// and '/' (they become manifest keys and file names).
+  Handle add(const std::string& name, StoredIndex stored);
+
+  /// Drops the resident copy of `name` (in-flight handles stay valid).
+  /// Returns false if the name is unknown or not resident. In persistent
+  /// mode the entry remains acquirable from its archive.
+  bool evict(const std::string& name);
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const;
+
+  /// Entries sorted by name.
+  std::vector<RegistryEntry> list() const;
+
+  std::size_t resident_bytes() const;
+  std::size_t memory_budget() const noexcept { return memory_budget_; }
+  const std::string& store_dir() const noexcept { return store_dir_; }
+
+  /// Archive path registered for `name` ("" in memory-only mode). Throws
+  /// std::out_of_range for unknown names.
+  std::string archive_path(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string archive_path;
+    std::uint64_t archive_bytes = 0;
+    Handle resident;
+    std::size_t resident_bytes = 0;
+    std::uint64_t text_length = 0;
+    std::uint64_t num_sequences = 0;
+    std::atomic<std::uint64_t> last_used{0};
+  };
+
+  void load_manifest();
+  void save_manifest_locked() const;
+  /// Evicts LRU residents (never `keep`) until the budget is met or nothing
+  /// else can be dropped.
+  void enforce_budget_locked(const std::string& keep);
+  std::size_t resident_bytes_locked() const;
+
+  std::string store_dir_;
+  std::size_t memory_budget_;
+  mutable std::shared_mutex mutex_;
+  std::atomic<std::uint64_t> clock_{0};
+  // unique_ptr: Entry holds an atomic LRU stamp (bumped under the shared
+  // lock) and is therefore not movable.
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace bwaver

@@ -138,6 +138,68 @@ TEST_F(CliTest, MapPairedClassifiesPairs) {
   EXPECT_NE(contents.find("proper:       50"), std::string::npos) << contents;
 }
 
+TEST_F(CliTest, IndexStoreBuildInfoAndMap) {
+  ASSERT_EQ(run("simulate-genome --length 40000 --seed 19 --out " + path("a.fa")), 0);
+  ASSERT_EQ(run("simulate-genome --length 30000 --seed 23 --out " + path("b.fa")), 0);
+  ASSERT_EQ(run("simulate-reads --ref " + path("a.fa") +
+                " --num 200 --length 50 --mapping-ratio 1.0 --out " + path("a.fq")),
+            0);
+
+  // Build two archives into one store.
+  ASSERT_EQ(run("index build --ref " + path("a.fa") + " --store-dir " +
+                path("store") + " --name refA"),
+            0);
+  EXPECT_NE(log_contents().find("built 'refA'"), std::string::npos);
+  ASSERT_EQ(run("index build --ref " + path("b.fa") + " --store-dir " +
+                path("store") + " --name refB"),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(path("store/refA.bwva")));
+  ASSERT_TRUE(std::filesystem::exists(path("store/refB.bwva")));
+  ASSERT_TRUE(std::filesystem::exists(path("store/manifest.tsv")));
+
+  // Store listing and per-archive section table.
+  ASSERT_EQ(run("index info --store-dir " + path("store")), 0);
+  auto contents = log_contents();
+  EXPECT_NE(contents.find("refA"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("refB"), std::string::npos) << contents;
+
+  ASSERT_EQ(run("index info --archive " + path("store/refA.bwva")), 0);
+  contents = log_contents();
+  EXPECT_NE(contents.find("format version: 1"), std::string::npos) << contents;
+  for (const char* section : {"meta", "bwt", "occ", "sa"}) {
+    EXPECT_NE(contents.find(section), std::string::npos) << contents;
+  }
+
+  // Mapping straight from the store skips the whole build.
+  ASSERT_EQ(run("map --store-dir " + path("store") + " --ref-name refA --reads " +
+                path("a.fq") + " --engine cpu --out " + path("a.sam")),
+            0);
+  EXPECT_NE(log_contents().find("mapped 200/200"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(path("a.sam")));
+
+  // A truncated archive is refused, not served.
+  const auto archive = read_file(path("store/refA.bwva"));
+  auto clipped = archive;
+  clipped.resize(archive.size() / 2);
+  write_file(path("store/refA.bwva"), clipped);
+  EXPECT_EQ(run("index info --archive " + path("store/refA.bwva")), 1);
+  EXPECT_NE(log_contents().find("error"), std::string::npos);
+  EXPECT_EQ(run("map --store-dir " + path("store") + " --ref-name refA --reads " +
+                path("a.fq")),
+            1);
+}
+
+TEST_F(CliTest, MapWithUnknownStoreReferenceFails) {
+  ASSERT_EQ(run("simulate-genome --length 30000 --seed 31 --out " + path("r.fa")), 0);
+  ASSERT_EQ(run("index build --ref " + path("r.fa") + " --store-dir " +
+                path("store") + " --name known"),
+            0);
+  EXPECT_EQ(run("map --store-dir " + path("store") +
+                " --ref-name unknown --reads " + path("r.fa")),
+            1);
+  EXPECT_NE(log_contents().find("error"), std::string::npos);
+}
+
 TEST_F(CliTest, MapWithMissingIndexFails) {
   EXPECT_EQ(run("map --index " + path("nope.bwvr") + " --reads " + path("nope.fq")),
             1);

@@ -1,0 +1,275 @@
+// IndexRegistry tests: manifest persistence across registry instances, LRU
+// eviction under a memory budget, handle validity across eviction, and the
+// headline concurrency guarantee — many threads mapping against two
+// references while a third is being evicted and reloaded.
+#include "store/index_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "fmindex/dna.hpp"
+#include "io/byte_io.hpp"
+#include "mapper/map_service.hpp"
+#include "mapper/pipeline.hpp"
+#include "sim/genome_sim.hpp"
+#include "sim/read_sim.hpp"
+
+namespace bwaver {
+namespace {
+
+/// Builds a complete single-sequence index the way the web service does.
+StoredIndex build_stored(const std::string& name,
+                         const std::vector<std::uint8_t>& genome) {
+  ReferenceSet reference;
+  reference.add(name, genome);
+  auto sa = build_suffix_array(reference.concatenated());
+  Bwt bwt = build_bwt(reference.concatenated(), sa);
+  RrrWaveletOcc occ(bwt.symbols, RrrParams{});
+  return StoredIndex{std::move(reference),
+                     FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ))};
+}
+
+std::vector<std::uint8_t> make_genome(std::size_t length, std::uint64_t seed) {
+  GenomeSimConfig config;
+  config.length = length;
+  config.seed = seed;
+  return simulate_genome(config);
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "bwaver_store_registry_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    store_ = (dir_ / "store").string();
+    genome_a_ = make_genome(30000, 41);
+    genome_b_ = make_genome(20000, 43);
+    genome_c_ = make_genome(15000, 47);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string store_;
+  std::vector<std::uint8_t> genome_a_, genome_b_, genome_c_;
+};
+
+TEST_F(RegistryTest, AddPersistsAndReloadsThroughManifest) {
+  {
+    IndexRegistry registry(store_);
+    registry.add("alpha", build_stored("alpha", genome_a_));
+    registry.add("beta", build_stored("beta", genome_b_));
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_TRUE(std::filesystem::exists(registry.archive_path("alpha")));
+  }
+  ASSERT_TRUE(std::filesystem::exists(std::filesystem::path(store_) / "manifest.tsv"));
+
+  // A fresh registry sees both references from the manifest without loading
+  // either index.
+  IndexRegistry reloaded(store_);
+  ASSERT_EQ(reloaded.size(), 2u);
+  EXPECT_TRUE(reloaded.contains("alpha"));
+  EXPECT_TRUE(reloaded.contains("beta"));
+  EXPECT_EQ(reloaded.resident_bytes(), 0u);
+  for (const RegistryEntry& entry : reloaded.list()) {
+    EXPECT_FALSE(entry.resident);
+    EXPECT_GT(entry.archive_bytes, 0u);
+    EXPECT_EQ(entry.num_sequences, 1u);
+  }
+
+  const IndexRegistry::Handle handle = reloaded.acquire("alpha");
+  EXPECT_EQ(handle->reference.concatenated(), genome_a_);
+  EXPECT_EQ(handle->index.size(), genome_a_.size());
+  const std::span<const std::uint8_t> pattern(genome_a_.data() + 777, 25);
+  EXPECT_GE(handle->index.count(pattern).count(), 1u);
+  EXPECT_GT(reloaded.resident_bytes(), 0u);
+}
+
+TEST_F(RegistryTest, UnknownNamesThrow) {
+  IndexRegistry registry(store_);
+  EXPECT_THROW(registry.acquire("nope"), std::out_of_range);
+  EXPECT_THROW(registry.archive_path("nope"), std::out_of_range);
+  EXPECT_FALSE(registry.evict("nope"));
+}
+
+TEST_F(RegistryTest, InvalidNamesAreRejected) {
+  IndexRegistry registry(store_);
+  EXPECT_THROW(registry.add("", build_stored("x", genome_c_)),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("has space", build_stored("x", genome_c_)),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add("a/b", build_stored("x", genome_c_)),
+               std::invalid_argument);
+}
+
+TEST_F(RegistryTest, EvictionKeepsInFlightHandlesValid) {
+  IndexRegistry registry(store_);
+  registry.add("alpha", build_stored("alpha", genome_a_));
+
+  const IndexRegistry::Handle handle = registry.acquire("alpha");
+  EXPECT_TRUE(registry.evict("alpha"));
+  EXPECT_FALSE(registry.evict("alpha"));  // already dropped
+  EXPECT_FALSE(registry.list().front().resident);
+  EXPECT_EQ(registry.resident_bytes(), 0u);
+
+  // The evicted index stays fully usable through the outstanding handle.
+  const std::span<const std::uint8_t> pattern(genome_a_.data() + 123, 30);
+  EXPECT_GE(handle->index.count(pattern).count(), 1u);
+
+  // And it is re-acquirable from its archive.
+  const IndexRegistry::Handle again = registry.acquire("alpha");
+  EXPECT_EQ(again->reference.concatenated(), genome_a_);
+  EXPECT_TRUE(registry.list().front().resident);
+}
+
+TEST_F(RegistryTest, MemoryOnlyEvictionIsUnrecoverable) {
+  IndexRegistry registry;  // no store directory
+  registry.add("alpha", build_stored("alpha", genome_c_));
+  EXPECT_EQ(registry.archive_path("alpha"), "");
+  EXPECT_TRUE(registry.evict("alpha"));
+  try {
+    registry.acquire("alpha");
+    FAIL() << "acquired an evicted memory-only index";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("no archive"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(RegistryTest, LruEvictionRespectsBudgetAndRecency) {
+  StoredIndex a = build_stored("alpha", genome_a_);
+  StoredIndex b = build_stored("beta", genome_b_);
+  StoredIndex c = build_stored("gamma", genome_c_);
+  // Budget fits any two of the three but not all three, so adding the third
+  // must evict exactly one: the least recently used.
+  const std::size_t budget =
+      stored_index_bytes(a) + stored_index_bytes(b) + stored_index_bytes(c) - 1;
+
+  IndexRegistry registry(store_, budget);
+  registry.add("alpha", std::move(a));
+  registry.add("beta", std::move(b));
+  registry.acquire("alpha");  // beta becomes the LRU entry
+  registry.add("gamma", std::move(c));
+
+  std::map<std::string, bool> resident;
+  for (const RegistryEntry& entry : registry.list()) {
+    resident[entry.name] = entry.resident;
+  }
+  EXPECT_TRUE(resident["alpha"]);
+  EXPECT_FALSE(resident["beta"]);
+  EXPECT_TRUE(resident["gamma"]);
+  EXPECT_LE(registry.resident_bytes(), budget);
+
+  // Acquiring beta again reloads it and evicts the new LRU (alpha).
+  registry.acquire("beta");
+  resident.clear();
+  for (const RegistryEntry& entry : registry.list()) {
+    resident[entry.name] = entry.resident;
+  }
+  EXPECT_FALSE(resident["alpha"]);
+  EXPECT_TRUE(resident["beta"]);
+}
+
+TEST_F(RegistryTest, TinyBudgetKeepsOnlyTheNewestIndex) {
+  IndexRegistry registry(store_, /*memory_budget_bytes=*/1);
+  registry.add("alpha", build_stored("alpha", genome_a_));
+  registry.add("beta", build_stored("beta", genome_b_));
+  const auto entries = registry.list();
+  ASSERT_EQ(entries.size(), 2u);
+  // The entry being added is never its own victim, so exactly the newest
+  // index stays resident even though it exceeds the budget alone.
+  for (const RegistryEntry& entry : entries) {
+    EXPECT_EQ(entry.resident, entry.name == "beta") << entry.name;
+  }
+}
+
+TEST_F(RegistryTest, ConcurrentMappingWhileEvicting) {
+  IndexRegistry registry(store_);
+  registry.add("alpha", build_stored("alpha", genome_a_));
+  registry.add("beta", build_stored("beta", genome_b_));
+  registry.add("gamma", build_stored("gamma", genome_c_));
+
+  PipelineConfig config;
+  config.engine = MappingEngine::kCpu;
+
+  // Expected per-reference SAM, computed single-threaded up front.
+  std::map<std::string, std::vector<FastqRecord>> reads;
+  std::map<std::string, std::string> expected_sam;
+  const std::map<std::string, const std::vector<std::uint8_t>*> genomes = {
+      {"alpha", &genome_a_}, {"beta", &genome_b_}};
+  for (const auto& [name, genome] : genomes) {
+    ReadSimConfig rc;
+    rc.num_reads = 60;
+    rc.read_length = 40;
+    rc.mapping_ratio = 1.0;
+    reads[name] = reads_to_fastq(simulate_reads(*genome, rc));
+    const IndexRegistry::Handle handle = registry.acquire(name);
+    expected_sam[name] =
+        map_records_over(handle->index, handle->reference, config, reads[name]).sam;
+  }
+
+  // 4 mapper threads split across alpha/beta; an evictor thread repeatedly
+  // drops all three references, forcing reloads mid-traffic. Every mapping
+  // must still produce the exact expected SAM.
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> mappers;
+  for (int t = 0; t < 4; ++t) {
+    mappers.emplace_back([&, t] {
+      const std::string name = (t % 2 == 0) ? "alpha" : "beta";
+      for (int i = 0; i < 8; ++i) {
+        try {
+          const IndexRegistry::Handle handle = registry.acquire(name);
+          const MappingOutcome outcome =
+              map_records_over(handle->index, handle->reference, config, reads[name]);
+          if (outcome.sam != expected_sam[name]) mismatches.fetch_add(1);
+        } catch (const std::exception&) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread evictor([&] {
+    const char* names[] = {"gamma", "alpha", "beta"};
+    for (int i = 0; i < 30; ++i) {
+      registry.evict(names[i % 3]);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& thread : mappers) thread.join();
+  evictor.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(errors.load(), 0);
+  // All three references are still acquirable afterwards.
+  EXPECT_EQ(registry.acquire("gamma")->reference.concatenated(), genome_c_);
+}
+
+TEST_F(RegistryTest, AddReplacesExistingEntry) {
+  IndexRegistry registry(store_);
+  registry.add("alpha", build_stored("alpha", genome_a_));
+  registry.add("alpha", build_stored("alpha", genome_b_));  // re-register
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.acquire("alpha")->reference.concatenated(), genome_b_);
+
+  // The replacement is what a fresh registry loads from disk.
+  IndexRegistry reloaded(store_);
+  EXPECT_EQ(reloaded.acquire("alpha")->reference.concatenated(), genome_b_);
+}
+
+TEST_F(RegistryTest, MalformedManifestThrows) {
+  std::filesystem::create_directories(store_);
+  std::ofstream((std::filesystem::path(store_) / "manifest.tsv"))
+      << "only_one_field\n";
+  EXPECT_THROW(IndexRegistry registry(store_), IoError);
+}
+
+}  // namespace
+}  // namespace bwaver
