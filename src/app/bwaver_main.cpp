@@ -19,7 +19,10 @@
 //   pipeline         --ref ref.fa[.gz] --reads reads.fq[.gz] --out out.sam [same options]
 //   stats            --index ref.bwvr [--b B] [--sf SF]   entropy/size/device-fit report
 //   serve            [--port P] [--b B] [--sf SF] [--engine ...] [--store-dir DIR]
-//                    [--memory-budget-mb M]                       web front-end
+//                    [--memory-budget-mb M] [--workers N] [--max-queue N]
+//                    [--job-timeout S] [--http-threads N] [--max-body-mb M]
+//                    web front-end + async mapping-job engine (see
+//                    docs/serving.md for the job lifecycle and /stats)
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -334,15 +337,30 @@ int cmd_serve(const ArgParser& args) {
           "memory-budget-mb",
           static_cast<std::int64_t>(IndexRegistry::kDefaultMemoryBudget >> 20)))
       << 20;
+  options.jobs.workers = static_cast<std::size_t>(args.get_int("workers", 4));
+  options.jobs.queue_capacity =
+      static_cast<std::size_t>(args.get_int("max-queue", 64));
+  options.jobs.default_timeout =
+      std::chrono::milliseconds(args.get_int("job-timeout", 0) * 1000);
+  options.http.worker_threads =
+      static_cast<std::size_t>(args.get_int("http-threads", 8));
+  options.http.max_body_bytes =
+      static_cast<std::size_t>(args.get_int("max-body-mb", 64)) << 20;
   WebService service(options);
   service.start(static_cast<std::uint16_t>(args.get_int("port", 8080)));
   std::printf("BWaveR web service on http://127.0.0.1:%u/ (Ctrl-C to stop)\n",
               service.port());
+  std::printf("job engine: %zu worker(s), queue capacity %zu\n",
+              options.jobs.workers, options.jobs.queue_capacity);
   if (!options.store_dir.empty()) {
     std::printf("serving %zu reference(s) from %s\n", service.registry().size(),
                 options.store_dir.c_str());
   }
-  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::seconds(60));
+    std::printf("%s\n", service.stats().summary_line().c_str());
+    std::fflush(stdout);
+  }
 }
 
 int cmd_pipeline(const ArgParser& args) {

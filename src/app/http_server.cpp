@@ -23,11 +23,16 @@ std::string lower(std::string s) {
 const char* status_text(int status) {
   switch (status) {
     case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
+    case 410: return "Gone";
+    case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
   }
 }
@@ -81,6 +86,37 @@ bool send_all(int fd, const void* data, std::size_t size) {
   return true;
 }
 
+void send_response(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     status_text(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    head += name + ": " + value + "\r\n";
+  }
+  head += "Connection: close\r\n\r\n";
+  if (send_all(fd, head.data(), head.size()) && !response.body.empty()) {
+    send_all(fd, response.body.data(), response.body.size());
+  }
+}
+
+/// Splits a path into '/'-separated segments ("" for the root path).
+std::vector<std::string> split_segments(const std::string& path) {
+  std::vector<std::string> segments;
+  std::size_t pos = 1;  // skip the leading '/'
+  while (pos <= path.size()) {
+    std::size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) slash = path.size();
+    segments.push_back(path.substr(pos, slash - pos));
+    pos = slash + 1;
+  }
+  return segments;
+}
+
+bool is_template(const std::string& path) {
+  return path.find('{') != std::string::npos;
+}
+
 }  // namespace
 
 HttpResponse HttpResponse::text(int status, const std::string& message) {
@@ -97,6 +133,14 @@ HttpResponse HttpResponse::html(const std::string& markup) {
   return response;
 }
 
+HttpResponse HttpResponse::json(int status, const std::string& document) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body.assign(document.begin(), document.end());
+  return response;
+}
+
 HttpResponse HttpResponse::bytes(const std::string& content_type,
                                  std::vector<std::uint8_t> payload) {
   HttpResponse response;
@@ -107,71 +151,129 @@ HttpResponse HttpResponse::bytes(const std::string& content_type,
 
 HttpServer::~HttpServer() { stop(); }
 
+bool HttpServer::match_path_template(const std::string& pattern, const std::string& path,
+                                     std::map<std::string, std::string>& params) {
+  if (pattern.empty() || path.empty() || pattern[0] != '/' || path[0] != '/') {
+    return false;
+  }
+  const auto pattern_segments = split_segments(pattern);
+  const auto path_segments = split_segments(path);
+  if (pattern_segments.size() != path_segments.size()) return false;
+  std::map<std::string, std::string> captured;
+  for (std::size_t i = 0; i < pattern_segments.size(); ++i) {
+    const std::string& ps = pattern_segments[i];
+    if (ps.size() >= 2 && ps.front() == '{' && ps.back() == '}') {
+      if (path_segments[i].empty()) return false;  // `{id}` never matches ""
+      captured[ps.substr(1, ps.size() - 2)] = url_decode(path_segments[i]);
+    } else if (ps != path_segments[i]) {
+      return false;
+    }
+  }
+  params = std::move(captured);
+  return true;
+}
+
 void HttpServer::route(const std::string& method, const std::string& path,
                        Handler handler) {
-  routes_[{method, path}] = std::move(handler);
+  if (is_template(path)) {
+    pattern_routes_.push_back(PatternRoute{method, path, std::move(handler)});
+  } else {
+    routes_[{method, path}] = std::move(handler);
+  }
 }
 
 void HttpServer::start(std::uint16_t port) {
   if (running_.load()) throw std::logic_error("HttpServer: already running");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("HttpServer: socket() failed");
   const int opt = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     throw std::runtime_error("HttpServer: bind() failed");
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  if (::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, std::max(options_.accept_backlog, 1)) != 0) {
+    ::close(fd);
     throw std::runtime_error("HttpServer: listen() failed");
   }
+  workers_ = std::make_unique<ThreadPool>(std::max<std::size_t>(options_.worker_threads, 1));
+  listen_fd_.store(fd);
   running_.store(true);
-  thread_ = std::thread([this] { serve_loop(); });
+  accept_thread_ = std::thread([this] { serve_loop(); });
 }
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
   // Shutting down the listening socket unblocks accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  if (thread_.joinable()) thread_.join();
-  // In-flight connection workers finish their responses before we return.
-  std::unique_lock lock(workers_mutex_);
-  workers_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Joining the pool drains queued connections and finishes in-flight
+  // handlers — no detached threads can outlive the server.
+  workers_.reset();
 }
 
 void HttpServer::serve_loop() {
   while (running_.load()) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = listen_fd_.load();
+    if (fd < 0) break;
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) {
       if (!running_.load()) break;
       continue;
     }
-    {
-      std::lock_guard lock(workers_mutex_);
-      ++active_workers_;
+    // Connection-level overload shedding: the kernel backlog absorbs
+    // bursts, the pool bounds concurrency, and anything beyond the pending
+    // cap is told to come back instead of queueing without limit.
+    if (workers_->pending() >= options_.max_pending_connections) {
+      HttpResponse busy = HttpResponse::text(503, "server overloaded\n");
+      busy.with_header("Retry-After", "1");
+      send_response(client, busy);
+      ::close(client);
+      continue;
     }
-    std::thread([this, client] {
+    workers_->post([this, client] {
       handle_connection(client);
       ::close(client);
-      std::lock_guard lock(workers_mutex_);
-      if (--active_workers_ == 0) workers_cv_.notify_all();
-    }).detach();
+    });
   }
+}
+
+const HttpServer::Handler* HttpServer::find_route(HttpRequest& request,
+                                                  bool& method_known_for_path) const {
+  method_known_for_path = false;
+  const auto exact = routes_.find({request.method, request.path});
+  if (exact != routes_.end()) return &exact->second;
+  for (const auto& route : pattern_routes_) {
+    std::map<std::string, std::string> params;
+    if (!match_path_template(route.pattern, request.path, params)) continue;
+    if (route.method != request.method) {
+      method_known_for_path = true;
+      continue;
+    }
+    request.path_params = std::move(params);
+    return &route.handler;
+  }
+  for (const auto& [key, handler] : routes_) {
+    if (key.second == request.path) {
+      method_known_for_path = true;
+      break;
+    }
+  }
+  return nullptr;
 }
 
 void HttpServer::handle_connection(int client_fd) {
@@ -217,10 +319,22 @@ void HttpServer::handle_connection(int client_fd) {
     }
   }
 
-  // Body.
+  // Body, capped before a single byte is buffered beyond the cap.
   std::size_t content_length = 0;
   if (auto it = request.headers.find("content-length"); it != request.headers.end()) {
-    content_length = static_cast<std::size_t>(std::stoull(it->second));
+    try {
+      content_length = static_cast<std::size_t>(std::stoull(it->second));
+    } catch (const std::exception&) {
+      send_response(client_fd, HttpResponse::text(400, "bad Content-Length\n"));
+      return;
+    }
+  }
+  if (content_length > options_.max_body_bytes) {
+    send_response(client_fd,
+                  HttpResponse::text(413, "request body exceeds " +
+                                              std::to_string(options_.max_body_bytes) +
+                                              " bytes\n"));
+    return;
   }
   std::string body = buffer.substr(header_end + 4);
   while (body.size() < content_length) {
@@ -233,25 +347,21 @@ void HttpServer::handle_connection(int client_fd) {
 
   // Dispatch.
   HttpResponse response;
-  auto it = routes_.find({request.method, request.path});
-  if (it == routes_.end()) {
-    response = HttpResponse::text(404, "not found: " + request.path + "\n");
+  bool method_known_for_path = false;
+  const Handler* handler = find_route(request, method_known_for_path);
+  if (handler == nullptr) {
+    response = method_known_for_path
+                   ? HttpResponse::text(405, "method not allowed: " + request.method +
+                                                 " " + request.path + "\n")
+                   : HttpResponse::text(404, "not found: " + request.path + "\n");
   } else {
     try {
-      response = it->second(request);
+      response = (*handler)(request);
     } catch (const std::exception& e) {
       response = HttpResponse::text(500, std::string("error: ") + e.what() + "\n");
     }
   }
-
-  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                     status_text(response.status) + "\r\n";
-  head += "Content-Type: " + response.content_type + "\r\n";
-  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  head += "Connection: close\r\n\r\n";
-  if (send_all(client_fd, head.data(), head.size()) && !response.body.empty()) {
-    send_all(client_fd, response.body.data(), response.body.size());
-  }
+  send_response(client_fd, response);
 }
 
 }  // namespace bwaver

@@ -1,20 +1,25 @@
 // Minimal HTTP/1.1 server over POSIX sockets — the C++ substitute for the
-// paper's Flask web server. One background accept thread, each connection
-// handled on its own worker thread (so long mapping requests don't block
-// other clients), Content-Length bodies, connection-close semantics.
-// Sufficient for the upload/index/map/download workflow and for tests to
-// exercise end-to-end over loopback.
+// paper's Flask web server, hardened for serving: one background accept
+// thread feeding a *bounded* connection worker pool (no thread-per-
+// connection fork bombs), a configurable kernel accept backlog and
+// in-process pending cap (overload answers 503 immediately), a maximum
+// request body size (413), Content-Length bodies, connection-close
+// semantics, and path templates (`/jobs/{id}`) alongside exact routes.
+// stop() joins — never detaches — so shutdown cannot race in-flight
+// handlers.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace bwaver {
 
@@ -23,6 +28,7 @@ struct HttpRequest {
   std::string path;                            ///< without the query string
   std::map<std::string, std::string> query;    ///< decoded ?key=value params
   std::map<std::string, std::string> headers;  ///< lower-cased names
+  std::map<std::string, std::string> path_params;  ///< `{name}` captures
   std::vector<std::uint8_t> body;
 
   /// Query parameter lookup with a fallback.
@@ -30,17 +36,40 @@ struct HttpRequest {
     const auto it = query.find(key);
     return it == query.end() ? fallback : it->second;
   }
+
+  /// Capture from a `{name}` route segment ("" when absent).
+  std::string path_param(const std::string& key) const {
+    const auto it = path_params.find(key);
+    return it == path_params.end() ? "" : it->second;
+  }
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
+  /// Extra response headers (e.g. Retry-After on 503).
+  std::vector<std::pair<std::string, std::string>> headers;
   std::vector<std::uint8_t> body;
 
   static HttpResponse text(int status, const std::string& message);
   static HttpResponse html(const std::string& markup);
+  static HttpResponse json(int status, const std::string& document);
   static HttpResponse bytes(const std::string& content_type,
                             std::vector<std::uint8_t> payload);
+
+  HttpResponse& with_header(std::string name, std::string value) {
+    headers.emplace_back(std::move(name), std::move(value));
+    return *this;
+  }
+};
+
+struct HttpServerOptions {
+  std::size_t worker_threads = 8;  ///< connection handlers (bounded pool)
+  int accept_backlog = 64;         ///< listen(2) backlog
+  /// Accepted connections waiting for a free worker beyond this are
+  /// answered 503 immediately instead of queueing unboundedly.
+  std::size_t max_pending_connections = 64;
+  std::size_t max_body_bytes = std::size_t{64} << 20;  ///< 413 beyond this
 };
 
 class HttpServer {
@@ -48,36 +77,53 @@ class HttpServer {
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
   HttpServer() = default;
+  explicit HttpServer(HttpServerOptions options) : options_(options) {}
   ~HttpServer();
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers a handler for exact (method, path) pairs.
+  /// Registers a handler. `path` is either exact ("/stats") or a template
+  /// with `{name}` segments ("/jobs/{id}/result") whose captures land in
+  /// HttpRequest::path_params. Exact routes win over templates; templates
+  /// match in registration order.
   void route(const std::string& method, const std::string& path, Handler handler);
 
   /// Binds to 127.0.0.1:`port` (0 = ephemeral) and starts serving on a
   /// background thread. Throws on bind failure.
   void start(std::uint16_t port = 0);
 
+  /// Stops accepting, drains and joins every in-flight handler.
   void stop();
 
   bool running() const noexcept { return running_.load(); }
   std::uint16_t port() const noexcept { return port_; }
+  const HttpServerOptions& options() const noexcept { return options_; }
+
+  /// Matches `path` against a `{name}`-template. On success fills `params`
+  /// with the captures and returns true. Exposed for unit tests.
+  static bool match_path_template(const std::string& pattern, const std::string& path,
+                                  std::map<std::string, std::string>& params);
 
  private:
+  struct PatternRoute {
+    std::string method;
+    std::string pattern;
+    Handler handler;
+  };
+
   void serve_loop();
   void handle_connection(int client_fd);
+  const Handler* find_route(HttpRequest& request, bool& method_known_for_path) const;
 
+  HttpServerOptions options_{};
   std::map<std::pair<std::string, std::string>, Handler> routes_;
-  std::thread thread_;
+  std::vector<PatternRoute> pattern_routes_;
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> workers_;
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
+  // Written by start()/stop(), read by the accept loop: must be atomic.
+  std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;
-
-  // Detached per-connection workers; stop() waits for the count to drain.
-  std::mutex workers_mutex_;
-  std::condition_variable workers_cv_;
-  std::size_t active_workers_ = 0;
 };
 
 }  // namespace bwaver

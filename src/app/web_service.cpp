@@ -1,6 +1,7 @@
 #include "app/web_service.hpp"
 
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -36,11 +37,62 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+std::string format_ms(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+std::string job_record_json(const JobRecord& record) {
+  std::string json = "{\"id\":" + std::to_string(record.id);
+  json += ",\"state\":\"" + std::string(to_string(record.state)) + "\"";
+  json += ",\"ref\":\"" + json_escape(record.label) + "\"";
+  json += ",\"priority\":\"" + std::string(to_string(record.priority)) + "\"";
+  json += ",\"queue_wait_ms\":" + format_ms(record.queue_wait_ms);
+  json += ",\"run_ms\":" + format_ms(record.run_ms);
+  if (!record.error.empty()) json += ",\"error\":\"" + json_escape(record.error) + "\"";
+  if (record.has_result) {
+    json += ",\"result\":\"/jobs/" + std::to_string(record.id) + "/result\"";
+  }
+  json += "}";
+  return json;
+}
+
+/// 503 with the client hint required for admission control.
+HttpResponse queue_full_response() {
+  HttpResponse response =
+      HttpResponse::text(503, "mapping queue full; retry later\n");
+  response.with_header("Retry-After", "1");
+  return response;
+}
+
+bool parse_job_id(const HttpRequest& request, std::uint64_t& id) {
+  const std::string raw = request.path_param("id");
+  if (raw.empty() || raw.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  try {
+    id = std::stoull(raw);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+JobPriority parse_priority(const std::string& name, JobPriority fallback) {
+  if (name == "high") return JobPriority::kHigh;
+  if (name == "normal") return JobPriority::kNormal;
+  if (name == "low") return JobPriority::kLow;
+  return fallback;
+}
+
 }  // namespace
 
 WebService::WebService(WebServiceOptions options)
     : options_(std::move(options)),
-      registry_(options_.store_dir, options_.memory_budget_bytes) {
+      registry_(options_.store_dir, options_.memory_budget_bytes),
+      jobs_(options_.jobs),
+      server_(options_.http) {
   server_.route("GET", "/", [this](const HttpRequest&) { return handle_index(); });
   server_.route("GET", "/status",
                 [this](const HttpRequest&) { return handle_status(); });
@@ -52,6 +104,16 @@ WebService::WebService(WebServiceOptions options)
                 [this](const HttpRequest& request) { return handle_map(request); });
   server_.route("POST", "/evict",
                 [this](const HttpRequest& request) { return handle_evict(request); });
+  server_.route("POST", "/jobs",
+                [this](const HttpRequest& request) { return handle_job_submit(request); });
+  server_.route("GET", "/jobs", [this](const HttpRequest&) { return handle_job_list(); });
+  server_.route("GET", "/jobs/{id}",
+                [this](const HttpRequest& request) { return handle_job_status(request); });
+  server_.route("GET", "/jobs/{id}/result",
+                [this](const HttpRequest& request) { return handle_job_result(request); });
+  server_.route("DELETE", "/jobs/{id}",
+                [this](const HttpRequest& request) { return handle_job_cancel(request); });
+  server_.route("GET", "/stats", [this](const HttpRequest&) { return handle_stats(); });
 }
 
 void WebService::start(std::uint16_t port) { server_.start(port); }
@@ -61,15 +123,19 @@ HttpResponse WebService::handle_index() const {
       "<html><head><title>BWaveR</title></head><body>"
       "<h1>BWaveR &mdash; hybrid DNA sequence mapper</h1>"
       "<p>Succinct-data-structure FM-index mapping with an FPGA-modeled "
-      "backend, serving multiple persisted references concurrently.</p>"
+      "backend, serving multiple persisted references through an "
+      "asynchronous bounded job queue.</p>"
       "<ol>"
       "<li>POST a FASTA (or FASTA.gz) reference to "
       "<code>/reference?name=X</code></li>"
-      "<li>POST a FASTQ (or FASTQ.gz) read set to <code>/map?ref=X</code> and "
-      "download the SAM response</li>"
+      "<li>POST a FASTQ (or FASTQ.gz) read set to <code>/jobs?ref=X</code>, "
+      "poll <code>/jobs/{id}</code>, then download "
+      "<code>/jobs/{id}/result</code> (or POST <code>/map?ref=X</code> to "
+      "wait inline)</li>"
       "</ol>"
-      "<p>See <code>/references</code> for the loaded indexes and "
-      "<code>/status</code> for registry state.</p>"
+      "<p>See <code>/references</code> for the loaded indexes, "
+      "<code>/status</code> for registry state, and <code>/stats</code> for "
+      "serving telemetry.</p>"
       "</body></html>");
 }
 
@@ -88,6 +154,9 @@ HttpResponse WebService::handle_status() const {
   if (!registry_.store_dir().empty()) {
     out += "store_dir: " + registry_.store_dir() + "\n";
   }
+  out += "jobs: " + std::to_string(jobs_.queue_depth()) + " queued / " +
+         std::to_string(jobs_.queue_capacity()) + " capacity, " +
+         std::to_string(jobs_.workers()) + " worker(s)\n";
   for (const auto& entry : entries) {
     out += "- " + entry.name + ": " + std::to_string(entry.text_length) + " bp, " +
            std::to_string(entry.num_sequences) + " sequence(s), " +
@@ -111,8 +180,7 @@ HttpResponse WebService::handle_references() const {
     json += "}";
   }
   json += "]\n";
-  return HttpResponse::bytes("application/json",
-                             std::vector<std::uint8_t>(json.begin(), json.end()));
+  return HttpResponse::json(200, json);
 }
 
 HttpResponse WebService::handle_reference(const HttpRequest& request) {
@@ -174,23 +242,161 @@ std::string WebService::resolve_ref_name(const HttpRequest& request,
   return entries.front().name;
 }
 
-HttpResponse WebService::handle_map(const HttpRequest& request) {
+HttpResponse WebService::submit_map_job(const HttpRequest& request,
+                                        JobPriority priority, std::uint64_t& job_id) {
   HttpResponse error;
   const std::string name = resolve_ref_name(request, error);
   if (name.empty()) return error;
   if (request.body.empty()) {
     return HttpResponse::text(400, "empty read upload\n");
   }
-  const auto records = parse_fastq(request.body);
+  // Parse on the connection thread (cheap, bounded by the body cap) so a
+  // malformed FASTQ fails fast with 400 instead of becoming a failed job.
+  std::shared_ptr<const std::vector<FastqRecord>> records;
+  try {
+    records = std::make_shared<const std::vector<FastqRecord>>(parse_fastq(request.body));
+  } catch (const std::exception& e) {
+    return HttpResponse::text(400, std::string("bad FASTQ: ") + e.what() + "\n");
+  }
 
-  // A refcounted read handle: mapping runs with no registry lock held, so
-  // any number of /map requests proceed concurrently, and eviction of this
-  // index mid-request cannot pull it out from under us.
-  const IndexRegistry::Handle handle = registry_.acquire(name);
-  const MappingOutcome outcome =
-      map_records_over(handle->index, handle->reference, options_.pipeline, records);
-  return HttpResponse::bytes(
-      "text/x-sam", std::vector<std::uint8_t>(outcome.sam.begin(), outcome.sam.end()));
+  std::optional<std::chrono::milliseconds> timeout;
+  const std::string timeout_raw = request.query_param("timeout-ms");
+  if (!timeout_raw.empty()) {
+    try {
+      timeout = std::chrono::milliseconds(std::stoll(timeout_raw));
+    } catch (const std::exception&) {
+      return HttpResponse::text(400, "bad timeout-ms\n");
+    }
+  }
+
+  // The worker acquires the registry handle at run time, so an index
+  // evicted between submit and pickup is transparently reloaded (or the
+  // job fails cleanly if it is gone).
+  auto task = [this, name, records](const CancelToken& cancel) {
+    const IndexRegistry::Handle handle = registry_.acquire(name);
+    const MappingOutcome outcome =
+        map_records_over(handle->index, handle->reference, options_.pipeline, *records,
+                         /*bowtie=*/nullptr, /*mapping_seconds=*/nullptr, &cancel);
+    return outcome.sam;
+  };
+
+  try {
+    job_id = jobs_.submit(name, std::move(task), priority, timeout);
+  } catch (const QueueFull&) {
+    return queue_full_response();
+  }
+  jobs_.stats().record_reference(name);
+  return HttpResponse{};  // status 200 marks "accepted" to the callers below
+}
+
+HttpResponse WebService::handle_map(const HttpRequest& request) {
+  jobs_.stats().sync_requests.fetch_add(1, std::memory_order_relaxed);
+  // The synchronous path rides the same bounded queue as /jobs — one
+  // admission-control point, one set of metrics — at high priority so
+  // inline callers stay snappy under a backlog of batch jobs.
+  std::uint64_t id = 0;
+  HttpResponse submitted = submit_map_job(
+      request, parse_priority(request.query_param("priority"), JobPriority::kHigh), id);
+  if (submitted.status != 200 || id == 0) return submitted;
+
+  const JobRecord record = jobs_.wait(id);
+  switch (record.state) {
+    case JobState::kDone: {
+      auto sam = jobs_.result(id);
+      return HttpResponse::bytes(
+          "text/x-sam", std::vector<std::uint8_t>(sam->begin(), sam->end()));
+    }
+    case JobState::kTimedOut:
+      return HttpResponse::text(503, "mapping job timed out\n");
+    case JobState::kCancelled:
+      return HttpResponse::text(410, "mapping job cancelled\n");
+    default:
+      return HttpResponse::text(500, "mapping failed: " + record.error + "\n");
+  }
+}
+
+HttpResponse WebService::handle_job_submit(const HttpRequest& request) {
+  jobs_.stats().async_requests.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t id = 0;
+  HttpResponse submitted = submit_map_job(
+      request, parse_priority(request.query_param("priority"), JobPriority::kNormal), id);
+  if (submitted.status != 200 || id == 0) return submitted;
+  const std::string json = "{\"id\":" + std::to_string(id) +
+                           ",\"state\":\"queued\",\"poll\":\"/jobs/" +
+                           std::to_string(id) + "\"}\n";
+  return HttpResponse::json(202, json);
+}
+
+HttpResponse WebService::handle_job_list() const {
+  std::string json = "[";
+  bool first = true;
+  for (const auto& record : jobs_.list()) {
+    if (!first) json += ",";
+    first = false;
+    json += job_record_json(record);
+  }
+  json += "]\n";
+  return HttpResponse::json(200, json);
+}
+
+HttpResponse WebService::handle_job_status(const HttpRequest& request) const {
+  std::uint64_t id = 0;
+  if (!parse_job_id(request, id)) {
+    return HttpResponse::text(400, "bad job id\n");
+  }
+  const auto record = jobs_.status(id);
+  if (!record) return HttpResponse::text(404, "unknown job " + std::to_string(id) + "\n");
+  return HttpResponse::json(200, job_record_json(*record) + "\n");
+}
+
+HttpResponse WebService::handle_job_result(const HttpRequest& request) const {
+  std::uint64_t id = 0;
+  if (!parse_job_id(request, id)) {
+    return HttpResponse::text(400, "bad job id\n");
+  }
+  const auto record = jobs_.status(id);
+  if (!record) return HttpResponse::text(404, "unknown job " + std::to_string(id) + "\n");
+  switch (record->state) {
+    case JobState::kDone: {
+      const auto sam = jobs_.result(id);
+      if (!sam) return HttpResponse::text(404, "result no longer retained\n");
+      return HttpResponse::bytes(
+          "text/x-sam", std::vector<std::uint8_t>(sam->begin(), sam->end()));
+    }
+    case JobState::kQueued:
+    case JobState::kRunning:
+      return HttpResponse::text(
+          409, "job " + std::to_string(id) + " is " + to_string(record->state) + "\n");
+    case JobState::kFailed:
+      return HttpResponse::text(500, "job failed: " + record->error + "\n");
+    case JobState::kCancelled:
+      return HttpResponse::text(410, "job cancelled\n");
+    case JobState::kTimedOut:
+      return HttpResponse::text(410, "job timed out\n");
+  }
+  return HttpResponse::text(500, "unreachable\n");
+}
+
+HttpResponse WebService::handle_job_cancel(const HttpRequest& request) {
+  std::uint64_t id = 0;
+  if (!parse_job_id(request, id)) {
+    return HttpResponse::text(400, "bad job id\n");
+  }
+  const auto record = jobs_.status(id);
+  if (!record) return HttpResponse::text(404, "unknown job " + std::to_string(id) + "\n");
+  if (!jobs_.cancel(id)) {
+    return HttpResponse::text(
+        409, "job " + std::to_string(id) + " already " + to_string(record->state) + "\n");
+  }
+  return HttpResponse::text(202, "cancellation requested for job " +
+                                     std::to_string(id) + "\n");
+}
+
+HttpResponse WebService::handle_stats() const {
+  return HttpResponse::json(
+      200, jobs_.stats().to_json(jobs_.queue_depth(), jobs_.queue_capacity(),
+                                 jobs_.workers(), jobs_.retained()) +
+               "\n");
 }
 
 HttpResponse WebService::handle_evict(const HttpRequest& request) {

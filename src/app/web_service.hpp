@@ -1,24 +1,36 @@
 // BWaveR web service (paper, Sec. III-D / Fig. 4): the "intuitive web
 // application" front-end over the three-step pipeline, grown into a
-// multi-tenant serving layer. Endpoints:
+// multi-tenant serving layer with an asynchronous mapping-job engine.
 //
+// Synchronous endpoints:
 //   GET  /              — HTML landing page with usage instructions
 //   GET  /status        — registry state and memory budget
 //   GET  /references    — JSON listing of the loaded/stored references
 //   POST /reference     — body: FASTA or FASTA.gz; runs steps 1+2 and
 //                         registers (and, with a store directory, persists)
 //                         the index. `?name=X` overrides the reference name
-//                         (default: the first FASTA record's name).
-//   POST /map           — body: FASTQ or FASTQ.gz; runs step 3 against
-//                         `?ref=X` (optional when exactly one reference is
-//                         loaded) and returns SAM.
-//   POST /evict         — `?ref=X`; drops the resident copy (still
-//                         acquirable from its archive in persistent mode)
+//   POST /map           — body: FASTQ or FASTQ.gz; queued as a mapping job
+//                         like /jobs but waited on inline, then the SAM is
+//                         returned. Shares admission control: 503 +
+//                         Retry-After when the queue is full
+//   POST /evict         — `?ref=X`; drops the resident copy
 //
-// Indexes come from an IndexRegistry: mapping requests take refcounted read
-// handles and run concurrently; only build and evict take the registry's
-// write lock. With a store directory the registry serves archives built by
-// `bwaver index build` and persists uploads across restarts.
+// Async job endpoints (the million-user path — submit, poll, fetch):
+//   POST   /jobs            — body: FASTQ[.gz]; `?ref=X&priority=high|
+//                             normal|low&timeout-ms=N`. Returns 202 + JSON
+//                             {"id":...} immediately, 503 when full
+//   GET    /jobs            — JSON list of retained jobs, newest first
+//   GET    /jobs/{id}       — JSON status/progress of one job
+//   GET    /jobs/{id}/result— the SAM payload once done (409 while
+//                             pending, 410 after cancel/timeout)
+//   DELETE /jobs/{id}       — cooperative cancellation
+//   GET    /stats           — ServerStats JSON: admission counters,
+//                             queue-wait/map-time histograms, per-reference
+//                             request counts
+//
+// Mapping work executes on the JobManager's fixed worker pool, never on
+// HTTP connection threads; both /map and /jobs funnel through the same
+// bounded queue, so overload sheds load instead of forking threads.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +38,7 @@
 #include <string>
 
 #include "app/http_server.hpp"
+#include "jobs/job_manager.hpp"
 #include "mapper/pipeline.hpp"
 #include "store/index_registry.hpp"
 
@@ -35,11 +48,18 @@ struct WebServiceOptions {
   PipelineConfig pipeline{};
   std::string store_dir;  ///< empty: memory-only (no persistence)
   std::size_t memory_budget_bytes = IndexRegistry::kDefaultMemoryBudget;
+  JobManagerConfig jobs{};  ///< worker count, queue capacity, timeout, GC
+  HttpServerOptions http{};
 };
 
 class WebService {
  public:
-  explicit WebService(PipelineConfig config) : WebService(WebServiceOptions{config, "", IndexRegistry::kDefaultMemoryBudget}) {}
+  explicit WebService(PipelineConfig config)
+      : WebService([&config] {
+          WebServiceOptions options;
+          options.pipeline = config;
+          return options;
+        }()) {}
   explicit WebService(WebServiceOptions options = WebServiceOptions{});
 
   /// Starts serving on 127.0.0.1:`port` (0 = ephemeral).
@@ -48,6 +68,8 @@ class WebService {
 
   std::uint16_t port() const noexcept { return server_.port(); }
   const IndexRegistry& registry() const noexcept { return registry_; }
+  JobManager& jobs() noexcept { return jobs_; }
+  const ServerStats& stats() const noexcept { return jobs_.stats(); }
 
  private:
   HttpResponse handle_index() const;
@@ -56,6 +78,17 @@ class WebService {
   HttpResponse handle_reference(const HttpRequest& request);
   HttpResponse handle_map(const HttpRequest& request);
   HttpResponse handle_evict(const HttpRequest& request);
+  HttpResponse handle_job_submit(const HttpRequest& request);
+  HttpResponse handle_job_list() const;
+  HttpResponse handle_job_status(const HttpRequest& request) const;
+  HttpResponse handle_job_result(const HttpRequest& request) const;
+  HttpResponse handle_job_cancel(const HttpRequest& request);
+  HttpResponse handle_stats() const;
+
+  /// Parses, validates, and enqueues one mapping job; returns the id via
+  /// `job_id` or an error response via the return value (status != 0).
+  HttpResponse submit_map_job(const HttpRequest& request, JobPriority priority,
+                              std::uint64_t& job_id);
 
   /// Resolves `?ref=` to a registry name, defaulting to the single loaded
   /// reference. Returns "" (with `error` filled) when ambiguous or unknown.
@@ -63,6 +96,7 @@ class WebService {
 
   WebServiceOptions options_;
   IndexRegistry registry_;
+  JobManager jobs_;
   std::mutex build_mutex_;  ///< serializes index *builds* (CPU-heavy), not maps
   HttpServer server_;
 };

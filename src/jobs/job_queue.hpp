@@ -1,0 +1,124 @@
+// Bounded MPMC priority queue — the admission-control choke point of the
+// async mapping-job engine.
+//
+// The capacity is a hard ceiling over *all* priority bands: once reached,
+// push() fails with the typed QueueFull so the HTTP layer can answer
+// 503 + Retry-After instead of letting a million-user burst buffer
+// unbounded work. pop() serves strictly by priority (high before normal
+// before low) and FIFO within a band, blocking until an item arrives or
+// the queue is closed. close() wakes all waiters; remaining items are
+// still drained (pop returns them) so shutdown never drops accepted work.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace bwaver {
+
+/// Admission-control rejection: the queue is at hard capacity.
+struct QueueFull : std::runtime_error {
+  explicit QueueFull(std::size_t capacity)
+      : std::runtime_error("job queue full (capacity " + std::to_string(capacity) + ")"),
+        capacity(capacity) {}
+  std::size_t capacity;
+};
+
+enum class JobPriority : int { kHigh = 0, kNormal = 1, kLow = 2 };
+
+inline const char* to_string(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::kHigh: return "high";
+    case JobPriority::kNormal: return "normal";
+    case JobPriority::kLow: return "low";
+  }
+  return "?";
+}
+
+template <typename T>
+class JobQueue {
+ public:
+  static constexpr std::size_t kNumPriorities = 3;
+
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Enqueues or throws QueueFull / std::runtime_error (closed).
+  void push(T item, JobPriority priority = JobPriority::kNormal) {
+    if (!try_push(std::move(item), priority)) throw QueueFull(capacity_);
+  }
+
+  /// Returns false when at capacity; throws only when closed.
+  bool try_push(T item, JobPriority priority = JobPriority::kNormal) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) throw std::runtime_error("JobQueue: push after close");
+      if (size_ >= capacity_) return false;
+      bands_[static_cast<std::size_t>(priority)].push_back(std::move(item));
+      ++size_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained; returns nullopt only in the latter case.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || size_ > 0; });
+    return pop_locked();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pop_locked();
+  }
+
+  /// Closes the queue: pushes start throwing, blocked pops wake. Items
+  /// already accepted remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  std::optional<T> pop_locked() {
+    for (auto& band : bands_) {
+      if (band.empty()) continue;
+      T item = std::move(band.front());
+      band.pop_front();
+      --size_;
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::array<std::deque<T>, kNumPriorities> bands_;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace bwaver

@@ -1,0 +1,133 @@
+#include "jobs/server_stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace bwaver {
+
+namespace {
+
+// 1, 3, 10, 30, ... ms — a decade ladder with a mid step, 11 finite
+// boundaries + overflow = kBuckets.
+constexpr double kUppersMs[LatencyHistogram::kBuckets - 1] = {
+    1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1'000.0, 3'000.0, 10'000.0, 30'000.0, 100'000.0};
+
+std::string format_ms(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+}  // namespace
+
+double LatencyHistogram::bucket_upper_ms(std::size_t i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kUppersMs[i];
+}
+
+void LatencyHistogram::record_ms(double ms) noexcept {
+  if (!(ms >= 0.0)) ms = 0.0;  // NaN and negatives clamp to the first bucket
+  std::size_t bucket = kBuckets - 1;
+  for (std::size_t i = 0; i < kBuckets - 1; ++i) {
+    if (ms <= kUppersMs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<std::uint64_t>(ms * 1000.0), std::memory_order_relaxed);
+}
+
+double LatencyHistogram::sum_ms() const noexcept {
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1000.0;
+}
+
+std::string LatencyHistogram::to_json() const {
+  std::string json = "{\"count\":" + std::to_string(count()) +
+                     ",\"sum_ms\":" + format_ms(sum_ms()) + ",\"buckets\":[";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (i > 0) json += ",";
+    json += "{\"le_ms\":";
+    json += (i == kBuckets - 1) ? "\"inf\"" : std::to_string(static_cast<long long>(kUppersMs[i]));
+    json += ",\"count\":" + std::to_string(cumulative) + "}";
+  }
+  json += "]}";
+  return json;
+}
+
+void ServerStats::record_reference(const std::string& name) {
+  std::lock_guard<std::mutex> lock(ref_mutex_);
+  ++ref_counts_[name];
+}
+
+std::map<std::string, std::uint64_t> ServerStats::reference_counts() const {
+  std::lock_guard<std::mutex> lock(ref_mutex_);
+  return ref_counts_;
+}
+
+double ServerStats::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+std::string ServerStats::to_json(std::size_t queue_depth, std::size_t queue_capacity,
+                                 std::size_t workers, std::size_t jobs_retained) const {
+  std::string json = "{";
+  json += "\"uptime_seconds\":" + format_ms(uptime_seconds());
+  json += ",\"counters\":{";
+  json += "\"submitted\":" + std::to_string(submitted.load(std::memory_order_relaxed));
+  json += ",\"rejected_queue_full\":" +
+          std::to_string(rejected_full.load(std::memory_order_relaxed));
+  json += ",\"completed\":" + std::to_string(completed.load(std::memory_order_relaxed));
+  json += ",\"failed\":" + std::to_string(failed.load(std::memory_order_relaxed));
+  json += ",\"cancelled\":" + std::to_string(cancelled.load(std::memory_order_relaxed));
+  json += ",\"timed_out\":" + std::to_string(timed_out.load(std::memory_order_relaxed));
+  json += ",\"sync_requests\":" +
+          std::to_string(sync_requests.load(std::memory_order_relaxed));
+  json += ",\"async_requests\":" +
+          std::to_string(async_requests.load(std::memory_order_relaxed));
+  json += "}";
+  json += ",\"queue\":{\"depth\":" + std::to_string(queue_depth) +
+          ",\"capacity\":" + std::to_string(queue_capacity) +
+          ",\"workers\":" + std::to_string(workers) +
+          ",\"jobs_retained\":" + std::to_string(jobs_retained) + "}";
+  json += ",\"histograms\":{\"queue_wait_ms\":" + queue_wait.to_json() +
+          ",\"map_time_ms\":" + map_time.to_json() + "}";
+  json += ",\"per_reference\":{";
+  bool first = true;
+  for (const auto& [name, count] : reference_counts()) {
+    if (!first) json += ",";
+    first = false;
+    // Reference names are registry-validated (no whitespace, '/'); escape
+    // quotes/backslashes anyway so the document stays well-formed.
+    std::string escaped;
+    for (const char c : name) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    json += "\"" + escaped + "\":" + std::to_string(count);
+  }
+  json += "}}";
+  return json;
+}
+
+std::string ServerStats::summary_line() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "jobs: %llu submitted, %llu rejected, %llu done, %llu failed, "
+                "%llu cancelled, %llu timed out; mean queue wait %.1f ms, mean map %.1f ms",
+                static_cast<unsigned long long>(submitted.load()),
+                static_cast<unsigned long long>(rejected_full.load()),
+                static_cast<unsigned long long>(completed.load()),
+                static_cast<unsigned long long>(failed.load()),
+                static_cast<unsigned long long>(cancelled.load()),
+                static_cast<unsigned long long>(timed_out.load()),
+                queue_wait.count() ? queue_wait.sum_ms() / static_cast<double>(queue_wait.count()) : 0.0,
+                map_time.count() ? map_time.sum_ms() / static_cast<double>(map_time.count()) : 0.0);
+  return buffer;
+}
+
+}  // namespace bwaver

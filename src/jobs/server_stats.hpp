@@ -1,0 +1,88 @@
+// Server telemetry for the mapping-job subsystem: lock-free counters,
+// fixed-bucket latency histograms, and per-reference request counts,
+// exported as JSON on GET /stats and in operator logs.
+//
+// Counters and histogram buckets are plain relaxed atomics — every /map
+// and every worker touches them, so they must never contend. Only the
+// per-reference map (unbounded key set) takes a mutex, on the request
+// path where a parse of the FASTQ body dwarfs it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bwaver {
+
+/// Fixed-boundary latency histogram (milliseconds). Boundaries are
+/// exponential — 1 ms to ~100 s — which covers queue waits under load and
+/// chromosome-scale mapping times in one shape. Thread-safe, wait-free
+/// recording.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 12;
+
+  /// Upper bound (inclusive) of bucket i in milliseconds; the last bucket
+  /// is unbounded.
+  static double bucket_upper_ms(std::size_t i);
+
+  void record_ms(double ms) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum_ms() const noexcept;
+
+  /// Cumulative "le"-style JSON object:
+  /// {"count":N,"sum_ms":S,"buckets":[{"le_ms":1,"count":n0},...]}.
+  std::string to_json() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};  ///< microseconds, to keep it integral
+};
+
+class ServerStats {
+ public:
+  ServerStats() : start_(std::chrono::steady_clock::now()) {}
+
+  // Admission + lifecycle counters (relaxed; exactness across a snapshot is
+  // not required, exactness per counter is).
+  std::atomic<std::uint64_t> submitted{0};       ///< accepted into the queue
+  std::atomic<std::uint64_t> rejected_full{0};   ///< 503'd by admission control
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  std::atomic<std::uint64_t> sync_requests{0};   ///< POST /map (waits inline)
+  std::atomic<std::uint64_t> async_requests{0};  ///< POST /jobs
+
+  LatencyHistogram queue_wait;  ///< submit -> worker pickup
+  LatencyHistogram map_time;    ///< worker run time (successful jobs)
+
+  void record_reference(const std::string& name);
+  std::map<std::string, std::uint64_t> reference_counts() const;
+
+  double uptime_seconds() const;
+
+  /// Full /stats document. `queue_depth`/`queue_capacity`/`workers`
+  /// describe the live queue and are supplied by the job manager.
+  std::string to_json(std::size_t queue_depth, std::size_t queue_capacity,
+                      std::size_t workers, std::size_t jobs_retained) const;
+
+  /// One-line operator log summary.
+  std::string summary_line() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex ref_mutex_;
+  std::map<std::string, std::uint64_t> ref_counts_;
+};
+
+}  // namespace bwaver

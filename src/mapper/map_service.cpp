@@ -1,5 +1,6 @@
 #include "mapper/map_service.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "mapper/fpga_mapper.hpp"
@@ -7,6 +8,18 @@
 #include "mapper/read_batch.hpp"
 
 namespace bwaver {
+
+namespace {
+
+/// Reads dispatched to the engine between cancellation checkpoints. Large
+/// enough that the per-chunk engine call amortizes, small enough that a
+/// DELETE /jobs/{id} or deadline takes effect promptly.
+constexpr std::size_t kCancellableChunk = 2048;
+
+/// Rows resolved between checkpoints inside one chunk.
+constexpr std::size_t kResolveCheckStride = 1024;
+
+}  // namespace
 
 std::vector<SamSequence> sam_sequences_for(const ReferenceSet& reference) {
   std::vector<SamSequence> sequences;
@@ -19,14 +32,20 @@ std::vector<SamSequence> sam_sequences_for(const ReferenceSet& reference) {
 
 void resolve_query_results(const ReferenceSet& reference,
                            const std::vector<std::uint32_t>& suffix_array,
-                           const std::vector<FastqRecord>& records,
+                           std::span<const FastqRecord> records,
                            std::span<const QueryResult> results,
                            std::size_t max_hits_per_read, MappingOutcome& outcome,
-                           std::vector<SamAlignment>& alignments) {
+                           std::vector<SamAlignment>& alignments,
+                           const CancelToken* cancel) {
   // Resolve SA intervals to per-sequence positions, dropping matches that
   // straddle a concatenation boundary.
   outcome.reads += results.size();
+  std::size_t since_check = 0;
   for (const QueryResult& result : results) {
+    if (cancel != nullptr && ++since_check >= kResolveCheckStride) {
+      since_check = 0;
+      cancel->throw_if_stopped();
+    }
     const auto& record = records[result.id];
     const auto read_length = static_cast<std::uint32_t>(record.sequence.size());
     std::size_t survivors = 0;
@@ -62,45 +81,73 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
                                 const PipelineConfig& config,
                                 const std::vector<FastqRecord>& records,
                                 const Bowtie2LikeMapper* bowtie,
-                                double* mapping_seconds) {
-  const ReadBatch batch = ReadBatch::from_fastq(records);
+                                double* mapping_seconds,
+                                const CancelToken* cancel) {
+  if (cancel != nullptr) cancel->throw_if_stopped();
 
-  std::vector<QueryResult> results;
-  double seconds = 0.0;
+  // Engines are constructed once (the FPGA model is programmed once, the
+  // baseline's transient index is built once) and fed chunk by chunk: with
+  // no cancel token everything goes in one chunk, exactly the pre-async
+  // behaviour; with a token each chunk boundary is a checkpoint.
+  std::unique_ptr<BwaverFpgaMapper> fpga;
+  std::unique_ptr<BwaverCpuMapper> cpu;
+  std::unique_ptr<Bowtie2LikeMapper> transient;
   switch (config.engine) {
-    case MappingEngine::kFpga: {
-      BwaverFpgaMapper mapper(index, config.device);
-      FpgaMapReport report;
-      results = mapper.map(batch, &report);
-      seconds = report.total_seconds();
+    case MappingEngine::kFpga:
+      fpga = std::make_unique<BwaverFpgaMapper>(index, config.device);
       break;
-    }
-    case MappingEngine::kCpu: {
-      BwaverCpuMapper mapper(index);
-      SoftwareMapReport report;
-      results = mapper.map(batch, config.threads, &report);
-      seconds = report.seconds;
+    case MappingEngine::kCpu:
+      cpu = std::make_unique<BwaverCpuMapper>(index);
       break;
-    }
-    case MappingEngine::kBowtie2Like: {
-      std::unique_ptr<Bowtie2LikeMapper> transient;
+    case MappingEngine::kBowtie2Like:
       if (bowtie == nullptr) {
         transient = std::make_unique<Bowtie2LikeMapper>(reference.concatenated());
         bowtie = transient.get();
       }
-      SoftwareMapReport report;
-      results = bowtie->map(batch, config.threads, &report);
-      seconds = report.seconds;
       break;
-    }
   }
-  if (mapping_seconds != nullptr) *mapping_seconds = seconds;
+
+  const std::size_t chunk_size =
+      cancel == nullptr ? std::max<std::size_t>(records.size(), 1) : kCancellableChunk;
 
   MappingOutcome outcome;
   std::vector<SamAlignment> alignments;
-  alignments.reserve(results.size());
-  resolve_query_results(reference, index.suffix_array(), records, results,
-                        config.max_hits_per_read, outcome, alignments);
+  alignments.reserve(records.size());
+  double seconds = 0.0;
+
+  const std::span<const FastqRecord> all(records);
+  for (std::size_t begin = 0; begin < records.size(); begin += chunk_size) {
+    if (cancel != nullptr) cancel->throw_if_stopped();
+    const std::span<const FastqRecord> chunk =
+        all.subspan(begin, std::min(chunk_size, records.size() - begin));
+    const ReadBatch batch = ReadBatch::from_fastq(chunk);
+
+    std::vector<QueryResult> results;
+    switch (config.engine) {
+      case MappingEngine::kFpga: {
+        FpgaMapReport report;
+        results = fpga->map(batch, &report);
+        seconds += report.total_seconds();
+        break;
+      }
+      case MappingEngine::kCpu: {
+        SoftwareMapReport report;
+        results = cpu->map(batch, config.threads, &report);
+        seconds += report.seconds;
+        break;
+      }
+      case MappingEngine::kBowtie2Like: {
+        SoftwareMapReport report;
+        results = bowtie->map(batch, config.threads, &report);
+        seconds += report.seconds;
+        break;
+      }
+    }
+    resolve_query_results(reference, index.suffix_array(), chunk, results,
+                          config.max_hits_per_read, outcome, alignments, cancel);
+  }
+  if (mapping_seconds != nullptr) *mapping_seconds = seconds;
+
   outcome.sam = format_sam(sam_sequences_for(reference), alignments);
   return outcome;
 }

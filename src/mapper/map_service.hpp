@@ -18,6 +18,7 @@
 #include "io/sam.hpp"
 #include "fpga/query_packet.hpp"
 #include "mapper/software_mapper.hpp"
+#include "util/cancellation.hpp"
 
 namespace bwaver {
 
@@ -32,10 +33,11 @@ std::vector<SamSequence> sam_sequences_for(const ReferenceSet& reference);
 /// outcome counters.
 void resolve_query_results(const ReferenceSet& reference,
                            const std::vector<std::uint32_t>& suffix_array,
-                           const std::vector<FastqRecord>& records,
+                           std::span<const FastqRecord> records,
                            std::span<const QueryResult> results,
                            std::size_t max_hits_per_read, MappingOutcome& outcome,
-                           std::vector<SamAlignment>& alignments);
+                           std::vector<SamAlignment>& alignments,
+                           const CancelToken* cancel = nullptr);
 
 /// Maps `records` against a borrowed index/reference pair with the engine
 /// selected in `config` and renders the SAM document. `bowtie` supplies a
@@ -43,11 +45,17 @@ void resolve_query_results(const ReferenceSet& reference,
 /// is built transiently from the reference (expensive — callers holding an
 /// index long-term should cache it). If `mapping_seconds` is non-null it
 /// receives the engine's wall-clock (software) or modeled (FPGA) time.
+///
+/// A non-null `cancel` token is polled at cooperative checkpoints (before
+/// each engine sub-batch and per chunk of result resolution); once it
+/// reports a stop the call unwinds with OperationCancelled. The job
+/// subsystem uses this for DELETE /jobs/{id} and deadline enforcement.
 MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
                                 const ReferenceSet& reference,
                                 const PipelineConfig& config,
                                 const std::vector<FastqRecord>& records,
                                 const Bowtie2LikeMapper* bowtie = nullptr,
-                                double* mapping_seconds = nullptr);
+                                double* mapping_seconds = nullptr,
+                                const CancelToken* cancel = nullptr);
 
 }  // namespace bwaver

@@ -1,0 +1,69 @@
+// Cooperative cancellation for long-running work (mapping jobs, shutdown).
+//
+// A CancelToken carries two independent stop reasons: an explicit cancel
+// request (DELETE /jobs/{id}, operator shutdown) and a wall-clock deadline
+// (per-job timeout). Workers poll stop_requested() at checkpoints — between
+// engine dispatch and per chunk of result resolution — and unwind with
+// OperationCancelled; the job layer then classifies the outcome as
+// cancelled vs timed-out by asking which reason fired. Tokens are shared
+// between the requesting thread and the worker, so all state is atomic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace bwaver {
+
+/// Thrown from a cancellation checkpoint once a stop has been requested.
+struct OperationCancelled : std::runtime_error {
+  OperationCancelled() : std::runtime_error("operation cancelled") {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void request_cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the deadline; passing a time in the past makes the token expired
+  /// immediately.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  bool deadline_passed() const noexcept {
+    const std::int64_t armed = deadline_ns_.load(std::memory_order_relaxed);
+    if (armed == kNoDeadline) return false;
+    return std::chrono::steady_clock::now().time_since_epoch().count() >= armed;
+  }
+
+  bool stop_requested() const noexcept {
+    return cancel_requested() || deadline_passed();
+  }
+
+  /// Checkpoint: throws OperationCancelled once a stop has been requested.
+  void throw_if_stopped() const {
+    if (stop_requested()) throw OperationCancelled{};
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline = std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace bwaver

@@ -34,6 +34,21 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return result;
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) throw std::runtime_error("ThreadPool: post after shutdown");
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;

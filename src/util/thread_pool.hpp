@@ -1,6 +1,7 @@
 // Fixed-size thread pool with a blocking task queue and a chunked
 // parallel_for helper. Used by the multithreaded software mappers
-// (BWaveR-CPU with T threads and the Bowtie2-like baseline).
+// (BWaveR-CPU with T threads and the Bowtie2-like baseline), the HTTP
+// server's bounded connection workers, and the mapping-job worker pool.
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +29,13 @@ class ThreadPool {
   /// Enqueue a task; the future resolves when it has run.
   std::future<void> submit(std::function<void()> task);
 
+  /// Fire-and-forget enqueue (no future allocated). The destructor still
+  /// drains the queue, so posted tasks always run.
+  void post(std::function<void()> task);
+
+  /// Tasks enqueued but not yet picked up by a worker.
+  std::size_t pending() const;
+
   /// Run fn(begin, end) over [0, n) split into roughly equal contiguous
   /// chunks, one per worker, and wait for completion. Exceptions from the
   /// chunks are rethrown (first one wins).
@@ -39,7 +47,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -6,6 +6,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
 #include "app/web_service.hpp"
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
@@ -111,6 +117,171 @@ TEST(HttpServer, DoubleStartThrows) {
   server.start(0);
   EXPECT_THROW(server.start(0), std::logic_error);
   server.stop();
+}
+
+// ------------------------------------------------- path-template routing
+
+TEST(HttpServerRouting, TemplateMatchCapturesParams) {
+  std::map<std::string, std::string> params;
+  EXPECT_TRUE(HttpServer::match_path_template("/jobs/{id}", "/jobs/42", params));
+  EXPECT_EQ(params.at("id"), "42");
+
+  EXPECT_TRUE(
+      HttpServer::match_path_template("/jobs/{id}/result", "/jobs/7/result", params));
+  EXPECT_EQ(params.at("id"), "7");
+
+  EXPECT_TRUE(HttpServer::match_path_template("/a/{x}/b/{y}", "/a/one/b/two", params));
+  EXPECT_EQ(params.at("x"), "one");
+  EXPECT_EQ(params.at("y"), "two");
+}
+
+TEST(HttpServerRouting, TemplateMissCases) {
+  std::map<std::string, std::string> params;
+  // Wrong segment count.
+  EXPECT_FALSE(HttpServer::match_path_template("/jobs/{id}", "/jobs", params));
+  EXPECT_FALSE(HttpServer::match_path_template("/jobs/{id}", "/jobs/42/result", params));
+  // Literal mismatch.
+  EXPECT_FALSE(HttpServer::match_path_template("/jobs/{id}", "/tasks/42", params));
+  EXPECT_FALSE(
+      HttpServer::match_path_template("/jobs/{id}/result", "/jobs/42/status", params));
+  // An empty segment never satisfies a capture.
+  EXPECT_FALSE(HttpServer::match_path_template("/jobs/{id}", "/jobs/", params));
+  // Non-rooted inputs.
+  EXPECT_FALSE(HttpServer::match_path_template("jobs/{id}", "/jobs/42", params));
+  EXPECT_FALSE(HttpServer::match_path_template("/jobs/{id}", "jobs/42", params));
+}
+
+TEST(HttpServerRouting, PathParamsReachHandlers) {
+  HttpServer server;
+  server.route("GET", "/jobs/{id}", [](const HttpRequest& request) {
+    return HttpResponse::text(200, "job=" + request.path_param("id"));
+  });
+  server.route("GET", "/jobs/{id}/result", [](const HttpRequest& request) {
+    return HttpResponse::text(200, "result-for=" + request.path_param("id"));
+  });
+  server.start(0);
+
+  EXPECT_NE(http_request(server.port(), "GET", "/jobs/42").find("job=42"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "GET", "/jobs/42/result")
+                .find("result-for=42"),
+            std::string::npos);
+  // Misses fall through to 404.
+  EXPECT_NE(http_request(server.port(), "GET", "/jobs/42/other").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "GET", "/jobs").find("HTTP/1.1 404"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServerRouting, ExactRouteWinsOverTemplate) {
+  HttpServer server;
+  server.route("GET", "/jobs/{id}", [](const HttpRequest&) {
+    return HttpResponse::text(200, "template");
+  });
+  server.route("GET", "/jobs/latest", [](const HttpRequest&) {
+    return HttpResponse::text(200, "exact");
+  });
+  server.start(0);
+  EXPECT_NE(http_request(server.port(), "GET", "/jobs/latest").find("exact"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "GET", "/jobs/3").find("template"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServerRouting, WrongMethodOnKnownPathIs405) {
+  HttpServer server;
+  server.route("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse::text(200, "pong");
+  });
+  server.route("GET", "/jobs/{id}", [](const HttpRequest&) {
+    return HttpResponse::text(200, "job");
+  });
+  server.start(0);
+  EXPECT_NE(http_request(server.port(), "POST", "/ping").find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(http_request(server.port(), "POST", "/jobs/9").find("HTTP/1.1 405"),
+            std::string::npos);
+  server.stop();
+}
+
+// ----------------------------------------- body limits and worker pool
+
+TEST(HttpServerLimits, OversizedBodyIs413) {
+  HttpServerOptions options;
+  options.max_body_bytes = 512;
+  HttpServer server(options);
+  bool handler_ran = false;
+  server.route("POST", "/upload", [&](const HttpRequest&) {
+    handler_ran = true;
+    return HttpResponse::text(200, "ok");
+  });
+  server.start(0);
+  const std::string big(2048, 'x');
+  const std::string response = http_request(server.port(), "POST", "/upload", big);
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos);
+  EXPECT_FALSE(handler_ran) << "oversized bodies must be rejected before dispatch";
+  // At the limit is still accepted.
+  const std::string ok = http_request(server.port(), "POST", "/upload",
+                                      std::string(512, 'x'));
+  EXPECT_NE(ok.find("HTTP/1.1 200"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServerLimits, ExtraHeadersAreEmitted) {
+  HttpServer server;
+  server.route("GET", "/busy", [](const HttpRequest&) {
+    HttpResponse response = HttpResponse::text(503, "try later\n");
+    response.with_header("Retry-After", "3");
+    return response;
+  });
+  server.start(0);
+  const std::string response = http_request(server.port(), "GET", "/busy");
+  EXPECT_NE(response.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(response.find("Retry-After: 3"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServerPool, BoundedWorkersServeConcurrentBurst) {
+  HttpServerOptions options;
+  options.worker_threads = 2;
+  HttpServer server(options);
+  std::atomic<int> served{0};
+  server.route("GET", "/slow", [&](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ++served;
+    return HttpResponse::text(200, "done");
+  });
+  server.start(0);
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&] {
+      const std::string response = http_request(server.port(), "GET", "/slow");
+      if (response.find("HTTP/1.1 200") != std::string::npos) ++ok;
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(ok.load(), 8) << "burst beyond the pool size must still be served";
+  EXPECT_EQ(served.load(), 8);
+  server.stop();
+}
+
+TEST(HttpServerPool, StopJoinsInFlightHandlers) {
+  HttpServer server;
+  std::atomic<bool> finished{false};
+  server.route("GET", "/slow", [&](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    finished = true;
+    return HttpResponse::text(200, "done");
+  });
+  server.start(0);
+  std::thread client([&] { http_request(server.port(), "GET", "/slow"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // handler in flight
+  server.stop();
+  EXPECT_TRUE(finished.load()) << "stop() must join, not abandon, in-flight handlers";
+  client.join();
 }
 
 // --------------------------------------------------------- WebService

@@ -1,0 +1,135 @@
+#include "jobs/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace bwaver {
+namespace {
+
+TEST(JobQueue, PushPopFifoWithinBand) {
+  JobQueue<int> queue(8);
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_EQ(queue.pop().value(), 3);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(JobQueue, PriorityBandsServedInOrder) {
+  JobQueue<int> queue(8);
+  queue.push(30, JobPriority::kLow);
+  queue.push(20, JobPriority::kNormal);
+  queue.push(10, JobPriority::kHigh);
+  queue.push(21, JobPriority::kNormal);
+  queue.push(11, JobPriority::kHigh);
+  EXPECT_EQ(queue.pop().value(), 10);
+  EXPECT_EQ(queue.pop().value(), 11);
+  EXPECT_EQ(queue.pop().value(), 20);
+  EXPECT_EQ(queue.pop().value(), 21);
+  EXPECT_EQ(queue.pop().value(), 30);
+}
+
+TEST(JobQueue, CapacityIsHardAcrossBands) {
+  JobQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1, JobPriority::kHigh));
+  EXPECT_TRUE(queue.try_push(2, JobPriority::kLow));
+  EXPECT_FALSE(queue.try_push(3, JobPriority::kHigh));
+  EXPECT_THROW(queue.push(3), QueueFull);
+  // The typed error carries the capacity for the Retry-After message.
+  try {
+    queue.push(3);
+    FAIL() << "expected QueueFull";
+  } catch (const QueueFull& e) {
+    EXPECT_EQ(e.capacity, 2u);
+  }
+  queue.pop();
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(JobQueue, ZeroCapacityClampsToOne) {
+  JobQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_FALSE(queue.try_push(2));
+}
+
+TEST(JobQueue, CloseWakesBlockedPopAndDrains) {
+  JobQueue<int> queue(4);
+  queue.push(7);
+  std::thread closer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+  });
+  EXPECT_EQ(queue.pop().value(), 7);  // item before close
+  EXPECT_EQ(queue.pop(), std::nullopt);  // blocked until close fires
+  closer.join();
+  EXPECT_THROW(queue.push(8), std::runtime_error);
+}
+
+TEST(JobQueue, TryPopNonBlocking) {
+  JobQueue<int> queue(4);
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+  queue.push(5);
+  EXPECT_EQ(queue.try_pop().value(), 5);
+}
+
+// Satellite requirement: many producers push far beyond capacity while
+// consumers drain; accepted + rejected must account for every attempt and
+// every accepted item must be popped exactly once.
+TEST(JobQueue, MpmcStressExactAccounting) {
+  constexpr std::size_t kCapacity = 16;
+  constexpr std::size_t kProducers = 8;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::size_t kPerProducer = 500;
+
+  JobQueue<std::uint64_t> queue(kCapacity);
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t token = p * kPerProducer + i;
+        const auto priority = static_cast<JobPriority>(token % 3);
+        if (queue.try_push(token, priority)) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::mutex popped_mutex;
+  std::set<std::uint64_t> popped;
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        std::lock_guard<std::mutex> lock(popped_mutex);
+        EXPECT_TRUE(popped.insert(*item).second) << "duplicate pop of " << *item;
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
+  EXPECT_GT(accepted.load(), 0u);
+  EXPECT_GT(rejected.load(), 0u) << "stress never saturated the queue";
+  EXPECT_EQ(popped.size(), accepted.load());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bwaver
