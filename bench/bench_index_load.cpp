@@ -20,7 +20,7 @@ using namespace bwaver;
 using namespace bwaver::bench;
 
 void run_reference(const char* label, const std::vector<std::uint8_t>& genome,
-                   const std::filesystem::path& dir) {
+                   const std::filesystem::path& dir, JsonReport& report) {
   const std::string archive = (dir / (std::string(label) + ".bwva")).string();
 
   WallTimer timer;
@@ -38,9 +38,13 @@ void run_reference(const char* label, const std::vector<std::uint8_t>& genome,
 
   const auto archive_mb =
       static_cast<double>(std::filesystem::file_size(archive)) / (1024.0 * 1024.0);
+  const double load_speedup = build_ms / (load_ms > 0.0 ? load_ms : 1.0);
   std::printf("%-18s %10zu %12.1f %10.1f %10.1f %9.2f %8.1fx\n", label,
               genome.size(), build_ms, save_ms, load_ms, archive_mb,
-              build_ms / (load_ms > 0.0 ? load_ms : 1.0));
+              load_speedup);
+  report.metric(std::string(label) + ".build_ms", build_ms);
+  report.metric(std::string(label) + ".load_ms", load_ms);
+  report.metric(std::string(label) + ".load_speedup", load_speedup);
 
   // The loaded index must be the built one, structure for structure.
   if (loaded.index().suffix_array() != built.index().suffix_array() ||
@@ -59,14 +63,16 @@ int main(int argc, char** argv) {
       std::filesystem::temp_directory_path() / "bwaver_bench_index_load";
   std::filesystem::create_directories(dir);
 
+  JsonReport report("bench_index_load", setup.json);
   std::printf("%-18s %10s %12s %10s %10s %9s %8s\n", "reference", "bp",
               "build [ms]", "save [ms]", "load [ms]", "MiB", "speedup");
-  run_reference("ecoli_like", ecoli_reference(setup), dir);
-  run_reference("chr21_like", chr21_reference(setup), dir);
+  run_reference("ecoli_like", ecoli_reference(setup), dir, report);
+  run_reference("chr21_like", chr21_reference(setup), dir, report);
 
   std::filesystem::remove_all(dir);
   std::printf("\nbuild = SA + BWT + RRR encoding in memory; load = checksummed\n"
               "archive read + inverse BWT. The speedup is what `bwaver serve\n"
               "--store-dir` gains on every restart and registry reload.\n");
+  report.emit();
   return 0;
 }

@@ -97,22 +97,28 @@ int main(int argc, char** argv) {
   std::printf("%-14s %12s %12s %10s %14s\n", "path", "wall [ms]", "reads/s",
               "speedup", "queue wait[ms]");
 
+  JsonReport report("bench_job_throughput", setup.json);
   const double inline_ms = run_inline(pipeline, batches);
-  std::printf("%-14s %12.1f %12.0f %9.2fx %14s\n", "inline", inline_ms,
-              1000.0 * static_cast<double>(total_reads) / inline_ms, 1.0, "-");
+  const double inline_rps = 1000.0 * static_cast<double>(total_reads) / inline_ms;
+  std::printf("%-14s %12.1f %12.0f %9.2fx %14s\n", "inline", inline_ms, inline_rps,
+              1.0, "-");
+  report.metric("inline_reads_per_sec", inline_rps);
 
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                                     std::size_t{8}}) {
     double mean_wait_ms = 0.0;
     const double pooled_ms = run_pooled(pipeline, batches, workers, &mean_wait_ms);
+    const double pooled_rps = 1000.0 * static_cast<double>(total_reads) / pooled_ms;
     std::printf("%-7s w=%-4zu %12.1f %12.0f %9.2fx %14.1f\n", "pooled", workers,
-                pooled_ms, 1000.0 * static_cast<double>(total_reads) / pooled_ms,
+                pooled_ms, pooled_rps,
                 inline_ms / (pooled_ms > 0.0 ? pooled_ms : 1.0), mean_wait_ms);
+    report.metric("pooled_w" + std::to_string(workers) + "_reads_per_sec", pooled_rps);
   }
 
   std::printf("\ninline = map_records_over called back to back on the caller's\n"
               "thread; pooled = the same batches as jobs through the bounded\n"
               "queue. w=1 isolates the subsystem's overhead (queue hop, state\n"
               "machine, cancel checkpoints); larger w shows scaling headroom.\n");
+  report.emit();
   return 0;
 }

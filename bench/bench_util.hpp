@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "app/cli.hpp"
@@ -18,6 +19,7 @@ namespace bwaver::bench {
 struct ScaledSetup {
   double scale = 1.0;     ///< fraction of the paper workload
   bool full = false;
+  bool json = false;      ///< emit a machine-readable metrics line at the end
   std::uint64_t seed = 42;
 };
 
@@ -26,9 +28,39 @@ inline ScaledSetup parse_setup(int argc, char** argv, double default_scale) {
   ScaledSetup setup;
   setup.full = args.has("full");
   setup.scale = setup.full ? 1.0 : args.get_double("scale", default_scale);
+  setup.json = args.has("json");
   setup.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   return setup;
 }
+
+/// Flat metric collector. With --json the bench prints its human table as
+/// usual and then one `{"bench":...,"metrics":{...}}` line (the last '{'
+/// line of stdout), which CI captures as an artifact and checks against
+/// the floors in bench/baseline.json.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, bool enabled)
+      : bench_(std::move(bench)), enabled_(enabled) {}
+
+  void metric(const std::string& key, double value) {
+    if (enabled_) metrics_.emplace_back(key, value);
+  }
+
+  void emit() const {
+    if (!enabled_) return;
+    std::printf("\n{\"bench\":\"%s\",\"metrics\":{", bench_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::printf("%s\"%s\":%.6g", i == 0 ? "" : ",", metrics_[i].first.c_str(),
+                  metrics_[i].second);
+    }
+    std::printf("}}\n");
+  }
+
+ private:
+  std::string bench_;
+  bool enabled_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline std::size_t scaled(std::size_t paper_value, double scale) {
   const auto value = static_cast<std::size_t>(static_cast<double>(paper_value) * scale);

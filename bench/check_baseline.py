@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Enforce bench/baseline.json performance floors against bench --json output.
+
+Usage:
+    check_baseline.py baseline.json bench_output.txt [bench_output.txt ...]
+
+Each bench output file is the captured stdout of one benchmark run with
+--json: the human-readable table followed by a single machine-readable line
+of the form {"bench": "<name>", "metrics": {...}}. This script takes the
+LAST line starting with '{' from each file.
+
+Rules (documented in baseline.json's _comment):
+  * plain key        -> measured >= floor * 0.7   (fail on a >30% regression)
+  * key ending _min  -> measured >= value          (hard minimum, no grace)
+  * key ending _max  -> measured <= value          (hard maximum, no grace)
+
+A baseline key whose metric is missing from the measured output is an error:
+silently skipping it would let a renamed metric disable its own floor.
+Exit status is non-zero when any check fails.
+"""
+
+import json
+import sys
+
+GRACE = 0.7  # plain floors tolerate a 30% drop before failing
+
+
+def load_metrics(path):
+    """Returns (bench_name, metrics_dict) from a bench stdout capture."""
+    json_line = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.lstrip().startswith("{"):
+                json_line = line
+    if json_line is None:
+        raise ValueError(f"{path}: no JSON metrics line (was --json passed?)")
+    doc = json.loads(json_line)
+    return doc["bench"], doc["metrics"]
+
+
+def check(bench, floors, metrics):
+    """Yields (ok, message) per baseline key for one bench."""
+    for key, bound in floors.items():
+        if key.startswith("_"):
+            continue
+        if key.endswith("_min"):
+            metric, kind = key[: -len("_min")], "min"
+        elif key.endswith("_max"):
+            metric, kind = key[: -len("_max")], "max"
+        else:
+            metric, kind = key, "floor"
+        if metric not in metrics:
+            yield False, f"{bench}.{metric}: missing from bench output"
+            continue
+        value = metrics[metric]
+        if kind == "min":
+            ok = value >= bound
+            rule = f">= {bound} (hard minimum)"
+        elif kind == "max":
+            ok = value <= bound
+            rule = f"<= {bound} (hard maximum)"
+        else:
+            ok = value >= bound * GRACE
+            rule = f">= {bound * GRACE:g} (baseline {bound} * {GRACE})"
+        status = "ok" if ok else "FAIL"
+        yield ok, f"{bench}.{metric}: {value:g} {rule} ... {status}"
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    measured = {}
+    for path in argv[2:]:
+        bench, metrics = load_metrics(path)
+        measured[bench] = metrics
+
+    failed = False
+    for bench, floors in baseline.items():
+        if bench.startswith("_"):
+            continue
+        if bench not in measured:
+            print(f"{bench}: no bench output supplied ... FAIL")
+            failed = True
+            continue
+        for ok, message in check(bench, floors, measured[bench]):
+            print(message)
+            failed = failed or not ok
+    print("baseline check:", "FAILED" if failed else "passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

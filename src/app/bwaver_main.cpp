@@ -5,12 +5,15 @@
 //   simulate-reads   --ref ref.fa[.gz] --num N --length L [--mapping-ratio F] --out reads.fq[.gz]
 //   index            --ref ref.fa[.gz] --out ref.bwvr            (pipeline step 1)
 //   index build      --ref ref.fa[.gz] --store-dir DIR [--name N] [--b B] [--sf SF]
-//                    builds steps 1+2 and persists a checksummed archive into
-//                    the store directory (creating/updating its manifest)
+//                    [--seed-k K]  builds steps 1+2 (including the k-mer seed
+//                    table; --seed-k 0 disables it) and persists a checksummed
+//                    archive into the store directory (creating/updating its
+//                    manifest)
 //   index info       --archive ref.bwva | --store-dir DIR
 //                    archive section table / store manifest listing
 //   map              --index ref.bwvr --reads reads.fq[.gz] --out out.sam
 //                    [--engine fpga|cpu|bowtie2like] [--threads T] [--b B] [--sf SF]
+//                    [--shards N] (reads per parallel shard, 0 = auto)
 //                    or: --store-dir DIR --ref-name N (load from the store)
 //   map-approx       --index ref.bwvr --reads reads.fq[.gz] [--mismatches K<=2]
 //                    staged exact -> 1-mm -> 2-mm mapping (FPGA model)
@@ -76,6 +79,9 @@ PipelineConfig config_from_args(const ArgParser& args) {
   config.rrr.superblock_factor = static_cast<unsigned>(args.get_int("sf", 50));
   config.engine = parse_engine(args.get("engine", "fpga"));
   config.threads = static_cast<unsigned>(args.get_int("threads", 1));
+  config.seed_k = static_cast<unsigned>(
+      args.get_int("seed-k", static_cast<std::int64_t>(KmerSeedTable::kDefaultK)));
+  config.shard_size = static_cast<std::size_t>(args.get_int("shards", 0));
   return config;
 }
 
@@ -150,6 +156,7 @@ int cmd_index_build(const ArgParser& args) {
       std::move(bwt), sa, [params](std::span<const std::uint8_t> symbols) {
         return RrrWaveletOcc(symbols, params);
       });
+  index.build_seed_table(reference.concatenated(), config.seed_k);
   const double encode_seconds = timer.seconds();
 
   const std::size_t length = index.size();

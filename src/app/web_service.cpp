@@ -277,6 +277,8 @@ HttpResponse WebService::submit_map_job(const HttpRequest& request,
     const MappingOutcome outcome =
         map_records_over(handle->index, handle->reference, options_.pipeline, *records,
                          /*bowtie=*/nullptr, /*mapping_seconds=*/nullptr, &cancel);
+    jobs_.stats().reads_mapped.fetch_add(outcome.reads, std::memory_order_relaxed);
+    jobs_.stats().map_shards.fetch_add(outcome.shards, std::memory_order_relaxed);
     return outcome.sam;
   };
 

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -24,19 +25,12 @@
 
 #include "fmindex/bwt.hpp"
 #include "fmindex/dna.hpp"
+#include "fmindex/kmer_table.hpp"
+#include "fmindex/sa_interval.hpp"
 #include "fmindex/suffix_array.hpp"
 #include "io/byte_io.hpp"
 
 namespace bwaver {
-
-/// Half-open SA-row interval; empty() means the pattern does not occur.
-struct SaInterval {
-  std::uint32_t lo = 0;
-  std::uint32_t hi = 0;
-  bool empty() const noexcept { return lo >= hi; }
-  std::uint32_t count() const noexcept { return empty() ? 0 : hi - lo; }
-  friend bool operator==(const SaInterval&, const SaInterval&) = default;
-};
 
 template <typename Occ>
 class FmIndex {
@@ -87,6 +81,20 @@ class FmIndex {
     return occ_backend_.rank(c, row <= bwt_.primary ? row : row - 1);
   }
 
+  /// Occ at both interval bounds, row1 <= row2. Backends exposing rank2
+  /// answer both with one wavelet descent (and, for narrow intervals, a
+  /// shared RRR superblock scan); others pay two independent ranks.
+  std::pair<std::size_t, std::size_t> occ2(std::uint8_t c, std::size_t row1,
+                                           std::size_t row2) const noexcept {
+    const std::size_t a1 = row1 <= bwt_.primary ? row1 : row1 - 1;
+    const std::size_t a2 = row2 <= bwt_.primary ? row2 : row2 - 1;
+    if constexpr (requires { occ_backend_.rank2(c, a1, a2); }) {
+      return occ_backend_.rank2(c, a1, a2);
+    } else {
+      return {occ_backend_.rank(c, a1), occ_backend_.rank(c, a2)};
+    }
+  }
+
   /// C(c): number of symbols in T$ lexicographically smaller than base c
   /// (the sentinel counts once).
   std::uint32_t c_array(std::uint8_t c) const noexcept { return c_[c]; }
@@ -111,16 +119,39 @@ class FmIndex {
   }
 
   /// One backward-search step: prepend code `c` to the matched pattern.
+  /// Both interval bounds resolve through occ2 so pair-capable backends
+  /// answer them in one descent.
   SaInterval step(SaInterval iv, std::uint8_t c) const noexcept {
-    return SaInterval{
-        static_cast<std::uint32_t>(c_[c] + occ(c, iv.lo)),
-        static_cast<std::uint32_t>(c_[c] + occ(c, iv.hi))};
+    const auto [r_lo, r_hi] = occ2(c, iv.lo, iv.hi);
+    return SaInterval{static_cast<std::uint32_t>(c_[c] + r_lo),
+                      static_cast<std::uint32_t>(c_[c] + r_hi)};
   }
 
-  /// Backward search of a full pattern (codes 0..3). Stops early when the
+  /// Backward search of a full pattern (codes 0..3). When a k-mer seed
+  /// table is attached and the pattern's final k codes hit a non-empty
+  /// entry, the first k steps are skipped outright; any other case —
+  /// no table, short pattern, out-of-alphabet code, absent k-mer — falls
+  /// back to the classic recurrence. Because a non-empty table entry IS
+  /// the interval the recurrence would reach after those k steps (no early
+  /// exit can have fired: intervals only shrink), the result is
+  /// byte-identical to count_unseeded() in every case.
+  SaInterval count(std::span<const std::uint8_t> pattern) const noexcept {
+    const unsigned k = seed_table_ ? seed_table_->k() : 0;
+    if (k == 0 || pattern.size() < k) return count_unseeded(pattern);
+    const auto seed = seed_table_->lookup(pattern.last(k));
+    if (!seed || seed->empty()) return count_unseeded(pattern);
+    SaInterval iv = *seed;
+    for (std::size_t i = pattern.size() - k; i-- > 0;) {
+      iv = step(iv, pattern[i]);
+      if (iv.empty()) break;
+    }
+    return iv;
+  }
+
+  /// The classic full recurrence from the last base. Stops early when the
   /// interval empties — the property the paper exploits for non-mapping
   /// reads. Returns the final interval.
-  SaInterval count(std::span<const std::uint8_t> pattern) const noexcept {
+  SaInterval count_unseeded(std::span<const std::uint8_t> pattern) const noexcept {
     SaInterval iv = full_interval();
     for (std::size_t k = pattern.size(); k-- > 0;) {
       iv = step(iv, pattern[k]);
@@ -155,6 +186,28 @@ class FmIndex {
   const Bwt& bwt() const noexcept { return bwt_; }
   const std::vector<std::uint32_t>& suffix_array() const noexcept { return sa_; }
   const Occ& occ_backend() const noexcept { return occ_backend_; }
+
+  /// Attaches (or detaches, with nullptr) a k-mer seed table. Shared so
+  /// copies of the index and the archive loader can alias one table.
+  void set_seed_table(std::shared_ptr<const KmerSeedTable> table) noexcept {
+    seed_table_ = (table && table->enabled()) ? std::move(table) : nullptr;
+  }
+
+  /// The attached seed table, or nullptr when searches run unseeded.
+  const KmerSeedTable* seed_table() const noexcept { return seed_table_.get(); }
+  std::shared_ptr<const KmerSeedTable> shared_seed_table() const noexcept {
+    return seed_table_;
+  }
+
+  /// Builds and attaches a seed table for this index from its own text and
+  /// suffix array (requested k capped by reference size; 0 disables).
+  void build_seed_table(std::span<const std::uint8_t> text, unsigned requested_k) {
+    if (text.size() != size()) {
+      throw std::invalid_argument("FmIndex::build_seed_table: text size mismatch");
+    }
+    set_seed_table(std::make_shared<const KmerSeedTable>(
+        KmerSeedTable::build(text, sa_, requested_k)));
+  }
 
   /// Bytes of the succinct structure (Occ backend only — what travels to
   /// the device). SA and raw BWT stay on the host.
@@ -199,6 +252,10 @@ class FmIndex {
   std::vector<std::uint32_t> sa_;
   Occ occ_backend_{};
   std::array<std::uint32_t, 4> c_{};
+  std::shared_ptr<const KmerSeedTable> seed_table_;  // not in save(): the
+                                                     // archive carries it as
+                                                     // its own section
+
 };
 
 }  // namespace bwaver

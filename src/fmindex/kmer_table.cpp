@@ -1,0 +1,84 @@
+#include "fmindex/kmer_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bwaver {
+
+unsigned KmerSeedTable::capped_k(unsigned requested_k, std::size_t text_length) {
+  if (requested_k == 0) return 0;
+  const unsigned limit = std::min(requested_k, kMaxK);
+  const std::size_t max_entries =
+      std::max<std::size_t>(4096, 16 * text_length);
+  unsigned k = 0;
+  std::size_t entries = 1;
+  while (k < limit && entries * 4 <= max_entries) {
+    entries *= 4;
+    ++k;
+  }
+  return k;
+}
+
+KmerSeedTable KmerSeedTable::build(std::span<const std::uint8_t> text,
+                                   std::span<const std::uint32_t> sa,
+                                   unsigned requested_k) {
+  if (sa.size() != text.size() + 1) {
+    throw std::invalid_argument("KmerSeedTable::build: SA/text size mismatch");
+  }
+  KmerSeedTable table;
+  const unsigned k = capped_k(requested_k, text.size());
+  if (k == 0 || text.size() < k) return table;
+  table.k_ = k;
+  const std::size_t entries = std::size_t{1} << (2 * k);
+  table.lo_.assign(entries, 0);
+  table.hi_.assign(entries, 0);
+
+  // Rolling k-mer codes of every text position, so the SA scan below does
+  // O(1) work per row instead of re-reading k bases.
+  const std::uint32_t mask =
+      k < 16 ? (std::uint32_t{1} << (2 * k)) - 1 : ~std::uint32_t{0};
+  std::vector<std::uint32_t> codes(text.size() - k + 1);
+  std::uint32_t rolling = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    rolling = ((rolling << 2) | (text[i] & 3)) & mask;
+    if (i + 1 >= k) codes[i + 1 - k] = rolling;
+  }
+
+  // Rows sharing a first-k suffix prefix are contiguous in SA order; record
+  // each run as that k-mer's interval. Rows whose suffix is shorter than k
+  // (including the sentinel row) sit outside runs and are skipped.
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (std::size_t row = 0; row < sa.size(); ++row) {
+    const std::size_t pos = sa[row];
+    if (pos + k > text.size()) continue;
+    const std::uint32_t code = codes[pos];
+    if (code != prev) {
+      table.lo_[code] = static_cast<std::uint32_t>(row);
+      prev = code;
+    }
+    table.hi_[code] = static_cast<std::uint32_t>(row + 1);
+  }
+  return table;
+}
+
+void KmerSeedTable::save(ByteWriter& writer) const {
+  writer.u32(k_);
+  writer.vec_u32(lo_);
+  writer.vec_u32(hi_);
+}
+
+KmerSeedTable KmerSeedTable::load(ByteReader& reader) {
+  KmerSeedTable table;
+  table.k_ = reader.u32();
+  table.lo_ = reader.vec_u32();
+  table.hi_ = reader.vec_u32();
+  if (table.k_ > kMaxK) throw IoError("KmerSeedTable::load: corrupt k");
+  const std::size_t expected =
+      table.k_ == 0 ? 0 : std::size_t{1} << (2 * table.k_);
+  if (table.lo_.size() != expected || table.hi_.size() != expected) {
+    throw IoError("KmerSeedTable::load: entry count does not match k");
+  }
+  return table;
+}
+
+}  // namespace bwaver

@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "succinct/header_body_vector.hpp"
@@ -37,6 +38,14 @@ class RrrWaveletOcc {
   std::size_t rank(std::uint8_t c, std::size_t i) const noexcept {
     return tree_.rank(c, i);
   }
+
+  /// rank(c, i1) and rank(c, i2) in one wavelet descent, i1 <= i2; narrow
+  /// intervals additionally share the RRR superblock scans.
+  std::pair<std::size_t, std::size_t> rank2(std::uint8_t c, std::size_t i1,
+                                            std::size_t i2) const noexcept {
+    return tree_.rank_pair(c, i1, i2);
+  }
+
   std::uint8_t access(std::size_t i) const noexcept { return tree_.access(i); }
   std::size_t size() const noexcept { return tree_.size(); }
 
@@ -79,6 +88,10 @@ class PlainWaveletOcc {
   std::size_t rank(std::uint8_t c, std::size_t i) const noexcept {
     return tree_.rank(c, i);
   }
+  std::pair<std::size_t, std::size_t> rank2(std::uint8_t c, std::size_t i1,
+                                            std::size_t i2) const noexcept {
+    return tree_.rank_pair(c, i1, i2);
+  }
   std::uint8_t access(std::size_t i) const noexcept { return tree_.access(i); }
   std::size_t size() const noexcept { return tree_.size(); }
   std::size_t size_in_bytes() const noexcept { return tree_.size_in_bytes(); }
@@ -108,6 +121,10 @@ class HeaderBodyOcc {
 
   std::size_t rank(std::uint8_t c, std::size_t i) const noexcept {
     return tree_.rank(c, i);
+  }
+  std::pair<std::size_t, std::size_t> rank2(std::uint8_t c, std::size_t i1,
+                                            std::size_t i2) const noexcept {
+    return tree_.rank_pair(c, i1, i2);
   }
   std::uint8_t access(std::size_t i) const noexcept { return tree_.access(i); }
   std::size_t size() const noexcept { return tree_.size(); }

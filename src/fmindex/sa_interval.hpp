@@ -1,0 +1,20 @@
+// Half-open suffix-array row interval — the unit of currency of backward
+// search. Split out of fm_index.hpp so lightweight collaborators (the k-mer
+// seed table, kernels, result plumbing) can name intervals without pulling
+// in the full index template.
+#pragma once
+
+#include <cstdint>
+
+namespace bwaver {
+
+/// Half-open SA-row interval; empty() means the pattern does not occur.
+struct SaInterval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  bool empty() const noexcept { return lo >= hi; }
+  std::uint32_t count() const noexcept { return empty() ? 0 : hi - lo; }
+  friend bool operator==(const SaInterval&, const SaInterval&) = default;
+};
+
+}  // namespace bwaver

@@ -89,6 +89,10 @@ std::string ServerStats::to_json(std::size_t queue_depth, std::size_t queue_capa
           std::to_string(sync_requests.load(std::memory_order_relaxed));
   json += ",\"async_requests\":" +
           std::to_string(async_requests.load(std::memory_order_relaxed));
+  json += ",\"reads_mapped\":" +
+          std::to_string(reads_mapped.load(std::memory_order_relaxed));
+  json += ",\"map_shards\":" +
+          std::to_string(map_shards.load(std::memory_order_relaxed));
   json += "}";
   json += ",\"queue\":{\"depth\":" + std::to_string(queue_depth) +
           ",\"capacity\":" + std::to_string(queue_capacity) +
@@ -115,16 +119,19 @@ std::string ServerStats::to_json(std::size_t queue_depth, std::size_t queue_capa
 }
 
 std::string ServerStats::summary_line() const {
-  char buffer[256];
+  char buffer[320];
   std::snprintf(buffer, sizeof(buffer),
                 "jobs: %llu submitted, %llu rejected, %llu done, %llu failed, "
-                "%llu cancelled, %llu timed out; mean queue wait %.1f ms, mean map %.1f ms",
+                "%llu cancelled, %llu timed out; %llu reads in %llu shard(s); "
+                "mean queue wait %.1f ms, mean map %.1f ms",
                 static_cast<unsigned long long>(submitted.load()),
                 static_cast<unsigned long long>(rejected_full.load()),
                 static_cast<unsigned long long>(completed.load()),
                 static_cast<unsigned long long>(failed.load()),
                 static_cast<unsigned long long>(cancelled.load()),
                 static_cast<unsigned long long>(timed_out.load()),
+                static_cast<unsigned long long>(reads_mapped.load()),
+                static_cast<unsigned long long>(map_shards.load()),
                 queue_wait.count() ? queue_wait.sum_ms() / static_cast<double>(queue_wait.count()) : 0.0,
                 map_time.count() ? map_time.sum_ms() / static_cast<double>(map_time.count()) : 0.0);
   return buffer;

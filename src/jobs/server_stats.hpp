@@ -63,6 +63,12 @@ class ServerStats {
   std::atomic<std::uint64_t> sync_requests{0};   ///< POST /map (waits inline)
   std::atomic<std::uint64_t> async_requests{0};  ///< POST /jobs
 
+  // Hot-path throughput gauges: reads mapped by completed tasks and the
+  // parallel shards those tasks dispatched (shards / reads exposes the
+  // effective shard size operators tune via PipelineConfig::shard_size).
+  std::atomic<std::uint64_t> reads_mapped{0};
+  std::atomic<std::uint64_t> map_shards{0};
+
   LatencyHistogram queue_wait;  ///< submit -> worker pickup
   LatencyHistogram map_time;    ///< worker run time (successful jobs)
 

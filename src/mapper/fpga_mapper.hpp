@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "fpga/power.hpp"
@@ -24,6 +25,7 @@ struct FpgaMapReport {
   double kernel_seconds = 0.0;    ///< kernel execution
   std::uint64_t reads = 0;
   std::uint64_t mapped = 0;
+  std::uint64_t host_verified = 0;  ///< results re-checked on the host
   KernelStats kernel_stats;
 
   double total_seconds() const noexcept {
@@ -38,12 +40,19 @@ class BwaverFpgaMapper {
  public:
   /// Programs a freshly created runtime with `index`. The index must
   /// outlive the mapper. Throws DeviceCapacityError if the structure does
-  /// not fit on-chip.
+  /// not fit on-chip. `host_verify_stride` > 0 re-runs every Nth kernel
+  /// result through the host-side (seed-table accelerated) search and
+  /// throws KernelMismatchError on any interval disagreement — the cheap
+  /// cross-check that keeps the device model honest against the reference
+  /// implementation.
   BwaverFpgaMapper(const FmIndex<RrrWaveletOcc>& index, DeviceSpec spec = DeviceSpec{},
-                   std::size_t batch_packets = 8192);
+                   std::size_t batch_packets = 8192,
+                   std::size_t host_verify_stride = 0);
 
   /// Maps all reads; results are indexed by read (QueryResult::id).
   std::vector<QueryResult> map(const ReadBatch& batch, FpgaMapReport* report = nullptr);
+
+  std::size_t host_verify_stride() const noexcept { return host_verify_stride_; }
 
   const FpgaRuntime& runtime() const noexcept { return runtime_; }
 
@@ -55,7 +64,16 @@ class BwaverFpgaMapper {
   const FmIndex<RrrWaveletOcc>* index_;
   FpgaRuntime runtime_;
   std::size_t batch_packets_;
+  std::size_t host_verify_stride_;
   double program_seconds_ = 0.0;
+};
+
+/// A kernel result disagreed with the host-side reference search — the
+/// device model (or a bitstream, on real hardware) is returning wrong
+/// intervals, so the whole run is untrustworthy.
+class KernelMismatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 }  // namespace bwaver

@@ -6,6 +6,8 @@
 #include "mapper/fpga_mapper.hpp"
 #include "mapper/pipeline.hpp"
 #include "mapper/read_batch.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace bwaver {
 
@@ -18,6 +20,25 @@ constexpr std::size_t kCancellableChunk = 2048;
 
 /// Rows resolved between checkpoints inside one chunk.
 constexpr std::size_t kResolveCheckStride = 1024;
+
+/// Smallest worthwhile parallel shard: below this the batch/dispatch
+/// overhead beats the parallelism.
+constexpr std::size_t kMinShardSize = 64;
+
+/// Reads per shard for the parallel software path. Auto mode aims for a
+/// few shards per worker (load balancing without excessive batch-building
+/// overhead); a cancel token caps the shard so cancellation latency stays
+/// bounded like the sequential chunked path.
+std::size_t effective_shard_size(std::size_t total, unsigned threads,
+                                 std::size_t configured, bool cancellable) {
+  std::size_t shard = configured;
+  if (shard == 0) {
+    const std::size_t target_shards = static_cast<std::size_t>(threads) * 4;
+    shard = std::max(kMinShardSize, (total + target_shards - 1) / target_shards);
+  }
+  if (cancellable) shard = std::min(shard, kCancellableChunk);
+  return std::max<std::size_t>(shard, 1);
+}
 
 }  // namespace
 
@@ -94,7 +115,8 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
   std::unique_ptr<Bowtie2LikeMapper> transient;
   switch (config.engine) {
     case MappingEngine::kFpga:
-      fpga = std::make_unique<BwaverFpgaMapper>(index, config.device);
+      fpga = std::make_unique<BwaverFpgaMapper>(index, config.device, 8192,
+                                                config.fpga_verify_stride);
       break;
     case MappingEngine::kCpu:
       cpu = std::make_unique<BwaverCpuMapper>(index);
@@ -107,15 +129,73 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
       break;
   }
 
-  const std::size_t chunk_size =
-      cancel == nullptr ? std::max<std::size_t>(records.size(), 1) : kCancellableChunk;
-
   MappingOutcome outcome;
   std::vector<SamAlignment> alignments;
   alignments.reserve(records.size());
   double seconds = 0.0;
 
   const std::span<const FastqRecord> all(records);
+
+  // Software engines shard the batch across a pool: each shard maps and
+  // resolves into its own buffers (single-threaded engine call per shard),
+  // and the buffers are merged in shard order afterwards — so the SAM and
+  // every counter are byte-identical to the sequential path regardless of
+  // completion order. The FPGA model stays sequential: its modeled runtime
+  // mutates device state per batch.
+  const bool sharded = config.engine != MappingEngine::kFpga && config.threads > 1 &&
+                       records.size() > 1;
+  if (sharded) {
+    const std::size_t shard_size = effective_shard_size(
+        records.size(), config.threads, config.shard_size, cancel != nullptr);
+    const std::size_t num_shards = (records.size() + shard_size - 1) / shard_size;
+
+    struct ShardResult {
+      MappingOutcome outcome;
+      std::vector<SamAlignment> alignments;
+    };
+    std::vector<ShardResult> shards(num_shards);
+
+    WallTimer timer;
+    ThreadPool pool(config.threads);
+    // Exceptions (OperationCancelled from a checkpoint, engine failures)
+    // propagate out of parallel_for; the pool's destructor joins every
+    // in-flight shard before the shard buffers go out of scope.
+    pool.parallel_for(num_shards, [&](std::size_t begin_shard, std::size_t end_shard) {
+      for (std::size_t s = begin_shard; s < end_shard; ++s) {
+        if (cancel != nullptr) cancel->throw_if_stopped();
+        const std::span<const FastqRecord> chunk = all.subspan(
+            s * shard_size, std::min(shard_size, records.size() - s * shard_size));
+        const ReadBatch batch = ReadBatch::from_fastq(chunk);
+        std::vector<QueryResult> results;
+        if (config.engine == MappingEngine::kCpu) {
+          results = cpu->map(batch, 1);
+        } else {
+          results = bowtie->map(batch, 1);
+        }
+        shards[s].alignments.reserve(results.size());
+        resolve_query_results(reference, index.suffix_array(), chunk, results,
+                              config.max_hits_per_read, shards[s].outcome,
+                              shards[s].alignments, cancel);
+      }
+    });
+    seconds = timer.seconds();
+
+    outcome.shards = num_shards;
+    for (ShardResult& shard : shards) {
+      outcome.reads += shard.outcome.reads;
+      outcome.mapped += shard.outcome.mapped;
+      outcome.occurrences += shard.outcome.occurrences;
+      alignments.insert(alignments.end(),
+                        std::make_move_iterator(shard.alignments.begin()),
+                        std::make_move_iterator(shard.alignments.end()));
+    }
+    if (mapping_seconds != nullptr) *mapping_seconds = seconds;
+    outcome.sam = format_sam(sam_sequences_for(reference), alignments);
+    return outcome;
+  }
+
+  const std::size_t chunk_size =
+      cancel == nullptr ? std::max<std::size_t>(records.size(), 1) : kCancellableChunk;
   for (std::size_t begin = 0; begin < records.size(); begin += chunk_size) {
     if (cancel != nullptr) cancel->throw_if_stopped();
     const std::span<const FastqRecord> chunk =

@@ -127,10 +127,16 @@ void Pipeline::build_from_records(const std::vector<FastaRecord>& records) {
 void Pipeline::build_index(Bwt bwt, std::vector<std::uint32_t> sa) {
   WallTimer timer;
   const RrrParams params = config_.rrr;
+  // The seed table needs the SA before it moves into the index; its build
+  // is a single O(n) scan, charged to encode_seconds like the rest of the
+  // succinct construction.
+  auto seeds = std::make_shared<const KmerSeedTable>(
+      KmerSeedTable::build(reference_.concatenated(), sa, config_.seed_k));
   index_ = std::make_unique<FmIndex<RrrWaveletOcc>>(
       std::move(bwt), std::move(sa), [params](std::span<const std::uint8_t> symbols) {
         return RrrWaveletOcc(symbols, params);
       });
+  index_->set_seed_table(std::move(seeds));
   if (config_.engine == MappingEngine::kBowtie2Like) {
     // The baseline builds its own index over the same concatenated text.
     bowtie_ = std::make_unique<Bowtie2LikeMapper>(reference_.concatenated());
@@ -202,7 +208,8 @@ MappingOutcome Pipeline::map_reads_streaming(const std::string& fastq_path,
   // once and its fixed overhead amortizes over all batches.
   std::unique_ptr<BwaverFpgaMapper> fpga;
   if (config_.engine == MappingEngine::kFpga) {
-    fpga = std::make_unique<BwaverFpgaMapper>(*index_, config_.device);
+    fpga = std::make_unique<BwaverFpgaMapper>(*index_, config_.device, 8192,
+                                              config_.fpga_verify_stride);
   }
   const BwaverCpuMapper cpu(*index_);
 

@@ -38,6 +38,18 @@ struct PipelineConfig {
   unsigned threads = 1;              ///< software engines only
   DeviceSpec device{};               ///< FPGA engine only
   std::size_t max_hits_per_read = 64;  ///< SAM lines emitted per read (cap)
+  /// Requested k-mer seed length for new index builds (0 disables the
+  /// table; the effective k is capped by reference size — see
+  /// KmerSeedTable::capped_k). Ignored by from_archive(): a loaded archive
+  /// carries (or lacks) its own table.
+  unsigned seed_k = KmerSeedTable::kDefaultK;
+  /// Reads per parallel mapping shard for software engines (0 = auto-size
+  /// from the batch and thread count). Only used when threads > 1.
+  std::size_t shard_size = 0;
+  /// FPGA engine only: re-derive every Nth kernel result through the
+  /// host-side seeded search and fail on disagreement (0 disables). See
+  /// BwaverFpgaMapper::host_verify_stride.
+  std::size_t fpga_verify_stride = 0;
 };
 
 struct PipelineTimings {
@@ -50,6 +62,7 @@ struct MappingOutcome {
   std::uint64_t reads = 0;
   std::uint64_t mapped = 0;
   std::uint64_t occurrences = 0;  ///< total located positions, both strands
+  std::uint64_t shards = 1;       ///< parallel shards dispatched (1 = sequential)
   std::string sam;                ///< rendered SAM document
 };
 

@@ -12,6 +12,33 @@ namespace bwaver {
 
 namespace {
 
+/// Exact (budget-0) search of one strand through the seeded index path: a
+/// k-mer seed-table hit replaces the first k backward-search steps with one
+/// lookup, so the returned step count models what the seeded exact module
+/// executes. The interval is byte-identical to the budget-0 recursion —
+/// a non-empty table entry IS the interval the recurrence reaches after
+/// those k steps, and an empty entry means the k-suffix does not occur.
+std::uint64_t exact_count_steps(const FmIndex<RrrWaveletOcc>& index,
+                                std::span<const std::uint8_t> codes,
+                                SaInterval& iv) {
+  const KmerSeedTable* seeds = index.seed_table();
+  const unsigned k = seeds != nullptr ? seeds->k() : 0;
+  std::size_t next = codes.size();
+  iv = index.full_interval();
+  if (k != 0 && codes.size() >= k) {
+    if (const auto seed = seeds->lookup(codes.last(k))) {
+      iv = *seed;
+      next = codes.size() - k;
+    }
+  }
+  std::uint64_t steps = 0;
+  while (next > 0 && !iv.empty()) {
+    iv = index.step(iv, codes[--next]);
+    ++steps;
+  }
+  return steps;
+}
+
 /// Searches one read (both strands) at exactly the given mismatch budget
 /// and fills the result when anything aligns. Returns the executed
 /// backward-search steps (slower strand, the engine-occupancy metric).
@@ -19,6 +46,25 @@ std::uint64_t search_read_stage(const FmIndex<RrrWaveletOcc>& index,
                                 std::span<const std::uint8_t> codes, unsigned budget,
                                 StagedReadResult& result) {
   const auto rc = dna_reverse_complement(codes);
+
+  // The exact stage runs the seeded search: same intervals and positions
+  // as the recursion below, fewer modeled steps when the seed table hits.
+  if (budget == 0) {
+    SaInterval fwd_iv, rev_iv;
+    const std::uint64_t fwd_steps = exact_count_steps(index, codes, fwd_iv);
+    const std::uint64_t rev_steps = exact_count_steps(index, rc, rev_iv);
+    if (!fwd_iv.empty() || !rev_iv.empty()) {
+      result.stage = 0;
+      result.reverse_strand = fwd_iv.empty();
+      for (int strand = 0; strand < 2; ++strand) {
+        const SaInterval& hit = strand == 0 ? fwd_iv : rev_iv;
+        for (std::uint32_t row = hit.lo; row < hit.hi; ++row) {
+          result.positions.push_back(index.suffix_array()[row]);
+        }
+      }
+    }
+    return std::max(fwd_steps, rev_steps);
+  }
 
   ApproxStats fwd_stats, rev_stats;
   const auto fwd_hits = approx_count(index, codes, budget, &fwd_stats);

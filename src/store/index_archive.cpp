@@ -1,6 +1,8 @@
 #include "store/index_archive.hpp"
 
 #include <array>
+#include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "fmindex/bwt.hpp"
@@ -12,12 +14,12 @@ namespace bwaver {
 namespace {
 
 constexpr std::uint32_t kArchiveMagic = 0x41565742;  // "BWVA" little-endian
-constexpr std::uint32_t kArchiveVersion = 1;
 
 constexpr const char* kSectionMeta = "meta";
 constexpr const char* kSectionBwt = "bwt";
 constexpr const char* kSectionOcc = "occ";
 constexpr const char* kSectionSa = "sa";
+constexpr const char* kSectionKmer = "kmer";  // optional, v2+
 
 std::array<std::uint32_t, 4> c_table_of(const Bwt& bwt) {
   std::array<std::uint32_t, 4> counts{};
@@ -45,10 +47,11 @@ ParsedHeader parse_header(std::span<const std::uint8_t> file, const std::string&
   }
   ParsedHeader header;
   header.version = reader.u32();
-  if (header.version != kArchiveVersion) {
+  if (header.version < kArchiveVersionMin || header.version > kArchiveVersionLatest) {
     throw IoError("index archive: unsupported version " +
                   std::to_string(header.version) + " (expected " +
-                  std::to_string(kArchiveVersion) + "): " + path);
+                  std::to_string(kArchiveVersionMin) + ".." +
+                  std::to_string(kArchiveVersionLatest) + "): " + path);
   }
   const std::uint32_t section_count = reader.u32();
   if (section_count == 0 || section_count > 64) {
@@ -78,6 +81,14 @@ ParsedHeader parse_header(std::span<const std::uint8_t> file, const std::string&
     }
   }
   return header;
+}
+
+const ArchiveSection* find_section_entry(const ParsedHeader& header,
+                                         const std::string& name) {
+  for (const ArchiveSection& section : header.sections) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
 }
 
 std::span<const std::uint8_t> find_section(std::span<const std::uint8_t> file,
@@ -118,13 +129,20 @@ MetaSection parse_meta(std::span<const std::uint8_t> payload, const std::string&
 }  // namespace
 
 std::size_t stored_index_bytes(const StoredIndex& stored) {
+  const KmerSeedTable* seeds = stored.index.seed_table();
   return stored.reference.total_length() + stored.index.bwt().symbols.size() +
          stored.index.suffix_array().size() * sizeof(std::uint32_t) +
-         stored.index.occ_size_in_bytes();
+         stored.index.occ_size_in_bytes() +
+         (seeds ? seeds->size_in_bytes() : 0);
 }
 
 void write_index_archive(const std::string& path, const ReferenceSet& reference,
-                         const FmIndex<RrrWaveletOcc>& index) {
+                         const FmIndex<RrrWaveletOcc>& index,
+                         std::uint32_t format_version) {
+  if (format_version < kArchiveVersionMin || format_version > kArchiveVersionLatest) {
+    throw std::invalid_argument("write_index_archive: unsupported format version " +
+                                std::to_string(format_version));
+  }
   const Bwt& bwt = index.bwt();
 
   ByteWriter meta;
@@ -148,12 +166,20 @@ void write_index_archive(const std::string& path, const ReferenceSet& reference,
   ByteWriter sa_section;
   sa_section.vec_u32(index.suffix_array());
 
-  const std::pair<const char*, const std::vector<std::uint8_t>*> sections[] = {
+  std::vector<std::pair<const char*, const std::vector<std::uint8_t>*>> sections = {
       {kSectionMeta, &meta.data()},
       {kSectionBwt, &bwt_section.data()},
       {kSectionOcc, &occ_section.data()},
       {kSectionSa, &sa_section.data()},
   };
+
+  // v2+: the seed table rides along as its own checksummed section so old
+  // archives stay loadable and the table stays skippable.
+  ByteWriter kmer_section;
+  if (format_version >= 2 && index.seed_table() != nullptr) {
+    index.seed_table()->save(kmer_section);
+    sections.emplace_back(kSectionKmer, &kmer_section.data());
+  }
 
   // The header size is known up front (str = u64 length prefix + bytes), so
   // absolute payload offsets can be written in one pass.
@@ -165,8 +191,8 @@ void write_index_archive(const std::string& path, const ReferenceSet& reference,
 
   ByteWriter writer;
   writer.u32(kArchiveMagic);
-  writer.u32(kArchiveVersion);
-  writer.u32(static_cast<std::uint32_t>(std::size(sections)));
+  writer.u32(format_version);
+  writer.u32(static_cast<std::uint32_t>(sections.size()));
   std::uint64_t offset = payload_start;
   for (const auto& [name, payload] : sections) {
     writer.str(name);
@@ -244,8 +270,20 @@ StoredIndex read_index_archive(const std::string& path) {
     throw IoError("index archive: sequence table does not cover text: " + path);
   }
 
+  std::shared_ptr<const KmerSeedTable> seeds;
+  if (const ArchiveSection* entry = find_section_entry(header, kSectionKmer)) {
+    ByteReader reader(
+        std::span<const std::uint8_t>(file).subspan(entry->offset, entry->length));
+    auto table = KmerSeedTable::load(reader);
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in kmer section: " + path);
+    }
+    seeds = std::make_shared<const KmerSeedTable>(std::move(table));
+  }
+
   StoredIndex stored{std::move(reference),
                      FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ))};
+  stored.index.set_seed_table(std::move(seeds));
   return stored;
 }
 

@@ -11,7 +11,7 @@
 // Layout (all integers little-endian):
 //
 //   u32 magic   "BWVA"
-//   u32 version (currently 1)
+//   u32 version (currently 2; v1 archives still load)
 //   u32 section_count
 //   section table, section_count entries:
 //     str name | u64 file offset | u64 length | u32 crc32 (IEEE, of payload)
@@ -24,6 +24,12 @@
 //   "bwt"  — text_length, primary row, squeezed BWT symbols;
 //   "occ"  — the serialized RrrWaveletOcc (params + wavelet tree of RRR);
 //   "sa"   — the (n+1)-entry suffix array.
+//
+// v2 adds one OPTIONAL section:
+//   "kmer" — the serialized KmerSeedTable (seed length k plus 4^k SA
+//            intervals). Absent when the index was built with seeding
+//            disabled; v1 archives (no such section) load with searches
+//            falling back to the classic recurrence.
 //
 // The reference text itself is not stored: it is recovered from the BWT on
 // load, exactly like the step-1 index file. Any truncation, bad magic,
@@ -65,10 +71,18 @@ struct ArchiveInfo {
   std::uint32_t text_length = 0;
 };
 
-/// Serializes a built index to `path` (archive v1). Takes components by
-/// reference: FmIndex is move-only, and the writer only reads.
+/// Oldest archive format the loader still accepts (no "kmer" section).
+inline constexpr std::uint32_t kArchiveVersionMin = 1;
+/// Format written by write_index_archive.
+inline constexpr std::uint32_t kArchiveVersionLatest = 2;
+
+/// Serializes a built index to `path`. Takes components by reference:
+/// FmIndex is move-only, and the writer only reads. `format_version` exists
+/// for backward-compat tests: writing kArchiveVersionMin produces a v1
+/// archive (the index's seed table, if any, is omitted).
 void write_index_archive(const std::string& path, const ReferenceSet& reference,
-                         const FmIndex<RrrWaveletOcc>& index);
+                         const FmIndex<RrrWaveletOcc>& index,
+                         std::uint32_t format_version = kArchiveVersionLatest);
 
 /// Loads and fully validates an archive. Throws IoError on any truncation,
 /// bad magic, version mismatch, checksum failure, or cross-section

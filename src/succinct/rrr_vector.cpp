@@ -88,6 +88,54 @@ std::size_t RrrVector::rank1(std::size_t p) const noexcept {
   return count;
 }
 
+std::pair<std::size_t, std::size_t> RrrVector::rank1_pair(
+    std::size_t p1, std::size_t p2) const noexcept {
+  const unsigned b = params_.block_bits;
+  const unsigned sf = params_.superblock_factor;
+  const std::size_t super_span = static_cast<std::size_t>(sf) * b;
+  const std::size_t super = p1 / super_span;
+  if (p1 > p2 || super != p2 / super_span || super >= partial_sum_.size()) {
+    return {rank1(p1), rank1(p2)};
+  }
+
+  const std::size_t block1 = p1 / b;
+  const std::size_t block2 = p2 / b;
+  const unsigned rem1 = static_cast<unsigned>(p1 % b);
+  const unsigned rem2 = static_cast<unsigned>(p2 % b);
+
+  // One scan from the superblock start to block2, capturing the running
+  // state as it passes block1.
+  std::size_t count = partial_sum_[super];
+  std::size_t offset_pos = offset_sum_[super];
+  std::size_t count1 = count;
+  std::size_t offset_pos1 = offset_pos;
+  for (std::size_t i = super * sf; i < block2; ++i) {
+    if (i == block1) {
+      count1 = count;
+      offset_pos1 = offset_pos;
+    }
+    const unsigned cls = static_cast<unsigned>(classes_.get(i));
+    count += cls;
+    offset_pos += table_->offset_width(cls);
+  }
+  if (block1 == block2) {
+    count1 = count;
+    offset_pos1 = offset_pos;
+  }
+
+  const auto finish = [&](std::size_t block, std::size_t pos, unsigned rem,
+                          std::size_t base) {
+    if (rem == 0) return base;
+    const unsigned cls = static_cast<unsigned>(classes_.get(block));
+    const std::uint64_t off = offsets_.get_bits(pos, table_->offset_width(cls));
+    const std::uint16_t value =
+        table_->permutation(table_->class_offset(cls) + static_cast<std::uint32_t>(off));
+    return base + static_cast<std::size_t>(rank_in_word(value, rem));
+  };
+  return {finish(block1, offset_pos1, rem1, count1),
+          finish(block2, offset_pos, rem2, count)};
+}
+
 bool RrrVector::access(std::size_t i) const noexcept {
   const unsigned b = params_.block_bits;
   const unsigned sf = params_.superblock_factor;

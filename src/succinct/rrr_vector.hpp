@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 
 #include "succinct/bitvector.hpp"
 #include "succinct/global_rank_table.hpp"
@@ -57,6 +58,13 @@ class RrrVector {
   /// Number of 1s in B[0, p), p in [0, size()].
   std::size_t rank1(std::size_t p) const noexcept;
   std::size_t rank0(std::size_t p) const noexcept { return p - rank1(p); }
+
+  /// rank1 at both ends of an interval, p1 <= p2. When both positions fall
+  /// in the same superblock (the common case for the narrow SA intervals of
+  /// a backward search past its first steps) the O(sf) class scan is paid
+  /// once instead of twice; otherwise falls back to two rank1 calls.
+  std::pair<std::size_t, std::size_t> rank1_pair(std::size_t p1,
+                                                 std::size_t p2) const noexcept;
 
   /// Bit at position i, decoded from the class/offset pair.
   bool access(std::size_t i) const noexcept;

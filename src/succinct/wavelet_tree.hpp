@@ -20,6 +20,7 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "io/byte_io.hpp"
@@ -74,6 +75,37 @@ class WaveletTree {
       }
     }
     return p;
+  }
+
+  /// rank(c, p1) and rank(c, p2) in one descent, p1 <= p2. At every node
+  /// both positions take the same branch (the branch depends only on `c`),
+  /// so a single walk serves both bounds of an SA interval; node
+  /// bit-vectors exposing rank1_pair additionally share their superblock
+  /// scan between the two positions.
+  std::pair<std::size_t, std::size_t> rank_pair(std::uint8_t c, std::size_t p1,
+                                                std::size_t p2) const noexcept {
+    const Node* node = root_.get();
+    while (node) {
+      std::size_t r1, r2;
+      if constexpr (requires(const BV& bv) { bv.rank1_pair(p1, p2); }) {
+        const auto ranks = node->bits.rank1_pair(p1, p2);
+        r1 = ranks.first;
+        r2 = ranks.second;
+      } else {
+        r1 = node->bits.rank1(p1);
+        r2 = node->bits.rank1(p2);
+      }
+      if (c >= node->mid) {
+        p1 = r1;
+        p2 = r2;
+        node = node->child1.get();
+      } else {
+        p1 -= r1;
+        p2 -= r2;
+        node = node->child0.get();
+      }
+    }
+    return {p1, p2};
   }
 
   /// Symbol at position i.

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
 
 namespace bwaver {
@@ -63,7 +64,18 @@ void ThreadPool::parallel_for(
     if (begin >= end) break;
     futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
   }
-  for (auto& future : futures) future.get();
+  // Wait for EVERY chunk before rethrowing: bailing on the first failure
+  // would unwind the caller (and the `fn` the queued tasks still reference)
+  // while chunks are in flight.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop() {

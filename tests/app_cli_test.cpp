@@ -14,6 +14,8 @@
 #include "io/fastq.hpp"
 #include "mapper/paired_end.hpp"
 
+#include "test_temp_dir.hpp"
+
 #ifndef BWAVER_BIN
 #error "BWAVER_BIN must be defined by the build"
 #endif
@@ -24,8 +26,7 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "bwaver_cli_test";
-    std::filesystem::create_directories(dir_);
+    dir_ = test::unique_test_dir("bwaver_cli_test");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
@@ -165,8 +166,8 @@ TEST_F(CliTest, IndexStoreBuildInfoAndMap) {
 
   ASSERT_EQ(run("index info --archive " + path("store/refA.bwva")), 0);
   contents = log_contents();
-  EXPECT_NE(contents.find("format version: 1"), std::string::npos) << contents;
-  for (const char* section : {"meta", "bwt", "occ", "sa"}) {
+  EXPECT_NE(contents.find("format version: 2"), std::string::npos) << contents;
+  for (const char* section : {"meta", "bwt", "occ", "sa", "kmer"}) {
     EXPECT_NE(contents.find(section), std::string::npos) << contents;
   }
 

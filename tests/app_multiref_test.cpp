@@ -22,6 +22,8 @@
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
 
+#include "test_temp_dir.hpp"
+
 namespace bwaver {
 namespace {
 
@@ -61,9 +63,7 @@ std::string response_body(const std::string& response) {
 class MultiRefServiceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "bwaver_app_multiref_test";
-    std::filesystem::remove_all(dir_);
-    std::filesystem::create_directories(dir_);
+    dir_ = test::unique_test_dir("bwaver_app_multiref_test");
 
     config_.engine = MappingEngine::kCpu;
 

@@ -1,0 +1,182 @@
+// K-mer seed table properties: the size cap, the SA-scan construction
+// against a brute-force oracle, and the load-bearing invariant of the
+// whole seeding design — seeded and unseeded searches return identical
+// intervals and positions for every read shape (random, mutated,
+// N-substituted, shorter than k).
+#include "fmindex/kmer_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fmindex/dna.hpp"
+#include "fmindex/fm_index.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "io/byte_io.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver {
+namespace {
+
+FmIndex<RrrWaveletOcc> make_index(std::span<const std::uint8_t> text) {
+  return FmIndex<RrrWaveletOcc>(text, [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  });
+}
+
+TEST(KmerTableTest, CappedKRespectsSizeBudgetAndRequest) {
+  EXPECT_EQ(KmerSeedTable::capped_k(0, 1'000'000), 0u);
+  // Never above the request or the hard maximum.
+  EXPECT_EQ(KmerSeedTable::capped_k(3, 1'000'000'000), 3u);
+  EXPECT_EQ(KmerSeedTable::capped_k(99, 1'000'000'000), KmerSeedTable::kMaxK);
+  for (const std::size_t length :
+       {std::size_t{10}, std::size_t{1000}, std::size_t{100'000},
+        std::size_t{5'000'000}}) {
+    const unsigned k = KmerSeedTable::capped_k(12, length);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 12u);
+    // 4^k entries stay within max(4096, 16 * length).
+    const std::size_t budget = std::max<std::size_t>(4096, 16 * length);
+    EXPECT_LE(std::size_t{1} << (2 * k), budget) << "length " << length;
+  }
+  // Monotone in the text length.
+  EXPECT_LE(KmerSeedTable::capped_k(12, 100), KmerSeedTable::capped_k(12, 100'000));
+  // E. coli scale affords the full default k.
+  EXPECT_EQ(KmerSeedTable::capped_k(KmerSeedTable::kDefaultK, 4'600'000),
+            KmerSeedTable::kDefaultK);
+}
+
+TEST(KmerTableTest, EveryTextKmerResolvesToTheUnseededInterval) {
+  const auto text = testing::random_symbols(5000, 4, 71);
+  auto index = make_index(text);
+  index.build_seed_table(text, 8);
+  ASSERT_NE(index.seed_table(), nullptr);
+  const KmerSeedTable& table = *index.seed_table();
+  const unsigned k = table.k();
+  ASSERT_GE(k, 1u);
+
+  for (std::size_t pos = 0; pos + k <= text.size(); ++pos) {
+    const std::span<const std::uint8_t> kmer(text.data() + pos, k);
+    const auto seed = table.lookup(kmer);
+    ASSERT_TRUE(seed.has_value());
+    const SaInterval expected = index.count_unseeded(kmer);
+    EXPECT_EQ(seed->lo, expected.lo) << "pos " << pos;
+    EXPECT_EQ(seed->hi, expected.hi) << "pos " << pos;
+    // And the interval really holds every occurrence.
+    auto located = index.locate(*seed);
+    std::sort(located.begin(), located.end());
+    EXPECT_EQ(located, testing::naive_find_all(text, kmer));
+  }
+}
+
+TEST(KmerTableTest, AbsentKmersAreEmptyAndOutOfAlphabetIsNullopt) {
+  // A two-symbol text leaves most of the 4^k codes absent.
+  const auto text = testing::random_symbols(2000, 2, 5);
+  auto index = make_index(text);
+  index.build_seed_table(text, 6);
+  const KmerSeedTable& table = *index.seed_table();
+  const unsigned k = table.k();
+
+  std::vector<std::uint8_t> absent(k, 3);  // 'T' never occurs in the text
+  const auto miss = table.lookup(absent);
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_TRUE(miss->empty());
+  EXPECT_TRUE(index.count(absent).empty());
+
+  std::vector<std::uint8_t> invalid(k, 0);
+  invalid[k / 2] = 4;  // un-substituted N
+  EXPECT_FALSE(table.lookup(invalid).has_value());
+
+  std::vector<std::uint8_t> wrong_length(k + 1, 0);
+  EXPECT_FALSE(table.lookup(wrong_length).has_value());
+}
+
+TEST(KmerTableTest, SeededSearchIsByteIdenticalToUnseeded) {
+  // Randomized references and reads, including mutated reads that stop
+  // matching mid-search and reads shorter than k.
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const std::size_t length = 1000 + 3000 * static_cast<std::size_t>(seed % 3);
+    const auto text = testing::random_symbols(length, 4, seed);
+    auto index = make_index(text);
+    index.build_seed_table(text, 10);
+    const unsigned k = index.seed_table()->k();
+
+    Xoshiro256 rng(seed * 97);
+    for (int trial = 0; trial < 300; ++trial) {
+      const std::size_t len = 1 + rng.below(60);
+      std::vector<std::uint8_t> pattern;
+      if (trial % 3 == 0) {
+        // Pure random pattern (usually absent for long lengths).
+        for (std::size_t i = 0; i < len; ++i) {
+          pattern.push_back(static_cast<std::uint8_t>(rng.below(4)));
+        }
+      } else {
+        // Substring of the text, sometimes with a point mutation.
+        const std::size_t start = rng.below(text.size() - std::min(len, text.size()) + 1);
+        const std::size_t n = std::min(len, text.size() - start);
+        pattern.assign(text.begin() + start, text.begin() + start + n);
+        if (trial % 3 == 2 && !pattern.empty()) {
+          const std::size_t at = rng.below(pattern.size());
+          pattern[at] = static_cast<std::uint8_t>((pattern[at] + 1 + rng.below(3)) % 4);
+        }
+      }
+      const SaInterval seeded = index.count(pattern);
+      const SaInterval unseeded = index.count_unseeded(pattern);
+      ASSERT_EQ(seeded.lo, unseeded.lo) << "seed " << seed << " trial " << trial
+                                        << " len " << len << " k " << k;
+      ASSERT_EQ(seeded.hi, unseeded.hi) << "seed " << seed << " trial " << trial;
+      ASSERT_EQ(index.locate(seeded), index.locate(unseeded));
+    }
+  }
+}
+
+TEST(KmerTableTest, NSubstitutedReadsSearchIdentically) {
+  // Reads with Ns get deterministic substitute codes at FASTQ decode; the
+  // seeded path must agree with the unseeded one on them too.
+  const auto text = testing::random_symbols(4000, 4, 40);
+  auto index = make_index(text);
+  index.build_seed_table(text, 8);
+
+  const std::string with_n = "ACGTNNACGTACNGTACGTTGCANACGTACGT";
+  const auto codes = dna_encode_string(with_n, /*substitute_invalid=*/true);
+  EXPECT_EQ(index.count(codes), index.count_unseeded(codes));
+
+  const std::string shorter_than_k = "ACN";
+  const auto short_codes = dna_encode_string(shorter_than_k, true);
+  EXPECT_EQ(index.count(short_codes), index.count_unseeded(short_codes));
+}
+
+TEST(KmerTableTest, SaveLoadRoundTripsExactly) {
+  const auto text = testing::random_symbols(3000, 4, 77);
+  const auto index = make_index(text);
+  const KmerSeedTable table = KmerSeedTable::build(text, index.suffix_array(), 7);
+  ASSERT_TRUE(table.enabled());
+
+  ByteWriter writer;
+  table.save(writer);
+  ByteReader reader(writer.data());
+  const KmerSeedTable loaded = KmerSeedTable::load(reader);
+  EXPECT_TRUE(reader.done());
+  ASSERT_EQ(loaded.k(), table.k());
+  ASSERT_EQ(loaded.entries(), table.entries());
+  for (std::size_t pos = 0; pos + table.k() <= text.size(); pos += 13) {
+    const std::span<const std::uint8_t> kmer(text.data() + pos, table.k());
+    EXPECT_EQ(loaded.lookup(kmer), table.lookup(kmer));
+  }
+}
+
+TEST(KmerTableTest, ZeroKDisablesSeeding) {
+  const auto text = testing::random_symbols(1000, 4, 9);
+  auto index = make_index(text);
+  index.build_seed_table(text, 0);
+  EXPECT_EQ(index.seed_table(), nullptr);
+
+  const KmerSeedTable empty = KmerSeedTable::build(text, make_index(text).suffix_array(), 0);
+  EXPECT_FALSE(empty.enabled());
+  EXPECT_EQ(empty.entries(), 0u);
+}
+
+}  // namespace
+}  // namespace bwaver

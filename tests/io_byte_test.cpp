@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "test_temp_dir.hpp"
+
 namespace bwaver {
 namespace {
 
@@ -90,7 +92,7 @@ TEST(ByteIo, BytesReadsExactSpan) {
 
 TEST(ByteIo, FileRoundTrip) {
   const std::string path =
-      (std::filesystem::temp_directory_path() / "bwaver_byte_io_test.bin").string();
+      (test::unique_test_dir("bwaver_byte_io_test") / "byte_io.bin").string();
   const std::vector<std::uint8_t> payload = {0, 1, 2, 3, 0xFF, 0x80};
   write_file(path, payload);
   EXPECT_EQ(read_file(path), payload);

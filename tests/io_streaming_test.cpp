@@ -7,14 +7,15 @@
 
 #include "io/gzip.hpp"
 
+#include "test_temp_dir.hpp"
+
 namespace bwaver {
 namespace {
 
 class StreamingTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "bwaver_streaming_test";
-    std::filesystem::create_directories(dir_);
+    dir_ = test::unique_test_dir("bwaver_streaming_test");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 

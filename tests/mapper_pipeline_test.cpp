@@ -12,14 +12,15 @@
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
 
+#include "test_temp_dir.hpp"
+
 namespace bwaver {
 namespace {
 
 class PipelineTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "bwaver_pipeline_test";
-    std::filesystem::create_directories(dir_);
+    dir_ = test::unique_test_dir("bwaver_pipeline_test");
 
     GenomeSimConfig gconfig;
     gconfig.length = 30000;
@@ -269,6 +270,69 @@ TEST_F(PipelineTest, StreamingMapRejectsBadArguments) {
   pipeline.build_from_sequence("ref", dna_decode_string(genome_));
   EXPECT_THROW(pipeline.map_reads_streaming(fastq_path_, "", 0),
                std::invalid_argument);
+}
+
+TEST_F(PipelineTest, SeededAndUnseededMappingProduceIdenticalSam) {
+  // The k-mer seed table is a pure accelerator: disabling it must not move
+  // a single output byte, across every software engine.
+  for (const MappingEngine engine : {MappingEngine::kCpu, MappingEngine::kFpga}) {
+    PipelineConfig seeded_config;
+    seeded_config.engine = engine;
+    Pipeline seeded(seeded_config);
+    seeded.build_from_sequence("ref", dna_decode_string(genome_));
+    ASSERT_NE(seeded.index().seed_table(), nullptr);
+
+    PipelineConfig unseeded_config;
+    unseeded_config.engine = engine;
+    unseeded_config.seed_k = 0;
+    Pipeline unseeded(unseeded_config);
+    unseeded.build_from_sequence("ref", dna_decode_string(genome_));
+    ASSERT_EQ(unseeded.index().seed_table(), nullptr);
+
+    const MappingOutcome with_seeds = seeded.map_reads(fastq_path_);
+    const MappingOutcome without = unseeded.map_reads(fastq_path_);
+    EXPECT_EQ(with_seeds.reads, without.reads);
+    EXPECT_EQ(with_seeds.mapped, without.mapped);
+    EXPECT_EQ(with_seeds.occurrences, without.occurrences);
+    EXPECT_EQ(with_seeds.sam, without.sam);
+  }
+}
+
+TEST_F(PipelineTest, ShardedMappingIsDeterministic) {
+  PipelineConfig sequential_config;
+  sequential_config.engine = MappingEngine::kCpu;
+  sequential_config.threads = 1;
+  Pipeline sequential(sequential_config);
+  sequential.build_from_sequence("ref", dna_decode_string(genome_));
+  const MappingOutcome one_thread = sequential.map_reads(fastq_path_);
+  EXPECT_EQ(one_thread.shards, 1u);
+
+  // A tiny shard size forces many shards whose completion order is up to
+  // the scheduler; the merged output must still be byte-identical.
+  PipelineConfig sharded_config;
+  sharded_config.engine = MappingEngine::kCpu;
+  sharded_config.threads = 4;
+  sharded_config.shard_size = 7;
+  Pipeline sharded(sharded_config);
+  sharded.build_from_sequence("ref", dna_decode_string(genome_));
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const MappingOutcome parallel = sharded.map_reads(fastq_path_);
+    EXPECT_GT(parallel.shards, 1u);
+    EXPECT_EQ(parallel.reads, one_thread.reads);
+    EXPECT_EQ(parallel.mapped, one_thread.mapped);
+    EXPECT_EQ(parallel.occurrences, one_thread.occurrences);
+    ASSERT_EQ(parallel.sam, one_thread.sam) << "repeat " << repeat;
+  }
+}
+
+TEST_F(PipelineTest, FpgaHostVerificationPassesOnHonestKernel) {
+  PipelineConfig config;
+  config.engine = MappingEngine::kFpga;
+  config.fpga_verify_stride = 3;  // re-check every 3rd kernel result
+  Pipeline pipeline(config);
+  pipeline.build_from_sequence("ref", dna_decode_string(genome_));
+  const MappingOutcome outcome = pipeline.map_reads(fastq_path_);
+  EXPECT_EQ(outcome.mapped, 100u);
 }
 
 TEST_F(PipelineTest, GzippedInputsWorkEndToEnd) {

@@ -15,14 +15,15 @@
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
 
+#include "test_temp_dir.hpp"
+
 namespace bwaver {
 namespace {
 
 class ArchiveTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "bwaver_store_archive_test";
-    std::filesystem::create_directories(dir_);
+    dir_ = test::unique_test_dir("bwaver_store_archive_test");
 
     GenomeSimConfig gconfig;
     gconfig.length = 24000;
@@ -96,13 +97,14 @@ TEST_F(ArchiveTest, RoundTripRebuildsIdenticalStructures) {
 
 TEST_F(ArchiveTest, InfoListsVersionedCheckedSections) {
   const ArchiveInfo info = read_index_archive_info(archive_path_);
-  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.version, kArchiveVersionLatest);
   EXPECT_EQ(info.file_bytes, std::filesystem::file_size(archive_path_));
-  ASSERT_EQ(info.sections.size(), 4u);
+  ASSERT_EQ(info.sections.size(), 5u);
   EXPECT_EQ(info.sections[0].name, "meta");
   EXPECT_EQ(info.sections[1].name, "bwt");
   EXPECT_EQ(info.sections[2].name, "occ");
   EXPECT_EQ(info.sections[3].name, "sa");
+  EXPECT_EQ(info.sections[4].name, "kmer");
   // Payloads are contiguous and cover the file exactly.
   for (std::size_t i = 1; i < info.sections.size(); ++i) {
     EXPECT_EQ(info.sections[i].offset,
@@ -173,13 +175,51 @@ TEST_F(ArchiveTest, BadMagicIsRejected) {
 
 TEST_F(ArchiveTest, UnsupportedVersionIsRejected) {
   auto bytes = read_file(archive_path_);
-  bytes[4] = 2;  // version u32 lives at offset 4
+  bytes[4] = 99;  // version u32 lives at offset 4
   try {
     read_index_archive(write_variant("version.bwva", bytes));
     FAIL() << "future version accepted";
   } catch (const IoError& e) {
-    EXPECT_NE(std::string(e.what()).find("unsupported version 2"), std::string::npos)
+    EXPECT_NE(std::string(e.what()).find("unsupported version 99"), std::string::npos)
         << e.what();
+  }
+}
+
+TEST_F(ArchiveTest, V1ArchiveWithoutSeedTableStillLoads) {
+  // A pre-seed-table archive must keep loading; its searches simply fall
+  // back to the classic recurrence — with identical results.
+  const std::string v1_path = (dir_ / "legacy_v1.bwva").string();
+  write_index_archive(v1_path, pipeline_->reference(), pipeline_->index(),
+                      kArchiveVersionMin);
+
+  const ArchiveInfo info = read_index_archive_info(v1_path);
+  EXPECT_EQ(info.version, kArchiveVersionMin);
+  ASSERT_EQ(info.sections.size(), 4u);  // no "kmer" section in v1
+
+  const StoredIndex stored = read_index_archive(v1_path);
+  EXPECT_EQ(stored.index.seed_table(), nullptr);
+  EXPECT_NE(pipeline_->index().seed_table(), nullptr);
+
+  const std::span<const std::uint8_t> pattern(genome_.data() + 500, 36);
+  EXPECT_EQ(stored.index.count(pattern), pipeline_->index().count(pattern));
+  EXPECT_EQ(stored.index.locate(pattern), pipeline_->index().locate(pattern));
+}
+
+TEST_F(ArchiveTest, SeedTableRoundTripsThroughArchive) {
+  const KmerSeedTable* built = pipeline_->index().seed_table();
+  ASSERT_NE(built, nullptr);
+  const StoredIndex stored = read_index_archive(archive_path_);
+  const KmerSeedTable* loaded = stored.index.seed_table();
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->k(), built->k());
+  EXPECT_EQ(loaded->entries(), built->entries());
+
+  // Every k-mer of the genome must resolve to the same interval through
+  // the loaded table as through the freshly built one.
+  const unsigned k = built->k();
+  for (std::size_t pos = 0; pos + k <= genome_.size(); pos += 97) {
+    const std::span<const std::uint8_t> kmer(genome_.data() + pos, k);
+    EXPECT_EQ(loaded->lookup(kmer), built->lookup(kmer)) << "pos " << pos;
   }
 }
 

@@ -20,6 +20,8 @@
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
 
+#include "test_temp_dir.hpp"
+
 namespace bwaver {
 namespace {
 
@@ -45,9 +47,7 @@ std::vector<std::uint8_t> make_genome(std::size_t length, std::uint64_t seed) {
 class RegistryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "bwaver_store_registry_test";
-    std::filesystem::remove_all(dir_);
-    std::filesystem::create_directories(dir_);
+    dir_ = test::unique_test_dir("bwaver_store_registry_test");
     store_ = (dir_ / "store").string();
     genome_a_ = make_genome(30000, 41);
     genome_b_ = make_genome(20000, 43);

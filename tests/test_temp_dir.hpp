@@ -1,0 +1,28 @@
+// Per-process-unique scratch directories for test fixtures.
+//
+// gtest_discover_tests runs every TEST_F as its own ctest entry, so under
+// `ctest -j` the same fixture executes concurrently in separate processes.
+// A fixture that uses a fixed temp path has its files deleted by a
+// neighbor's TearDown mid-test; deriving the path from the pid plus a
+// random suffix removes the collision (the same reasoning that makes the
+// HTTP tests bind port 0 instead of a fixed port).
+#pragma once
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+namespace bwaver::test {
+
+inline std::filesystem::path unique_test_dir(const std::string& prefix) {
+  static std::mt19937_64 rng{std::random_device{}()};
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (prefix + "_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(rng() & 0xffffff));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace bwaver::test
