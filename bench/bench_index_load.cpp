@@ -1,17 +1,32 @@
 // Index store benchmark: cold pipeline build (SA + BWT + RRR encoding)
-// versus loading the same index back from a checksummed archive.
+// versus loading the same index back from a checksummed archive, in every
+// supported format/mode combination.
 //
 // The archive is the build-once/load-many split the paper's three-step
-// pipeline implies: deployment pays only the load column, which skips
-// suffix-array construction entirely and replaces BWT encoding with a
-// sequential checksummed read (plus one inverse-BWT pass to recover the
-// reference text).
+// pipeline implies: deployment pays only the load column. Four load paths
+// are timed per reference:
+//
+//   load       — v2 archive, deserializing copy load (the pre-v3 serving
+//                path: element-wise reads plus an inverse-BWT pass);
+//   copy_load  — v3 archive, LoadMode::kCopy (flat sections memcpy'd);
+//   mmap_load  — v3 archive, LoadMode::kMmap, first open (CRC verification
+//                faults every page in);
+//   warm_load  — v3 archive, LoadMode::kMmap, second open (pages cached —
+//                the registry-reload / server-restart case).
+//
+// The bench is also a self-check: every loaded pipeline must reproduce the
+// built pipeline's structures AND emit byte-identical SAM for a fixed read
+// set, across v1/v2/v3 and both load modes. Any mismatch exits non-zero.
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "fmindex/dna.hpp"
+#include "io/fastq.hpp"
 #include "mapper/pipeline.hpp"
+#include "store/index_archive.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -19,60 +34,132 @@ namespace {
 using namespace bwaver;
 using namespace bwaver::bench;
 
-void run_reference(const char* label, const std::vector<std::uint8_t>& genome,
+/// Deterministic read set: substrings of the reference at a fixed stride.
+std::vector<FastqRecord> sample_reads(const std::vector<std::uint8_t>& genome,
+                                      std::size_t count, std::size_t length) {
+  std::vector<FastqRecord> reads;
+  if (genome.size() < length) return reads;
+  const std::size_t stride = (genome.size() - length) / (count + 1) + 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pos = (i * stride) % (genome.size() - length + 1);
+    FastqRecord record;
+    record.name = "r" + std::to_string(i);
+    record.sequence = dna_decode_string(
+        std::vector<std::uint8_t>(genome.begin() + pos, genome.begin() + pos + length));
+    record.quality.assign(length, 'I');
+    reads.push_back(std::move(record));
+  }
+  return reads;
+}
+
+bool check_sam(const char* label, const char* variant, const std::string& got,
+               const std::string& want) {
+  if (got == want) return true;
+  std::printf("!! SAM mismatch for %s (%s load)\n", label, variant);
+  return false;
+}
+
+bool run_reference(const char* label, const std::vector<std::uint8_t>& genome,
                    const std::filesystem::path& dir, JsonReport& report) {
-  const std::string archive = (dir / (std::string(label) + ".bwva")).string();
+  const std::string v1 = (dir / (std::string(label) + "_v1.bwva")).string();
+  const std::string v2 = (dir / (std::string(label) + "_v2.bwva")).string();
+  const std::string v3 = (dir / (std::string(label) + "_v3.bwva")).string();
 
   WallTimer timer;
   Pipeline built;
   built.build_from_sequence(label, dna_decode_string(genome));
   const double build_ms = timer.milliseconds();
 
+  write_index_archive(v1, built.reference(), built.index(), 1);
+  write_index_archive(v2, built.reference(), built.index(), 2);
   timer.reset();
-  built.save_index(archive);
+  write_index_archive(v3, built.reference(), built.index(), 3);
   const double save_ms = timer.milliseconds();
 
+  // Pre-v3 serving path: v2 archive, element-wise deserialize + inverse BWT.
   timer.reset();
-  const Pipeline loaded = Pipeline::from_archive(archive);
+  Pipeline loaded_v2 = Pipeline::from_archive(v2, {}, LoadMode::kCopy);
   const double load_ms = timer.milliseconds();
 
+  timer.reset();
+  Pipeline loaded_copy = Pipeline::from_archive(v3, {}, LoadMode::kCopy);
+  const double copy_load_ms = timer.milliseconds();
+
+  timer.reset();
+  Pipeline loaded_mmap = Pipeline::from_archive(v3, {}, LoadMode::kMmap);
+  const double mmap_load_ms = timer.milliseconds();
+
+  timer.reset();
+  Pipeline loaded_warm = Pipeline::from_archive(v3, {}, LoadMode::kMmap);
+  const double warm_load_ms = timer.milliseconds();
+
   const auto archive_mb =
-      static_cast<double>(std::filesystem::file_size(archive)) / (1024.0 * 1024.0);
+      static_cast<double>(std::filesystem::file_size(v3)) / (1024.0 * 1024.0);
   const double load_speedup = build_ms / (load_ms > 0.0 ? load_ms : 1.0);
-  std::printf("%-18s %10zu %12.1f %10.1f %10.1f %9.2f %8.1fx\n", label,
-              genome.size(), build_ms, save_ms, load_ms, archive_mb,
-              load_speedup);
+  const double mmap_speedup = load_ms / (warm_load_ms > 0.0 ? warm_load_ms : 0.001);
+  std::printf("%-12s %10zu %10.1f %9.1f %9.1f %9.1f %9.1f %9.1f %7.2f %7.1fx\n",
+              label, genome.size(), build_ms, save_ms, load_ms, copy_load_ms,
+              mmap_load_ms, warm_load_ms, archive_mb, mmap_speedup);
   report.metric(std::string(label) + ".build_ms", build_ms);
   report.metric(std::string(label) + ".load_ms", load_ms);
   report.metric(std::string(label) + ".load_speedup", load_speedup);
+  report.metric(std::string(label) + ".copy_load_ms", copy_load_ms);
+  report.metric(std::string(label) + ".mmap_load_ms", mmap_load_ms);
+  report.metric(std::string(label) + ".warm_load_ms", warm_load_ms);
+  report.metric(std::string(label) + ".mmap_speedup", mmap_speedup);
 
-  // The loaded index must be the built one, structure for structure.
-  if (loaded.index().suffix_array() != built.index().suffix_array() ||
-      loaded.reference().concatenated() != built.reference().concatenated()) {
-    std::printf("!! archive round-trip mismatch for %s\n", label);
+  // Self-check 1: the loaded index must be the built one, structure for
+  // structure, in every mode.
+  bool ok = true;
+  const std::pair<const Pipeline*, const char*> variants[] = {
+      {&loaded_v2, "v2"}, {&loaded_copy, "v3-copy"}, {&loaded_mmap, "v3-mmap"}};
+  for (const auto& [loaded, variant] : variants) {
+    if (loaded->index().suffix_array() != built.index().suffix_array() ||
+        loaded->reference().concatenated() != built.reference().concatenated()) {
+      std::printf("!! archive round-trip mismatch for %s (%s)\n", label, variant);
+      ok = false;
+    }
   }
+
+  // Self-check 2: byte-identical SAM across archive versions and load modes.
+  const auto reads = sample_reads(genome, 50, 36);
+  const std::string want = built.map_records(reads).sam;
+  Pipeline loaded_v1 = Pipeline::from_archive(v1, {}, LoadMode::kCopy);
+  ok &= check_sam(label, "v1-copy", loaded_v1.map_records(reads).sam, want);
+  ok &= check_sam(label, "v2-copy", loaded_v2.map_records(reads).sam, want);
+  ok &= check_sam(label, "v3-copy", loaded_copy.map_records(reads).sam, want);
+  ok &= check_sam(label, "v3-mmap", loaded_mmap.map_records(reads).sam, want);
+  ok &= check_sam(label, "v3-mmap-warm", loaded_warm.map_records(reads).sam, want);
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto setup = parse_setup(argc, argv, /*default_scale=*/0.1);
-  print_header("Index store: cold build vs archive load", setup);
+  print_header("Index store: cold build vs archive load (copy vs mmap)", setup);
 
   const auto dir =
       std::filesystem::temp_directory_path() / "bwaver_bench_index_load";
   std::filesystem::create_directories(dir);
 
   JsonReport report("bench_index_load", setup.json);
-  std::printf("%-18s %10s %12s %10s %10s %9s %8s\n", "reference", "bp",
-              "build [ms]", "save [ms]", "load [ms]", "MiB", "speedup");
-  run_reference("ecoli_like", ecoli_reference(setup), dir, report);
-  run_reference("chr21_like", chr21_reference(setup), dir, report);
+  std::printf("%-12s %10s %10s %9s %9s %9s %9s %9s %7s %7s\n", "reference",
+              "bp", "build[ms]", "save", "load", "copy", "mmap", "warm", "MiB",
+              "speedup");
+  bool ok = true;
+  ok &= run_reference("ecoli_like", ecoli_reference(setup), dir, report);
+  ok &= run_reference("chr21_like", chr21_reference(setup), dir, report);
 
   std::filesystem::remove_all(dir);
-  std::printf("\nbuild = SA + BWT + RRR encoding in memory; load = checksummed\n"
-              "archive read + inverse BWT. The speedup is what `bwaver serve\n"
-              "--store-dir` gains on every restart and registry reload.\n");
+  std::printf("\nload = v2 deserializing read + inverse BWT (the pre-v3 path);\n"
+              "copy/mmap/warm = v3 flat archive in each LoadMode (warm = second\n"
+              "mmap open). The mmap speedup is what `bwaver serve --store-dir\n"
+              "--load-mode mmap` gains on every restart and registry reload.\n");
   report.emit();
+  if (!ok) {
+    std::printf("!! bench self-check FAILED\n");
+    return 1;
+  }
   return 0;
 }

@@ -14,7 +14,9 @@
 //   map              --index ref.bwvr --reads reads.fq[.gz] --out out.sam
 //                    [--engine fpga|cpu|bowtie2like] [--threads T] [--b B] [--sf SF]
 //                    [--shards N] (reads per parallel shard, 0 = auto)
-//                    or: --store-dir DIR --ref-name N (load from the store)
+//                    or: --store-dir DIR --ref-name N (load from the store;
+//                    [--load-mode mmap|copy] selects zero-copy vs heap loads
+//                    of v3 archives, default $BWAVER_LOAD_MODE or copy)
 //   map-approx       --index ref.bwvr --reads reads.fq[.gz] [--mismatches K<=2]
 //                    staged exact -> 1-mm -> 2-mm mapping (FPGA model)
 //   map-paired       --index ref.bwvr --reads1 m1.fq[.gz] --reads2 m2.fq[.gz]
@@ -22,7 +24,8 @@
 //   pipeline         --ref ref.fa[.gz] --reads reads.fq[.gz] --out out.sam [same options]
 //   stats            --index ref.bwvr [--b B] [--sf SF]   entropy/size/device-fit report
 //   serve            [--port P] [--b B] [--sf SF] [--engine ...] [--store-dir DIR]
-//                    [--memory-budget-mb M] [--workers N] [--max-queue N]
+//                    [--load-mode mmap|copy] [--memory-budget-mb M]
+//                    [--workers N] [--max-queue N]
 //                    [--job-timeout S] [--http-threads N] [--max-body-mb M]
 //                    web front-end + async mapping-job engine (see
 //                    docs/serving.md for the job lifecycle and /stats)
@@ -71,6 +74,13 @@ MappingEngine parse_engine(const std::string& name) {
   if (name == "cpu") return MappingEngine::kCpu;
   if (name == "bowtie2like") return MappingEngine::kBowtie2Like;
   throw std::invalid_argument("unknown engine: " + name);
+}
+
+LoadMode load_mode_from_args(const ArgParser& args) {
+  const std::string name = args.get("load-mode");
+  if (name.empty()) return default_load_mode();
+  if (const auto mode = parse_load_mode(name)) return *mode;
+  throw std::invalid_argument("unknown load mode '" + name + "' (mmap|copy)");
 }
 
 PipelineConfig config_from_args(const ArgParser& args) {
@@ -243,7 +253,8 @@ int cmd_map(const ArgParser& args) {
   } else {
     IndexRegistry registry(store_dir);
     pipeline = Pipeline::from_archive(registry.archive_path(ref_name),
-                                      config_from_args(args));
+                                      config_from_args(args),
+                                      load_mode_from_args(args));
   }
   const MappingOutcome outcome = pipeline.map_reads(reads_path, out);
   std::printf("mapped %llu/%llu reads (%llu occurrences) -> %s\n"
@@ -339,6 +350,7 @@ int cmd_serve(const ArgParser& args) {
   WebServiceOptions options;
   options.pipeline = config_from_args(args);
   options.store_dir = args.get("store-dir");
+  options.load_mode = load_mode_from_args(args);
   options.memory_budget_bytes =
       static_cast<std::size_t>(args.get_int(
           "memory-budget-mb",

@@ -90,7 +90,8 @@ JobPriority parse_priority(const std::string& name, JobPriority fallback) {
 
 WebService::WebService(WebServiceOptions options)
     : options_(std::move(options)),
-      registry_(options_.store_dir, options_.memory_budget_bytes),
+      registry_(options_.store_dir, options_.memory_budget_bytes,
+                options_.load_mode),
       jobs_(options_.jobs),
       server_(options_.http) {
   server_.route("GET", "/", [this](const HttpRequest&) { return handle_index(); });
@@ -151,6 +152,9 @@ HttpResponse WebService::handle_status() const {
          std::to_string(resident) + " resident)\n";
   out += "resident_bytes: " + std::to_string(registry_.resident_bytes()) + " / " +
          std::to_string(registry_.memory_budget()) + "\n";
+  out += "heap_bytes: " + std::to_string(registry_.heap_bytes()) +
+         ", mapped_bytes: " + std::to_string(registry_.mapped_bytes()) + "\n";
+  out += "load_mode: " + std::string(load_mode_name(registry_.load_mode())) + "\n";
   if (!registry_.store_dir().empty()) {
     out += "store_dir: " + registry_.store_dir() + "\n";
   }
@@ -176,6 +180,8 @@ HttpResponse WebService::handle_references() const {
     json += ",\"sequences\":" + std::to_string(entry.num_sequences);
     json += ",\"resident\":" + std::string(entry.resident ? "true" : "false");
     json += ",\"resident_bytes\":" + std::to_string(entry.resident_bytes);
+    json += ",\"heap_bytes\":" + std::to_string(entry.heap_bytes);
+    json += ",\"mapped_bytes\":" + std::to_string(entry.mapped_bytes);
     json += ",\"archive_bytes\":" + std::to_string(entry.archive_bytes);
     json += "}";
   }
@@ -395,9 +401,14 @@ HttpResponse WebService::handle_job_cancel(const HttpRequest& request) {
 }
 
 HttpResponse WebService::handle_stats() const {
+  RegistryTelemetry registry;
+  registry.loads_mmap = registry_.loads_mmap();
+  registry.loads_copy = registry_.loads_copy();
+  registry.heap_bytes = registry_.heap_bytes();
+  registry.mapped_bytes = registry_.mapped_bytes();
   return HttpResponse::json(
       200, jobs_.stats().to_json(jobs_.queue_depth(), jobs_.queue_capacity(),
-                                 jobs_.workers(), jobs_.retained()) +
+                                 jobs_.workers(), jobs_.retained(), &registry) +
                "\n");
 }
 

@@ -48,6 +48,9 @@ struct WebServiceOptions {
   PipelineConfig pipeline{};
   std::string store_dir;  ///< empty: memory-only (no persistence)
   std::size_t memory_budget_bytes = IndexRegistry::kDefaultMemoryBudget;
+  /// How v3 archives are materialized on acquire (--load-mode; v1/v2
+  /// archives always deserialize onto the heap).
+  LoadMode load_mode = default_load_mode();
   JobManagerConfig jobs{};  ///< worker count, queue capacity, timeout, GC
   HttpServerOptions http{};
 };

@@ -12,10 +12,12 @@
 #include <span>
 #include <vector>
 
+#include "util/flat_array.hpp"
+
 namespace bwaver {
 
 struct Bwt {
-  std::vector<std::uint8_t> symbols;  ///< squeezed BWT, codes 0..3, length n
+  FlatArray<std::uint8_t> symbols;    ///< squeezed BWT, codes 0..3, length n
   std::uint32_t primary = 0;          ///< row of the sentinel in the full column
   std::uint32_t text_length = 0;      ///< n
 

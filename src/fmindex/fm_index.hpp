@@ -29,6 +29,7 @@
 #include "fmindex/sa_interval.hpp"
 #include "fmindex/suffix_array.hpp"
 #include "io/byte_io.hpp"
+#include "util/flat_array.hpp"
 
 namespace bwaver {
 
@@ -49,7 +50,7 @@ class FmIndex {
 
   /// Assembles from precomputed parts (the pipeline's step-2 path, where
   /// BWT and SA were produced by step 1 and read back from disk).
-  FmIndex(Bwt bwt, std::vector<std::uint32_t> sa, const OccBuilder& builder)
+  FmIndex(Bwt bwt, FlatArray<std::uint32_t> sa, const OccBuilder& builder)
       : bwt_(std::move(bwt)), sa_(std::move(sa)) {
     if (sa_.size() != static_cast<std::size_t>(bwt_.text_length) + 1) {
       throw std::invalid_argument("FmIndex: SA/BWT size mismatch");
@@ -60,7 +61,7 @@ class FmIndex {
 
   /// Assembles from a fully deserialized Occ backend (the archive load path:
   /// the encoded structure comes off disk, nothing is rebuilt).
-  FmIndex(Bwt bwt, std::vector<std::uint32_t> sa, Occ occ_backend)
+  FmIndex(Bwt bwt, FlatArray<std::uint32_t> sa, Occ occ_backend)
       : bwt_(std::move(bwt)), sa_(std::move(sa)), occ_backend_(std::move(occ_backend)) {
     if (sa_.size() != static_cast<std::size_t>(bwt_.text_length) + 1) {
       throw std::invalid_argument("FmIndex: SA/BWT size mismatch");
@@ -69,6 +70,28 @@ class FmIndex {
       throw std::invalid_argument("FmIndex: Occ/BWT size mismatch");
     }
     init_c_array();
+  }
+
+  /// Archive-v3 load path: like the Occ-adopting constructor above, but the
+  /// C array comes from the (checksum-verified) archive meta section, so no
+  /// O(n) scan of the BWT is needed — the only per-element pass left on a
+  /// zero-copy load.
+  FmIndex(Bwt bwt, FlatArray<std::uint32_t> sa, Occ occ_backend,
+          const std::array<std::uint32_t, 4>& c_table)
+      : bwt_(std::move(bwt)),
+        sa_(std::move(sa)),
+        occ_backend_(std::move(occ_backend)),
+        c_(c_table) {
+    if (sa_.size() != static_cast<std::size_t>(bwt_.text_length) + 1) {
+      throw std::invalid_argument("FmIndex: SA/BWT size mismatch");
+    }
+    if (occ_backend_.size() != bwt_.symbols.size()) {
+      throw std::invalid_argument("FmIndex: Occ/BWT size mismatch");
+    }
+    if (c_[0] != 1 || c_[1] < c_[0] || c_[2] < c_[1] || c_[3] < c_[2] ||
+        c_[3] > bwt_.text_length + 1) {
+      throw std::invalid_argument("FmIndex: implausible C array");
+    }
   }
 
   /// Text length n (rows in the BW matrix = n + 1).
@@ -184,7 +207,7 @@ class FmIndex {
   }
 
   const Bwt& bwt() const noexcept { return bwt_; }
-  const std::vector<std::uint32_t>& suffix_array() const noexcept { return sa_; }
+  const FlatArray<std::uint32_t>& suffix_array() const noexcept { return sa_; }
   const Occ& occ_backend() const noexcept { return occ_backend_; }
 
   /// Attaches (or detaches, with nullptr) a k-mer seed table. Shared so
@@ -249,7 +272,7 @@ class FmIndex {
   }
 
   Bwt bwt_;
-  std::vector<std::uint32_t> sa_;
+  FlatArray<std::uint32_t> sa_;
   Occ occ_backend_{};
   std::array<std::uint32_t, 4> c_{};
   std::shared_ptr<const KmerSeedTable> seed_table_;  // not in save(): the

@@ -30,8 +30,8 @@ KmerSeedTable KmerSeedTable::build(std::span<const std::uint8_t> text,
   if (k == 0 || text.size() < k) return table;
   table.k_ = k;
   const std::size_t entries = std::size_t{1} << (2 * k);
-  table.lo_.assign(entries, 0);
-  table.hi_.assign(entries, 0);
+  std::vector<std::uint32_t> lo(entries, 0);
+  std::vector<std::uint32_t> hi(entries, 0);
 
   // Rolling k-mer codes of every text position, so the SA scan below does
   // O(1) work per row instead of re-reading k bases.
@@ -53,11 +53,13 @@ KmerSeedTable KmerSeedTable::build(std::span<const std::uint8_t> text,
     if (pos + k > text.size()) continue;
     const std::uint32_t code = codes[pos];
     if (code != prev) {
-      table.lo_[code] = static_cast<std::uint32_t>(row);
+      lo[code] = static_cast<std::uint32_t>(row);
       prev = code;
     }
-    table.hi_[code] = static_cast<std::uint32_t>(row + 1);
+    hi[code] = static_cast<std::uint32_t>(row + 1);
   }
+  table.lo_ = std::move(lo);
+  table.hi_ = std::move(hi);
   return table;
 }
 
@@ -72,13 +74,43 @@ KmerSeedTable KmerSeedTable::load(ByteReader& reader) {
   table.k_ = reader.u32();
   table.lo_ = reader.vec_u32();
   table.hi_ = reader.vec_u32();
-  if (table.k_ > kMaxK) throw IoError("KmerSeedTable::load: corrupt k");
-  const std::size_t expected =
-      table.k_ == 0 ? 0 : std::size_t{1} << (2 * table.k_);
-  if (table.lo_.size() != expected || table.hi_.size() != expected) {
+  table.validate();
+  return table;
+}
+
+void KmerSeedTable::save_flat(ByteWriter& writer) const {
+  writer.u32(k_);
+  writer.u64(lo_.size());
+  writer.pad_to(64);
+  writer.raw_u32(lo_);
+  writer.u64(hi_.size());
+  writer.pad_to(64);
+  writer.raw_u32(hi_);
+}
+
+KmerSeedTable KmerSeedTable::load_flat(ByteReader& reader, bool adopt) {
+  KmerSeedTable table;
+  table.k_ = reader.u32();
+  const auto read_array = [&reader, adopt]() {
+    const std::uint64_t count = reader.u64();
+    reader.align_to(64);
+    const auto values = reader.span_u32(count);
+    if (adopt) return FlatArray<std::uint32_t>::view_of(values);
+    return FlatArray<std::uint32_t>(
+        std::vector<std::uint32_t>(values.begin(), values.end()));
+  };
+  table.lo_ = read_array();
+  table.hi_ = read_array();
+  table.validate();
+  return table;
+}
+
+void KmerSeedTable::validate() const {
+  if (k_ > kMaxK) throw IoError("KmerSeedTable::load: corrupt k");
+  const std::size_t expected = k_ == 0 ? 0 : std::size_t{1} << (2 * k_);
+  if (lo_.size() != expected || hi_.size() != expected) {
     throw IoError("KmerSeedTable::load: entry count does not match k");
   }
-  return table;
 }
 
 }  // namespace bwaver

@@ -24,6 +24,7 @@
 
 #include "fmindex/sa_interval.hpp"
 #include "io/byte_io.hpp"
+#include "util/flat_array.hpp"
 
 namespace bwaver {
 
@@ -74,18 +75,30 @@ class KmerSeedTable {
     return SaInterval{lo_[code], hi_[code]};
   }
 
-  /// Heap bytes of the two interval arrays.
+  /// Payload bytes of the two interval arrays (heap or mapped).
   std::size_t size_in_bytes() const noexcept {
     return (lo_.size() + hi_.size()) * sizeof(std::uint32_t) + sizeof(std::uint32_t);
+  }
+
+  /// Bytes actually on the heap (0 payload for a mapped view).
+  std::size_t heap_size_in_bytes() const noexcept {
+    return lo_.heap_bytes() + hi_.heap_bytes() + sizeof(std::uint32_t);
   }
 
   void save(ByteWriter& writer) const;
   static KmerSeedTable load(ByteReader& reader);
 
+  /// Flat 64-byte-aligned layout (archive format v3); adopt=true borrows
+  /// both interval arrays from the reader's backing buffer.
+  void save_flat(ByteWriter& writer) const;
+  static KmerSeedTable load_flat(ByteReader& reader, bool adopt);
+
  private:
+  void validate() const;
+
   unsigned k_ = 0;
-  std::vector<std::uint32_t> lo_;  // one interval per k-mer code
-  std::vector<std::uint32_t> hi_;
+  FlatArray<std::uint32_t> lo_;  // one interval per k-mer code
+  FlatArray<std::uint32_t> hi_;
 };
 
 }  // namespace bwaver

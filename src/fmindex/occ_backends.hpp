@@ -51,6 +51,11 @@ class RrrWaveletOcc {
 
   /// Per-instance bytes; add shared_table_bytes() once per process/device.
   std::size_t size_in_bytes() const noexcept { return tree_.size_in_bytes(); }
+  /// Bytes on the heap — smaller than size_in_bytes() when the node
+  /// payloads were adopted from a memory-mapped archive.
+  std::size_t heap_size_in_bytes() const noexcept {
+    return tree_.heap_size_in_bytes();
+  }
   std::size_t shared_table_bytes() const {
     return GlobalRankTable::get(params_.block_bits).device_size_in_bytes();
   }
@@ -68,6 +73,20 @@ class RrrWaveletOcc {
     occ.params_.block_bits = reader.u32();
     occ.params_.superblock_factor = reader.u32();
     occ.tree_ = WaveletTree<RrrVector>::load(reader);
+    return occ;
+  }
+
+  /// Flat 64-byte-aligned layout (archive format v3).
+  void save_flat(ByteWriter& writer) const {
+    writer.u32(params_.block_bits);
+    writer.u32(params_.superblock_factor);
+    tree_.save_flat(writer);
+  }
+  static RrrWaveletOcc load_flat(ByteReader& reader, bool adopt) {
+    RrrWaveletOcc occ;
+    occ.params_.block_bits = reader.u32();
+    occ.params_.superblock_factor = reader.u32();
+    occ.tree_ = WaveletTree<RrrVector>::load_flat(reader, adopt);
     return occ;
   }
 

@@ -18,7 +18,16 @@ void ReferenceSet::add(const std::string& name, std::span<const std::uint8_t> co
   sequence.offset = static_cast<std::uint32_t>(text_.size());
   sequence.length = static_cast<std::uint32_t>(codes.size());
   sequences_.push_back(std::move(sequence));
-  text_.insert(text_.end(), codes.begin(), codes.end());
+  text_.append(codes);
+}
+
+ReferenceSet ReferenceSet::from_parts(std::vector<Sequence> sequences,
+                                      FlatArray<std::uint8_t> text) {
+  validate_table(sequences, text.size());
+  ReferenceSet set;
+  set.sequences_ = std::move(sequences);
+  set.text_ = std::move(text);
+  return set;
 }
 
 ReferenceSet::LocalPosition ReferenceSet::resolve(std::uint32_t global_pos) const {
@@ -51,39 +60,54 @@ std::optional<ReferenceSet::LocalPosition> ReferenceSet::resolve_span(
 }
 
 void ReferenceSet::save(ByteWriter& writer) const {
+  save_table(writer);
+  writer.vec_u8(text_);
+}
+
+ReferenceSet ReferenceSet::load(ByteReader& reader) {
+  ReferenceSet set;
+  set.sequences_ = load_table(reader);
+  set.text_ = reader.vec_u8();
+  validate_table(set.sequences_, set.text_.size());
+  return set;
+}
+
+void ReferenceSet::save_table(ByteWriter& writer) const {
   writer.u64(sequences_.size());
   for (const Sequence& seq : sequences_) {
     writer.str(seq.name);
     writer.u32(seq.offset);
     writer.u32(seq.length);
   }
-  writer.vec_u8(text_);
 }
 
-ReferenceSet ReferenceSet::load(ByteReader& reader) {
-  ReferenceSet set;
+std::vector<ReferenceSet::Sequence> ReferenceSet::load_table(ByteReader& reader) {
   const std::uint64_t count = reader.u64();
-  set.sequences_.reserve(count);
+  std::vector<Sequence> sequences;
+  sequences.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     Sequence seq;
     seq.name = reader.str();
     seq.offset = reader.u32();
     seq.length = reader.u32();
-    set.sequences_.push_back(std::move(seq));
+    sequences.push_back(std::move(seq));
   }
-  set.text_ = reader.vec_u8();
+  return sequences;
+}
+
+void ReferenceSet::validate_table(const std::vector<Sequence>& sequences,
+                                  std::size_t text_size) {
   // Structural validation: contiguous, ordered, covering the text.
   std::uint64_t cursor = 0;
-  for (const Sequence& seq : set.sequences_) {
+  for (const Sequence& seq : sequences) {
     if (seq.offset != cursor || seq.length == 0) {
       throw IoError("ReferenceSet::load: corrupt sequence table");
     }
     cursor += seq.length;
   }
-  if (cursor != set.text_.size()) {
+  if (cursor != text_size) {
     throw IoError("ReferenceSet::load: sequence table does not cover text");
   }
-  return set;
 }
 
 }  // namespace bwaver

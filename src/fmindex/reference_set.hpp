@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "io/byte_io.hpp"
+#include "util/flat_array.hpp"
 
 namespace bwaver {
 
@@ -33,6 +34,12 @@ class ReferenceSet {
 
   ReferenceSet() = default;
 
+  /// Assembles a set from a pre-built sequence table and concatenated text
+  /// (possibly a zero-copy view into a mapped archive). Performs the same
+  /// structural validation as load(); throws IoError on mismatch.
+  static ReferenceSet from_parts(std::vector<Sequence> sequences,
+                                 FlatArray<std::uint8_t> text);
+
   /// Appends a sequence (2-bit codes are appended to the concatenation).
   void add(const std::string& name, std::span<const std::uint8_t> codes);
 
@@ -40,8 +47,9 @@ class ReferenceSet {
   const std::vector<Sequence>& sequences() const noexcept { return sequences_; }
   const Sequence& sequence(std::size_t i) const { return sequences_.at(i); }
 
-  /// The concatenated text the FM-index is built over.
-  const std::vector<std::uint8_t>& concatenated() const noexcept { return text_; }
+  /// The concatenated text the FM-index is built over. May be a zero-copy
+  /// view into a mapped archive (see FlatArray::is_view()).
+  const FlatArray<std::uint8_t>& concatenated() const noexcept { return text_; }
   std::size_t total_length() const noexcept { return text_.size(); }
 
   /// Maps a global position to (sequence, local offset). Throws
@@ -59,9 +67,17 @@ class ReferenceSet {
   void save(ByteWriter& writer) const;
   static ReferenceSet load(ByteReader& reader);
 
+  /// (De)serializes the name/offset table alone — archive format v3 keeps
+  /// the concatenated text in its own flat section (see from_parts).
+  void save_table(ByteWriter& writer) const;
+  static std::vector<Sequence> load_table(ByteReader& reader);
+
  private:
+  static void validate_table(const std::vector<Sequence>& sequences,
+                             std::size_t text_size);
+
   std::vector<Sequence> sequences_;
-  std::vector<std::uint8_t> text_;
+  FlatArray<std::uint8_t> text_;
 };
 
 }  // namespace bwaver

@@ -37,6 +37,24 @@ void ByteWriter::str(const std::string& s) {
   buffer_.insert(buffer_.end(), s.begin(), s.end());
 }
 
+void ByteWriter::raw_u32(std::span<const std::uint32_t> data) {
+  const std::size_t old = buffer_.size();
+  buffer_.resize(old + data.size_bytes());
+  std::memcpy(buffer_.data() + old, data.data(), data.size_bytes());
+}
+
+void ByteWriter::raw_u64(std::span<const std::uint64_t> data) {
+  const std::size_t old = buffer_.size();
+  buffer_.resize(old + data.size_bytes());
+  std::memcpy(buffer_.data() + old, data.data(), data.size_bytes());
+}
+
+void ByteWriter::pad_to(std::size_t alignment) {
+  if (alignment == 0) return;
+  const std::size_t rem = buffer_.size() % alignment;
+  if (rem != 0) buffer_.resize(buffer_.size() + (alignment - rem), 0);
+}
+
 std::uint8_t ByteReader::u8() {
   need(1);
   return data_[pos_++];
@@ -81,7 +99,7 @@ std::vector<std::uint8_t> ByteReader::vec_u8() {
 
 std::vector<std::uint32_t> ByteReader::vec_u32() {
   const std::uint64_t count = u64();
-  need(count * 4);
+  if (count > remaining() / 4) fail_truncated();
   std::vector<std::uint32_t> out;
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) out.push_back(u32());
@@ -94,6 +112,56 @@ std::string ByteReader::str() {
   std::string out(reinterpret_cast<const char*>(data_.data() + pos_), count);
   pos_ += count;
   return out;
+}
+
+std::span<const std::uint8_t> ByteReader::span_u8(std::size_t count) {
+  need(count);
+  const std::span<const std::uint8_t> out = data_.subspan(pos_, count);
+  pos_ += count;
+  return out;
+}
+
+std::span<const std::uint32_t> ByteReader::span_u32(std::size_t count) {
+  if (count > remaining() / sizeof(std::uint32_t)) fail_truncated();
+  const auto* base = data_.data() + pos_;
+  if (reinterpret_cast<std::uintptr_t>(base) % alignof(std::uint32_t) != 0) {
+    fail_misaligned(sizeof(std::uint32_t));
+  }
+  pos_ += count * sizeof(std::uint32_t);
+  return {reinterpret_cast<const std::uint32_t*>(base), count};
+}
+
+std::span<const std::uint64_t> ByteReader::span_u64(std::size_t count) {
+  if (count > remaining() / sizeof(std::uint64_t)) fail_truncated();
+  const auto* base = data_.data() + pos_;
+  if (reinterpret_cast<std::uintptr_t>(base) % alignof(std::uint64_t) != 0) {
+    fail_misaligned(sizeof(std::uint64_t));
+  }
+  pos_ += count * sizeof(std::uint64_t);
+  return {reinterpret_cast<const std::uint64_t*>(base), count};
+}
+
+void ByteReader::align_to(std::size_t alignment) {
+  if (alignment == 0) return;
+  const std::size_t rem = pos_ % alignment;
+  if (rem != 0) {
+    need(alignment - rem);
+    pos_ += alignment - rem;
+  }
+}
+
+void ByteReader::fail_truncated() const {
+  if (context_.empty()) throw IoError("ByteReader: truncated input");
+  throw IoError("ByteReader: truncated input in section '" + context_ +
+                "' at file offset " + std::to_string(base_offset_ + pos_));
+}
+
+void ByteReader::fail_misaligned(std::size_t element_size) const {
+  std::string where =
+      context_.empty() ? std::string() : " in section '" + context_ + "'";
+  throw IoError("ByteReader: misaligned " +
+                std::to_string(element_size * 8) + "-bit array" + where +
+                " at file offset " + std::to_string(base_offset_ + pos_));
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {

@@ -33,6 +33,18 @@ class ByteWriter {
   /// Length-prefixed (u64) string.
   void str(const std::string& s);
 
+  /// Raw element bytes with no length prefix (archive v3 flat payloads;
+  /// the element count is written separately by the caller). Host must be
+  /// little-endian — the v3 writer enforces that once up front.
+  void raw_u8(std::span<const std::uint8_t> data) { bytes(data); }
+  void raw_u32(std::span<const std::uint32_t> data);
+  void raw_u64(std::span<const std::uint64_t> data);
+
+  /// Appends zero bytes until the buffer size is a multiple of `alignment`.
+  void pad_to(std::size_t alignment);
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+
   const std::vector<std::uint8_t>& data() const noexcept { return buffer_; }
   std::vector<std::uint8_t> take() { return std::move(buffer_); }
 
@@ -40,10 +52,14 @@ class ByteWriter {
   std::vector<std::uint8_t> buffer_;
 };
 
-/// Reads scalars/vectors back; throws IoError on truncation.
+/// Reads scalars/vectors back; throws IoError on truncation. When `context`
+/// and `base_offset` are supplied (archive section readers), errors name the
+/// section and the absolute file offset of the failure.
 class ByteReader {
  public:
-  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit ByteReader(std::span<const std::uint8_t> data,
+                      std::string context = {}, std::uint64_t base_offset = 0)
+      : data_(data), context_(std::move(context)), base_offset_(base_offset) {}
 
   std::uint8_t u8();
   std::uint16_t u16();
@@ -55,15 +71,35 @@ class ByteReader {
   std::vector<std::uint32_t> vec_u32();
   std::string str();
 
+  /// Zero-copy views over the underlying buffer (archive v3 flat payloads).
+  /// The span aliases the reader's buffer: it is valid only as long as the
+  /// backing bytes are. The u32/u64 variants require the current position to
+  /// be naturally aligned relative to the buffer start — guaranteed by the
+  /// v3 layout (align_to(64) before every array) whenever the buffer itself
+  /// is at least 8-byte aligned (mmap pages / read_file vectors are).
+  std::span<const std::uint8_t> span_u8(std::size_t count);
+  std::span<const std::uint32_t> span_u32(std::size_t count);
+  std::span<const std::uint64_t> span_u64(std::size_t count);
+
+  /// Skips forward to the next multiple of `alignment` (pad bytes written by
+  /// ByteWriter::pad_to); throws IoError when that runs past the end.
+  void align_to(std::size_t alignment);
+
+  std::size_t offset() const noexcept { return pos_; }
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool done() const noexcept { return pos_ == data_.size(); }
 
  private:
   void need(std::size_t count) const {
-    if (pos_ + count > data_.size()) throw IoError("ByteReader: truncated input");
+    if (count > data_.size() - pos_) fail_truncated();
   }
+  [[noreturn]] void fail_truncated() const;
+  [[noreturn]] void fail_misaligned(std::size_t element_size) const;
+
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  std::string context_;
+  std::uint64_t base_offset_ = 0;
 };
 
 /// Whole-file helpers; throw IoError on failure.

@@ -1,0 +1,146 @@
+#include "io/mapped_file.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "io/byte_io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BWAVER_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define BWAVER_HAVE_MMAP 0
+#include <cstdio>
+#endif
+
+namespace bwaver {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw IoError("MappedFile: " + what + ": " + path);
+}
+
+}  // namespace
+
+#if BWAVER_HAVE_MMAP
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open", path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  mapped_ = true;
+  if (size_ == 0) {
+    ::close(fd);
+    return;  // nothing to map; bytes() is an empty span
+  }
+  void* base = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (base == MAP_FAILED) {
+    size_ = 0;
+    mapped_ = false;
+    fail("mmap failed", path);
+  }
+  data_ = static_cast<const std::uint8_t*>(base);
+}
+
+void MappedFile::advise(Advice advice) const noexcept {
+  if (!mapped_ || data_ == nullptr) return;
+  int hint = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal:
+      hint = MADV_NORMAL;
+      break;
+    case Advice::kSequential:
+      hint = MADV_SEQUENTIAL;
+      break;
+    case Advice::kRandom:
+      hint = MADV_RANDOM;
+      break;
+    case Advice::kWillNeed:
+      hint = MADV_WILLNEED;
+      break;
+  }
+  ::madvise(const_cast<std::uint8_t*>(data_), size_, hint);
+}
+
+bool MappedFile::supported() noexcept { return true; }
+
+void MappedFile::reset() noexcept {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.reset();
+}
+
+#else  // !BWAVER_HAVE_MMAP: read the file into an aligned heap buffer.
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) fail("cannot open", path);
+  std::fseek(file, 0, SEEK_END);
+  const long end = std::ftell(file);
+  if (end < 0) {
+    std::fclose(file);
+    fail("cannot stat", path);
+  }
+  std::fseek(file, 0, SEEK_SET);
+  size_ = static_cast<std::size_t>(end);
+  // uint64_t granularity keeps the buffer aligned for the widest element
+  // type adopted out of an archive section.
+  fallback_ = std::make_unique<std::uint64_t[]>((size_ + 7) / 8);
+  data_ = reinterpret_cast<const std::uint8_t*>(fallback_.get());
+  if (size_ != 0 &&
+      std::fread(fallback_.get(), 1, size_, file) != size_) {
+    std::fclose(file);
+    fail("short read", path);
+  }
+  std::fclose(file);
+}
+
+void MappedFile::advise(Advice) const noexcept {}
+
+bool MappedFile::supported() noexcept { return false; }
+
+void MappedFile::reset() noexcept {
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.reset();
+}
+
+#endif  // BWAVER_HAVE_MMAP
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      path_(std::move(other.path_)),
+      fallback_(std::move(other.fallback_)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    path_ = std::move(other.path_);
+    fallback_ = std::move(other.fallback_);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+}  // namespace bwaver

@@ -1,0 +1,63 @@
+// Read-only memory-mapped file with a portable read() fallback.
+//
+// The zero-copy archive load path (docs/index_store.md, format v3) maps the
+// whole `.bwva` file MAP_SHARED | PROT_READ and adopts the section payloads
+// in place. The mapping is page-cache backed: a warm reload touches no disk,
+// concurrent processes serving the same reference share the physical pages,
+// and eviction is just munmap — the kernel reclaims the pages lazily.
+//
+// On platforms without POSIX mmap the class degrades to reading the file
+// into a 64-byte-aligned heap buffer; callers see the same bytes() span and
+// only mapped() / supported() report the difference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace bwaver {
+
+class MappedFile {
+ public:
+  /// Access-pattern hint forwarded to madvise() when the file is mapped.
+  enum class Advice { kNormal, kSequential, kRandom, kWillNeed };
+
+  MappedFile() = default;
+
+  /// Maps `path` read-only; throws IoError when the file cannot be opened,
+  /// stat'ed, or mapped. An empty file yields an empty bytes() span.
+  explicit MappedFile(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, size_};
+  }
+  std::size_t size() const noexcept { return size_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// True when the bytes are a real mmap (false for the read() fallback).
+  bool mapped() const noexcept { return mapped_; }
+
+  /// Forwards the hint to madvise(); a no-op for the fallback buffer.
+  void advise(Advice advice) const noexcept;
+
+  /// True when this build uses real mmap (POSIX).
+  static bool supported() noexcept;
+
+ private:
+  void reset() noexcept;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::string path_;
+  std::unique_ptr<std::uint64_t[]> fallback_;  ///< owns bytes when !mapped_
+};
+
+}  // namespace bwaver

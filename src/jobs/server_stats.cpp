@@ -74,7 +74,8 @@ double ServerStats::uptime_seconds() const {
 }
 
 std::string ServerStats::to_json(std::size_t queue_depth, std::size_t queue_capacity,
-                                 std::size_t workers, std::size_t jobs_retained) const {
+                                 std::size_t workers, std::size_t jobs_retained,
+                                 const RegistryTelemetry* registry) const {
   std::string json = "{";
   json += "\"uptime_seconds\":" + format_ms(uptime_seconds());
   json += ",\"counters\":{";
@@ -100,6 +101,12 @@ std::string ServerStats::to_json(std::size_t queue_depth, std::size_t queue_capa
           ",\"jobs_retained\":" + std::to_string(jobs_retained) + "}";
   json += ",\"histograms\":{\"queue_wait_ms\":" + queue_wait.to_json() +
           ",\"map_time_ms\":" + map_time.to_json() + "}";
+  if (registry != nullptr) {
+    json += ",\"registry\":{\"loads_mmap\":" + std::to_string(registry->loads_mmap) +
+            ",\"loads_copy\":" + std::to_string(registry->loads_copy) +
+            ",\"heap_bytes\":" + std::to_string(registry->heap_bytes) +
+            ",\"mapped_bytes\":" + std::to_string(registry->mapped_bytes) + "}";
+  }
   json += ",\"per_reference\":{";
   bool first = true;
   for (const auto& [name, count] : reference_counts()) {

@@ -19,6 +19,16 @@
 
 namespace bwaver {
 
+/// Registry snapshot exported inside /stats (see IndexRegistry): how many
+/// archive loads each path served and how many bytes are currently mapped
+/// versus heap-resident.
+struct RegistryTelemetry {
+  std::uint64_t loads_mmap = 0;
+  std::uint64_t loads_copy = 0;
+  std::uint64_t heap_bytes = 0;
+  std::uint64_t mapped_bytes = 0;
+};
+
 /// Fixed-boundary latency histogram (milliseconds). Boundaries are
 /// exponential — 1 ms to ~100 s — which covers queue waits under load and
 /// chromosome-scale mapping times in one shape. Thread-safe, wait-free
@@ -78,9 +88,11 @@ class ServerStats {
   double uptime_seconds() const;
 
   /// Full /stats document. `queue_depth`/`queue_capacity`/`workers`
-  /// describe the live queue and are supplied by the job manager.
+  /// describe the live queue and are supplied by the job manager;
+  /// `registry` (optional) adds the index-load telemetry block.
   std::string to_json(std::size_t queue_depth, std::size_t queue_capacity,
-                      std::size_t workers, std::size_t jobs_retained) const;
+                      std::size_t workers, std::size_t jobs_retained,
+                      const RegistryTelemetry* registry = nullptr) const;
 
   /// One-line operator log summary.
   std::string summary_line() const;

@@ -52,7 +52,7 @@ std::vector<SamSequence> sam_sequences_for(const ReferenceSet& reference) {
 }
 
 void resolve_query_results(const ReferenceSet& reference,
-                           const std::vector<std::uint32_t>& suffix_array,
+                           std::span<const std::uint32_t> suffix_array,
                            std::span<const FastqRecord> records,
                            std::span<const QueryResult> results,
                            std::size_t max_hits_per_read, MappingOutcome& outcome,

@@ -32,7 +32,7 @@ std::vector<SamSequence> sam_sequences_for(const ReferenceSet& reference);
 /// (boundary filtering, `max_hits_per_read` cap) and accumulates the
 /// outcome counters.
 void resolve_query_results(const ReferenceSet& reference,
-                           const std::vector<std::uint32_t>& suffix_array,
+                           std::span<const std::uint32_t> suffix_array,
                            std::span<const FastqRecord> records,
                            std::span<const QueryResult> results,
                            std::size_t max_hits_per_read, MappingOutcome& outcome,

@@ -181,12 +181,14 @@ void Pipeline::save_index(const std::string& path) const {
   write_index_archive(path, reference_, *index_);
 }
 
-Pipeline Pipeline::from_archive(const std::string& path, PipelineConfig config) {
-  StoredIndex stored = read_index_archive(path);
+Pipeline Pipeline::from_archive(const std::string& path, PipelineConfig config,
+                                LoadMode load_mode) {
+  StoredIndex stored = read_index_archive(path, load_mode);
   Pipeline pipeline(config);
   pipeline.reference_ = std::move(stored.reference);
   pipeline.index_ =
       std::make_unique<FmIndex<RrrWaveletOcc>>(std::move(stored.index));
+  pipeline.archive_backing_ = std::move(stored.backing);
   if (config.engine == MappingEngine::kBowtie2Like) {
     pipeline.bowtie_ =
         std::make_unique<Bowtie2LikeMapper>(pipeline.reference_.concatenated());

@@ -27,6 +27,7 @@
 #include "fpga/device_spec.hpp"
 #include "mapper/fpga_mapper.hpp"
 #include "mapper/software_mapper.hpp"
+#include "store/index_archive.hpp"
 
 namespace bwaver {
 
@@ -94,8 +95,12 @@ class Pipeline {
   /// Loads a pipeline from an archive written by save_index() — no
   /// construction work is redone, so this is the fast deployment path. The
   /// RRR parameters in `config` are ignored (they come from the archive).
+  /// `load_mode` selects copy vs zero-copy mmap loading for v3 archives
+  /// (v1/v2 always copy); an mmap-backed pipeline keeps the file mapped for
+  /// its lifetime.
   static Pipeline from_archive(const std::string& path,
-                               PipelineConfig config = PipelineConfig{});
+                               PipelineConfig config = PipelineConfig{},
+                               LoadMode load_mode = default_load_mode());
 
   /// Step 3. Maps the reads in `fastq_path`; writes SAM to `sam_path` if
   /// non-empty. Requires encode()/build_from_sequence() first.
@@ -145,6 +150,9 @@ class Pipeline {
   ReferenceSet reference_;
   std::unique_ptr<FmIndex<RrrWaveletOcc>> index_;
   std::unique_ptr<Bowtie2LikeMapper> bowtie_;  ///< built lazily for that engine
+  /// Keeps a zero-copy-loaded archive mapped while index_/reference_ view
+  /// into it; null for heap-owned pipelines.
+  std::shared_ptr<const MappedFile> archive_backing_;
 };
 
 }  // namespace bwaver

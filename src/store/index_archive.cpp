@@ -1,6 +1,7 @@
 #include "store/index_archive.hpp"
 
 #include <array>
+#include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -16,10 +17,15 @@ namespace {
 constexpr std::uint32_t kArchiveMagic = 0x41565742;  // "BWVA" little-endian
 
 constexpr const char* kSectionMeta = "meta";
+constexpr const char* kSectionText = "text";  // v3+: raw 2-bit codes
 constexpr const char* kSectionBwt = "bwt";
 constexpr const char* kSectionOcc = "occ";
 constexpr const char* kSectionSa = "sa";
 constexpr const char* kSectionKmer = "kmer";  // optional, v2+
+
+/// v3 sections start on 64-byte file offsets so the flat arrays inside
+/// (themselves padded to 64 within the section) are absolutely aligned.
+constexpr std::uint64_t kSectionAlign = 64;
 
 std::array<std::uint32_t, 4> c_table_of(const Bwt& bwt) {
   std::array<std::uint32_t, 4> counts{};
@@ -91,14 +97,17 @@ const ArchiveSection* find_section_entry(const ParsedHeader& header,
   return nullptr;
 }
 
-std::span<const std::uint8_t> find_section(std::span<const std::uint8_t> file,
-                                           const ParsedHeader& header,
-                                           const std::string& name,
-                                           const std::string& path) {
-  for (const ArchiveSection& section : header.sections) {
-    if (section.name == name) return file.subspan(section.offset, section.length);
+/// A reader over one section's payload, carrying the section name and its
+/// absolute file offset so truncation/misalignment errors point at the spot.
+ByteReader section_reader(std::span<const std::uint8_t> file,
+                          const ParsedHeader& header, const std::string& name,
+                          const std::string& path) {
+  const ArchiveSection* entry = find_section_entry(header, name);
+  if (entry == nullptr) {
+    throw IoError("index archive: missing section '" + name + "': " + path);
   }
-  throw IoError("index archive: missing section '" + name + "': " + path);
+  return ByteReader(file.subspan(entry->offset, entry->length), name,
+                    entry->offset);
 }
 
 struct MetaSection {
@@ -107,17 +116,9 @@ struct MetaSection {
   std::array<std::uint32_t, 4> c_table{};
 };
 
-MetaSection parse_meta(std::span<const std::uint8_t> payload, const std::string& path) {
-  ByteReader reader(payload);
+MetaSection parse_meta(ByteReader reader, const std::string& path) {
   MetaSection meta;
-  const std::uint64_t count = reader.u64();
-  for (std::uint64_t i = 0; i < count; ++i) {
-    ReferenceSet::Sequence seq;
-    seq.name = reader.str();
-    seq.offset = reader.u32();
-    seq.length = reader.u32();
-    meta.sequences.push_back(std::move(seq));
-  }
+  meta.sequences = ReferenceSet::load_table(reader);
   meta.text_length = reader.u32();
   for (auto& c : meta.c_table) c = reader.u32();
   if (!reader.done()) {
@@ -126,96 +127,16 @@ MetaSection parse_meta(std::span<const std::uint8_t> payload, const std::string&
   return meta;
 }
 
-}  // namespace
-
-std::size_t stored_index_bytes(const StoredIndex& stored) {
-  const KmerSeedTable* seeds = stored.index.seed_table();
-  return stored.reference.total_length() + stored.index.bwt().symbols.size() +
-         stored.index.suffix_array().size() * sizeof(std::uint32_t) +
-         stored.index.occ_size_in_bytes() +
-         (seeds ? seeds->size_in_bytes() : 0);
-}
-
-void write_index_archive(const std::string& path, const ReferenceSet& reference,
-                         const FmIndex<RrrWaveletOcc>& index,
-                         std::uint32_t format_version) {
-  if (format_version < kArchiveVersionMin || format_version > kArchiveVersionLatest) {
-    throw std::invalid_argument("write_index_archive: unsupported format version " +
-                                std::to_string(format_version));
-  }
-  const Bwt& bwt = index.bwt();
-
-  ByteWriter meta;
-  meta.u64(reference.num_sequences());
-  for (const auto& seq : reference.sequences()) {
-    meta.str(seq.name);
-    meta.u32(seq.offset);
-    meta.u32(seq.length);
-  }
-  meta.u32(bwt.text_length);
-  for (const std::uint32_t c : c_table_of(bwt)) meta.u32(c);
-
-  ByteWriter bwt_section;
-  bwt_section.u32(bwt.text_length);
-  bwt_section.u32(bwt.primary);
-  bwt_section.vec_u8(bwt.symbols);
-
-  ByteWriter occ_section;
-  index.occ_backend().save(occ_section);
-
-  ByteWriter sa_section;
-  sa_section.vec_u32(index.suffix_array());
-
-  std::vector<std::pair<const char*, const std::vector<std::uint8_t>*>> sections = {
-      {kSectionMeta, &meta.data()},
-      {kSectionBwt, &bwt_section.data()},
-      {kSectionOcc, &occ_section.data()},
-      {kSectionSa, &sa_section.data()},
-  };
-
-  // v2+: the seed table rides along as its own checksummed section so old
-  // archives stay loadable and the table stays skippable.
-  ByteWriter kmer_section;
-  if (format_version >= 2 && index.seed_table() != nullptr) {
-    index.seed_table()->save(kmer_section);
-    sections.emplace_back(kSectionKmer, &kmer_section.data());
-  }
-
-  // The header size is known up front (str = u64 length prefix + bytes), so
-  // absolute payload offsets can be written in one pass.
-  std::size_t header_bytes = 3 * sizeof(std::uint32_t);
-  for (const auto& [name, payload] : sections) {
-    header_bytes += 8 + std::string(name).size() + 8 + 8 + 4;
-  }
-  const std::size_t payload_start = header_bytes + sizeof(std::uint32_t);  // + header CRC
-
-  ByteWriter writer;
-  writer.u32(kArchiveMagic);
-  writer.u32(format_version);
-  writer.u32(static_cast<std::uint32_t>(sections.size()));
-  std::uint64_t offset = payload_start;
-  for (const auto& [name, payload] : sections) {
-    writer.str(name);
-    writer.u64(offset);
-    writer.u64(payload->size());
-    writer.u32(crc32_ieee(*payload));
-    offset += payload->size();
-  }
-  writer.u32(crc32_ieee(writer.data()));
-  for (const auto& [name, payload] : sections) {
-    writer.bytes(*payload);
-  }
-  write_file(path, writer.data());
-}
-
-StoredIndex read_index_archive(const std::string& path) {
-  const auto file = read_file(path);
-  const ParsedHeader header = parse_header(file, path);
-  const MetaSection meta = parse_meta(find_section(file, header, kSectionMeta, path), path);
+/// v1/v2: element-wise deserialization onto the heap, reference text
+/// recovered from the BWT.
+StoredIndex load_v1v2(std::span<const std::uint8_t> file,
+                      const ParsedHeader& header, const std::string& path) {
+  const MetaSection meta =
+      parse_meta(section_reader(file, header, kSectionMeta, path), path);
 
   Bwt bwt;
   {
-    ByteReader reader(find_section(file, header, kSectionBwt, path));
+    ByteReader reader = section_reader(file, header, kSectionBwt, path);
     bwt.text_length = reader.u32();
     bwt.primary = reader.u32();
     bwt.symbols = reader.vec_u8();
@@ -230,7 +151,7 @@ StoredIndex read_index_archive(const std::string& path) {
 
   RrrWaveletOcc occ;
   {
-    ByteReader reader(find_section(file, header, kSectionOcc, path));
+    ByteReader reader = section_reader(file, header, kSectionOcc, path);
     occ = RrrWaveletOcc::load(reader);
     if (!reader.done()) {
       throw IoError("index archive: trailing bytes in occ section: " + path);
@@ -239,7 +160,7 @@ StoredIndex read_index_archive(const std::string& path) {
 
   std::vector<std::uint32_t> sa;
   {
-    ByteReader reader(find_section(file, header, kSectionSa, path));
+    ByteReader reader = section_reader(file, header, kSectionSa, path);
     sa = reader.vec_u32();
     if (!reader.done()) {
       throw IoError("index archive: trailing bytes in sa section: " + path);
@@ -271,9 +192,8 @@ StoredIndex read_index_archive(const std::string& path) {
   }
 
   std::shared_ptr<const KmerSeedTable> seeds;
-  if (const ArchiveSection* entry = find_section_entry(header, kSectionKmer)) {
-    ByteReader reader(
-        std::span<const std::uint8_t>(file).subspan(entry->offset, entry->length));
+  if (find_section_entry(header, kSectionKmer) != nullptr) {
+    ByteReader reader = section_reader(file, header, kSectionKmer, path);
     auto table = KmerSeedTable::load(reader);
     if (!reader.done()) {
       throw IoError("index archive: trailing bytes in kmer section: " + path);
@@ -282,15 +202,288 @@ StoredIndex read_index_archive(const std::string& path) {
   }
 
   StoredIndex stored{std::move(reference),
-                     FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ))};
+                     FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ)),
+                     nullptr, LoadMode::kCopy};
   stored.index.set_seed_table(std::move(seeds));
   return stored;
+}
+
+/// Reads one flat u8 array (count, pad, raw bytes); adopts or copies.
+FlatArray<std::uint8_t> read_flat_u8(ByteReader& reader, bool adopt) {
+  const std::uint64_t count = reader.u64();
+  reader.align_to(kSectionAlign);
+  const auto bytes = reader.span_u8(count);
+  if (adopt) return FlatArray<std::uint8_t>::view_of(bytes);
+  return FlatArray<std::uint8_t>(
+      std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+}
+
+/// v3: flat 64-byte-aligned payloads; adopt=true borrows every bulk array
+/// from `file` (which the caller keeps mapped), adopt=false copies them.
+StoredIndex load_v3(std::span<const std::uint8_t> file,
+                    const ParsedHeader& header, const std::string& path,
+                    bool adopt) {
+  const MetaSection meta =
+      parse_meta(section_reader(file, header, kSectionMeta, path), path);
+
+  FlatArray<std::uint8_t> text;
+  {
+    ByteReader reader = section_reader(file, header, kSectionText, path);
+    text = read_flat_u8(reader, adopt);
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in text section: " + path);
+    }
+  }
+  if (text.size() != meta.text_length) {
+    throw IoError("index archive: text/meta size mismatch: " + path);
+  }
+  // from_parts revalidates that the sequence table tiles the text.
+  ReferenceSet reference =
+      ReferenceSet::from_parts(meta.sequences, std::move(text));
+
+  Bwt bwt;
+  {
+    ByteReader reader = section_reader(file, header, kSectionBwt, path);
+    bwt.text_length = reader.u32();
+    bwt.primary = reader.u32();
+    bwt.symbols = read_flat_u8(reader, adopt);
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in bwt section: " + path);
+    }
+  }
+  if (bwt.symbols.size() != bwt.text_length || bwt.text_length != meta.text_length ||
+      bwt.primary > bwt.text_length) {
+    throw IoError("index archive: inconsistent BWT metadata: " + path);
+  }
+
+  RrrWaveletOcc occ;
+  {
+    ByteReader reader = section_reader(file, header, kSectionOcc, path);
+    occ = RrrWaveletOcc::load_flat(reader, adopt);
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in occ section: " + path);
+    }
+  }
+
+  FlatArray<std::uint32_t> sa;
+  {
+    ByteReader reader = section_reader(file, header, kSectionSa, path);
+    const std::uint64_t count = reader.u64();
+    reader.align_to(kSectionAlign);
+    const auto rows = reader.span_u32(count);
+    if (adopt) {
+      sa = FlatArray<std::uint32_t>::view_of(rows);
+    } else {
+      sa = std::vector<std::uint32_t>(rows.begin(), rows.end());
+    }
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in sa section: " + path);
+    }
+  }
+  if (sa.size() != static_cast<std::size_t>(bwt.text_length) + 1) {
+    throw IoError("index archive: SA/BWT size mismatch: " + path);
+  }
+  if (occ.size() != bwt.symbols.size()) {
+    throw IoError("index archive: Occ/BWT size mismatch: " + path);
+  }
+
+  std::shared_ptr<const KmerSeedTable> seeds;
+  if (find_section_entry(header, kSectionKmer) != nullptr) {
+    ByteReader reader = section_reader(file, header, kSectionKmer, path);
+    auto table = KmerSeedTable::load_flat(reader, adopt);
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in kmer section: " + path);
+    }
+    seeds = std::make_shared<const KmerSeedTable>(std::move(table));
+  }
+
+  // The C table comes from the checksummed meta section; the four-arg
+  // constructor validates plausibility without rescanning the BWT.
+  StoredIndex stored{std::move(reference),
+                     FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa),
+                                            std::move(occ), meta.c_table),
+                     nullptr, LoadMode::kCopy};
+  stored.index.set_seed_table(std::move(seeds));
+  return stored;
+}
+
+}  // namespace
+
+LoadMode default_load_mode() {
+  if (const char* env = std::getenv("BWAVER_LOAD_MODE")) {
+    if (const auto mode = parse_load_mode(env)) return *mode;
+  }
+  return LoadMode::kCopy;
+}
+
+std::optional<LoadMode> parse_load_mode(std::string_view name) {
+  if (name == "mmap") return LoadMode::kMmap;
+  if (name == "copy") return LoadMode::kCopy;
+  return std::nullopt;
+}
+
+const char* load_mode_name(LoadMode mode) {
+  return mode == LoadMode::kMmap ? "mmap" : "copy";
+}
+
+IndexFootprint stored_index_footprint(const StoredIndex& stored) {
+  const KmerSeedTable* seeds = stored.index.seed_table();
+  const auto mapped_part = [](std::size_t payload, std::size_t heap) {
+    return payload > heap ? payload - heap : std::size_t{0};
+  };
+  IndexFootprint footprint;
+  const std::size_t total =
+      stored.reference.total_length() + stored.index.bwt().symbols.size() +
+      stored.index.suffix_array().size() * sizeof(std::uint32_t) +
+      stored.index.occ_size_in_bytes() +
+      (seeds ? seeds->size_in_bytes() : 0);
+  footprint.mapped_bytes =
+      mapped_part(stored.reference.concatenated().bytes(),
+                  stored.reference.concatenated().heap_bytes()) +
+      mapped_part(stored.index.bwt().symbols.bytes(),
+                  stored.index.bwt().symbols.heap_bytes()) +
+      mapped_part(stored.index.suffix_array().bytes(),
+                  stored.index.suffix_array().heap_bytes()) +
+      mapped_part(stored.index.occ_backend().size_in_bytes(),
+                  stored.index.occ_backend().heap_size_in_bytes()) +
+      (seeds ? mapped_part(seeds->size_in_bytes(), seeds->heap_size_in_bytes())
+             : 0);
+  footprint.heap_bytes = total - footprint.mapped_bytes;
+  return footprint;
+}
+
+std::size_t stored_index_bytes(const StoredIndex& stored) {
+  return stored_index_footprint(stored).total();
+}
+
+void write_index_archive(const std::string& path, const ReferenceSet& reference,
+                         const FmIndex<RrrWaveletOcc>& index,
+                         std::uint32_t format_version) {
+  if (format_version < kArchiveVersionMin || format_version > kArchiveVersionLatest) {
+    throw std::invalid_argument("write_index_archive: unsupported format version " +
+                                std::to_string(format_version));
+  }
+  const Bwt& bwt = index.bwt();
+  const bool flat = format_version >= 3;
+
+  ByteWriter meta;
+  reference.save_table(meta);
+  meta.u32(bwt.text_length);
+  for (const std::uint32_t c : c_table_of(bwt)) meta.u32(c);
+
+  ByteWriter text_section;
+  if (flat) {
+    text_section.u64(reference.total_length());
+    text_section.pad_to(kSectionAlign);
+    text_section.raw_u8(reference.concatenated());
+  }
+
+  ByteWriter bwt_section;
+  bwt_section.u32(bwt.text_length);
+  bwt_section.u32(bwt.primary);
+  if (flat) {
+    bwt_section.u64(bwt.symbols.size());
+    bwt_section.pad_to(kSectionAlign);
+    bwt_section.raw_u8(bwt.symbols);
+  } else {
+    bwt_section.vec_u8(bwt.symbols);
+  }
+
+  ByteWriter occ_section;
+  if (flat) {
+    index.occ_backend().save_flat(occ_section);
+  } else {
+    index.occ_backend().save(occ_section);
+  }
+
+  ByteWriter sa_section;
+  if (flat) {
+    sa_section.u64(index.suffix_array().size());
+    sa_section.pad_to(kSectionAlign);
+    sa_section.raw_u32(index.suffix_array());
+  } else {
+    sa_section.vec_u32(index.suffix_array());
+  }
+
+  std::vector<std::pair<const char*, const std::vector<std::uint8_t>*>> sections;
+  sections.emplace_back(kSectionMeta, &meta.data());
+  if (flat) sections.emplace_back(kSectionText, &text_section.data());
+  sections.emplace_back(kSectionBwt, &bwt_section.data());
+  sections.emplace_back(kSectionOcc, &occ_section.data());
+  sections.emplace_back(kSectionSa, &sa_section.data());
+
+  // v2+: the seed table rides along as its own checksummed section so old
+  // archives stay loadable and the table stays skippable.
+  ByteWriter kmer_section;
+  if (format_version >= 2 && index.seed_table() != nullptr) {
+    if (flat) {
+      index.seed_table()->save_flat(kmer_section);
+    } else {
+      index.seed_table()->save(kmer_section);
+    }
+    sections.emplace_back(kSectionKmer, &kmer_section.data());
+  }
+
+  // The header size is known up front (str = u64 length prefix + bytes), so
+  // absolute payload offsets can be written in one pass. v3 rounds every
+  // payload offset up to the 64-byte section alignment.
+  std::size_t header_bytes = 3 * sizeof(std::uint32_t);
+  for (const auto& [name, payload] : sections) {
+    header_bytes += 8 + std::string(name).size() + 8 + 8 + 4;
+  }
+  const std::size_t payload_start = header_bytes + sizeof(std::uint32_t);  // + header CRC
+
+  ByteWriter writer;
+  writer.u32(kArchiveMagic);
+  writer.u32(format_version);
+  writer.u32(static_cast<std::uint32_t>(sections.size()));
+  std::uint64_t offset = payload_start;
+  for (const auto& [name, payload] : sections) {
+    if (flat) offset = (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
+    writer.str(name);
+    writer.u64(offset);
+    writer.u64(payload->size());
+    writer.u32(crc32_ieee(*payload));
+    offset += payload->size();
+  }
+  writer.u32(crc32_ieee(writer.data()));
+  for (const auto& [name, payload] : sections) {
+    if (flat) writer.pad_to(kSectionAlign);
+    writer.bytes(*payload);
+  }
+  write_file(path, writer.data());
+}
+
+StoredIndex read_index_archive(const std::string& path, LoadMode mode) {
+  auto file = std::make_shared<MappedFile>(path);
+  // The CRC verification pass in parse_header touches every byte front to
+  // back; tell the kernel so before switching to the serving access pattern.
+  file->advise(MappedFile::Advice::kSequential);
+  const auto bytes = file->bytes();
+  const ParsedHeader header = parse_header(bytes, path);
+  if (header.version >= 3) {
+    const bool adopt = mode == LoadMode::kMmap;
+    StoredIndex stored = load_v3(bytes, header, path, adopt);
+    if (adopt) {
+      file->advise(MappedFile::Advice::kRandom);
+      stored.backing = std::move(file);
+      stored.load_mode = LoadMode::kMmap;
+    }
+    return stored;
+  }
+  // v1/v2 have no zero-copy layout: always deserialize onto the heap.
+  return load_v1v2(bytes, header, path);
+}
+
+StoredIndex read_index_archive(const std::string& path) {
+  return read_index_archive(path, default_load_mode());
 }
 
 ArchiveInfo read_index_archive_info(const std::string& path) {
   const auto file = read_file(path);
   const ParsedHeader header = parse_header(file, path);
-  const MetaSection meta = parse_meta(find_section(file, header, kSectionMeta, path), path);
+  const MetaSection meta =
+      parse_meta(section_reader(file, header, kSectionMeta, path), path);
   ArchiveInfo info;
   info.version = header.version;
   info.file_bytes = file.size();

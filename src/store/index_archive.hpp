@@ -11,7 +11,7 @@
 // Layout (all integers little-endian):
 //
 //   u32 magic   "BWVA"
-//   u32 version (currently 2; v1 archives still load)
+//   u32 version (currently 3; v1/v2 archives still load)
 //   u32 section_count
 //   section table, section_count entries:
 //     str name | u64 file offset | u64 length | u32 crc32 (IEEE, of payload)
@@ -31,29 +31,87 @@
 //            disabled; v1 archives (no such section) load with searches
 //            falling back to the classic recurrence.
 //
-// The reference text itself is not stored: it is recovered from the BWT on
-// load, exactly like the step-1 index file. Any truncation, bad magic,
-// unknown version, or checksum mismatch raises IoError.
+// v3 (zero-copy layout) keeps the same header but changes the payloads:
+//
+//   * every section's file offset is rounded up to 64 bytes (zero padding
+//     between payloads; section CRCs cover payload bytes only);
+//   * inside each section, every bulk array is written as `count` (or the
+//     structure's scalars), zero padding to the next 64-byte boundary, then
+//     the raw little-endian element words exactly as the in-memory
+//     containers hold them — so with 64-aligned section offsets every array
+//     is 64-byte aligned in the file and naturally aligned for its element
+//     type;
+//   * a new "text" section stores the concatenated 2-bit reference codes,
+//     so loading skips the O(n) inverse-BWT reconstruction that v1/v2 pay.
+//
+// A v3 archive can therefore be loaded two ways (LoadMode):
+//
+//   kCopy — the flat arrays are copied into heap vectors (like v1/v2);
+//   kMmap — the file is mapped read-only and every flat array is adopted
+//           in place (FlatArray views); the map is retained by
+//           StoredIndex::backing and unmapped when the index is dropped.
+//
+// Per-section CRCs are verified at open in BOTH modes, before anything is
+// served. v1/v2 archives always load through the copy path. Any truncation,
+// bad magic, unknown version, or checksum mismatch raises IoError.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "fmindex/reference_set.hpp"
+#include "io/mapped_file.hpp"
 
 namespace bwaver {
+
+/// How read_index_archive materializes section payloads (v3 archives only;
+/// older formats always deserialize element-wise onto the heap).
+enum class LoadMode {
+  kCopy,  ///< copy payloads into heap-owned containers
+  kMmap,  ///< map the file read-only and adopt the flat arrays zero-copy
+};
+
+/// Process default: $BWAVER_LOAD_MODE ("mmap" or "copy"), else kCopy.
+LoadMode default_load_mode();
+
+/// "mmap"/"copy" -> LoadMode; nullopt for anything else (CLI parsing).
+std::optional<LoadMode> parse_load_mode(std::string_view name);
+
+/// Stable name for stats/logs.
+const char* load_mode_name(LoadMode mode);
 
 /// A complete loaded index: what the registry hands to concurrent readers.
 struct StoredIndex {
   ReferenceSet reference;
   FmIndex<RrrWaveletOcc> index;
+  /// Keeps the mapped archive alive while any structure views into it;
+  /// null for heap-owned (copy/v1/v2) loads. Destroying the last reference
+  /// unmaps the file.
+  std::shared_ptr<const MappedFile> backing;
+  /// Mode the index was actually loaded with (kCopy for v1/v2 archives
+  /// regardless of the requested mode).
+  LoadMode load_mode = LoadMode::kCopy;
 };
 
-/// Approximate resident heap footprint of a loaded index (reference text +
-/// BWT + SA + succinct structure) — the unit of the registry memory budget.
+/// Resident footprint of a loaded index, split by where the bytes live.
+/// Mapped pages are clean and reclaimable by the OS, so budget accounting
+/// weighs them differently from heap bytes (see IndexRegistry).
+struct IndexFootprint {
+  std::size_t heap_bytes = 0;    ///< private, unevictable allocations
+  std::size_t mapped_bytes = 0;  ///< file-backed pages adopted zero-copy
+  std::size_t total() const noexcept { return heap_bytes + mapped_bytes; }
+};
+
+IndexFootprint stored_index_footprint(const StoredIndex& stored);
+
+/// Approximate resident footprint (heap + mapped) of a loaded index — the
+/// historical single-number form; equals stored_index_footprint().total().
 std::size_t stored_index_bytes(const StoredIndex& stored);
 
 struct ArchiveSection {
@@ -73,8 +131,8 @@ struct ArchiveInfo {
 
 /// Oldest archive format the loader still accepts (no "kmer" section).
 inline constexpr std::uint32_t kArchiveVersionMin = 1;
-/// Format written by write_index_archive.
-inline constexpr std::uint32_t kArchiveVersionLatest = 2;
+/// Format written by write_index_archive: flat 64-byte-aligned sections.
+inline constexpr std::uint32_t kArchiveVersionLatest = 3;
 
 /// Serializes a built index to `path`. Takes components by reference:
 /// FmIndex is move-only, and the writer only reads. `format_version` exists
@@ -86,7 +144,10 @@ void write_index_archive(const std::string& path, const ReferenceSet& reference,
 
 /// Loads and fully validates an archive. Throws IoError on any truncation,
 /// bad magic, version mismatch, checksum failure, or cross-section
-/// inconsistency.
+/// inconsistency — in both load modes, before anything is served.
+StoredIndex read_index_archive(const std::string& path, LoadMode mode);
+
+/// Same, with the process default mode (see default_load_mode()).
 StoredIndex read_index_archive(const std::string& path);
 
 /// Header + section table + meta section only (every section CRC is still

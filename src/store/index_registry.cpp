@@ -29,8 +29,11 @@ bool valid_reference_name(const std::string& name) {
 
 }  // namespace
 
-IndexRegistry::IndexRegistry(std::string store_dir, std::size_t memory_budget_bytes)
-    : store_dir_(std::move(store_dir)), memory_budget_(memory_budget_bytes) {
+IndexRegistry::IndexRegistry(std::string store_dir, std::size_t memory_budget_bytes,
+                             LoadMode load_mode)
+    : store_dir_(std::move(store_dir)),
+      memory_budget_(memory_budget_bytes),
+      load_mode_(load_mode) {
   if (!store_dir_.empty()) {
     std::filesystem::create_directories(store_dir_);
     load_manifest();
@@ -84,8 +87,36 @@ std::size_t IndexRegistry::resident_bytes_locked() const {
   return total;
 }
 
+std::size_t IndexRegistry::charged_bytes_locked() const {
+  std::size_t total = 0;
+  for (const auto& [name, entry] : entries_) {
+    total += entry->heap_bytes + entry->mapped_bytes / kMappedWeight;
+  }
+  return total;
+}
+
+void IndexRegistry::set_resident_locked(Entry& entry, Handle handle) {
+  const IndexFootprint footprint = stored_index_footprint(*handle);
+  entry.resident = std::move(handle);
+  entry.resident_bytes = footprint.total();
+  entry.heap_bytes = footprint.heap_bytes;
+  entry.mapped_bytes = footprint.mapped_bytes;
+  entry.text_length = entry.resident->reference.total_length();
+  entry.num_sequences = entry.resident->reference.num_sequences();
+}
+
+void IndexRegistry::drop_resident_locked(Entry& entry) {
+  // Dropping the registry handle releases the heap copy immediately (once
+  // in-flight readers finish) and, for an mmap load, the last StoredIndex
+  // handle also unmaps the archive via its `backing` MappedFile.
+  entry.resident.reset();
+  entry.resident_bytes = 0;
+  entry.heap_bytes = 0;
+  entry.mapped_bytes = 0;
+}
+
 void IndexRegistry::enforce_budget_locked(const std::string& keep) {
-  while (resident_bytes_locked() > memory_budget_) {
+  while (charged_bytes_locked() > memory_budget_) {
     Entry* victim = nullptr;
     std::string victim_name;
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
@@ -99,8 +130,7 @@ void IndexRegistry::enforce_budget_locked(const std::string& keep) {
       }
     }
     if (victim == nullptr) break;  // only `keep` is resident; nothing to drop
-    victim->resident.reset();
-    victim->resident_bytes = 0;
+    drop_resident_locked(*victim);
   }
 }
 
@@ -130,11 +160,12 @@ IndexRegistry::Handle IndexRegistry::acquire(const std::string& name) {
       throw std::out_of_range("IndexRegistry: reference '" + name +
                               "' was evicted and has no archive");
     }
-    auto loaded = std::make_shared<const StoredIndex>(read_index_archive(entry.archive_path));
-    entry.resident_bytes = stored_index_bytes(*loaded);
-    entry.resident = std::move(loaded);
-    entry.text_length = entry.resident->reference.total_length();
-    entry.num_sequences = entry.resident->reference.num_sequences();
+    auto loaded = std::make_shared<const StoredIndex>(
+        read_index_archive(entry.archive_path, load_mode_));
+    auto& counter =
+        loaded->load_mode == LoadMode::kMmap ? loads_mmap_ : loads_copy_;
+    counter.fetch_add(1, std::memory_order_relaxed);
+    set_resident_locked(entry, std::move(loaded));
   }
   entry.last_used.store(now, std::memory_order_relaxed);
   Handle handle = entry.resident;
@@ -159,10 +190,7 @@ IndexRegistry::Handle IndexRegistry::add(const std::string& name, StoredIndex st
     entry.archive_path = archive.string();
     entry.archive_bytes = std::filesystem::file_size(archive);
   }
-  entry.resident = handle;
-  entry.resident_bytes = stored_index_bytes(*handle);
-  entry.text_length = handle->reference.total_length();
-  entry.num_sequences = handle->reference.num_sequences();
+  set_resident_locked(entry, handle);
   entry.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
                         std::memory_order_relaxed);
   if (!store_dir_.empty()) save_manifest_locked();
@@ -174,8 +202,7 @@ bool IndexRegistry::evict(const std::string& name) {
   std::unique_lock lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end() || !it->second->resident) return false;
-  it->second->resident.reset();
-  it->second->resident_bytes = 0;
+  drop_resident_locked(*it->second);
   return true;
 }
 
@@ -200,6 +227,8 @@ std::vector<RegistryEntry> IndexRegistry::list() const {
     snapshot.archive_bytes = entry->archive_bytes;
     snapshot.resident = entry->resident != nullptr;
     snapshot.resident_bytes = entry->resident_bytes;
+    snapshot.heap_bytes = entry->heap_bytes;
+    snapshot.mapped_bytes = entry->mapped_bytes;
     snapshot.text_length = entry->text_length;
     snapshot.num_sequences = entry->num_sequences;
     entries.push_back(std::move(snapshot));
@@ -210,6 +239,20 @@ std::vector<RegistryEntry> IndexRegistry::list() const {
 std::size_t IndexRegistry::resident_bytes() const {
   std::shared_lock lock(mutex_);
   return resident_bytes_locked();
+}
+
+std::size_t IndexRegistry::heap_bytes() const {
+  std::shared_lock lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [name, entry] : entries_) total += entry->heap_bytes;
+  return total;
+}
+
+std::size_t IndexRegistry::mapped_bytes() const {
+  std::shared_lock lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [name, entry] : entries_) total += entry->mapped_bytes;
+  return total;
 }
 
 std::string IndexRegistry::archive_path(const std::string& name) const {

@@ -34,7 +34,9 @@ struct RegistryEntry {
   std::string name;
   std::string archive_path;        ///< empty in memory-only mode
   std::uint64_t archive_bytes = 0; ///< on-disk size (0 in memory-only mode)
-  std::size_t resident_bytes = 0;  ///< 0 when not resident
+  std::size_t resident_bytes = 0;  ///< heap + mapped; 0 when not resident
+  std::size_t heap_bytes = 0;      ///< private allocations of the resident copy
+  std::size_t mapped_bytes = 0;    ///< file-backed (mmap-adopted) bytes
   bool resident = false;
   std::uint64_t text_length = 0;
   std::uint64_t num_sequences = 0;
@@ -46,11 +48,17 @@ class IndexRegistry {
 
   static constexpr std::size_t kDefaultMemoryBudget = std::size_t{4} << 30;  // 4 GiB
 
+  /// Budget divisor for mapped bytes: an mmap-adopted byte is charged 1/4 of
+  /// a heap byte (clean file-backed pages are reclaimable by the OS).
+  static constexpr std::size_t kMappedWeight = 4;
+
   /// Opens (or creates) a registry. A non-empty `store_dir` is created if
   /// missing and its manifest is scanned; archives are not loaded until
-  /// acquired.
+  /// acquired. `load_mode` selects how v3 archives are materialized on
+  /// acquire (v1/v2 archives always copy).
   explicit IndexRegistry(std::string store_dir = "",
-                         std::size_t memory_budget_bytes = kDefaultMemoryBudget);
+                         std::size_t memory_budget_bytes = kDefaultMemoryBudget,
+                         LoadMode load_mode = default_load_mode());
 
   /// Returns a read handle for `name`, loading the archive if the index is
   /// not resident. Throws std::out_of_range for unknown names and IoError
@@ -75,8 +83,20 @@ class IndexRegistry {
   std::vector<RegistryEntry> list() const;
 
   std::size_t resident_bytes() const;
+  /// Heap-only / mapped-only parts of resident_bytes().
+  std::size_t heap_bytes() const;
+  std::size_t mapped_bytes() const;
   std::size_t memory_budget() const noexcept { return memory_budget_; }
+  LoadMode load_mode() const noexcept { return load_mode_; }
   const std::string& store_dir() const noexcept { return store_dir_; }
+
+  /// Lifetime counters: archive loads served by each path.
+  std::uint64_t loads_mmap() const noexcept {
+    return loads_mmap_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t loads_copy() const noexcept {
+    return loads_copy_.load(std::memory_order_relaxed);
+  }
 
   /// Archive path registered for `name` ("" in memory-only mode). Throws
   /// std::out_of_range for unknown names.
@@ -88,6 +108,8 @@ class IndexRegistry {
     std::uint64_t archive_bytes = 0;
     Handle resident;
     std::size_t resident_bytes = 0;
+    std::size_t heap_bytes = 0;
+    std::size_t mapped_bytes = 0;
     std::uint64_t text_length = 0;
     std::uint64_t num_sequences = 0;
     std::atomic<std::uint64_t> last_used{0};
@@ -99,9 +121,16 @@ class IndexRegistry {
   /// else can be dropped.
   void enforce_budget_locked(const std::string& keep);
   std::size_t resident_bytes_locked() const;
+  /// Weighted budget charge: heap + mapped / kMappedWeight.
+  std::size_t charged_bytes_locked() const;
+  void set_resident_locked(Entry& entry, Handle handle);
+  void drop_resident_locked(Entry& entry);
 
   std::string store_dir_;
   std::size_t memory_budget_;
+  LoadMode load_mode_ = LoadMode::kCopy;
+  std::atomic<std::uint64_t> loads_mmap_{0};
+  std::atomic<std::uint64_t> loads_copy_{0};
   mutable std::shared_mutex mutex_;
   std::atomic<std::uint64_t> clock_{0};
   // unique_ptr: Entry holds an atomic LRU stamp (bumped under the shared

@@ -1,6 +1,10 @@
 // Plain uncompressed bit vector backed by 64-bit words, with append and
 // random access. This is the construction-time representation from which the
 // RRR sequence and the plain rank baseline are built.
+//
+// The word storage is a FlatArray: archive format v3 can adopt the words
+// in place from a memory-mapped file (load_flat with adopt=true), in which
+// case the vector is a read-only view and heap_size_in_bytes() is ~0.
 #pragma once
 
 #include <cstddef>
@@ -9,6 +13,7 @@
 
 #include "io/byte_io.hpp"
 #include "util/bits.hpp"
+#include "util/flat_array.hpp"
 
 namespace bwaver {
 
@@ -27,12 +32,12 @@ class BitVector {
   }
   bool operator[](std::size_t i) const noexcept { return get(i); }
 
-  void set(std::size_t i, bool value) noexcept {
+  void set(std::size_t i, bool value) {
     const std::uint64_t mask = std::uint64_t{1} << (i & 63);
     if (value) {
-      words_[i >> 6] |= mask;
+      words_.mut(i >> 6) |= mask;
     } else {
-      words_[i >> 6] &= ~mask;
+      words_.mut(i >> 6) &= ~mask;
     }
   }
 
@@ -56,19 +61,26 @@ class BitVector {
   const std::uint64_t* words() const noexcept { return words_.data(); }
   std::size_t word_count() const noexcept { return words_.size(); }
 
-  /// Heap bytes used by the payload.
-  std::size_t size_in_bytes() const noexcept {
-    return words_.size() * sizeof(std::uint64_t);
-  }
+  /// Payload bytes (wherever they live — heap or mapped archive).
+  std::size_t size_in_bytes() const noexcept { return words_.bytes(); }
+
+  /// Bytes actually charged to the heap (0 for a mapped view).
+  std::size_t heap_size_in_bytes() const noexcept { return words_.heap_bytes(); }
 
   bool operator==(const BitVector& other) const noexcept;
 
-  /// Binary (de)serialization.
+  /// Binary (de)serialization (element-wise, archive formats v1/v2).
   void save(ByteWriter& writer) const;
   static BitVector load(ByteReader& reader);
 
+  /// Flat 64-byte-aligned layout (archive format v3). With adopt=true the
+  /// words are borrowed from the reader's backing buffer instead of copied;
+  /// the caller must keep that buffer alive.
+  void save_flat(ByteWriter& writer) const;
+  static BitVector load_flat(ByteReader& reader, bool adopt);
+
  private:
-  std::vector<std::uint64_t> words_;
+  FlatArray<std::uint64_t> words_;
   std::size_t size_ = 0;
 };
 

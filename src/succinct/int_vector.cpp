@@ -22,8 +22,33 @@ IntVector IntVector::load(ByteReader& reader) {
   if (v.size_ > 0 && (v.width_ == 0 || v.width_ > 64)) {
     throw IoError("IntVector::load: corrupt width field");
   }
-  v.words_.resize((v.size_ * v.width_ + 63) / 64);
-  for (auto& word : v.words_) word = reader.u64();
+  std::vector<std::uint64_t> words((v.size_ * v.width_ + 63) / 64);
+  for (auto& word : words) word = reader.u64();
+  v.words_ = std::move(words);
+  return v;
+}
+
+void IntVector::save_flat(ByteWriter& writer) const {
+  writer.u64(size_);
+  writer.u32(width_);
+  writer.pad_to(64);
+  writer.raw_u64(words_);
+}
+
+IntVector IntVector::load_flat(ByteReader& reader, bool adopt) {
+  IntVector v;
+  v.size_ = reader.u64();
+  v.width_ = reader.u32();
+  if (v.size_ > 0 && (v.width_ == 0 || v.width_ > 64)) {
+    throw IoError("IntVector::load_flat: corrupt width field");
+  }
+  reader.align_to(64);
+  const auto words = reader.span_u64((v.size_ * v.width_ + 63) / 64);
+  if (adopt) {
+    v.words_ = FlatArray<std::uint64_t>::view_of(words);
+  } else {
+    v.words_ = std::vector<std::uint64_t>(words.begin(), words.end());
+  }
   return v;
 }
 
@@ -39,17 +64,18 @@ std::uint64_t IntVector::get(std::size_t i) const noexcept {
   return value;
 }
 
-void IntVector::set(std::size_t i, std::uint64_t value) noexcept {
+void IntVector::set(std::size_t i, std::uint64_t value) {
   if (width_ < 64) value &= (std::uint64_t{1} << width_) - 1;
   const std::size_t bit = i * width_;
   const std::size_t word = bit >> 6;
   const unsigned shift = bit & 63;
-  words_[word] &= ~(((width_ < 64 ? (std::uint64_t{1} << width_) - 1 : ~std::uint64_t{0})) << shift);
-  words_[word] |= value << shift;
+  std::uint64_t* words = words_.mutable_data();
+  words[word] &= ~(((width_ < 64 ? (std::uint64_t{1} << width_) - 1 : ~std::uint64_t{0})) << shift);
+  words[word] |= value << shift;
   if (shift + width_ > 64) {
     const unsigned spill = shift + width_ - 64;
-    words_[word + 1] &= ~((std::uint64_t{1} << spill) - 1);
-    words_[word + 1] |= value >> (64 - shift);
+    words[word + 1] &= ~((std::uint64_t{1} << spill) - 1);
+    words[word + 1] |= value >> (64 - shift);
   }
 }
 

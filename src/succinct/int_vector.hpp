@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "io/byte_io.hpp"
+#include "util/flat_array.hpp"
 
 namespace bwaver {
 
@@ -24,19 +25,26 @@ class IntVector {
   bool empty() const noexcept { return size_ == 0; }
 
   std::uint64_t get(std::size_t i) const noexcept;
-  void set(std::size_t i, std::uint64_t value) noexcept;
+  void set(std::size_t i, std::uint64_t value);
 
   std::uint64_t operator[](std::size_t i) const noexcept { return get(i); }
 
-  std::size_t size_in_bytes() const noexcept {
-    return words_.size() * sizeof(std::uint64_t);
-  }
+  /// Payload bytes (wherever they live — heap or mapped archive).
+  std::size_t size_in_bytes() const noexcept { return words_.bytes(); }
+
+  /// Bytes actually charged to the heap (0 for a mapped view).
+  std::size_t heap_size_in_bytes() const noexcept { return words_.heap_bytes(); }
 
   void save(ByteWriter& writer) const;
   static IntVector load(ByteReader& reader);
 
+  /// Flat 64-byte-aligned layout (archive format v3); adopt=true borrows the
+  /// words from the reader's backing buffer instead of copying them.
+  void save_flat(ByteWriter& writer) const;
+  static IntVector load_flat(ByteReader& reader, bool adopt);
+
  private:
-  std::vector<std::uint64_t> words_;
+  FlatArray<std::uint64_t> words_;
   std::size_t size_ = 0;
   unsigned width_ = 0;
 };

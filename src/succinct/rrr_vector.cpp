@@ -35,8 +35,8 @@ RrrVector::RrrVector(const BitVector& bv, RrrParams params)
   for (std::size_t block = 0; block < num_blocks; ++block) {
     if (block % sf == 0) {
       const std::size_t super = block / sf;
-      partial_sum_[super] = running_ones;
-      offset_sum_[super] = static_cast<std::uint32_t>(offsets_.size());
+      partial_sum_.mut(super) = running_ones;
+      offset_sum_.mut(super) = static_cast<std::uint32_t>(offsets_.size());
     }
     const std::size_t bit_pos = block * b;
     const unsigned width = static_cast<unsigned>(
@@ -231,9 +231,14 @@ std::size_t RrrVector::select0(std::size_t k) const {
 }
 
 std::size_t RrrVector::size_in_bytes() const noexcept {
-  return classes_.size_in_bytes() + partial_sum_.size() * sizeof(std::uint32_t) +
-         offset_sum_.size() * sizeof(std::uint32_t) + offsets_.size_in_bytes() +
-         3 * sizeof(std::uint32_t);  // N, b, sf scalars
+  return classes_.size_in_bytes() + partial_sum_.bytes() + offset_sum_.bytes() +
+         offsets_.size_in_bytes() + 3 * sizeof(std::uint32_t);  // N, b, sf
+}
+
+std::size_t RrrVector::heap_size_in_bytes() const noexcept {
+  return classes_.heap_size_in_bytes() + partial_sum_.heap_bytes() +
+         offset_sum_.heap_bytes() + offsets_.heap_size_in_bytes() +
+         3 * sizeof(std::uint32_t);
 }
 
 void RrrVector::save(ByteWriter& writer) const {
@@ -261,6 +266,47 @@ RrrVector RrrVector::load(ByteReader& reader) {
   rrr.partial_sum_ = reader.vec_u32();
   rrr.offset_sum_ = reader.vec_u32();
   rrr.offsets_ = BitVector::load(reader);
+  rrr.table_ = &GlobalRankTable::get(rrr.params_.block_bits);
+  return rrr;
+}
+
+void RrrVector::save_flat(ByteWriter& writer) const {
+  writer.u32(params_.block_bits);
+  writer.u32(params_.superblock_factor);
+  writer.u64(n_);
+  writer.u64(total_ones_);
+  classes_.save_flat(writer);
+  writer.u64(partial_sum_.size());
+  writer.pad_to(64);
+  writer.raw_u32(partial_sum_);
+  writer.u64(offset_sum_.size());
+  writer.pad_to(64);
+  writer.raw_u32(offset_sum_);
+  offsets_.save_flat(writer);
+}
+
+RrrVector RrrVector::load_flat(ByteReader& reader, bool adopt) {
+  RrrVector rrr;
+  rrr.params_.block_bits = reader.u32();
+  rrr.params_.superblock_factor = reader.u32();
+  if (rrr.params_.block_bits == 0 || rrr.params_.block_bits > kMaxBlockBits ||
+      rrr.params_.superblock_factor == 0) {
+    throw IoError("RrrVector::load_flat: corrupt parameters");
+  }
+  rrr.n_ = reader.u64();
+  rrr.total_ones_ = reader.u64();
+  rrr.classes_ = IntVector::load_flat(reader, adopt);
+  const auto load_u32 = [&reader, adopt]() {
+    const std::uint64_t count = reader.u64();
+    reader.align_to(64);
+    const auto values = reader.span_u32(count);
+    return adopt ? FlatArray<std::uint32_t>::view_of(values)
+                 : FlatArray<std::uint32_t>(
+                       std::vector<std::uint32_t>(values.begin(), values.end()));
+  };
+  rrr.partial_sum_ = load_u32();
+  rrr.offset_sum_ = load_u32();
+  rrr.offsets_ = BitVector::load_flat(reader, adopt);
   rrr.table_ = &GlobalRankTable::get(rrr.params_.block_bits);
   return rrr;
 }

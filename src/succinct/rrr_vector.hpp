@@ -25,6 +25,7 @@
 #include "succinct/bitvector.hpp"
 #include "succinct/global_rank_table.hpp"
 #include "succinct/int_vector.hpp"
+#include "util/flat_array.hpp"
 
 namespace bwaver {
 
@@ -79,9 +80,13 @@ class RrrVector {
   /// Total number of 1s.
   std::size_t ones() const noexcept { return total_ones_; }
 
-  /// Actual heap bytes of the per-instance arrays (classes, partial sums,
+  /// Payload bytes of the per-instance arrays (classes, partial sums,
   /// offset bits, offset sums, scalars); excludes the shared tables.
   std::size_t size_in_bytes() const noexcept;
+
+  /// Bytes of those arrays actually on the heap — ~0 when the vector was
+  /// adopted from a memory-mapped archive (load_flat with adopt=true).
+  std::size_t heap_size_in_bytes() const noexcept;
 
   /// The paper's closed-form size estimate in bytes:
   ///   (sf+16)N/(2*sf*b) + 2^{b+1} + 4b + 7 + lambda/8
@@ -103,14 +108,20 @@ class RrrVector {
   void save(ByteWriter& writer) const;
   static RrrVector load(ByteReader& reader);
 
+  /// Flat 64-byte-aligned layout (archive format v3); adopt=true borrows all
+  /// arrays from the reader's backing buffer. The shared Global Rank Table
+  /// is re-attached either way.
+  void save_flat(ByteWriter& writer) const;
+  static RrrVector load_flat(ByteReader& reader, bool adopt);
+
  private:
   RrrParams params_{};
   std::size_t n_ = 0;
   std::size_t total_ones_ = 0;
-  IntVector classes_;                      // 4-bit class per block
-  std::vector<std::uint32_t> partial_sum_; // per superblock
-  std::vector<std::uint32_t> offset_sum_;  // per superblock
-  BitVector offsets_;                      // variable-width offset fields
+  IntVector classes_;                       // 4-bit class per block
+  FlatArray<std::uint32_t> partial_sum_;    // per superblock
+  FlatArray<std::uint32_t> offset_sum_;     // per superblock
+  BitVector offsets_;                       // variable-width offset fields
   const GlobalRankTable* table_ = nullptr;
 };
 

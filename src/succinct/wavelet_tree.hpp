@@ -137,10 +137,16 @@ class WaveletTree {
 
   std::size_t num_nodes() const noexcept { return count_nodes(root_.get()); }
 
-  /// Heap bytes of all node bit-vectors plus node bookkeeping. Shared
+  /// Payload bytes of all node bit-vectors plus node bookkeeping. Shared
   /// RRR tables are NOT counted here (they are shared across nodes; callers
   /// add GlobalRankTable::device_size_in_bytes() once).
   std::size_t size_in_bytes() const noexcept { return node_bytes(root_.get()); }
+
+  /// Bytes actually on the heap: node bookkeeping always lives there, but
+  /// bit-vector payloads adopted from a mapped archive do not.
+  std::size_t heap_size_in_bytes() const noexcept {
+    return node_heap_bytes(root_.get());
+  }
 
   /// Binary (de)serialization; requires BV::save / BV::load.
   void save(ByteWriter& writer) const {
@@ -156,6 +162,25 @@ class WaveletTree {
       throw IoError("WaveletTree::load: corrupt alphabet size");
     }
     tree.root_ = load_node(reader);
+    return tree;
+  }
+
+  /// Flat 64-byte-aligned layout (archive format v3); requires
+  /// BV::save_flat / BV::load_flat. adopt=true borrows node payloads from
+  /// the reader's backing buffer.
+  void save_flat(ByteWriter& writer) const {
+    writer.u64(size_);
+    writer.u32(alphabet_size_);
+    save_node_flat(root_.get(), writer);
+  }
+  static WaveletTree load_flat(ByteReader& reader, bool adopt) {
+    WaveletTree tree;
+    tree.size_ = reader.u64();
+    tree.alphabet_size_ = reader.u32();
+    if (tree.alphabet_size_ < 2 || tree.alphabet_size_ > 256) {
+      throw IoError("WaveletTree::load_flat: corrupt alphabet size");
+    }
+    tree.root_ = load_node_flat(reader, adopt);
     return tree;
   }
 
@@ -227,6 +252,27 @@ class WaveletTree {
     return node;
   }
 
+  static void save_node_flat(const Node* node, ByteWriter& writer) {
+    writer.u8(node ? 1 : 0);
+    if (!node) return;
+    writer.u8(node->lo_value);
+    writer.u8(node->mid);
+    node->bits.save_flat(writer);
+    save_node_flat(node->child0.get(), writer);
+    save_node_flat(node->child1.get(), writer);
+  }
+
+  static std::unique_ptr<Node> load_node_flat(ByteReader& reader, bool adopt) {
+    if (reader.u8() == 0) return nullptr;
+    auto node = std::make_unique<Node>();
+    node->lo_value = reader.u8();
+    node->mid = reader.u8();
+    node->bits = BV::load_flat(reader, adopt);
+    node->child0 = load_node_flat(reader, adopt);
+    node->child1 = load_node_flat(reader, adopt);
+    return node;
+  }
+
   static std::size_t count_nodes(const Node* node) noexcept {
     if (!node) return 0;
     return 1 + count_nodes(node->child0.get()) + count_nodes(node->child1.get());
@@ -236,6 +282,18 @@ class WaveletTree {
     if (!node) return 0;
     return sizeof(Node) + node->bits.size_in_bytes() +
            node_bytes(node->child0.get()) + node_bytes(node->child1.get());
+  }
+
+  static std::size_t node_heap_bytes(const Node* node) noexcept {
+    if (!node) return 0;
+    std::size_t payload;
+    if constexpr (requires(const BV& bv) { bv.heap_size_in_bytes(); }) {
+      payload = node->bits.heap_size_in_bytes();
+    } else {
+      payload = node->bits.size_in_bytes();
+    }
+    return sizeof(Node) + payload + node_heap_bytes(node->child0.get()) +
+           node_heap_bytes(node->child1.get());
   }
 
   std::unique_ptr<Node> root_;

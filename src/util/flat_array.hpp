@@ -1,0 +1,136 @@
+// Owning-or-borrowing flat array for succinct-structure payloads.
+//
+// Archive format v3 lays every large array out verbatim (64-byte aligned,
+// little-endian) inside the `.bwva` file so a memory-mapped load can adopt
+// the bytes in place instead of deserializing them. FlatArray is the storage
+// type that makes that possible: it either owns a std::vector<T> (indexes
+// built in memory, or archives loaded with LoadMode::kCopy) or borrows a
+// read-only span whose lifetime is guaranteed by the caller (the MappedFile
+// backing held alive by StoredIndex). Read access is identical in both modes;
+// mutation detaches a borrowed view into owned storage first, so structures
+// under construction behave exactly like they did when the member was a
+// plain vector.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace bwaver {
+
+template <typename T>
+class FlatArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FlatArray payloads are raw archive bytes");
+
+ public:
+  FlatArray() = default;
+
+  // Implicit on purpose: call sites that used to assign a std::vector to the
+  // member keep compiling unchanged.
+  FlatArray(std::vector<T> values) : owned_(std::move(values)) {}
+  FlatArray& operator=(std::vector<T> values) {
+    owned_ = std::move(values);
+    view_data_ = nullptr;
+    view_size_ = 0;
+    return *this;
+  }
+
+  /// Borrows `elements` without copying. The caller owns the bytes and must
+  /// keep them alive (and unchanged) for the lifetime of this array.
+  static FlatArray view_of(std::span<const T> elements) {
+    FlatArray array;
+    array.view_data_ = elements.data();
+    array.view_size_ = elements.size();
+    return array;
+  }
+
+  const T* data() const noexcept {
+    return view_data_ != nullptr ? view_data_ : owned_.data();
+  }
+  std::size_t size() const noexcept {
+    return view_data_ != nullptr ? view_size_ : owned_.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+  const T& operator[](std::size_t index) const noexcept { return data()[index]; }
+  const T& back() const noexcept { return data()[size() - 1]; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size(); }
+  operator std::span<const T>() const noexcept { return {data(), size()}; }
+
+  bool is_view() const noexcept { return view_data_ != nullptr; }
+  /// Payload bytes regardless of where they live.
+  std::size_t bytes() const noexcept { return size() * sizeof(T); }
+  /// Bytes charged to the heap: zero for a borrowed view.
+  std::size_t heap_bytes() const noexcept {
+    return is_view() ? 0 : owned_.capacity() * sizeof(T);
+  }
+
+  // Mutators. A borrowed view is detached (copied into owned storage) first;
+  // loaded read-only structures never hit these in practice.
+  void push_back(const T& value) {
+    detach();
+    owned_.push_back(value);
+  }
+  void reserve(std::size_t count) {
+    detach();
+    owned_.reserve(count);
+  }
+  void resize(std::size_t count) {
+    detach();
+    owned_.resize(count);
+  }
+  void assign(std::size_t count, const T& value) {
+    owned_.assign(count, value);
+    view_data_ = nullptr;
+    view_size_ = 0;
+  }
+  void clear() noexcept {
+    owned_.clear();
+    view_data_ = nullptr;
+    view_size_ = 0;
+  }
+  void append(std::span<const T> tail) {
+    detach();
+    owned_.insert(owned_.end(), tail.begin(), tail.end());
+  }
+  T* mutable_data() {
+    detach();
+    return owned_.data();
+  }
+  T& mut(std::size_t index) {
+    detach();
+    return owned_[index];
+  }
+
+  friend bool operator==(const FlatArray& a, const FlatArray& b) noexcept {
+    return a.size() == b.size() &&
+           (a.size() == 0 ||
+            std::memcmp(a.data(), b.data(), a.bytes()) == 0);
+  }
+  friend bool operator==(const FlatArray& a, const std::vector<T>& b) noexcept {
+    return a.size() == b.size() &&
+           (a.size() == 0 ||
+            std::memcmp(a.data(), b.data(), a.bytes()) == 0);
+  }
+  friend bool operator==(const std::vector<T>& a, const FlatArray& b) noexcept {
+    return b == a;
+  }
+
+ private:
+  void detach() {
+    if (view_data_ != nullptr) {
+      owned_.assign(view_data_, view_data_ + view_size_);
+      view_data_ = nullptr;
+      view_size_ = 0;
+    }
+  }
+
+  std::vector<T> owned_;
+  const T* view_data_ = nullptr;
+  std::size_t view_size_ = 0;
+};
+
+}  // namespace bwaver

@@ -166,8 +166,8 @@ TEST_F(CliTest, IndexStoreBuildInfoAndMap) {
 
   ASSERT_EQ(run("index info --archive " + path("store/refA.bwva")), 0);
   contents = log_contents();
-  EXPECT_NE(contents.find("format version: 2"), std::string::npos) << contents;
-  for (const char* section : {"meta", "bwt", "occ", "sa", "kmer"}) {
+  EXPECT_NE(contents.find("format version: 3"), std::string::npos) << contents;
+  for (const char* section : {"meta", "text", "bwt", "occ", "sa", "kmer"}) {
     EXPECT_NE(contents.find(section), std::string::npos) << contents;
   }
 

@@ -122,7 +122,7 @@ TEST(Bwt, BwtOfRepeatsHasLongRuns) {
   }
   const auto random_text = testing::random_symbols(repetitive.size(), 4, 71);
 
-  auto count_runs = [](const std::vector<std::uint8_t>& s) {
+  auto count_runs = [](std::span<const std::uint8_t> s) {
     std::size_t runs = s.empty() ? 0 : 1;
     for (std::size_t i = 1; i < s.size(); ++i) {
       if (s[i] != s[i - 1]) ++runs;

@@ -85,7 +85,8 @@ TEST_F(ArchiveTest, RoundTripRebuildsIdenticalStructures) {
   ASSERT_EQ(stored.reference.num_sequences(), 2u);
   EXPECT_EQ(stored.reference.sequence(0).name, "chrA");
   EXPECT_EQ(stored.reference.sequence(1).name, "chrB");
-  // The text is recovered from the BWT, not stored — it must still be exact.
+  // v3 stores the text flat; v1/v2 recover it from the BWT. Either way it
+  // must round-trip exactly.
   EXPECT_EQ(stored.reference.concatenated(), genome_);
   EXPECT_EQ(stored.index.bwt().symbols, pipeline_->index().bwt().symbols);
   EXPECT_EQ(stored.index.bwt().primary, pipeline_->index().bwt().primary);
@@ -99,16 +100,21 @@ TEST_F(ArchiveTest, InfoListsVersionedCheckedSections) {
   const ArchiveInfo info = read_index_archive_info(archive_path_);
   EXPECT_EQ(info.version, kArchiveVersionLatest);
   EXPECT_EQ(info.file_bytes, std::filesystem::file_size(archive_path_));
-  ASSERT_EQ(info.sections.size(), 5u);
+  ASSERT_EQ(info.sections.size(), 6u);
   EXPECT_EQ(info.sections[0].name, "meta");
-  EXPECT_EQ(info.sections[1].name, "bwt");
-  EXPECT_EQ(info.sections[2].name, "occ");
-  EXPECT_EQ(info.sections[3].name, "sa");
-  EXPECT_EQ(info.sections[4].name, "kmer");
-  // Payloads are contiguous and cover the file exactly.
-  for (std::size_t i = 1; i < info.sections.size(); ++i) {
-    EXPECT_EQ(info.sections[i].offset,
-              info.sections[i - 1].offset + info.sections[i - 1].length);
+  EXPECT_EQ(info.sections[1].name, "text");
+  EXPECT_EQ(info.sections[2].name, "bwt");
+  EXPECT_EQ(info.sections[3].name, "occ");
+  EXPECT_EQ(info.sections[4].name, "sa");
+  EXPECT_EQ(info.sections[5].name, "kmer");
+  // v3 payload offsets are 64-byte aligned, ascending, non-overlapping, and
+  // the last payload ends exactly at the file size.
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    EXPECT_EQ(info.sections[i].offset % 64, 0u) << info.sections[i].name;
+    if (i > 0) {
+      EXPECT_GE(info.sections[i].offset,
+                info.sections[i - 1].offset + info.sections[i - 1].length);
+    }
   }
   EXPECT_EQ(info.sections.back().offset + info.sections.back().length,
             info.file_bytes);
