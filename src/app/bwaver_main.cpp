@@ -14,6 +14,8 @@
 //   map              --index ref.bwvr --reads reads.fq[.gz] --out out.sam
 //                    [--engine fpga|cpu|bowtie2like] [--threads T] [--b B] [--sf SF]
 //                    [--shards N] (reads per parallel shard, 0 = auto)
+//                    [--profile FILE] write a per-stage profile (seed/search/
+//                    locate/sam ms, wall, load mode, span tree) as JSON
 //                    or: --store-dir DIR --ref-name N (load from the store;
 //                    [--load-mode mmap|copy] selects zero-copy vs heap loads
 //                    of v3 archives, default $BWAVER_LOAD_MODE or copy)
@@ -27,13 +29,17 @@
 //                    [--load-mode mmap|copy] [--memory-budget-mb M]
 //                    [--workers N] [--max-queue N]
 //                    [--job-timeout S] [--http-threads N] [--max-body-mb M]
-//                    web front-end + async mapping-job engine (see
-//                    docs/serving.md for the job lifecycle and /stats)
+//                    [--trace on|off] [--trace-slow-ms MS] [--trace-ring N]
+//                    web front-end + async mapping-job engine with Prometheus
+//                    /metrics and /trace/recent (see docs/serving.md and
+//                    docs/observability.md)
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
-
 #include <thread>
 
 #include "app/cli.hpp"
@@ -45,10 +51,11 @@
 #include "mapper/paired_end.hpp"
 #include "mapper/pipeline.hpp"
 #include "mapper/staged_mapper.hpp"
-#include "store/index_archive.hpp"
-#include "store/index_registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
+#include "store/index_archive.hpp"
+#include "store/index_registry.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -247,22 +254,66 @@ int cmd_map(const ArgParser& args) {
     return usage();
   }
 
+  std::string load_mode = "encode";  // built from a .bwvr index file
   Pipeline pipeline(config_from_args(args));
   if (!index_path.empty()) {
     pipeline.encode(index_path);
   } else {
+    const LoadMode mode = load_mode_from_args(args);
+    load_mode = load_mode_name(mode);
     IndexRegistry registry(store_dir);
     pipeline = Pipeline::from_archive(registry.archive_path(ref_name),
-                                      config_from_args(args),
-                                      load_mode_from_args(args));
+                                      config_from_args(args), mode);
   }
+
+  // --profile: attach a trace for this run so map_records_over's ambient
+  // spans (map_records / shard / stage / fpga phases) are captured, then
+  // dump the per-stage split alongside the span tree.
+  const std::string profile_path = args.get("profile");
+  std::shared_ptr<obs::Trace> trace;
+  std::optional<obs::ScopedObsContext> scope;
+  if (!profile_path.empty()) {
+    trace = std::make_shared<obs::Trace>("map-cli");
+    scope.emplace(obs::ObsContext{trace.get(), 0, nullptr});
+  }
+
+  WallTimer wall;
   const MappingOutcome outcome = pipeline.map_reads(reads_path, out);
+  const double wall_ms = wall.milliseconds();
+  scope.reset();
+
   std::printf("mapped %llu/%llu reads (%llu occurrences) -> %s\n"
               "encode %.3f s, mapping %.3f s\n",
               static_cast<unsigned long long>(outcome.mapped),
               static_cast<unsigned long long>(outcome.reads),
               static_cast<unsigned long long>(outcome.occurrences), out.c_str(),
               pipeline.timings().encode_seconds, pipeline.timings().mapping_seconds);
+
+  if (trace != nullptr) {
+    char stages[256];
+    std::snprintf(stages, sizeof(stages),
+                  "{\"seed_ms\":%.3f,\"search_ms\":%.3f,\"locate_ms\":%.3f,"
+                  "\"sam_ms\":%.3f,\"queue_wait_ms\":0.000,\"total_ms\":%.3f}",
+                  outcome.stages.seed_ms, outcome.stages.search_ms,
+                  outcome.stages.locate_ms, outcome.stages.sam_ms,
+                  outcome.stages.total_ms());
+    char summary[256];
+    std::snprintf(summary, sizeof(summary),
+                  "\"wall_ms\":%.3f,\"reads\":%llu,\"mapped\":%llu,\"shards\":%llu",
+                  wall_ms, static_cast<unsigned long long>(outcome.reads),
+                  static_cast<unsigned long long>(outcome.mapped),
+                  static_cast<unsigned long long>(outcome.shards));
+    std::ofstream profile(profile_path, std::ios::trunc);
+    if (!profile) {
+      std::fprintf(stderr, "bwaver: cannot write profile to %s\n",
+                   profile_path.c_str());
+      return 1;
+    }
+    profile << "{" << summary << ",\"load_mode\":\"" << load_mode << "\""
+            << ",\"stages\":" << stages << ",\"trace\":" << trace->to_json() << "}\n";
+    std::printf("profile (stages %s, wall %.3f ms) -> %s\n", stages, wall_ms,
+                profile_path.c_str());
+  }
   return 0;
 }
 
@@ -365,6 +416,16 @@ int cmd_serve(const ArgParser& args) {
       static_cast<std::size_t>(args.get_int("http-threads", 8));
   options.http.max_body_bytes =
       static_cast<std::size_t>(args.get_int("max-body-mb", 64)) << 20;
+  const std::string trace_flag = args.get("trace", "on");
+  if (trace_flag == "on" || trace_flag.empty()) {
+    options.trace.enabled = true;
+  } else if (trace_flag == "off") {
+    options.trace.enabled = false;
+  } else {
+    throw std::invalid_argument("unknown --trace value '" + trace_flag + "' (on|off)");
+  }
+  options.trace.slow_threshold_ms = args.get_double("trace-slow-ms", 0.0);
+  options.trace.ring_capacity = static_cast<std::size_t>(args.get_int("trace-ring", 64));
   WebService service(options);
   service.start(static_cast<std::uint16_t>(args.get_int("port", 8080)));
   std::printf("BWaveR web service on http://127.0.0.1:%u/ (Ctrl-C to stop)\n",

@@ -7,7 +7,9 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
     const std::string arg = argv[i];
     if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
       const std::string name = arg.substr(2);
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
+      if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+        flags_[name.substr(0, eq)] = name.substr(eq + 1);  // --flag=value
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
         flags_[name] = argv[++i];
       } else {
         flags_[name] = "";  // boolean flag

@@ -9,7 +9,7 @@
 
 namespace bwaver {
 
-/// Tiny `--flag value` / positional argument parser.
+/// Tiny `--flag value` / `--flag=value` / positional argument parser.
 class ArgParser {
  public:
   ArgParser(int argc, const char* const* argv);

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -115,6 +117,36 @@ std::vector<std::string> split_segments(const std::string& path) {
 
 bool is_template(const std::string& path) {
   return path.find('{') != std::string::npos;
+}
+
+/// Client-supplied request ids pass through with hostile characters
+/// stripped (they are echoed in headers and logs) and a sane length cap.
+std::string sanitize_request_id(const std::string& raw) {
+  std::string out;
+  out.reserve(std::min<std::size_t>(raw.size(), 64));
+  for (const char c : raw) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') || c == '-' || c == '_' || c == '.' ||
+                    c == ':';
+    if (ok) out.push_back(c);
+    if (out.size() == 64) break;
+  }
+  return out;
+}
+
+/// Process-unique fallback id: startup-timestamped prefix + sequence number.
+std::string generate_request_id() {
+  static const std::uint64_t epoch = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  static std::atomic<std::uint64_t> sequence{0};
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "req-%llx-%llu",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(
+                    sequence.fetch_add(1, std::memory_order_relaxed) + 1));
+  return buffer;
 }
 
 }  // namespace
@@ -319,21 +351,34 @@ void HttpServer::handle_connection(int client_fd) {
     }
   }
 
+  // Request-id propagation: honor a client X-Request-Id (sanitized), mint
+  // one otherwise, and echo it on every response from here on so a job can
+  // be correlated across client logs, /jobs objects, and trace spans.
+  std::string request_id;
+  if (const auto it = request.headers.find("x-request-id"); it != request.headers.end()) {
+    request_id = sanitize_request_id(it->second);
+  }
+  if (request_id.empty()) request_id = generate_request_id();
+  request.headers["x-request-id"] = request_id;
+  const auto respond = [client_fd, &request_id](HttpResponse response) {
+    response.with_header("X-Request-Id", request_id);
+    send_response(client_fd, response);
+  };
+
   // Body, capped before a single byte is buffered beyond the cap.
   std::size_t content_length = 0;
   if (auto it = request.headers.find("content-length"); it != request.headers.end()) {
     try {
       content_length = static_cast<std::size_t>(std::stoull(it->second));
     } catch (const std::exception&) {
-      send_response(client_fd, HttpResponse::text(400, "bad Content-Length\n"));
+      respond(HttpResponse::text(400, "bad Content-Length\n"));
       return;
     }
   }
   if (content_length > options_.max_body_bytes) {
-    send_response(client_fd,
-                  HttpResponse::text(413, "request body exceeds " +
-                                              std::to_string(options_.max_body_bytes) +
-                                              " bytes\n"));
+    respond(HttpResponse::text(413, "request body exceeds " +
+                                        std::to_string(options_.max_body_bytes) +
+                                        " bytes\n"));
     return;
   }
   std::string body = buffer.substr(header_end + 4);
@@ -361,7 +406,7 @@ void HttpServer::handle_connection(int client_fd) {
       response = HttpResponse::text(500, std::string("error: ") + e.what() + "\n");
     }
   }
-  send_response(client_fd, response);
+  respond(std::move(response));
 }
 
 }  // namespace bwaver

@@ -42,6 +42,14 @@ struct HttpRequest {
     const auto it = path_params.find(key);
     return it == path_params.end() ? "" : it->second;
   }
+
+  /// The request's correlation id. The server guarantees this is non-empty
+  /// by the time a handler runs: a sanitized client X-Request-Id, or a
+  /// generated one (echoed back in the X-Request-Id response header).
+  std::string request_id() const {
+    const auto it = headers.find("x-request-id");
+    return it == headers.end() ? "" : it->second;
+  }
 };
 
 struct HttpResponse {

@@ -46,6 +46,7 @@ std::string format_ms(double ms) {
 std::string job_record_json(const JobRecord& record) {
   std::string json = "{\"id\":" + std::to_string(record.id);
   json += ",\"state\":\"" + std::string(to_string(record.state)) + "\"";
+  json += ",\"request_id\":\"" + json_escape(record.request_id) + "\"";
   json += ",\"ref\":\"" + json_escape(record.label) + "\"";
   json += ",\"priority\":\"" + std::string(to_string(record.priority)) + "\"";
   json += ",\"queue_wait_ms\":" + format_ms(record.queue_wait_ms);
@@ -92,7 +93,17 @@ WebService::WebService(WebServiceOptions options)
     : options_(std::move(options)),
       registry_(options_.store_dir, options_.memory_budget_bytes,
                 options_.load_mode),
-      jobs_(options_.jobs),
+      metrics_(options_.jobs.metrics ? options_.jobs.metrics
+                                     : std::make_shared<obs::MetricsRegistry>()),
+      traces_(options_.jobs.traces
+                  ? options_.jobs.traces
+                  : std::make_shared<obs::TraceCollector>(options_.trace)),
+      jobs_([this] {
+        JobManagerConfig config = options_.jobs;
+        config.metrics = metrics_;
+        config.traces = traces_;
+        return config;
+      }()),
       server_(options_.http) {
   server_.route("GET", "/", [this](const HttpRequest&) { return handle_index(); });
   server_.route("GET", "/status",
@@ -115,6 +126,10 @@ WebService::WebService(WebServiceOptions options)
   server_.route("DELETE", "/jobs/{id}",
                 [this](const HttpRequest& request) { return handle_job_cancel(request); });
   server_.route("GET", "/stats", [this](const HttpRequest&) { return handle_stats(); });
+  server_.route("GET", "/metrics",
+                [this](const HttpRequest&) { return handle_metrics(); });
+  server_.route("GET", "/trace/recent",
+                [this](const HttpRequest& request) { return handle_trace_recent(request); });
 }
 
 void WebService::start(std::uint16_t port) { server_.start(port); }
@@ -283,13 +298,14 @@ HttpResponse WebService::submit_map_job(const HttpRequest& request,
     const MappingOutcome outcome =
         map_records_over(handle->index, handle->reference, options_.pipeline, *records,
                          /*bowtie=*/nullptr, /*mapping_seconds=*/nullptr, &cancel);
-    jobs_.stats().reads_mapped.fetch_add(outcome.reads, std::memory_order_relaxed);
-    jobs_.stats().map_shards.fetch_add(outcome.shards, std::memory_order_relaxed);
+    jobs_.stats().reads_mapped.inc(outcome.reads);
+    jobs_.stats().map_shards.inc(outcome.shards);
     return outcome.sam;
   };
 
   try {
-    job_id = jobs_.submit(name, std::move(task), priority, timeout);
+    job_id = jobs_.submit(name, std::move(task), priority, timeout,
+                          request.request_id());
   } catch (const QueueFull&) {
     return queue_full_response();
   }
@@ -298,7 +314,7 @@ HttpResponse WebService::submit_map_job(const HttpRequest& request,
 }
 
 HttpResponse WebService::handle_map(const HttpRequest& request) {
-  jobs_.stats().sync_requests.fetch_add(1, std::memory_order_relaxed);
+  jobs_.stats().sync_requests.inc();
   // The synchronous path rides the same bounded queue as /jobs — one
   // admission-control point, one set of metrics — at high priority so
   // inline callers stay snappy under a backlog of batch jobs.
@@ -324,7 +340,7 @@ HttpResponse WebService::handle_map(const HttpRequest& request) {
 }
 
 HttpResponse WebService::handle_job_submit(const HttpRequest& request) {
-  jobs_.stats().async_requests.fetch_add(1, std::memory_order_relaxed);
+  jobs_.stats().async_requests.inc();
   std::uint64_t id = 0;
   HttpResponse submitted = submit_map_job(
       request, parse_priority(request.query_param("priority"), JobPriority::kNormal), id);
@@ -410,6 +426,95 @@ HttpResponse WebService::handle_stats() const {
       200, jobs_.stats().to_json(jobs_.queue_depth(), jobs_.queue_capacity(),
                                  jobs_.workers(), jobs_.retained(), &registry) +
                "\n");
+}
+
+HttpResponse WebService::handle_metrics() {
+  // Gauges and registry-owned counters are refreshed from their live
+  // sources at scrape time; the mutex only serializes the refresh-delta
+  // logic against concurrent scrapes (recording paths never touch it).
+  std::lock_guard<std::mutex> lock(scrape_mutex_);
+  metrics_
+      ->gauge("bwaver_queue_depth", "Mapping jobs waiting in the bounded queue")
+      .set(static_cast<double>(jobs_.queue_depth()));
+  metrics_->gauge("bwaver_queue_capacity", "Bounded queue capacity")
+      .set(static_cast<double>(jobs_.queue_capacity()));
+  metrics_->gauge("bwaver_job_workers", "Job worker threads")
+      .set(static_cast<double>(jobs_.workers()));
+  metrics_->gauge("bwaver_jobs_retained", "Terminal jobs retained for polling")
+      .set(static_cast<double>(jobs_.retained()));
+  metrics_->gauge("bwaver_uptime_seconds", "Seconds since service start")
+      .set(jobs_.stats().uptime_seconds());
+  metrics_
+      ->gauge("bwaver_registry_heap_bytes",
+              "Private heap bytes of resident reference indexes")
+      .set(static_cast<double>(registry_.heap_bytes()));
+  metrics_
+      ->gauge("bwaver_registry_mapped_bytes",
+              "File-backed (mmap) bytes of resident reference indexes")
+      .set(static_cast<double>(registry_.mapped_bytes()));
+  metrics_
+      ->gauge("bwaver_registry_resident_bytes",
+              "Total resident bytes of reference indexes (heap + mapped)")
+      .set(static_cast<double>(registry_.resident_bytes()));
+  metrics_
+      ->gauge("bwaver_registry_memory_budget_bytes",
+              "Configured registry memory budget")
+      .set(static_cast<double>(registry_.memory_budget()));
+  metrics_
+      ->gauge("bwaver_traces_completed", "Traces completed since start")
+      .set(static_cast<double>(traces_->completed()));
+  // Monotonic sources owned by IndexRegistry: advance the exported counter
+  // by the delta since the last scrape (guarded by scrape_mutex_).
+  const auto sync_counter = [this](const char* name, const char* help,
+                                   const obs::Labels& labels, std::uint64_t current) {
+    obs::Counter& c = metrics_->counter(name, help, labels);
+    const std::uint64_t seen = c.value();
+    if (current > seen) c.inc(current - seen);
+  };
+  sync_counter("bwaver_registry_loads_total", "Archive loads served, by path",
+               {{"mode", "mmap"}}, registry_.loads_mmap());
+  sync_counter("bwaver_registry_loads_total", "Archive loads served, by path",
+               {{"mode", "copy"}}, registry_.loads_copy());
+  sync_counter("bwaver_registry_evictions_total",
+               "Resident index copies dropped, by cause", {{"cause", "explicit"}},
+               registry_.evictions_explicit());
+  sync_counter("bwaver_registry_evictions_total",
+               "Resident index copies dropped, by cause", {{"cause", "budget"}},
+               registry_.evictions_budget());
+
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  const std::string text = metrics_->render_prometheus();
+  response.body.assign(text.begin(), text.end());
+  return response;
+}
+
+HttpResponse WebService::handle_trace_recent(const HttpRequest& request) const {
+  if (request.query_param("chrome") == "1") {
+    // One flat Chrome trace_event array over the retained traces (each
+    // event's args carry its trace_id, so chrome://tracing keeps them
+    // distinguishable).
+    const auto traces = traces_->recent();
+    std::string events = "[";
+    bool first = true;
+    for (const auto& trace : traces) {
+      std::string one = trace->chrome_json();
+      // Strip the per-trace [ ] and splice.
+      if (one.size() <= 2) continue;
+      if (!first) events += ",";
+      first = false;
+      events.append(one, 1, one.size() - 2);
+    }
+    events += "]\n";
+    return HttpResponse::json(200, events);
+  }
+  std::string json = "{\"enabled\":";
+  json += traces_->config().enabled ? "true" : "false";
+  json += ",\"completed\":" + std::to_string(traces_->completed());
+  json += ",\"retained\":" + std::to_string(traces_->retained());
+  json += ",\"slow_threshold_ms\":" + format_ms(traces_->config().slow_threshold_ms);
+  json += ",\"traces\":" + traces_->recent_json() + "}\n";
+  return HttpResponse::json(200, json);
 }
 
 HttpResponse WebService::handle_evict(const HttpRequest& request) {

@@ -28,6 +28,15 @@
 //                             queue-wait/map-time histograms, per-reference
 //                             request counts
 //
+// Observability endpoints (docs/observability.md):
+//   GET    /metrics         — Prometheus text exposition of the shared
+//                             obs::MetricsRegistry (job counters, latency
+//                             histograms, queue/registry gauges, per-stage
+//                             mapping histograms)
+//   GET    /trace/recent    — JSON ring of recent span trees; `?chrome=1`
+//                             returns Chrome trace_event JSON for
+//                             chrome://tracing / Perfetto
+//
 // Mapping work executes on the JobManager's fixed worker pool, never on
 // HTTP connection threads; both /map and /jobs funnel through the same
 // bounded queue, so overload sheds load instead of forking threads.
@@ -40,6 +49,8 @@
 #include "app/http_server.hpp"
 #include "jobs/job_manager.hpp"
 #include "mapper/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/index_registry.hpp"
 
 namespace bwaver {
@@ -53,6 +64,8 @@ struct WebServiceOptions {
   LoadMode load_mode = default_load_mode();
   JobManagerConfig jobs{};  ///< worker count, queue capacity, timeout, GC
   HttpServerOptions http{};
+  /// Tracing knobs (--trace*): span trees per job, /trace/recent ring.
+  obs::TraceConfig trace{};
 };
 
 class WebService {
@@ -73,6 +86,8 @@ class WebService {
   const IndexRegistry& registry() const noexcept { return registry_; }
   JobManager& jobs() noexcept { return jobs_; }
   const ServerStats& stats() const noexcept { return jobs_.stats(); }
+  obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+  obs::TraceCollector& traces() noexcept { return *traces_; }
 
  private:
   HttpResponse handle_index() const;
@@ -87,6 +102,8 @@ class WebService {
   HttpResponse handle_job_result(const HttpRequest& request) const;
   HttpResponse handle_job_cancel(const HttpRequest& request);
   HttpResponse handle_stats() const;
+  HttpResponse handle_metrics();
+  HttpResponse handle_trace_recent(const HttpRequest& request) const;
 
   /// Parses, validates, and enqueues one mapping job; returns the id via
   /// `job_id` or an error response via the return value (status != 0).
@@ -99,8 +116,14 @@ class WebService {
 
   WebServiceOptions options_;
   IndexRegistry registry_;
+  // Declared before jobs_: the JobManager's ServerStats registers its
+  // counters into this shared registry, and workers attach job traces to
+  // this collector.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::shared_ptr<obs::TraceCollector> traces_;
   JobManager jobs_;
   std::mutex build_mutex_;  ///< serializes index *builds* (CPU-heavy), not maps
+  std::mutex scrape_mutex_;  ///< serializes /metrics gauge refresh + render
   HttpServer server_;
 };
 

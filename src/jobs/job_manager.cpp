@@ -35,10 +35,17 @@ bool is_terminal(JobState state) {
 struct JobManager::Job {
   std::uint64_t id = 0;
   std::string label;
+  std::string request_id;
   JobPriority priority = JobPriority::kNormal;
   JobFn fn;
   CancelToken cancel;
   Clock::time_point submitted;
+
+  // Per-job trace (null when the manager has no collector). The root span
+  // covers submit -> terminal; queue_wait and run nest under it. Guarded by
+  // `m` like the rest of the mutable state.
+  std::shared_ptr<obs::Trace> trace;
+  std::uint32_t root_span = 0;
 
   // The mutable half of the state machine, guarded by `m`; `cv` fires on
   // every transition so wait() can block on terminality.
@@ -57,6 +64,7 @@ JobManager::JobManager(JobManagerConfig config)
         if (config.queue_capacity == 0) config.queue_capacity = 1;
         return config;
       }()),
+      stats_(config_.metrics),
       queue_(config_.queue_capacity),
       pool_(std::make_unique<ThreadPool>(config_.workers)) {
   for (std::size_t i = 0; i < config_.workers; ++i) {
@@ -67,9 +75,11 @@ JobManager::JobManager(JobManagerConfig config)
 JobManager::~JobManager() { shutdown(); }
 
 std::uint64_t JobManager::submit(std::string label, JobFn fn, JobPriority priority,
-                                 std::optional<std::chrono::milliseconds> timeout) {
+                                 std::optional<std::chrono::milliseconds> timeout,
+                                 std::string request_id) {
   auto job = std::make_shared<Job>();
   job->label = std::move(label);
+  job->request_id = std::move(request_id);
   job->priority = priority;
   job->fn = std::move(fn);
   job->submitted = Clock::now();
@@ -81,16 +91,21 @@ std::uint64_t JobManager::submit(std::string label, JobFn fn, JobPriority priori
   std::lock_guard<std::mutex> lock(jobs_mutex_);
   if (shut_down_) throw std::runtime_error("JobManager: submit after shutdown");
   job->id = next_id_;
+  if (job->request_id.empty()) job->request_id = "job-" + std::to_string(job->id);
+  if (config_.traces) {
+    job->trace = config_.traces->start_trace(job->request_id);
+    if (job->trace) job->root_span = job->trace->begin("job:" + job->label);
+  }
   // Record before publishing to the queue so a worker can never be running a
   // job that status() does not yet know about.
   jobs_.emplace(job->id, job);
   if (!queue_.try_push(job, priority)) {
     jobs_.erase(job->id);
-    stats_.rejected_full.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_full.inc();
     throw QueueFull(queue_.capacity());
   }
   ++next_id_;
-  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  stats_.submitted.inc();
   gc_locked(job->id);
   return job->id;
 }
@@ -110,17 +125,36 @@ void JobManager::run_job(const std::shared_ptr<Job>& job) {
       job->state = JobState::kTimedOut;
       job->error = "deadline expired while queued";
       job->finished = Clock::now();
-      stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+      stats_.timed_out.inc();
+      if (job->trace) {
+        job->trace->emit("queue_wait", job->root_span, 0.0,
+                         ms_between(job->submitted, job->finished));
+      }
+      close_trace_locked(*job);
       job->cv.notify_all();
       return;
     }
     job->state = JobState::kRunning;
     job->started = Clock::now();
-    stats_.queue_wait.record_ms(ms_between(job->submitted, job->started));
+    const double wait_ms = ms_between(job->submitted, job->started);
+    stats_.queue_wait.observe_ms(wait_ms);
+    if (job->trace) job->trace->emit("queue_wait", job->root_span, 0.0, wait_ms);
   }
 
+  // Ambient context for the job body: the metrics registry always (so the
+  // mapping stages find their histograms), the trace only when one exists.
+  obs::ObsContext context;
+  context.trace = job->trace.get();
+  context.parent_span = job->root_span;
+  context.metrics = stats_.metrics.get();
+  obs::ScopedObsContext scoped(context);
+
   try {
-    std::string payload = job->fn(job->cancel);
+    std::string payload;
+    {
+      obs::TraceSpan run_span("run");
+      payload = job->fn(job->cancel);
+    }
     finish(job, JobState::kDone, std::move(payload), "");
   } catch (const OperationCancelled&) {
     // The checkpoint fired: classify by which stop reason was raised. An
@@ -144,30 +178,37 @@ void JobManager::finish(const std::shared_ptr<Job>& job, JobState state,
     job->error = std::move(error);
     job->finished = Clock::now();
     if (state == JobState::kDone) {
-      stats_.map_time.record_ms(ms_between(job->started, job->finished));
+      stats_.map_time.observe_ms(ms_between(job->started, job->finished));
     }
     // Counters must be bumped before any waiter can observe the terminal
     // state, so a wait()+stats() pair always sees consistent accounting.
     switch (state) {
       case JobState::kDone:
-        stats_.completed.fetch_add(1, std::memory_order_relaxed);
+        stats_.completed.inc();
         break;
       case JobState::kFailed:
-        stats_.failed.fetch_add(1, std::memory_order_relaxed);
+        stats_.failed.inc();
         LOG_WARN << "job " << job->id << " (" << job->label
                  << ") failed: " << job->error;
         break;
       case JobState::kCancelled:
-        stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+        stats_.cancelled.inc();
         break;
       case JobState::kTimedOut:
-        stats_.timed_out.fetch_add(1, std::memory_order_relaxed);
+        stats_.timed_out.inc();
         break;
       default:
         break;
     }
+    close_trace_locked(*job);
   }
   job->cv.notify_all();
+}
+
+void JobManager::close_trace_locked(Job& job) {
+  if (!job.trace) return;
+  job.trace->end(job.root_span);
+  if (config_.traces) config_.traces->finish(job.trace);
 }
 
 JobRecord JobManager::snapshot(const Job& job) const {
@@ -175,6 +216,7 @@ JobRecord JobManager::snapshot(const Job& job) const {
   JobRecord record;
   record.id = job.id;
   record.label = job.label;
+  record.request_id = job.request_id;
   record.priority = job.priority;
   record.state = job.state;
   record.error = job.error;
@@ -240,7 +282,8 @@ bool JobManager::cancel(std::uint64_t id) {
       // a worker to reach it; the worker skips terminal jobs on pickup.
       job->state = JobState::kCancelled;
       job->finished = Clock::now();
-      stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+      stats_.cancelled.inc();
+      close_trace_locked(*job);
     }
   }
   job->cv.notify_all();

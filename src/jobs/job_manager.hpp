@@ -26,6 +26,7 @@
 
 #include "jobs/job_queue.hpp"
 #include "jobs/server_stats.hpp"
+#include "obs/trace.hpp"
 #include "util/cancellation.hpp"
 #include "util/thread_pool.hpp"
 
@@ -46,6 +47,11 @@ struct JobManagerConfig {
   std::chrono::milliseconds retention{std::chrono::minutes(10)};
   /// Hard cap on retained terminal jobs (oldest evicted first).
   std::size_t max_retained = 1024;
+  /// Shared metrics registry backing ServerStats (null = private registry).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Trace sink for per-job span trees (null = tracing off; jobs then run
+  /// with only the ambient metrics context installed).
+  std::shared_ptr<obs::TraceCollector> traces;
 };
 
 /// Immutable status snapshot handed to the HTTP layer.
@@ -54,6 +60,7 @@ struct JobRecord {
   std::string label;  ///< e.g. the target reference name
   JobPriority priority = JobPriority::kNormal;
   JobState state = JobState::kQueued;
+  std::string request_id;        ///< trace-context id (X-Request-Id or job-<id>)
   std::string error;             ///< non-empty for kFailed
   double queue_wait_ms = 0.0;    ///< submit -> pickup (or now, while queued)
   double run_ms = 0.0;           ///< pickup -> finish (or now, while running)
@@ -73,10 +80,12 @@ class JobManager {
   JobManager& operator=(const JobManager&) = delete;
 
   /// Admits a job or throws QueueFull (counted in stats as a rejection).
-  /// `timeout` overrides the config default; nullopt keeps it.
+  /// `timeout` overrides the config default; nullopt keeps it. `request_id`
+  /// becomes the job's trace-context id (empty = derive "job-<id>").
   std::uint64_t submit(std::string label, JobFn fn,
                        JobPriority priority = JobPriority::kNormal,
-                       std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+                       std::optional<std::chrono::milliseconds> timeout = std::nullopt,
+                       std::string request_id = {});
 
   std::optional<JobRecord> status(std::uint64_t id) const;
 
@@ -113,6 +122,9 @@ class JobManager {
   void run_job(const std::shared_ptr<Job>& job);
   void finish(const std::shared_ptr<Job>& job, JobState state, std::string payload,
               std::string error);
+  /// Ends the job's root span and files the trace with the collector.
+  /// Callers hold job->m (each terminal transition closes exactly once).
+  void close_trace_locked(Job& job);
   JobRecord snapshot(const Job& job) const;
   /// Sweeps terminal jobs past retention and enforces max_retained. Callers
   /// hold jobs_mutex_. The just-submitted `keep_id` is never collected.

@@ -2,16 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
-#include <limits>
 
 namespace bwaver {
 
 namespace {
-
-// 1, 3, 10, 30, ... ms — a decade ladder with a mid step, 11 finite
-// boundaries + overflow = kBuckets.
-constexpr double kUppersMs[LatencyHistogram::kBuckets - 1] = {
-    1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1'000.0, 3'000.0, 10'000.0, 30'000.0, 100'000.0};
 
 std::string format_ms(double ms) {
   char buffer[32];
@@ -19,54 +13,81 @@ std::string format_ms(double ms) {
   return buffer;
 }
 
-}  // namespace
-
-double LatencyHistogram::bucket_upper_ms(std::size_t i) {
-  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
-  return kUppersMs[i];
-}
-
-void LatencyHistogram::record_ms(double ms) noexcept {
-  if (!(ms >= 0.0)) ms = 0.0;  // NaN and negatives clamp to the first bucket
-  std::size_t bucket = kBuckets - 1;
-  for (std::size_t i = 0; i < kBuckets - 1; ++i) {
-    if (ms <= kUppersMs[i]) {
-      bucket = i;
-      break;
-    }
-  }
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_us_.fetch_add(static_cast<std::uint64_t>(ms * 1000.0), std::memory_order_relaxed);
-}
-
-double LatencyHistogram::sum_ms() const noexcept {
-  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1000.0;
-}
-
-std::string LatencyHistogram::to_json() const {
-  std::string json = "{\"count\":" + std::to_string(count()) +
-                     ",\"sum_ms\":" + format_ms(sum_ms()) + ",\"buckets\":[";
-  std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    cumulative += buckets_[i].load(std::memory_order_relaxed);
+/// Legacy /stats histogram block: cumulative "le"-style JSON,
+/// {"count":N,"sum_ms":S,"buckets":[{"le_ms":1,"count":n0},...]}.
+/// Bounds are stored in seconds (Prometheus convention) and rendered in
+/// milliseconds here to keep the document schema of earlier releases.
+std::string latency_json(const obs::Histogram& h) {
+  std::string json = "{\"count\":" + std::to_string(h.count()) +
+                     ",\"sum_ms\":" + format_ms(h.sum_ms()) + ",\"buckets\":[";
+  for (std::size_t i = 0; i < h.bounds().size(); ++i) {
     if (i > 0) json += ",";
-    json += "{\"le_ms\":";
-    json += (i == kBuckets - 1) ? "\"inf\"" : std::to_string(static_cast<long long>(kUppersMs[i]));
-    json += ",\"count\":" + std::to_string(cumulative) + "}";
+    json += "{\"le_ms\":" + std::to_string(std::llround(h.bounds()[i] * 1000.0));
+    json += ",\"count\":" + std::to_string(h.cumulative_count(i)) + "}";
   }
-  json += "]}";
+  if (!h.bounds().empty()) json += ",";
+  json += "{\"le_ms\":\"inf\",\"count\":" +
+          std::to_string(h.cumulative_count(h.bounds().size())) + "}]}";
   return json;
 }
 
+constexpr char kReferenceCounter[] = "bwaver_reference_requests_total";
+
+}  // namespace
+
+ServerStats::ServerStats(std::shared_ptr<obs::MetricsRegistry> registry)
+    : metrics(registry ? std::move(registry)
+                       : std::make_shared<obs::MetricsRegistry>()),
+      submitted(metrics->counter("bwaver_jobs_submitted_total",
+                                 "Jobs accepted into the bounded queue")),
+      rejected_full(metrics->counter("bwaver_jobs_rejected_total",
+                                     "Jobs rejected by admission control",
+                                     {{"reason", "queue_full"}})),
+      completed(metrics->counter("bwaver_jobs_finished_total",
+                                 "Jobs that reached a terminal state, by state",
+                                 {{"state", "done"}})),
+      failed(metrics->counter("bwaver_jobs_finished_total",
+                              "Jobs that reached a terminal state, by state",
+                              {{"state", "failed"}})),
+      cancelled(metrics->counter("bwaver_jobs_finished_total",
+                                 "Jobs that reached a terminal state, by state",
+                                 {{"state", "cancelled"}})),
+      timed_out(metrics->counter("bwaver_jobs_finished_total",
+                                 "Jobs that reached a terminal state, by state",
+                                 {{"state", "timed_out"}})),
+      sync_requests(metrics->counter("bwaver_map_requests_total",
+                                     "Mapping requests admitted, by HTTP mode",
+                                     {{"mode", "sync"}})),
+      async_requests(metrics->counter("bwaver_map_requests_total",
+                                      "Mapping requests admitted, by HTTP mode",
+                                      {{"mode", "async"}})),
+      reads_mapped(metrics->counter("bwaver_reads_mapped_total",
+                                    "Reads mapped by completed tasks")),
+      map_shards(metrics->counter("bwaver_map_shards_total",
+                                  "Parallel shards dispatched by mapping tasks")),
+      queue_wait(metrics->histogram("bwaver_job_queue_wait_seconds",
+                                    "Job wait from submit to worker pickup",
+                                    obs::Histogram::default_time_bounds())),
+      map_time(metrics->histogram("bwaver_job_run_seconds",
+                                  "Worker run time of successful jobs",
+                                  obs::Histogram::default_time_bounds())),
+      start_(std::chrono::steady_clock::now()) {}
+
 void ServerStats::record_reference(const std::string& name) {
-  std::lock_guard<std::mutex> lock(ref_mutex_);
-  ++ref_counts_[name];
+  metrics
+      ->counter(kReferenceCounter, "Mapping requests per reference",
+                {{"reference", name}})
+      .inc();
 }
 
 std::map<std::string, std::uint64_t> ServerStats::reference_counts() const {
-  std::lock_guard<std::mutex> lock(ref_mutex_);
-  return ref_counts_;
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& [labels, value] : metrics->counter_values(kReferenceCounter)) {
+    for (const auto& [key, label_value] : labels) {
+      if (key == "reference") counts[label_value] = value;
+    }
+  }
+  return counts;
 }
 
 double ServerStats::uptime_seconds() const {
@@ -79,28 +100,23 @@ std::string ServerStats::to_json(std::size_t queue_depth, std::size_t queue_capa
   std::string json = "{";
   json += "\"uptime_seconds\":" + format_ms(uptime_seconds());
   json += ",\"counters\":{";
-  json += "\"submitted\":" + std::to_string(submitted.load(std::memory_order_relaxed));
-  json += ",\"rejected_queue_full\":" +
-          std::to_string(rejected_full.load(std::memory_order_relaxed));
-  json += ",\"completed\":" + std::to_string(completed.load(std::memory_order_relaxed));
-  json += ",\"failed\":" + std::to_string(failed.load(std::memory_order_relaxed));
-  json += ",\"cancelled\":" + std::to_string(cancelled.load(std::memory_order_relaxed));
-  json += ",\"timed_out\":" + std::to_string(timed_out.load(std::memory_order_relaxed));
-  json += ",\"sync_requests\":" +
-          std::to_string(sync_requests.load(std::memory_order_relaxed));
-  json += ",\"async_requests\":" +
-          std::to_string(async_requests.load(std::memory_order_relaxed));
-  json += ",\"reads_mapped\":" +
-          std::to_string(reads_mapped.load(std::memory_order_relaxed));
-  json += ",\"map_shards\":" +
-          std::to_string(map_shards.load(std::memory_order_relaxed));
+  json += "\"submitted\":" + std::to_string(submitted.value());
+  json += ",\"rejected_queue_full\":" + std::to_string(rejected_full.value());
+  json += ",\"completed\":" + std::to_string(completed.value());
+  json += ",\"failed\":" + std::to_string(failed.value());
+  json += ",\"cancelled\":" + std::to_string(cancelled.value());
+  json += ",\"timed_out\":" + std::to_string(timed_out.value());
+  json += ",\"sync_requests\":" + std::to_string(sync_requests.value());
+  json += ",\"async_requests\":" + std::to_string(async_requests.value());
+  json += ",\"reads_mapped\":" + std::to_string(reads_mapped.value());
+  json += ",\"map_shards\":" + std::to_string(map_shards.value());
   json += "}";
   json += ",\"queue\":{\"depth\":" + std::to_string(queue_depth) +
           ",\"capacity\":" + std::to_string(queue_capacity) +
           ",\"workers\":" + std::to_string(workers) +
           ",\"jobs_retained\":" + std::to_string(jobs_retained) + "}";
-  json += ",\"histograms\":{\"queue_wait_ms\":" + queue_wait.to_json() +
-          ",\"map_time_ms\":" + map_time.to_json() + "}";
+  json += ",\"histograms\":{\"queue_wait_ms\":" + latency_json(queue_wait) +
+          ",\"map_time_ms\":" + latency_json(map_time) + "}";
   if (registry != nullptr) {
     json += ",\"registry\":{\"loads_mmap\":" + std::to_string(registry->loads_mmap) +
             ",\"loads_copy\":" + std::to_string(registry->loads_copy) +
@@ -131,16 +147,15 @@ std::string ServerStats::summary_line() const {
                 "jobs: %llu submitted, %llu rejected, %llu done, %llu failed, "
                 "%llu cancelled, %llu timed out; %llu reads in %llu shard(s); "
                 "mean queue wait %.1f ms, mean map %.1f ms",
-                static_cast<unsigned long long>(submitted.load()),
-                static_cast<unsigned long long>(rejected_full.load()),
-                static_cast<unsigned long long>(completed.load()),
-                static_cast<unsigned long long>(failed.load()),
-                static_cast<unsigned long long>(cancelled.load()),
-                static_cast<unsigned long long>(timed_out.load()),
-                static_cast<unsigned long long>(reads_mapped.load()),
-                static_cast<unsigned long long>(map_shards.load()),
-                queue_wait.count() ? queue_wait.sum_ms() / static_cast<double>(queue_wait.count()) : 0.0,
-                map_time.count() ? map_time.sum_ms() / static_cast<double>(map_time.count()) : 0.0);
+                static_cast<unsigned long long>(submitted.value()),
+                static_cast<unsigned long long>(rejected_full.value()),
+                static_cast<unsigned long long>(completed.value()),
+                static_cast<unsigned long long>(failed.value()),
+                static_cast<unsigned long long>(cancelled.value()),
+                static_cast<unsigned long long>(timed_out.value()),
+                static_cast<unsigned long long>(reads_mapped.value()),
+                static_cast<unsigned long long>(map_shards.value()),
+                queue_wait.mean_ms(), map_time.mean_ms());
   return buffer;
 }
 

@@ -1,21 +1,21 @@
-// Server telemetry for the mapping-job subsystem: lock-free counters,
-// fixed-bucket latency histograms, and per-reference request counts,
-// exported as JSON on GET /stats and in operator logs.
+// Server telemetry for the mapping-job subsystem, backed by the unified
+// obs::MetricsRegistry: every counter and histogram here is a registry
+// metric (so GET /metrics exports it in Prometheus text format) while this
+// class keeps the legacy /stats JSON document and operator summary line.
 //
-// Counters and histogram buckets are plain relaxed atomics — every /map
-// and every worker touches them, so they must never contend. Only the
-// per-reference map (unbounded key set) takes a mutex, on the request
-// path where a parse of the FASTQ body dwarfs it.
+// The members are references into the registry — registration happens once
+// in the constructor, recording afterwards is wait-free relaxed atomics.
+// The registry is shared: pass the service-wide one in, or default-construct
+// to get a private registry (tests, ad-hoc managers).
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace bwaver {
 
@@ -29,58 +29,35 @@ struct RegistryTelemetry {
   std::uint64_t mapped_bytes = 0;
 };
 
-/// Fixed-boundary latency histogram (milliseconds). Boundaries are
-/// exponential — 1 ms to ~100 s — which covers queue waits under load and
-/// chromosome-scale mapping times in one shape. Thread-safe, wait-free
-/// recording.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 12;
-
-  /// Upper bound (inclusive) of bucket i in milliseconds; the last bucket
-  /// is unbounded.
-  static double bucket_upper_ms(std::size_t i);
-
-  void record_ms(double ms) noexcept;
-
-  std::uint64_t count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
-  }
-  double sum_ms() const noexcept;
-
-  /// Cumulative "le"-style JSON object:
-  /// {"count":N,"sum_ms":S,"buckets":[{"le_ms":1,"count":n0},...]}.
-  std::string to_json() const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_us_{0};  ///< microseconds, to keep it integral
-};
-
 class ServerStats {
  public:
-  ServerStats() : start_(std::chrono::steady_clock::now()) {}
+  explicit ServerStats(std::shared_ptr<obs::MetricsRegistry> registry = nullptr);
+  ServerStats(const ServerStats&) = delete;
+  ServerStats& operator=(const ServerStats&) = delete;
+
+  /// The backing registry (never null; shared with the web service so
+  /// /metrics and /stats read the same atoms).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 
   // Admission + lifecycle counters (relaxed; exactness across a snapshot is
   // not required, exactness per counter is).
-  std::atomic<std::uint64_t> submitted{0};       ///< accepted into the queue
-  std::atomic<std::uint64_t> rejected_full{0};   ///< 503'd by admission control
-  std::atomic<std::uint64_t> completed{0};
-  std::atomic<std::uint64_t> failed{0};
-  std::atomic<std::uint64_t> cancelled{0};
-  std::atomic<std::uint64_t> timed_out{0};
-  std::atomic<std::uint64_t> sync_requests{0};   ///< POST /map (waits inline)
-  std::atomic<std::uint64_t> async_requests{0};  ///< POST /jobs
+  obs::Counter& submitted;       ///< accepted into the queue
+  obs::Counter& rejected_full;   ///< 503'd by admission control
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& cancelled;
+  obs::Counter& timed_out;
+  obs::Counter& sync_requests;   ///< POST /map (waits inline)
+  obs::Counter& async_requests;  ///< POST /jobs
 
-  // Hot-path throughput gauges: reads mapped by completed tasks and the
+  // Hot-path throughput counters: reads mapped by completed tasks and the
   // parallel shards those tasks dispatched (shards / reads exposes the
   // effective shard size operators tune via PipelineConfig::shard_size).
-  std::atomic<std::uint64_t> reads_mapped{0};
-  std::atomic<std::uint64_t> map_shards{0};
+  obs::Counter& reads_mapped;
+  obs::Counter& map_shards;
 
-  LatencyHistogram queue_wait;  ///< submit -> worker pickup
-  LatencyHistogram map_time;    ///< worker run time (successful jobs)
+  obs::Histogram& queue_wait;  ///< submit -> worker pickup (seconds)
+  obs::Histogram& map_time;    ///< worker run time, successful jobs (seconds)
 
   void record_reference(const std::string& name);
   std::map<std::string, std::uint64_t> reference_counts() const;
@@ -99,8 +76,6 @@ class ServerStats {
 
  private:
   std::chrono::steady_clock::time_point start_;
-  mutable std::mutex ref_mutex_;
-  std::map<std::string, std::uint64_t> ref_counts_;
 };
 
 }  // namespace bwaver

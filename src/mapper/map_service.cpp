@@ -6,6 +6,8 @@
 #include "mapper/fpga_mapper.hpp"
 #include "mapper/pipeline.hpp"
 #include "mapper/read_batch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -38,6 +40,47 @@ std::size_t effective_shard_size(std::size_t total, unsigned threads,
   }
   if (cancellable) shard = std::min(shard, kCancellableChunk);
   return std::max<std::size_t>(shard, 1);
+}
+
+/// Stage-latency bucket ladder (seconds): finer than the request-latency
+/// ladder because stage splits of small batches live in the 10 µs .. 100 ms
+/// range.
+std::vector<double> stage_time_bounds() {
+  return {1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0};
+}
+
+/// Records the per-stage split into the ambient metrics registry (if one is
+/// installed) and appends aggregated stage spans under `parent` (if the
+/// ambient trace is live). `fpga` optionally adds the modeled device-phase
+/// children under the search span.
+void publish_stages(const obs::ObsContext& ctx, std::uint32_t parent,
+                    const MappingStageTimings& stages, const FpgaMapReport* fpga) {
+  if (ctx.metrics != nullptr) {
+    static constexpr const char* kName = "bwaver_map_stage_seconds";
+    static constexpr const char* kHelp = "Per-stage mapping time, by stage";
+    ctx.metrics->histogram(kName, kHelp, stage_time_bounds(), {{"stage", "seed"}})
+        .observe_ms(stages.seed_ms);
+    ctx.metrics->histogram(kName, kHelp, stage_time_bounds(), {{"stage", "search"}})
+        .observe_ms(stages.search_ms);
+    ctx.metrics->histogram(kName, kHelp, stage_time_bounds(), {{"stage", "locate"}})
+        .observe_ms(stages.locate_ms);
+    ctx.metrics->histogram(kName, kHelp, stage_time_bounds(), {{"stage", "sam"}})
+        .observe_ms(stages.sam_ms);
+  }
+  if (ctx.trace != nullptr) {
+    ctx.trace->emit("seed", parent, -1.0, stages.seed_ms);
+    const std::uint32_t search = ctx.trace->emit("search", parent, -1.0, stages.search_ms);
+    if (fpga != nullptr) {
+      // Modeled device phases nested under the search span — the split the
+      // paper's OpenCL event profiling reports (program = structure load,
+      // transfer = buffer movement).
+      ctx.trace->emit("fpga:program", search, -1.0, fpga->program_seconds * 1e3);
+      ctx.trace->emit("fpga:transfer", search, -1.0, fpga->transfer_seconds * 1e3);
+      ctx.trace->emit("fpga:kernel", search, -1.0, fpga->kernel_seconds * 1e3);
+    }
+    ctx.trace->emit("locate", parent, -1.0, stages.locate_ms);
+    ctx.trace->emit("sam", parent, -1.0, stages.sam_ms);
+  }
 }
 
 }  // namespace
@@ -106,6 +149,12 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
                                 const CancelToken* cancel) {
   if (cancel != nullptr) cancel->throw_if_stopped();
 
+  // Ambient observability: a no-op unless a job/CLI run installed a context.
+  // The map span parents the per-stage spans; the context is snapshotted
+  // here so shard workers can re-install it on their own threads.
+  obs::TraceSpan map_span("map_records");
+  const obs::ObsContext obs_ctx = obs::current_context();
+
   // Engines are constructed once (the FPGA model is programmed once, the
   // baseline's transient index is built once) and fed chunk by chunk: with
   // no cancel token everything goes in one chunk, exactly the pre-async
@@ -160,22 +209,33 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
     // Exceptions (OperationCancelled from a checkpoint, engine failures)
     // propagate out of parallel_for; the pool's destructor joins every
     // in-flight shard before the shard buffers go out of scope.
-    pool.parallel_for(num_shards, [&](std::size_t begin_shard, std::size_t end_shard) {
+    pool.parallel_for(num_shards, [&, obs_ctx](std::size_t begin_shard,
+                                               std::size_t end_shard) {
+      // Re-install the submitting thread's context so shard spans land in
+      // the request's trace and stage times in its registry.
+      obs::ScopedObsContext scoped(obs_ctx);
       for (std::size_t s = begin_shard; s < end_shard; ++s) {
         if (cancel != nullptr) cancel->throw_if_stopped();
+        obs::TraceSpan shard_span("shard");
         const std::span<const FastqRecord> chunk = all.subspan(
             s * shard_size, std::min(shard_size, records.size() - s * shard_size));
+        WallTimer stage_timer;
         const ReadBatch batch = ReadBatch::from_fastq(chunk);
+        shards[s].outcome.stages.seed_ms = stage_timer.milliseconds();
+        stage_timer.reset();
         std::vector<QueryResult> results;
         if (config.engine == MappingEngine::kCpu) {
           results = cpu->map(batch, 1);
         } else {
           results = bowtie->map(batch, 1);
         }
+        shards[s].outcome.stages.search_ms = stage_timer.milliseconds();
+        stage_timer.reset();
         shards[s].alignments.reserve(results.size());
         resolve_query_results(reference, index.suffix_array(), chunk, results,
                               config.max_hits_per_read, shards[s].outcome,
                               shards[s].alignments, cancel);
+        shards[s].outcome.stages.locate_ms = stage_timer.milliseconds();
       }
     });
     seconds = timer.seconds();
@@ -185,22 +245,32 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
       outcome.reads += shard.outcome.reads;
       outcome.mapped += shard.outcome.mapped;
       outcome.occurrences += shard.outcome.occurrences;
+      outcome.stages += shard.outcome.stages;
       alignments.insert(alignments.end(),
                         std::make_move_iterator(shard.alignments.begin()),
                         std::make_move_iterator(shard.alignments.end()));
     }
     if (mapping_seconds != nullptr) *mapping_seconds = seconds;
+    WallTimer sam_timer;
     outcome.sam = format_sam(sam_sequences_for(reference), alignments);
+    outcome.stages.sam_ms = sam_timer.milliseconds();
+    publish_stages(obs_ctx, map_span.id(), outcome.stages, nullptr);
     return outcome;
   }
 
+  // Accumulated modeled device phases across chunks (FPGA engine only) —
+  // feeds the fpga:* child spans under "search".
+  FpgaMapReport fpga_total;
   const std::size_t chunk_size =
       cancel == nullptr ? std::max<std::size_t>(records.size(), 1) : kCancellableChunk;
   for (std::size_t begin = 0; begin < records.size(); begin += chunk_size) {
     if (cancel != nullptr) cancel->throw_if_stopped();
     const std::span<const FastqRecord> chunk =
         all.subspan(begin, std::min(chunk_size, records.size() - begin));
+    WallTimer stage_timer;
     const ReadBatch batch = ReadBatch::from_fastq(chunk);
+    outcome.stages.seed_ms += stage_timer.milliseconds();
+    stage_timer.reset();
 
     std::vector<QueryResult> results;
     switch (config.engine) {
@@ -208,27 +278,40 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
         FpgaMapReport report;
         results = fpga->map(batch, &report);
         seconds += report.total_seconds();
+        // The FPGA search stage is modeled device time, not host wall time.
+        outcome.stages.search_ms += report.total_seconds() * 1e3;
+        fpga_total.program_seconds += report.program_seconds;
+        fpga_total.transfer_seconds += report.transfer_seconds;
+        fpga_total.kernel_seconds += report.kernel_seconds;
         break;
       }
       case MappingEngine::kCpu: {
         SoftwareMapReport report;
         results = cpu->map(batch, config.threads, &report);
         seconds += report.seconds;
+        outcome.stages.search_ms += stage_timer.milliseconds();
         break;
       }
       case MappingEngine::kBowtie2Like: {
         SoftwareMapReport report;
         results = bowtie->map(batch, config.threads, &report);
         seconds += report.seconds;
+        outcome.stages.search_ms += stage_timer.milliseconds();
         break;
       }
     }
+    stage_timer.reset();
     resolve_query_results(reference, index.suffix_array(), chunk, results,
                           config.max_hits_per_read, outcome, alignments, cancel);
+    outcome.stages.locate_ms += stage_timer.milliseconds();
   }
   if (mapping_seconds != nullptr) *mapping_seconds = seconds;
 
+  WallTimer sam_timer;
   outcome.sam = format_sam(sam_sequences_for(reference), alignments);
+  outcome.stages.sam_ms = sam_timer.milliseconds();
+  publish_stages(obs_ctx, map_span.id(), outcome.stages,
+                 config.engine == MappingEngine::kFpga ? &fpga_total : nullptr);
   return outcome;
 }
 

@@ -14,9 +14,9 @@
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "fmindex/reference_set.hpp"
+#include "fpga/query_packet.hpp"
 #include "io/fastq.hpp"
 #include "io/sam.hpp"
-#include "fpga/query_packet.hpp"
 #include "mapper/software_mapper.hpp"
 #include "util/cancellation.hpp"
 

@@ -22,9 +22,9 @@
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "fmindex/reference_set.hpp"
+#include "fpga/device_spec.hpp"
 #include "io/fasta.hpp"
 #include "io/sam.hpp"
-#include "fpga/device_spec.hpp"
 #include "mapper/fpga_mapper.hpp"
 #include "mapper/software_mapper.hpp"
 #include "store/index_archive.hpp"
@@ -59,11 +59,35 @@ struct PipelineTimings {
   double mapping_seconds = 0.0;  ///< wall-clock (software) or modeled (FPGA)
 };
 
+/// Per-stage decomposition of one mapping run (milliseconds). seed covers
+/// read-batch/query-packet construction, search the engine's backward
+/// search (wall-clock for software, modeled for the FPGA), locate the
+/// SA-interval -> position resolution, sam the SAM rendering. On the
+/// sharded path seed/search/locate are summed CPU time across shards, so
+/// total_ms() can exceed the wall clock; at threads == 1 it tracks it.
+struct MappingStageTimings {
+  double seed_ms = 0.0;
+  double search_ms = 0.0;
+  double locate_ms = 0.0;
+  double sam_ms = 0.0;
+
+  double total_ms() const noexcept { return seed_ms + search_ms + locate_ms + sam_ms; }
+
+  MappingStageTimings& operator+=(const MappingStageTimings& other) noexcept {
+    seed_ms += other.seed_ms;
+    search_ms += other.search_ms;
+    locate_ms += other.locate_ms;
+    sam_ms += other.sam_ms;
+    return *this;
+  }
+};
+
 struct MappingOutcome {
   std::uint64_t reads = 0;
   std::uint64_t mapped = 0;
   std::uint64_t occurrences = 0;  ///< total located positions, both strands
   std::uint64_t shards = 1;       ///< parallel shards dispatched (1 = sequential)
+  MappingStageTimings stages;     ///< per-stage timing split
   std::string sam;                ///< rendered SAM document
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fmindex/dna.hpp"
+#include "obs/trace.hpp"
 #include "util/bits.hpp"
 #include "util/timer.hpp"
 
@@ -144,6 +145,15 @@ std::vector<StagedReadResult> StagedFpgaMapper::map(const ReadBatch& batch,
     }
     stage_report.kernel_seconds = spec_.cycles_to_seconds(stage_cycles);
     if (report) report->stages.push_back(stage_report);
+
+    // Modeled per-stage span under the ambient trace (one span per mismatch
+    // stratum: reconfiguration + kernel, the split Fig. 6 reports).
+    if (const obs::ObsContext& ctx = obs::current_context(); ctx.trace != nullptr) {
+      ctx.trace->emit("staged:" + std::to_string(stage) + "-mismatch",
+                      ctx.parent_span, -1.0,
+                      (stage_report.reconfigure_seconds + stage_report.kernel_seconds) *
+                          1e3);
+    }
 
     pending = std::move(still_pending);
     if (pending.empty()) break;

@@ -131,6 +131,7 @@ void IndexRegistry::enforce_budget_locked(const std::string& keep) {
     }
     if (victim == nullptr) break;  // only `keep` is resident; nothing to drop
     drop_resident_locked(*victim);
+    evictions_budget_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -203,6 +204,7 @@ bool IndexRegistry::evict(const std::string& name) {
   const auto it = entries_.find(name);
   if (it == entries_.end() || !it->second->resident) return false;
   drop_resident_locked(*it->second);
+  evictions_explicit_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

@@ -97,6 +97,14 @@ class IndexRegistry {
   std::uint64_t loads_copy() const noexcept {
     return loads_copy_.load(std::memory_order_relaxed);
   }
+  /// Lifetime counters: resident copies dropped by POST /evict and by the
+  /// LRU budget enforcer, respectively.
+  std::uint64_t evictions_explicit() const noexcept {
+    return evictions_explicit_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions_budget() const noexcept {
+    return evictions_budget_.load(std::memory_order_relaxed);
+  }
 
   /// Archive path registered for `name` ("" in memory-only mode). Throws
   /// std::out_of_range for unknown names.
@@ -131,6 +139,8 @@ class IndexRegistry {
   LoadMode load_mode_ = LoadMode::kCopy;
   std::atomic<std::uint64_t> loads_mmap_{0};
   std::atomic<std::uint64_t> loads_copy_{0};
+  std::atomic<std::uint64_t> evictions_explicit_{0};
+  std::atomic<std::uint64_t> evictions_budget_{0};
   mutable std::shared_mutex mutex_;
   std::atomic<std::uint64_t> clock_{0};
   // unique_ptr: Entry holds an atomic LRU stamp (bumped under the shared

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <sstream>
 #include <thread>
 
 #include "app/web_service.hpp"
@@ -347,6 +348,205 @@ TEST_F(JobsHttpTest, BadFastqIsRejectedAtSubmitNotAsFailedJob) {
   const auto reply =
       http_request(service_->port(), "POST", "/jobs", "this is not fastq at all");
   EXPECT_EQ(reply.status, 400) << reply.raw;
+}
+
+/// Value of one exposition sample (exact series name incl. labels), or -1.
+double metric_value(const std::string& text, const std::string& series) {
+  const std::size_t pos = text.find("\n" + series + " ");
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + pos + 1 + series.size() + 1, nullptr);
+}
+
+TEST_F(JobsHttpTest, MetricsEndpointServesPrometheusAndCountersMove) {
+  const auto before = http_request(service_->port(), "GET", "/metrics");
+  ASSERT_EQ(before.status, 200) << before.raw;
+  EXPECT_NE(before.headers.find("text/plain; version=0.0.4"), std::string::npos)
+      << before.headers;
+  const double sync_before =
+      metric_value(before.body, "bwaver_map_requests_total{mode=\"sync\"}");
+
+  const auto sync = http_request(service_->port(), "POST", "/map", fastq_text_);
+  ASSERT_EQ(sync.status, 200);
+  const auto submit = http_request(service_->port(), "POST", "/jobs", fastq_text_);
+  ASSERT_EQ(submit.status, 202);
+  EXPECT_EQ(poll_until_done(parse_job_id(submit.body)), "done");
+
+  const auto after = http_request(service_->port(), "GET", "/metrics");
+  const std::string& text = after.body;
+  EXPECT_EQ(metric_value(text, "bwaver_map_requests_total{mode=\"sync\"}"),
+            sync_before + 1.0);
+  EXPECT_GE(metric_value(text, "bwaver_map_requests_total{mode=\"async\"}"), 1.0);
+  EXPECT_GE(metric_value(text, "bwaver_jobs_submitted_total"), 2.0);
+  EXPECT_GE(metric_value(text, "bwaver_jobs_finished_total{state=\"done\"}"), 2.0);
+  EXPECT_GE(metric_value(text, "bwaver_reads_mapped_total"), 160.0);
+  // Queue/admission and registry gauges refreshed at scrape time.
+  EXPECT_GE(metric_value(text, "bwaver_queue_capacity"), 4.0);
+  EXPECT_GE(metric_value(text, "bwaver_job_workers"), 2.0);
+  EXPECT_GE(metric_value(text, "bwaver_registry_heap_bytes"), 0.0);
+  EXPECT_GE(metric_value(text, "bwaver_registry_memory_budget_bytes"), 1.0);
+  // Latency and per-stage histograms: +Inf bucket == _count, count moved.
+  const double run_count = metric_value(text, "bwaver_job_run_seconds_count");
+  EXPECT_GE(run_count, 2.0);
+  EXPECT_EQ(metric_value(text, "bwaver_job_run_seconds_bucket{le=\"+Inf\"}"),
+            run_count);
+  const double seed_count =
+      metric_value(text, "bwaver_map_stage_seconds_count{stage=\"seed\"}");
+  EXPECT_GE(seed_count, 2.0);
+  EXPECT_EQ(metric_value(
+                text, "bwaver_map_stage_seconds_bucket{stage=\"seed\",le=\"+Inf\"}"),
+            seed_count);
+  for (const char* stage : {"search", "locate", "sam"}) {
+    EXPECT_GE(metric_value(text, std::string("bwaver_map_stage_seconds_count{stage=\"") +
+                                     stage + "\"}"),
+              2.0)
+        << stage;
+  }
+
+  // Minimal grammar sweep: every non-comment line is `series value` with a
+  // valid metric name; every family has HELP and TYPE before its samples.
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    const std::string name = series.substr(0, series.find('{'));
+    EXPECT_TRUE(obs::MetricsRegistry::valid_metric_name(name)) << line;
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_EQ(*end, '\0') << "bad sample value: " << line;
+  }
+}
+
+TEST_F(JobsHttpTest, RequestIdIsMintedEchoedAndAttachedToJobs) {
+  // No header supplied: the server mints one and echoes it.
+  const auto minted = http_request(service_->port(), "GET", "/stats");
+  EXPECT_NE(minted.headers.find("X-Request-Id: req-"), std::string::npos)
+      << minted.headers;
+
+  // A custom socket request carrying our own id: echoed verbatim.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(service_->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::string request = "POST /jobs HTTP/1.1\r\nHost: localhost\r\n";
+  request += "X-Request-Id: test-req-42\r\n";
+  request += "Content-Length: " + std::to_string(fastq_text_.size()) + "\r\n\r\n";
+  request += fastq_text_;
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("X-Request-Id: test-req-42"), std::string::npos)
+      << response;
+
+  // The id travels into the job object (and is its trace id).
+  const std::uint64_t id = parse_job_id(response);
+  ASSERT_GT(id, 0u);
+  EXPECT_EQ(poll_until_done(id), "done");
+  const auto status =
+      http_request(service_->port(), "GET", "/jobs/" + std::to_string(id));
+  EXPECT_NE(status.body.find("\"request_id\":\"test-req-42\""), std::string::npos)
+      << status.body;
+
+  const auto traces = http_request(service_->port(), "GET", "/trace/recent");
+  ASSERT_EQ(traces.status, 200);
+  EXPECT_NE(traces.body.find("\"trace_id\":\"test-req-42\""), std::string::npos)
+      << traces.body;
+}
+
+/// dur_ms of the first span named `name` inside a /trace/recent document.
+double span_dur_ms(const std::string& json, const std::string& name) {
+  const std::size_t at = json.find("\"name\":\"" + name + "\"");
+  if (at == std::string::npos) return -1.0;
+  const std::size_t dur = json.find("\"dur_ms\":", at);
+  if (dur == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + dur + 9, nullptr);
+}
+
+TEST_F(JobsHttpTest, TraceRecentSpanTreeStageSumTracksWall) {
+  // A dedicated CPU-engine service: software stage times are real wall
+  // time, so at threads == 1 the per-stage sum must track the map span.
+  // (The FPGA engine's search span is modeled device time by design.)
+  WebServiceOptions options;
+  options.pipeline.engine = MappingEngine::kCpu;
+  options.jobs.workers = 1;
+  WebService service(options);
+  service.start(0);
+  ASSERT_EQ(
+      http_request(service.port(), "POST", "/reference", fasta_text_).status, 200);
+
+  // A heavier batch than the fixture's so the stage sum dwarfs timer
+  // granularity: 2000 reads of 40 bp.
+  ReadSimConfig rc;
+  rc.num_reads = 2000;
+  rc.read_length = 40;
+  rc.mapping_ratio = 1.0;
+  rc.seed = 11;
+  const std::string big_fastq =
+      format_fastq(reads_to_fastq(simulate_reads(genome_codes_, rc)));
+  const auto submit = http_request(service.port(), "POST", "/jobs", big_fastq);
+  ASSERT_EQ(submit.status, 202) << submit.raw;
+  const std::uint64_t id = parse_job_id(submit.body);
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  std::string state;
+  do {
+    state = json_state(
+        http_request(service.port(), "GET", "/jobs/" + std::to_string(id)).body);
+    std::this_thread::sleep_for(5ms);
+  } while ((state == "queued" || state == "running") &&
+           std::chrono::steady_clock::now() < deadline);
+  ASSERT_EQ(state, "done");
+
+  const auto traces = http_request(service.port(), "GET", "/trace/recent");
+  ASSERT_EQ(traces.status, 200);
+  const std::string& json = traces.body;
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos) << json;
+
+  const double map_ms = span_dur_ms(json, "map_records");
+  const double stage_sum = span_dur_ms(json, "seed") + span_dur_ms(json, "search") +
+                           span_dur_ms(json, "locate") + span_dur_ms(json, "sam");
+  ASSERT_GT(map_ms, 0.0) << json;
+  ASSERT_GE(stage_sum, 0.0) << json;
+  EXPECT_NEAR(stage_sum, map_ms, 0.1 * map_ms)
+      << "stage sum " << stage_sum << " ms vs map span " << map_ms << " ms";
+  // The job root span and queue wait are present too.
+  EXPECT_NE(json.find("\"name\":\"job:"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"queue_wait\""), std::string::npos) << json;
+
+  // Chrome export: one spliced trace_event array.
+  const auto chrome = http_request(service.port(), "GET", "/trace/recent?chrome=1");
+  ASSERT_EQ(chrome.status, 200);
+  EXPECT_EQ(chrome.body.front(), '[');
+  EXPECT_NE(chrome.body.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.headers.find("application/json"), std::string::npos);
+  service.stop();
+}
+
+TEST_F(JobsHttpTest, TraceDisabledServiceReportsDisabled) {
+  WebServiceOptions options;
+  options.trace.enabled = false;
+  WebService service(options);
+  service.start(0);
+  const auto traces = http_request(service.port(), "GET", "/trace/recent");
+  ASSERT_EQ(traces.status, 200);
+  EXPECT_NE(traces.body.find("\"enabled\":false"), std::string::npos) << traces.body;
+  EXPECT_NE(traces.body.find("\"traces\":[]"), std::string::npos) << traces.body;
+  service.stop();
 }
 
 }  // namespace

@@ -1,0 +1,243 @@
+// MetricsRegistry unit tests plus a parser-level check of the Prometheus
+// text exposition GET /metrics serves: HELP/TYPE per family, sample-line
+// grammar, label-value escaping, and histogram _bucket/_sum/_count
+// consistency. tools/validate_prometheus.py applies the same rules to a
+// live scrape in CI.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace bwaver::obs;
+
+TEST(Counter, IncrementsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.inc();
+  counter.inc(41);
+  EXPECT_EQ(counter.value(), 42u);
+  EXPECT_EQ(counter.load(), 42u);  // compatibility alias
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+}
+
+TEST(Histogram, CumulativeBuckets) {
+  Histogram hist({0.01, 0.1, 1.0});
+  hist.observe(0.005);   // bucket 0
+  hist.observe(0.05);    // bucket 1
+  hist.observe(0.5);     // bucket 2
+  hist.observe(50.0);    // +Inf
+  hist.observe_ms(5.0);  // 0.005 s -> bucket 0
+
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.cumulative_count(0), 2u);
+  EXPECT_EQ(hist.cumulative_count(1), 3u);
+  EXPECT_EQ(hist.cumulative_count(2), 4u);
+  EXPECT_EQ(hist.cumulative_count(3), 5u);  // +Inf == count
+  EXPECT_NEAR(hist.sum(), 0.005 + 0.05 + 0.5 + 50.0 + 0.005, 1e-9);
+}
+
+TEST(Histogram, ClampsNegativeAndRejectsUnsortedBounds) {
+  Histogram hist({1.0});
+  hist.observe(-5.0);  // clamped to 0 -> first bucket
+  EXPECT_EQ(hist.cumulative_count(0), 1u);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameChild) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test_total", "help");
+  Counter& b = registry.counter("test_total", "help");
+  EXPECT_EQ(&a, &b);
+  Counter& labeled = registry.counter("test_total", "help", {{"k", "v"}});
+  EXPECT_NE(&a, &labeled);
+  // Label identity is order-insensitive.
+  Counter& two = registry.counter("multi_total", "h", {{"a", "1"}, {"b", "2"}});
+  Counter& two_swapped = registry.counter("multi_total", "h", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&two, &two_swapped);
+}
+
+TEST(MetricsRegistry, RejectsBadNamesAndKindMismatch) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("0bad", "h"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("bad-name", "h"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("ok_total", "h", {{"0bad", "v"}}),
+               std::invalid_argument);
+  registry.counter("taken", "h");
+  EXPECT_THROW(registry.gauge("taken", "h"), std::logic_error);
+  registry.histogram("hist", "h", {1.0});
+  EXPECT_THROW(registry.histogram("hist", "h", {2.0}), std::logic_error);
+}
+
+TEST(MetricsRegistry, CounterValuesSnapshot) {
+  MetricsRegistry registry;
+  registry.counter("refs_total", "h", {{"reference", "ecoli"}}).inc(3);
+  registry.counter("refs_total", "h", {{"reference", "chr21"}}).inc(1);
+  const auto values = registry.counter_values("refs_total");
+  ASSERT_EQ(values.size(), 2u);
+  std::map<std::string, std::uint64_t> by_ref;
+  for (const auto& [labels, value] : values) {
+    ASSERT_EQ(labels.size(), 1u);
+    by_ref[labels[0].second] = value;
+  }
+  EXPECT_EQ(by_ref["ecoli"], 3u);
+  EXPECT_EQ(by_ref["chr21"], 1u);
+  EXPECT_TRUE(registry.counter_values("nonexistent").empty());
+}
+
+TEST(MetricsRegistry, EscapesLabelValues) {
+  EXPECT_EQ(MetricsRegistry::escape_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+}
+
+// ---------------------------------------------------------------------------
+// Parser-level exposition check. Mirrors tools/validate_prometheus.py.
+// ---------------------------------------------------------------------------
+
+struct Exposition {
+  std::map<std::string, std::string> types;                 // family -> type
+  std::map<std::string, std::string> helps;                 // family -> help
+  std::map<std::string, double> samples;                    // "name{labels}" -> value
+  std::vector<std::string> order;                           // sample keys in order
+};
+
+/// Parses (and asserts the grammar of) one exposition document.
+void parse_exposition(const std::string& text, Exposition& out) {
+  static const std::regex sample_re(
+      R"(^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?[ ]([-+0-9eE.na+Inf]+)$)");
+  std::istringstream stream(text);
+  std::string line;
+  std::set<std::string> sampled_families;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const auto space = rest.find(' ');
+      const std::string name = rest.substr(0, space);
+      EXPECT_FALSE(out.helps.count(name)) << "duplicate HELP for " << name;
+      EXPECT_FALSE(sampled_families.count(name)) << "HELP after samples: " << name;
+      out.helps[name] = space == std::string::npos ? "" : rest.substr(space + 1);
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name, kind;
+      fields >> name >> kind;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      EXPECT_FALSE(out.types.count(name)) << "duplicate TYPE for " << name;
+      EXPECT_FALSE(sampled_families.count(name)) << "TYPE after samples: " << name;
+      out.types[name] = kind;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment: " << line;
+    std::smatch match;
+    ASSERT_TRUE(std::regex_match(line, match, sample_re)) << "bad sample: " << line;
+    const std::string name = match[1];
+    // Resolve the family: histogram series use _bucket/_sum/_count suffixes.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string base = name.substr(0, name.size() - s.size());
+        if (out.types.count(base) && out.types[base] == "histogram") family = base;
+      }
+    }
+    EXPECT_TRUE(out.types.count(family)) << "sample without TYPE: " << name;
+    EXPECT_TRUE(out.helps.count(family)) << "sample without HELP: " << name;
+    sampled_families.insert(family);
+    const std::string key = name + std::string(match[2]);
+    EXPECT_FALSE(out.samples.count(key)) << "duplicate sample: " << key;
+    const std::string value = match[3];
+    out.samples[key] =
+        value == "+Inf" ? HUGE_VAL : std::stod(value);
+    out.order.push_back(key);
+  }
+}
+
+TEST(RenderPrometheus, GrammarAndHistogramConsistency) {
+  MetricsRegistry registry;
+  registry.counter("bwaver_test_total", "A counter", {{"mode", "sync"}}).inc(7);
+  registry.counter("bwaver_test_total", "A counter", {{"mode", "async"}}).inc(2);
+  registry.gauge("bwaver_test_depth", "A gauge").set(3.5);
+  Histogram& hist =
+      registry.histogram("bwaver_test_seconds", "A histogram", {0.01, 0.1, 1.0});
+  hist.observe(0.005);
+  hist.observe(0.05);
+  hist.observe(5.0);
+
+  const std::string text = registry.render_prometheus();
+  Exposition exposition;
+  ASSERT_NO_FATAL_FAILURE(parse_exposition(text, exposition));
+
+  EXPECT_EQ(exposition.types.at("bwaver_test_total"), "counter");
+  EXPECT_EQ(exposition.types.at("bwaver_test_depth"), "gauge");
+  EXPECT_EQ(exposition.types.at("bwaver_test_seconds"), "histogram");
+  EXPECT_EQ(exposition.helps.at("bwaver_test_seconds"), "A histogram");
+
+  EXPECT_DOUBLE_EQ(exposition.samples.at("bwaver_test_total{mode=\"sync\"}"), 7.0);
+  EXPECT_DOUBLE_EQ(exposition.samples.at("bwaver_test_total{mode=\"async\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(exposition.samples.at("bwaver_test_depth"), 3.5);
+
+  // Histogram series: cumulative buckets, +Inf present and equal to _count.
+  EXPECT_DOUBLE_EQ(exposition.samples.at("bwaver_test_seconds_bucket{le=\"0.01\"}"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(exposition.samples.at("bwaver_test_seconds_bucket{le=\"0.1\"}"),
+                   2.0);
+  EXPECT_DOUBLE_EQ(exposition.samples.at("bwaver_test_seconds_bucket{le=\"1\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(exposition.samples.at("bwaver_test_seconds_bucket{le=\"+Inf\"}"),
+                   3.0);
+  EXPECT_DOUBLE_EQ(exposition.samples.at("bwaver_test_seconds_count"), 3.0);
+  EXPECT_NEAR(exposition.samples.at("bwaver_test_seconds_sum"), 5.055, 1e-9);
+}
+
+TEST(RenderPrometheus, EscapesHelpAndLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("esc_total", "help with \\ and \n newline",
+                   {{"path", "a\"b\\c\nd"}}).inc();
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("# HELP esc_total help with \\\\ and \\n newline"),
+            std::string::npos);
+  EXPECT_NE(text.find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos);
+  // No raw newline inside any sample line.
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(stream, line)) ++lines;
+  EXPECT_EQ(lines, 3u);  // HELP, TYPE, one sample
+}
+
+TEST(RenderPrometheus, FamiliesSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("zzz_total", "z").inc();
+  registry.counter("aaa_total", "a").inc();
+  const std::string text = registry.render_prometheus();
+  EXPECT_LT(text.find("aaa_total"), text.find("zzz_total"));
+}
+
+TEST(MetricsRegistry, NameValidators) {
+  EXPECT_TRUE(MetricsRegistry::valid_metric_name("bwaver_jobs_total"));
+  EXPECT_TRUE(MetricsRegistry::valid_metric_name("a:b_c9"));
+  EXPECT_FALSE(MetricsRegistry::valid_metric_name("9lead"));
+  EXPECT_FALSE(MetricsRegistry::valid_metric_name(""));
+  EXPECT_TRUE(MetricsRegistry::valid_label_name("mode"));
+  EXPECT_FALSE(MetricsRegistry::valid_label_name("with:colon"));
+}
+
+}  // namespace

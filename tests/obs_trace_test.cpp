@@ -1,0 +1,167 @@
+// Trace span tree, ambient context propagation, Chrome trace_event export,
+// and the TraceCollector slow-request ring.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace {
+
+using namespace bwaver::obs;
+
+TEST(Trace, SpanTreeParentsAndDurations) {
+  Trace trace("t1");
+  const std::uint32_t root = trace.begin("root");
+  const std::uint32_t child = trace.begin("child", root);
+  trace.end(child);
+  trace.end(root);
+
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_GE(spans[0].dur_ms, 0.0);
+  EXPECT_GE(spans[1].dur_ms, 0.0);
+  EXPECT_LE(spans[1].dur_ms, spans[0].dur_ms + 1.0);
+}
+
+TEST(Trace, EmitReturnsIdAndSupportsNesting) {
+  Trace trace("t2");
+  const std::uint32_t parent = trace.emit("search", 0, -1.0, 5.0);
+  ASSERT_NE(parent, 0u);
+  const std::uint32_t child = trace.emit("fpga:kernel", parent, -1.0, 3.0);
+  ASSERT_NE(child, 0u);
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].parent, parent);
+  EXPECT_DOUBLE_EQ(spans[0].dur_ms, 5.0);
+  EXPECT_DOUBLE_EQ(spans[1].dur_ms, 3.0);
+}
+
+TEST(Trace, DropsBeyondMaxSpans) {
+  Trace trace("t3", /*max_spans=*/2);
+  EXPECT_NE(trace.begin("a"), 0u);
+  EXPECT_NE(trace.begin("b"), 0u);
+  EXPECT_EQ(trace.begin("c"), 0u);
+  EXPECT_EQ(trace.emit("d", 0, -1.0, 1.0), 0u);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  trace.end(0);  // no-op on a dropped id
+}
+
+TEST(TraceSpan, NoOpWithoutAmbientContext) {
+  // No installed context: construction must not touch any trace.
+  TraceSpan span("orphan");
+  EXPECT_EQ(span.id(), 0u);
+}
+
+TEST(TraceSpan, NestsThroughAmbientContext) {
+  auto trace = std::make_shared<Trace>("ambient");
+  {
+    ScopedObsContext scope(ObsContext{trace.get(), 0, nullptr});
+    TraceSpan outer("outer");
+    ASSERT_NE(outer.id(), 0u);
+    {
+      TraceSpan inner("inner");
+      ASSERT_NE(inner.id(), 0u);
+    }
+    // After inner's destruction new spans parent to outer again.
+    TraceSpan sibling("sibling");
+    ASSERT_NE(sibling.id(), 0u);
+  }
+  // Context restored: further spans are no-ops.
+  TraceSpan after("after");
+  EXPECT_EQ(after.id(), 0u);
+
+  const auto spans = trace->spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);  // inner under outer
+  EXPECT_EQ(spans[2].parent, spans[0].id);  // sibling under outer
+}
+
+TEST(TraceSpan, ContextReinstallOnWorkerThread) {
+  auto trace = std::make_shared<Trace>("xthread");
+  ObsContext captured;
+  std::uint32_t root_id = 0;
+  {
+    ScopedObsContext scope(ObsContext{trace.get(), 0, nullptr});
+    TraceSpan root("root");
+    root_id = root.id();
+    captured = current_context();
+    std::thread worker([captured] {
+      ScopedObsContext scoped(captured);
+      TraceSpan shard("shard");
+      EXPECT_NE(shard.id(), 0u);
+    });
+    worker.join();
+  }
+  const auto spans = trace->spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].name, "shard");
+  EXPECT_EQ(spans[1].parent, root_id);
+  EXPECT_NE(spans[1].tid, spans[0].tid);  // distinct per-trace thread ordinal
+}
+
+TEST(Trace, JsonShapes) {
+  Trace trace("json\"id");
+  const auto root = trace.begin("work");
+  trace.end(root);
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("\"trace_id\":\"json\\\"id\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":[{\"id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+
+  const std::string chrome = trace.chrome_json();
+  EXPECT_EQ(chrome.front(), '[');
+  EXPECT_EQ(chrome.back(), ']');
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"cat\":\"bwaver\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ts\":"), std::string::npos);
+}
+
+TEST(TraceCollector, DisabledReturnsNullTrace) {
+  TraceCollector collector(TraceConfig{.enabled = false});
+  EXPECT_EQ(collector.start_trace("req-1"), nullptr);
+  collector.finish(nullptr);  // tolerated
+  EXPECT_EQ(collector.completed(), 0u);
+}
+
+TEST(TraceCollector, RingBoundsAndOrder) {
+  TraceCollector collector(TraceConfig{.enabled = true, .ring_capacity = 2});
+  for (int i = 0; i < 4; ++i) {
+    auto trace = collector.start_trace("req-" + std::to_string(i));
+    ASSERT_NE(trace, nullptr);
+    trace->end(trace->begin("root"));
+    collector.finish(trace);
+  }
+  EXPECT_EQ(collector.completed(), 4u);
+  EXPECT_EQ(collector.retained(), 2u);
+  const auto recent = collector.recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0]->id(), "req-3");  // most recent first
+  EXPECT_EQ(recent[1]->id(), "req-2");
+}
+
+TEST(TraceCollector, SlowThresholdFilters) {
+  TraceCollector collector(
+      TraceConfig{.enabled = true, .slow_threshold_ms = 1000.0});
+  auto fast = collector.start_trace("fast");
+  fast->end(fast->begin("root"));
+  collector.finish(fast);
+  EXPECT_EQ(collector.completed(), 1u);
+  EXPECT_EQ(collector.retained(), 0u);  // sub-threshold: counted, not retained
+
+  auto slow = collector.start_trace("slow");
+  slow->emit("modeled", 0, 0.0, 5000.0);  // 5 s modeled span
+  collector.finish(slow);
+  EXPECT_EQ(collector.retained(), 1u);
+  EXPECT_EQ(collector.recent()[0]->id(), "slow");
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (version 0.0.4).
+
+Usage:
+    validate_prometheus.py [file]          # reads stdin when no file given
+    curl -s localhost:8080/metrics | validate_prometheus.py
+
+Checks the subset of the format bwaver emits:
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+    [a-zA-Z_][a-zA-Z0-9_]*;
+  * every sample line parses (name, optional {labels}, value);
+  * label values use only the \\\\, \\" and \\n escapes;
+  * every metric family has exactly one # HELP and one # TYPE line,
+    emitted before its first sample, with a known type;
+  * histogram families emit _bucket/_sum/_count series, bucket counts are
+    cumulative and monotone in le (per label set), the +Inf bucket exists
+    and equals _count;
+  * no duplicate sample (same name + label set).
+
+Exits non-zero with a line-numbered message on the first violation; prints
+a one-line summary on success.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  — labels optional; no timestamp support (bwaver emits none).
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Invalid(Exception):
+    pass
+
+
+def parse_labels(raw, lineno):
+    """Parses the inside of {...}; returns a sorted tuple of (name, value)."""
+    labels = []
+    i = 0
+    while i < len(raw):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[i:])
+        if not match:
+            raise Invalid(f"line {lineno}: bad label syntax at ...{raw[i:]!r}")
+        name = match.group(1)
+        i += match.end()
+        value = []
+        while i < len(raw):
+            c = raw[i]
+            if c == "\\":
+                if i + 1 >= len(raw) or raw[i + 1] not in ('\\', '"', "n"):
+                    raise Invalid(f"line {lineno}: bad escape in label value")
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[raw[i + 1]])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            elif c == "\n":
+                raise Invalid(f"line {lineno}: raw newline in label value")
+            else:
+                value.append(c)
+                i += 1
+        else:
+            raise Invalid(f"line {lineno}: unterminated label value")
+        labels.append((name, "".join(value)))
+        if i < len(raw) and raw[i] == ",":
+            i += 1
+    return tuple(sorted(labels))
+
+
+def parse_value(text, lineno):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise Invalid(f"line {lineno}: bad sample value {text!r}") from None
+
+
+def family_of(name, types):
+    """Maps a histogram series name to its declared family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def validate(text):
+    helps, types = {}, {}
+    seen_samples = set()
+    first_sample_at = {}
+    # family -> {labels_without_le: [(le, count)]}, family -> {labels: value}
+    buckets, sums, counts = {}, {}, {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not METRIC_NAME.match(name):
+                raise Invalid(f"line {lineno}: bad metric name {name!r} in HELP")
+            if name in helps:
+                raise Invalid(f"line {lineno}: duplicate HELP for {name}")
+            if name in first_sample_at:
+                raise Invalid(f"line {lineno}: HELP for {name} after its samples")
+            helps[name] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise Invalid(f"line {lineno}: malformed TYPE line")
+            name, kind = parts
+            if not METRIC_NAME.match(name):
+                raise Invalid(f"line {lineno}: bad metric name {name!r} in TYPE")
+            if kind not in KNOWN_TYPES:
+                raise Invalid(f"line {lineno}: unknown type {kind!r} for {name}")
+            if name in types:
+                raise Invalid(f"line {lineno}: duplicate TYPE for {name}")
+            if name in first_sample_at:
+                raise Invalid(f"line {lineno}: TYPE for {name} after its samples")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+
+        match = SAMPLE.match(line)
+        if not match:
+            raise Invalid(f"line {lineno}: unparseable sample line {line!r}")
+        name, _, raw_labels, raw_value = match.groups()
+        labels = parse_labels(raw_labels, lineno) if raw_labels else ()
+        for label_name, _ in labels:
+            if not LABEL_NAME.match(label_name):
+                raise Invalid(f"line {lineno}: bad label name {label_name!r}")
+        value = parse_value(raw_value, lineno)
+
+        family = family_of(name, types)
+        if family not in types:
+            raise Invalid(f"line {lineno}: sample {name!r} has no TYPE line")
+        if family not in helps:
+            raise Invalid(f"line {lineno}: sample {name!r} has no HELP line")
+        first_sample_at.setdefault(family, lineno)
+
+        key = (name, labels)
+        if key in seen_samples:
+            raise Invalid(f"line {lineno}: duplicate sample {name}{dict(labels)}")
+        seen_samples.add(key)
+
+        if types[family] == "histogram":
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    raise Invalid(f"line {lineno}: histogram bucket without le")
+                rest = tuple(l for l in labels if l[0] != "le")
+                buckets.setdefault(family, {}).setdefault(rest, []).append(
+                    (parse_value(le, lineno), value))
+            elif name.endswith("_sum"):
+                sums.setdefault(family, {})[labels] = value
+            elif name.endswith("_count"):
+                counts.setdefault(family, {})[labels] = value
+            else:
+                raise Invalid(
+                    f"line {lineno}: bare sample {name!r} for histogram family")
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        fam_buckets = buckets.get(family, {})
+        if not fam_buckets:
+            raise Invalid(f"histogram {family}: no _bucket series")
+        for labels, series in fam_buckets.items():
+            les = [le for le, _ in series]
+            if les != sorted(les):
+                raise Invalid(f"histogram {family}{dict(labels)}: le not ascending")
+            values = [v for _, v in series]
+            if any(b > a for a, b in zip(values[1:], values)):
+                raise Invalid(
+                    f"histogram {family}{dict(labels)}: bucket counts not cumulative")
+            if not math.isinf(les[-1]):
+                raise Invalid(f"histogram {family}{dict(labels)}: missing +Inf bucket")
+            if labels not in counts.get(family, {}):
+                raise Invalid(f"histogram {family}{dict(labels)}: missing _count")
+            if labels not in sums.get(family, {}):
+                raise Invalid(f"histogram {family}{dict(labels)}: missing _sum")
+            if counts[family][labels] != values[-1]:
+                raise Invalid(
+                    f"histogram {family}{dict(labels)}: _count "
+                    f"{counts[family][labels]:g} != +Inf bucket {values[-1]:g}")
+
+    return len(types), len(seen_samples)
+
+
+def main(argv):
+    if len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(argv) == 2:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    try:
+        families, samples = validate(text)
+    except Invalid as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(f"valid Prometheus exposition: {families} families, {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
