@@ -10,9 +10,9 @@
 #include "bench_util.hpp"
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
-#include "succinct/global_rank_table.hpp"
 #include "mapper/read_batch.hpp"
 #include "sim/read_sim.hpp"
+#include "succinct/global_rank_table.hpp"
 #include "util/timer.hpp"
 
 namespace {

@@ -7,10 +7,10 @@
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "fmindex/suffix_array.hpp"
+#include "sim/genome_sim.hpp"
 #include "succinct/rank_support.hpp"
 #include "succinct/rrr_vector.hpp"
 #include "succinct/wavelet_tree.hpp"
-#include "sim/genome_sim.hpp"
 #include "util/rng.hpp"
 
 namespace {

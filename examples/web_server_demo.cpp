@@ -36,6 +36,7 @@ std::string http_post(std::uint16_t port, const std::string& path,
     return "";
   }
   std::string request = "POST " + path + " HTTP/1.1\r\nHost: localhost\r\n" +
+                        "Connection: close\r\n" +
                         "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
                         body;
   ::send(fd, request.data(), request.size(), 0);

@@ -33,6 +33,12 @@
 //                    web front-end + async mapping-job engine with Prometheus
 //                    /metrics and /trace/recent (see docs/serving.md and
 //                    docs/observability.md)
+//   router           --backend HOST:PORT [--backend ...] [--port P]
+//                    [--shard-reads N] [--hedge-quantile Q] [--hedge-min-ms MS]
+//                    [--max-attempts N] [--tenant-rate R] [--tenant-burst B]
+//                    [--health-interval-ms MS] [--map-timeout-ms MS]
+//                    [--http-threads N] [--max-body-mb M]
+//                    shard-routing gateway over a replica fleet (docs/fleet.md)
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -44,6 +50,7 @@
 
 #include "app/cli.hpp"
 #include "app/web_service.hpp"
+#include "fleet/router.hpp"
 #include "fmindex/dna.hpp"
 #include "fmindex/index_stats.hpp"
 #include "io/fasta.hpp"
@@ -70,7 +77,7 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 int usage() {
   std::fprintf(stderr,
                "usage: bwaver <simulate-genome|simulate-reads|index|map|map-approx|"
-               "pipeline|serve> [options]\n"
+               "pipeline|serve|router> [options]\n"
                "run `bwaver <subcommand>` with no options for details in the header "
                "of src/app/bwaver_main.cpp\n");
   return 2;
@@ -436,9 +443,51 @@ int cmd_serve(const ArgParser& args) {
     std::printf("serving %zu reference(s) from %s\n", service.registry().size(),
                 options.store_dir.c_str());
   }
+  // Orchestration (multi-process tests, the CI e2e job) parses the bound
+  // port from a pipe; stdio is block-buffered there, so push it out now.
+  std::fflush(stdout);
   for (;;) {
     std::this_thread::sleep_for(std::chrono::seconds(60));
     std::printf("%s\n", service.stats().summary_line().c_str());
+    std::fflush(stdout);
+  }
+}
+
+int cmd_router(const ArgParser& args) {
+  fleet::RouterOptions options;
+  for (const std::string& spec : args.get_list("backend")) {
+    options.backends.push_back(fleet::parse_backend(spec));
+  }
+  if (options.backends.empty()) {
+    std::fprintf(stderr, "bwaver router: at least one --backend HOST:PORT required\n");
+    return usage();
+  }
+  options.shard_reads = static_cast<std::size_t>(args.get_int("shard-reads", 256));
+  options.hedge_quantile = args.get_double("hedge-quantile", 0.95);
+  options.hedge_min_delay = std::chrono::milliseconds(args.get_int("hedge-min-ms", 20));
+  options.max_attempts = static_cast<std::size_t>(args.get_int("max-attempts", 3));
+  options.tenant_rate = args.get_double("tenant-rate", 0.0);
+  options.tenant_burst = args.get_double("tenant-burst", 0.0);
+  options.health_interval =
+      std::chrono::milliseconds(args.get_int("health-interval-ms", 250));
+  options.map_timeout = std::chrono::milliseconds(args.get_int("map-timeout-ms", 0));
+  options.http.worker_threads =
+      static_cast<std::size_t>(args.get_int("http-threads", 8));
+  options.http.max_body_bytes =
+      static_cast<std::size_t>(args.get_int("max-body-mb", 64)) << 20;
+
+  fleet::RouterService router(std::move(options));
+  router.start(static_cast<std::uint16_t>(args.get_int("port", 8090)));
+  std::printf("BWaveR router on http://127.0.0.1:%u/ (Ctrl-C to stop)\n", router.port());
+  for (const auto& snapshot : router.backends()) {
+    std::printf("backend: %s\n", snapshot.key.c_str());
+  }
+  std::fflush(stdout);  // port line is parsed from a pipe by orchestration
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::seconds(60));
+    std::size_t up = 0;
+    for (const auto& snapshot : router.backends()) up += snapshot.up ? 1 : 0;
+    std::printf("router: %zu/%zu backend(s) up\n", up, router.backends().size());
     std::fflush(stdout);
   }
 }
@@ -481,6 +530,7 @@ int main(int argc, char** argv) {
     if (command == "pipeline") return cmd_pipeline(args);
     if (command == "stats") return cmd_stats(args);
     if (command == "serve") return cmd_serve(args);
+    if (command == "router") return cmd_router(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bwaver: error: %s\n", e.what());

@@ -8,11 +8,11 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
     if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
       const std::string name = arg.substr(2);
       if (const std::size_t eq = name.find('='); eq != std::string::npos) {
-        flags_[name.substr(0, eq)] = name.substr(eq + 1);  // --flag=value
+        flags_[name.substr(0, eq)].push_back(name.substr(eq + 1));  // --flag=value
       } else if (i + 1 < argc && argv[i + 1][0] != '-') {
-        flags_[name] = argv[++i];
+        flags_[name].push_back(argv[++i]);
       } else {
-        flags_[name] = "";  // boolean flag
+        flags_[name].push_back("");  // boolean flag
       }
     } else {
       positional_.push_back(arg);
@@ -22,19 +22,24 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
 
 std::string ArgParser::get(const std::string& flag, const std::string& fallback) const {
   auto it = flags_.find(flag);
-  return it == flags_.end() ? fallback : it->second;
+  return it == flags_.end() ? fallback : it->second.back();
 }
 
 std::int64_t ArgParser::get_int(const std::string& flag, std::int64_t fallback) const {
   auto it = flags_.find(flag);
-  if (it == flags_.end() || it->second.empty()) return fallback;
-  return std::stoll(it->second);
+  if (it == flags_.end() || it->second.back().empty()) return fallback;
+  return std::stoll(it->second.back());
 }
 
 double ArgParser::get_double(const std::string& flag, double fallback) const {
   auto it = flags_.find(flag);
-  if (it == flags_.end() || it->second.empty()) return fallback;
-  return std::stod(it->second);
+  if (it == flags_.end() || it->second.back().empty()) return fallback;
+  return std::stod(it->second.back());
+}
+
+std::vector<std::string> ArgParser::get_list(const std::string& flag) const {
+  auto it = flags_.find(flag);
+  return it == flags_.end() ? std::vector<std::string>{} : it->second;
 }
 
 }  // namespace bwaver

@@ -10,6 +10,8 @@
 namespace bwaver {
 
 /// Tiny `--flag value` / `--flag=value` / positional argument parser.
+/// Flags may repeat: get() returns the last occurrence (legacy behavior),
+/// get_list() returns every occurrence in order (`--backend a --backend b`).
 class ArgParser {
  public:
   ArgParser(int argc, const char* const* argv);
@@ -20,10 +22,14 @@ class ArgParser {
   std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
   double get_double(const std::string& flag, double fallback) const;
 
+  /// All values given for a repeatable flag, in command-line order (empty
+  /// when the flag was never passed).
+  std::vector<std::string> get_list(const std::string& flag) const;
+
   const std::vector<std::string>& positional() const noexcept { return positional_; }
 
  private:
-  std::map<std::string, std::string> flags_;
+  std::map<std::string, std::vector<std::string>> flags_;
   std::vector<std::string> positional_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -33,8 +34,11 @@ const char* status_text(int status) {
     case 409: return "Conflict";
     case 410: return "Gone";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
     case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
     default: return "Unknown";
   }
 }
@@ -47,7 +51,8 @@ std::string url_decode(const std::string& s) {
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (s[i] == '+') {
       out.push_back(' ');
-    } else if (s[i] == '%' && i + 2 < s.size() && std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
                std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
       out.push_back(static_cast<char>(std::stoi(s.substr(i + 1, 2), nullptr, 16)));
       i += 2;
@@ -80,7 +85,10 @@ std::map<std::string, std::string> parse_query(const std::string& query) {
 bool send_all(int fd, const void* data, std::size_t size) {
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
-    const ssize_t n = ::send(fd, p, size, 0);
+    // MSG_NOSIGNAL: a peer that hangs up mid-response (a pooled client
+    // retiring the connection, a killed router) must surface as EPIPE here,
+    // not as a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
     if (n <= 0) return false;
     p += n;
     size -= static_cast<std::size_t>(n);
@@ -88,7 +96,16 @@ bool send_all(int fd, const void* data, std::size_t size) {
   return true;
 }
 
-void send_response(int fd, const HttpResponse& response) {
+/// Keep-alive grant advertised on a response: none (close), or a timeout
+/// plus how many further requests this connection may carry.
+struct KeepAliveGrant {
+  bool keep = false;
+  std::chrono::milliseconds timeout{0};
+  std::size_t remaining = 0;
+};
+
+void send_response(int fd, const HttpResponse& response,
+                   const KeepAliveGrant& grant = KeepAliveGrant{}) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      status_text(response.status) + "\r\n";
   head += "Content-Type: " + response.content_type + "\r\n";
@@ -96,10 +113,32 @@ void send_response(int fd, const HttpResponse& response) {
   for (const auto& [name, value] : response.headers) {
     head += name + ": " + value + "\r\n";
   }
-  head += "Connection: close\r\n\r\n";
+  if (grant.keep) {
+    head += "Connection: keep-alive\r\n";
+    head += "Keep-Alive: timeout=" +
+            std::to_string(grant.timeout.count() / 1000) + ", max=" +
+            std::to_string(grant.remaining) + "\r\n\r\n";
+  } else {
+    head += "Connection: close\r\n\r\n";
+  }
   if (send_all(fd, head.data(), head.size()) && !response.body.empty()) {
     send_all(fd, response.body.data(), response.body.size());
   }
+}
+
+/// One poll+recv with a timeout; appends to `buffer`. Returns false on
+/// timeout, EOF, or error.
+bool recv_some(int fd, std::string& buffer, std::chrono::milliseconds timeout) {
+  pollfd waiter{};
+  waiter.fd = fd;
+  waiter.events = POLLIN;
+  const int ready = ::poll(&waiter, 1, static_cast<int>(timeout.count()));
+  if (ready <= 0) return false;
+  char chunk[4096];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+  if (n <= 0) return false;
+  buffer.append(chunk, static_cast<std::size_t>(n));
+  return true;
 }
 
 /// Splits a path into '/'-separated segments ("" for the root path).
@@ -309,19 +348,30 @@ const HttpServer::Handler* HttpServer::find_route(HttpRequest& request,
 }
 
 void HttpServer::handle_connection(int client_fd) {
-  // Read until the end of headers.
+  // Sequential keep-alive loop: each serve_one() call consumes exactly one
+  // request from the connection (pipelined bytes carry over in `buffer`)
+  // and reports whether the connection may serve another.
   std::string buffer;
-  char chunk[4096];
-  std::size_t header_end = std::string::npos;
+  std::size_t served = 0;
+  while (running_.load() && served < options_.max_requests_per_connection) {
+    if (!serve_one(client_fd, buffer, served)) break;
+    ++served;
+  }
+}
+
+bool HttpServer::serve_one(int client_fd, std::string& buffer, std::size_t served) {
+  // Read until the end of headers. The idle timeout bounds both waiting
+  // for a follow-up request on a kept-alive connection and a half-sent
+  // request stalling between reads.
+  std::size_t header_end = buffer.find("\r\n\r\n");
   while (header_end == std::string::npos) {
-    const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return;
-    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (!recv_some(client_fd, buffer, options_.keep_alive_timeout)) return false;
     header_end = buffer.find("\r\n\r\n");
-    if (buffer.size() > (1u << 20) && header_end == std::string::npos) return;
+    if (buffer.size() > (1u << 20) && header_end == std::string::npos) return false;
   }
 
   HttpRequest request;
+  std::string http_version;
   {
     const std::string head = buffer.substr(0, header_end);
     std::size_t pos = 0;
@@ -329,9 +379,10 @@ void HttpServer::handle_connection(int client_fd) {
     const std::string request_line = head.substr(0, eol == std::string::npos ? head.size() : eol);
     const std::size_t sp1 = request_line.find(' ');
     const std::size_t sp2 = request_line.find(' ', sp1 + 1);
-    if (sp1 == std::string::npos || sp2 == std::string::npos) return;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) return false;
     request.method = request_line.substr(0, sp1);
     request.path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    http_version = request_line.substr(sp2 + 1);
     if (const std::size_t qmark = request.path.find('?'); qmark != std::string::npos) {
       request.query = parse_query(request.path.substr(qmark + 1));
       request.path.resize(qmark);
@@ -351,6 +402,23 @@ void HttpServer::handle_connection(int client_fd) {
     }
   }
 
+  // Keep-alive negotiation: HTTP/1.1 defaults to persistent unless the
+  // client sent Connection: close; HTTP/1.0 always closes (we do not
+  // honor opt-in 1.0 keep-alive). The grant is decided before dispatch so
+  // error responses advertise the right semantics too.
+  KeepAliveGrant grant;
+  {
+    std::string connection;
+    if (const auto it = request.headers.find("connection"); it != request.headers.end()) {
+      connection = lower(it->second);
+    }
+    grant.keep = options_.keep_alive && http_version == "HTTP/1.1" &&
+                 connection != "close" &&
+                 served + 1 < options_.max_requests_per_connection;
+    grant.timeout = options_.keep_alive_timeout;
+    grant.remaining = options_.max_requests_per_connection - served - 1;
+  }
+
   // Request-id propagation: honor a client X-Request-Id (sanitized), mint
   // one otherwise, and echo it on every response from here on so a job can
   // be correlated across client logs, /jobs objects, and trace spans.
@@ -360,9 +428,9 @@ void HttpServer::handle_connection(int client_fd) {
   }
   if (request_id.empty()) request_id = generate_request_id();
   request.headers["x-request-id"] = request_id;
-  const auto respond = [client_fd, &request_id](HttpResponse response) {
+  const auto respond = [client_fd, &request_id, &grant](HttpResponse response) {
     response.with_header("X-Request-Id", request_id);
-    send_response(client_fd, response);
+    send_response(client_fd, response, grant);
   };
 
   // Body, capped before a single byte is buffered beyond the cap.
@@ -371,22 +439,24 @@ void HttpServer::handle_connection(int client_fd) {
     try {
       content_length = static_cast<std::size_t>(std::stoull(it->second));
     } catch (const std::exception&) {
+      grant.keep = false;  // framing is lost without a believable length
       respond(HttpResponse::text(400, "bad Content-Length\n"));
-      return;
+      return false;
     }
   }
   if (content_length > options_.max_body_bytes) {
+    grant.keep = false;  // the oversized body is still on the wire
     respond(HttpResponse::text(413, "request body exceeds " +
                                         std::to_string(options_.max_body_bytes) +
                                         " bytes\n"));
-    return;
+    return false;
   }
   std::string body = buffer.substr(header_end + 4);
   while (body.size() < content_length) {
-    const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) return;
-    body.append(chunk, static_cast<std::size_t>(n));
+    if (!recv_some(client_fd, body, options_.keep_alive_timeout)) return false;
   }
+  // Bytes past the declared body belong to the next pipelined request.
+  buffer.assign(body, content_length, std::string::npos);
   body.resize(content_length);
   request.body.assign(body.begin(), body.end());
 
@@ -407,6 +477,7 @@ void HttpServer::handle_connection(int client_fd) {
     }
   }
   respond(std::move(response));
+  return grant.keep;
 }
 
 }  // namespace bwaver

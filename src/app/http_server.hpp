@@ -3,13 +3,15 @@
 // thread feeding a *bounded* connection worker pool (no thread-per-
 // connection fork bombs), a configurable kernel accept backlog and
 // in-process pending cap (overload answers 503 immediately), a maximum
-// request body size (413), Content-Length bodies, connection-close
-// semantics, and path templates (`/jobs/{id}`) alongside exact routes.
-// stop() joins — never detaches — so shutdown cannot race in-flight
-// handlers.
+// request body size (413), Content-Length bodies, keep-alive connection
+// reuse (idle timeout + max-requests-per-connection cap, HTTP/1.1
+// semantics; `Connection: close` honored), and path templates
+// (`/jobs/{id}`) alongside exact routes. stop() joins — never detaches —
+// so shutdown cannot race in-flight handlers.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -78,6 +80,17 @@ struct HttpServerOptions {
   /// answered 503 immediately instead of queueing unboundedly.
   std::size_t max_pending_connections = 64;
   std::size_t max_body_bytes = std::size_t{64} << 20;  ///< 413 beyond this
+  /// HTTP/1.1 keep-alive: serve multiple sequential requests per
+  /// connection (a router->replica hop then costs one TCP connect, not
+  /// one per request). `Connection: close` and HTTP/1.0 still close.
+  bool keep_alive = true;
+  /// Idle time waiting for the next request before the server closes a
+  /// kept-alive connection. Also bounds how long a half-sent request may
+  /// stall between reads.
+  std::chrono::milliseconds keep_alive_timeout{5000};
+  /// Requests served on one connection before the server closes it
+  /// (bounds per-connection resource pinning; advertised via Keep-Alive).
+  std::size_t max_requests_per_connection = 1000;
 };
 
 class HttpServer {
@@ -121,6 +134,11 @@ class HttpServer {
 
   void serve_loop();
   void handle_connection(int client_fd);
+  /// Serves one request from `buffer` + the socket. Returns false when the
+  /// connection must close (error, EOF, idle timeout, or a close-semantics
+  /// request). Consumed bytes are erased from `buffer`; pipelined bytes
+  /// for the next request remain.
+  bool serve_one(int client_fd, std::string& buffer, std::size_t served);
   const Handler* find_route(HttpRequest& request, bool& method_known_for_path) const;
 
   HttpServerOptions options_{};

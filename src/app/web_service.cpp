@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fleet/map_transport.hpp"
 #include "fmindex/dna.hpp"
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
@@ -52,6 +53,9 @@ std::string job_record_json(const JobRecord& record) {
   json += ",\"queue_wait_ms\":" + format_ms(record.queue_wait_ms);
   json += ",\"run_ms\":" + format_ms(record.run_ms);
   if (!record.error.empty()) json += ",\"error\":\"" + json_escape(record.error) + "\"";
+  if (!record.cancel_reason.empty()) {
+    json += ",\"cancel_reason\":\"" + json_escape(record.cancel_reason) + "\"";
+  }
   if (record.has_result) {
     json += ",\"result\":\"/jobs/" + std::to_string(record.id) + "/result\"";
   }
@@ -112,6 +116,17 @@ WebService::WebService(WebServiceOptions options)
                 [this](const HttpRequest&) { return handle_references(); });
   server_.route("POST", "/reference",
                 [this](const HttpRequest& request) { return handle_reference(request); });
+  server_.route("POST", "/admin/rollover",
+                [this](const HttpRequest& request) { return handle_rollover(request); });
+  // Health probes answer from immutable/atomic state only — no job-queue,
+  // registry, or metrics locks — so a wedged worker pool or a long build
+  // cannot make the router think the process is gone.
+  server_.route("GET", "/healthz",
+                [](const HttpRequest&) { return HttpResponse::text(200, "ok\n"); });
+  server_.route("GET", "/readyz", [this](const HttpRequest&) {
+    return server_.running() ? HttpResponse::text(200, "ok\n")
+                             : HttpResponse::text(503, "draining\n");
+  });
   server_.route("POST", "/map",
                 [this](const HttpRequest& request) { return handle_map(request); });
   server_.route("POST", "/evict",
@@ -198,6 +213,7 @@ HttpResponse WebService::handle_references() const {
     json += ",\"heap_bytes\":" + std::to_string(entry.heap_bytes);
     json += ",\"mapped_bytes\":" + std::to_string(entry.mapped_bytes);
     json += ",\"archive_bytes\":" + std::to_string(entry.archive_bytes);
+    json += ",\"generation\":" + std::to_string(entry.generation);
     json += "}";
   }
   json += "]\n";
@@ -216,6 +232,20 @@ HttpResponse WebService::handle_reference(const HttpRequest& request) {
   // end; serialize them so concurrent uploads don't thrash the host. Mapping
   // requests keep flowing against already-registered references meanwhile.
   std::lock_guard<std::mutex> build_lock(build_mutex_);
+  StoredIndex stored = build_stored_index(records);
+  const std::size_t length = stored.index.size();
+  registry_.add(name, std::move(stored));
+
+  std::string out = "reference '" + name + "' indexed (" +
+                    std::to_string(records.size()) + " sequence(s), " +
+                    std::to_string(length) + " bp)";
+  if (!registry_.store_dir().empty()) {
+    out += ", persisted to " + registry_.archive_path(name);
+  }
+  return HttpResponse::text(200, out + "\n");
+}
+
+StoredIndex WebService::build_stored_index(const std::vector<FastaRecord>& records) const {
   ReferenceSet reference;
   for (const auto& record : records) {
     reference.add(record.name,
@@ -228,16 +258,41 @@ HttpResponse WebService::handle_reference(const HttpRequest& request) {
       std::move(bwt), std::move(sa), [params](std::span<const std::uint8_t> symbols) {
         return RrrWaveletOcc(symbols, params);
       });
-  const std::size_t length = index.size();
-  registry_.add(name, StoredIndex{std::move(reference), std::move(index)});
+  return StoredIndex{std::move(reference), std::move(index)};
+}
 
-  std::string out = "reference '" + name + "' indexed (" +
-                    std::to_string(records.size()) + " sequence(s), " +
-                    std::to_string(length) + " bp)";
-  if (!registry_.store_dir().empty()) {
-    out += ", persisted to " + registry_.archive_path(name);
+HttpResponse WebService::handle_rollover(const HttpRequest& request) {
+  const std::string name = request.query_param("ref");
+  if (name.empty()) {
+    return HttpResponse::text(400, "select a reference with ?ref=NAME\n");
   }
-  return HttpResponse::text(200, out + "\n");
+  if (!registry_.contains(name)) {
+    return HttpResponse::text(404, "unknown reference '" + name +
+                                       "'; use POST /reference for first registration\n");
+  }
+  if (request.body.empty()) {
+    return HttpResponse::text(400, "empty reference upload\n");
+  }
+  std::vector<FastaRecord> records;
+  try {
+    records = parse_fasta(request.body);
+  } catch (const std::exception& e) {
+    return HttpResponse::text(400, std::string("bad FASTA: ") + e.what() + "\n");
+  }
+
+  // The rebuild runs outside every registry lock (mapping continues on the
+  // current generation); only the final pointer flip inside rollover()
+  // takes the write lock.
+  std::lock_guard<std::mutex> build_lock(build_mutex_);
+  try {
+    registry_.rollover(name, build_stored_index(records));
+  } catch (const std::exception& e) {
+    return HttpResponse::text(500, std::string("rollover failed: ") + e.what() + "\n");
+  }
+  const std::string json = "{\"ref\":\"" + json_escape(name) +
+                           "\",\"generation\":" + std::to_string(registry_.generation(name)) +
+                           "}\n";
+  return HttpResponse::json(200, json);
 }
 
 std::string WebService::resolve_ref_name(const HttpRequest& request,
@@ -290,22 +345,14 @@ HttpResponse WebService::submit_map_job(const HttpRequest& request,
     }
   }
 
-  // The worker acquires the registry handle at run time, so an index
-  // evicted between submit and pickup is transparently reloaded (or the
-  // job fails cleanly if it is gone).
-  auto task = [this, name, records](const CancelToken& cancel) {
-    const IndexRegistry::Handle handle = registry_.acquire(name);
-    const MappingOutcome outcome =
-        map_records_over(handle->index, handle->reference, options_.pipeline, *records,
-                         /*bowtie=*/nullptr, /*mapping_seconds=*/nullptr, &cancel);
-    jobs_.stats().reads_mapped.inc(outcome.reads);
-    jobs_.stats().map_shards.inc(outcome.shards);
-    return outcome.sam;
-  };
-
+  // The job closure is shared with the fleet transports (the worker
+  // acquires the registry handle at run time, so an index evicted — or
+  // rolled over — between submit and pickup is picked up fresh).
   try {
-    job_id = jobs_.submit(name, std::move(task), priority, timeout,
-                          request.request_id());
+    job_id = jobs_.submit(name,
+                          fleet::make_map_job(registry_, options_.pipeline, jobs_.stats(),
+                                              name, records),
+                          priority, timeout, request.request_id());
   } catch (const QueueFull&) {
     return queue_full_response();
   }
@@ -408,7 +455,7 @@ HttpResponse WebService::handle_job_cancel(const HttpRequest& request) {
   }
   const auto record = jobs_.status(id);
   if (!record) return HttpResponse::text(404, "unknown job " + std::to_string(id) + "\n");
-  if (!jobs_.cancel(id)) {
+  if (!jobs_.cancel(id, request.query_param("reason", "client"))) {
     return HttpResponse::text(
         409, "job " + std::to_string(id) + " already " + to_string(record->state) + "\n");
   }

@@ -15,6 +15,16 @@
 //                         Retry-After when the queue is full
 //   POST /evict         — `?ref=X`; drops the resident copy
 //
+// Fleet endpoints (docs/fleet.md — consumed by the router/gateway):
+//   GET  /healthz       — liveness: constant "ok", never touches the job
+//                         queue or registry locks (sub-millisecond)
+//   GET  /readyz        — readiness: "ok" while accepting work, 503 once
+//                         draining; same no-lock discipline
+//   POST /admin/rollover— body: FASTA[.gz]; `?ref=X` (required). Rebuilds
+//                         the reference off the serving path and flips the
+//                         registry to the new generation with zero
+//                         downtime (in-flight maps finish on the old one)
+//
 // Async job endpoints (the million-user path — submit, poll, fetch):
 //   POST   /jobs            — body: FASTQ[.gz]; `?ref=X&priority=high|
 //                             normal|low&timeout-ms=N`. Returns 202 + JSON
@@ -47,6 +57,7 @@
 #include <string>
 
 #include "app/http_server.hpp"
+#include "io/fasta.hpp"
 #include "jobs/job_manager.hpp"
 #include "mapper/pipeline.hpp"
 #include "obs/metrics.hpp"
@@ -94,6 +105,7 @@ class WebService {
   HttpResponse handle_status() const;
   HttpResponse handle_references() const;
   HttpResponse handle_reference(const HttpRequest& request);
+  HttpResponse handle_rollover(const HttpRequest& request);
   HttpResponse handle_map(const HttpRequest& request);
   HttpResponse handle_evict(const HttpRequest& request);
   HttpResponse handle_job_submit(const HttpRequest& request);
@@ -113,6 +125,9 @@ class WebService {
   /// Resolves `?ref=` to a registry name, defaulting to the single loaded
   /// reference. Returns "" (with `error` filled) when ambiguous or unknown.
   std::string resolve_ref_name(const HttpRequest& request, HttpResponse& error) const;
+
+  /// Runs steps 1+2 (encode, build) over parsed FASTA records.
+  StoredIndex build_stored_index(const std::vector<FastaRecord>& records) const;
 
   WebServiceOptions options_;
   IndexRegistry registry_;

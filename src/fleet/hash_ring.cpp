@@ -1,0 +1,61 @@
+#include "fleet/hash_ring.hpp"
+
+namespace bwaver::fleet {
+
+namespace {
+
+/// splitmix64 finisher: FNV-1a alone leaves sequential inputs ("node-1",
+/// "node-2") clustered; this mixes every input bit into every output bit.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t HashRing::hash(const std::string& value) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (const unsigned char c : value) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix(h);
+}
+
+void HashRing::add(const std::string& node) {
+  if (!nodes_.insert(node).second) return;
+  for (std::size_t i = 0; i < vnodes_; ++i) {
+    ring_.emplace(hash(node + "#" + std::to_string(i)), node);
+  }
+}
+
+void HashRing::remove(const std::string& node) {
+  if (nodes_.erase(node) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == node ? ring_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<std::string> HashRing::candidates(const std::string& key,
+                                              std::size_t limit) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || limit == 0) return out;
+  std::set<std::string> seen;
+  auto it = ring_.lower_bound(hash(key));
+  // Walk the ring once, wrapping at the end, collecting distinct owners.
+  for (std::size_t step = 0; step < ring_.size() && out.size() < limit; ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (seen.insert(it->second).second) out.push_back(it->second);
+    ++it;
+  }
+  return out;
+}
+
+std::string HashRing::pick(const std::string& key) const {
+  const auto owners = candidates(key, 1);
+  return owners.empty() ? "" : owners.front();
+}
+
+}  // namespace bwaver::fleet

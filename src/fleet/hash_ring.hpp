@@ -1,0 +1,50 @@
+// Consistent-hash ring with virtual nodes for shard -> replica routing.
+//
+// The router keys each unit of work by "(reference, shard index)" so the
+// same shard of the same reference lands on the same replica while that
+// replica is healthy — its index stays hot, its page cache stays warm —
+// and only ~1/N of keys move when a replica joins or leaves (the property
+// a modulo scheme lacks). Virtual nodes smooth the per-replica share.
+//
+// Not thread-safe; the router guards its ring with the fleet-state mutex.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bwaver::fleet {
+
+class HashRing {
+ public:
+  /// `vnodes` points per node; 64 keeps the max/min share spread under
+  /// ~20% for small fleets without bloating the ring map.
+  explicit HashRing(std::size_t vnodes = 64) : vnodes_(vnodes) {}
+
+  void add(const std::string& node);
+  void remove(const std::string& node);
+  bool contains(const std::string& node) const { return nodes_.count(node) != 0; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Distinct nodes in ring order from `key`'s position: the primary
+  /// owner first, then the natural failover sequence. At most `limit`
+  /// entries; empty when the ring is empty.
+  std::vector<std::string> candidates(const std::string& key, std::size_t limit) const;
+
+  /// The primary owner for `key` ("" when the ring is empty).
+  std::string pick(const std::string& key) const;
+
+  /// The hash used for both keys and vnode points (FNV-1a folded through
+  /// a splitmix64 finisher to de-correlate sequential suffixes). Exposed
+  /// for distribution tests.
+  static std::uint64_t hash(const std::string& value);
+
+ private:
+  std::size_t vnodes_;
+  std::map<std::uint64_t, std::string> ring_;  ///< point -> node
+  std::set<std::string> nodes_;
+};
+
+}  // namespace bwaver::fleet

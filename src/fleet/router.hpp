@@ -1,0 +1,178 @@
+// Router/gateway for a shard-routed replica fleet.
+//
+// One router process fronts N `bwaver serve` replicas (a static backend
+// list today). A POST /map request is parsed once, split into contiguous
+// read shards, and each shard is routed onto a replica by consistent-
+// hashing its "(reference, shard index)" key — the same shard keeps
+// hitting the same replica while it is healthy, so that replica's index
+// stays resident and hot. Per-shard SAM documents are spliced back into
+// one response that is byte-identical to what a single replica would have
+// produced for the whole batch.
+//
+// Reliability mechanics, all surfaced in /metrics:
+//   - active health checks (GET /healthz + queue depth from /stats) with
+//     up/down hysteresis; down replicas leave the ring, their keys
+//     redistribute, and passive failures demote a replica without waiting
+//     for the next probe;
+//   - failover: a retryable shard failure moves to the next ring
+//     candidate (bwaver_router_retries_total);
+//   - hedging: once a shard's primary attempt outlives a configurable
+//     quantile of recently observed shard latencies, a second attempt
+//     starts on the next candidate; the first winner cancels the loser's
+//     replica-side job — DELETE /jobs/{id}?reason=hedge-lost — so fleet
+//     capacity is returned, not leaked (bwaver_router_hedges_total);
+//   - per-tenant token-bucket admission (X-Tenant header): 429 +
+//     Retry-After before any replica is touched;
+//   - zero-downtime index rollover: POST /admin/rollover fans the new
+//     FASTA out to every up replica, which rebuilds off the serving path
+//     and flips generations atomically.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/http_server.hpp"
+#include "fleet/hash_ring.hpp"
+#include "fleet/http_client.hpp"
+#include "fleet/map_transport.hpp"
+#include "fleet/token_bucket.hpp"
+#include "obs/metrics.hpp"
+
+namespace bwaver::fleet {
+
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::string key() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parses a --backend spec: "host:port" or bare "port" (host defaults to
+/// 127.0.0.1). Throws std::invalid_argument on malformed input.
+BackendAddress parse_backend(const std::string& spec);
+
+struct RouterOptions {
+  std::vector<BackendAddress> backends;
+  HttpServerOptions http{};
+  HttpClientOptions client{};
+  std::size_t vnodes = 64;
+
+  /// Active health probing cadence and up/down hysteresis.
+  std::chrono::milliseconds health_interval{250};
+  int unhealthy_after = 2;  ///< consecutive failures before leaving the ring
+  int healthy_after = 1;    ///< consecutive successes before rejoining
+
+  /// Reads per shard (a request with fewer reads stays one shard).
+  std::size_t shard_reads = 256;
+
+  /// Hedging: second attempt once the primary outlives this quantile of
+  /// recent shard latencies (0 disables). Until enough samples exist —
+  /// and never below it — `hedge_min_delay` is the trigger delay.
+  double hedge_quantile = 0.95;
+  std::chrono::milliseconds hedge_min_delay{20};
+  /// Attempts per shard across failover + hedging (>= 1).
+  std::size_t max_attempts = 3;
+
+  /// Per-tenant admission: sustained requests/second and burst size
+  /// (0 rate = unlimited; 0 burst = max(rate, 1)).
+  double tenant_rate = 0.0;
+  double tenant_burst = 0.0;
+
+  /// Per-job deadline forwarded to replicas (0 = replica default).
+  std::chrono::milliseconds map_timeout{0};
+};
+
+/// Operator-facing view of one backend (GET /backends, tests).
+struct BackendSnapshot {
+  std::string key;
+  bool up = false;
+  std::size_t queue_depth = 0;
+  std::uint64_t errors = 0;
+};
+
+class RouterService {
+ public:
+  explicit RouterService(RouterOptions options);
+  ~RouterService();
+  RouterService(const RouterService&) = delete;
+  RouterService& operator=(const RouterService&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the health loop.
+  void start(std::uint16_t port = 0);
+  void stop();
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+  obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+  std::vector<BackendSnapshot> backends() const;
+
+  /// Runs one synchronous probe round (tests pin health state with this
+  /// instead of sleeping through health_interval).
+  void check_health_now();
+
+ private:
+  struct Backend;
+  struct Race;
+
+  HttpResponse handle_map(const HttpRequest& request);
+  HttpResponse handle_rollover(const HttpRequest& request);
+  HttpResponse handle_backends() const;
+  HttpResponse handle_metrics();
+
+  void health_loop();
+  void probe(Backend& backend);
+  void set_up_state(Backend& backend, bool up);
+  void note_failure(Backend& backend, TransportErrorKind kind);
+  void note_success(Backend& backend);
+
+  /// Healthy ring candidates for a shard key, load-aware tiebreak applied,
+  /// capped at max_attempts.
+  std::vector<std::shared_ptr<Backend>> pick_candidates(const std::string& key);
+
+  /// Maps one shard with failover + hedging. Returns the SAM document or
+  /// throws the decisive TransportError.
+  std::string map_shard(const MapRequest& request, std::size_t shard_index);
+
+  /// Current hedge trigger delay from the recent-latency window.
+  std::chrono::milliseconds hedge_delay_now();
+  void record_shard_latency(double seconds);
+
+  RouterOptions options_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::shared_ptr<HttpClient> client_;
+  HttpServer server_;
+
+  mutable std::mutex state_mutex_;  ///< ring_ + backend up/down flips
+  HashRing ring_;
+  std::vector<std::shared_ptr<Backend>> backends_;
+  std::map<std::string, std::shared_ptr<Backend>> by_key_;
+
+  std::mutex tenants_mutex_;
+  std::map<std::string, std::unique_ptr<TokenBucket>> tenants_;
+
+  std::mutex latency_mutex_;
+  std::deque<double> recent_latencies_;  ///< seconds, newest at back
+
+  std::thread health_thread_;
+  std::mutex health_mutex_;  ///< serializes probe rounds (loop vs tests)
+  std::condition_variable health_cv_;
+  std::atomic<bool> running_{false};
+
+  // Hot counters (label-free ones cached at construction).
+  obs::Counter& requests_total_;
+  obs::Counter& shards_total_;
+  obs::Counter& hedges_total_;
+  obs::Counter& retries_total_;
+  obs::Counter& rate_limited_total_;
+  obs::Histogram& request_latency_;
+};
+
+}  // namespace bwaver::fleet

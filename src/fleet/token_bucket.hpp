@@ -1,0 +1,61 @@
+// Token-bucket rate limiter for per-tenant admission at the router.
+//
+// Classic continuous-refill bucket: capacity `burst` tokens, refilled at
+// `rate` tokens/second, one token per admitted request. Bursts up to
+// `burst` pass immediately; sustained traffic is clamped to `rate`. The
+// router keeps one bucket per tenant (X-Tenant header) and answers 429 +
+// Retry-After when a bucket runs dry, so one chatty tenant cannot starve
+// the replicas for everyone else.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace bwaver::fleet {
+
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_second, double burst)
+      : rate_(rate_per_second),
+        burst_(burst),
+        tokens_(burst),
+        last_(std::chrono::steady_clock::now()) {}
+
+  /// Consumes `tokens` if available right now; never blocks.
+  bool try_acquire(double tokens = 1.0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    refill_locked();
+    if (tokens_ < tokens) return false;
+    tokens_ -= tokens;
+    return true;
+  }
+
+  /// Seconds until one token will be available (0 when one already is).
+  /// The router rounds this up into a Retry-After hint.
+  double seconds_until_available() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    refill_locked();
+    if (tokens_ >= 1.0) return 0.0;
+    return rate_ <= 0.0 ? 1.0 : (1.0 - tokens_) / rate_;
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill_locked() {
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+  std::mutex mutex_;
+};
+
+}  // namespace bwaver::fleet

@@ -14,6 +14,18 @@ double ms_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+/// Cancel reasons become metric label values; clamp them to a safe
+/// alphabet and length so callers cannot mint unbounded label sets.
+std::string sanitize_cancel_reason(std::string reason) {
+  if (reason.empty()) return "client";
+  if (reason.size() > 32) reason.resize(32);
+  for (char& c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return reason;
+}
+
 }  // namespace
 
 const char* to_string(JobState state) {
@@ -54,6 +66,7 @@ struct JobManager::Job {
   JobState state = JobState::kQueued;
   std::string payload;
   std::string error;
+  std::string cancel_reason;
   Clock::time_point started;
   Clock::time_point finished;
 };
@@ -220,6 +233,7 @@ JobRecord JobManager::snapshot(const Job& job) const {
   record.priority = job.priority;
   record.state = job.state;
   record.error = job.error;
+  record.cancel_reason = job.cancel_reason;
   const auto now = Clock::now();
   switch (job.state) {
     case JobState::kQueued:
@@ -265,7 +279,7 @@ std::optional<std::string> JobManager::result(std::uint64_t id) const {
   return job->payload;
 }
 
-bool JobManager::cancel(std::uint64_t id) {
+bool JobManager::cancel(std::uint64_t id, std::string reason) {
   std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
@@ -273,9 +287,15 @@ bool JobManager::cancel(std::uint64_t id) {
     if (it == jobs_.end()) return false;
     job = it->second;
   }
+  const std::string tag = sanitize_cancel_reason(std::move(reason));
   {
     std::lock_guard<std::mutex> lock(job->m);
     if (is_terminal(job->state)) return false;
+    stats_.metrics
+        ->counter("bwaver_jobs_cancel_requests_total",
+                  "Cancellation requests accepted, by reason", {{"reason", tag}})
+        .inc();
+    job->cancel_reason = tag;
     job->cancel.request_cancel();
     if (job->state == JobState::kQueued) {
       // Transition immediately so polls see "cancelled" without waiting for

@@ -62,6 +62,7 @@ struct JobRecord {
   JobState state = JobState::kQueued;
   std::string request_id;        ///< trace-context id (X-Request-Id or job-<id>)
   std::string error;             ///< non-empty for kFailed
+  std::string cancel_reason;     ///< who/why, for kCancelled ("client", "hedge-lost")
   double queue_wait_ms = 0.0;    ///< submit -> pickup (or now, while queued)
   double run_ms = 0.0;           ///< pickup -> finish (or now, while running)
   bool has_result = false;
@@ -94,8 +95,11 @@ class JobManager {
 
   /// Requests cooperative cancellation. True if the job exists and was not
   /// already terminal (the final state may still become timed_out if the
-  /// deadline fires first at a checkpoint).
-  bool cancel(std::uint64_t id);
+  /// deadline fires first at a checkpoint). `reason` is an operator-facing
+  /// tag recorded on the job and counted per-label in
+  /// bwaver_jobs_cancel_requests_total (sanitized to [a-z0-9_-], so the
+  /// router's "hedge-lost" cancels are distinguishable from client ones).
+  bool cancel(std::uint64_t id, std::string reason = "client");
 
   /// Blocks until the job reaches a terminal state; throws
   /// std::out_of_range for unknown ids (e.g. already GC'd).

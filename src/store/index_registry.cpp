@@ -48,7 +48,7 @@ void IndexRegistry::load_manifest() {
   while (std::getline(manifest, line)) {
     if (line.empty() || line.front() == '#') continue;
     std::istringstream fields(line);
-    std::string name, filename, bytes_str;
+    std::string name, filename, bytes_str, generation_str;
     if (!std::getline(fields, name, '\t') || !std::getline(fields, filename, '\t') ||
         !std::getline(fields, bytes_str, '\t')) {
       throw IoError("IndexRegistry: malformed manifest line: " + line);
@@ -56,6 +56,11 @@ void IndexRegistry::load_manifest() {
     auto entry = std::make_unique<Entry>();
     entry->archive_path = (std::filesystem::path(store_dir_) / filename).string();
     entry->archive_bytes = std::stoull(bytes_str);
+    // Optional 4th column (added with rollover support); older manifests
+    // without it read as generation 1.
+    if (std::getline(fields, generation_str, '\t') && !generation_str.empty()) {
+      entry->generation = std::stoull(generation_str);
+    }
     // Sequence table and text length come from the (cheap) archive header so
     // listings don't need the index resident.
     const ArchiveInfo info = read_index_archive_info(entry->archive_path);
@@ -71,11 +76,11 @@ void IndexRegistry::save_manifest_locked() const {
   if (!manifest) {
     throw IoError("IndexRegistry: cannot write manifest: " + manifest_path.string());
   }
-  manifest << "# BWaveR index store manifest: name\tarchive\tbytes\n";
+  manifest << "# BWaveR index store manifest: name\tarchive\tbytes\tgeneration\n";
   for (const auto& [name, entry] : entries_) {
     manifest << name << '\t'
              << std::filesystem::path(entry->archive_path).filename().string() << '\t'
-             << entry->archive_bytes << '\n';
+             << entry->archive_bytes << '\t' << entry->generation << '\n';
   }
 }
 
@@ -182,12 +187,20 @@ IndexRegistry::Handle IndexRegistry::add(const std::string& name, StoredIndex st
 
   std::unique_lock lock(mutex_);
   auto& slot = entries_[name];
+  const bool replacing = slot != nullptr;
   if (!slot) slot = std::make_unique<Entry>();
   Entry& entry = *slot;
+  if (replacing) ++entry.generation;
   if (!store_dir_.empty()) {
     const auto archive =
         std::filesystem::path(store_dir_) / (name + ".bwva");
     write_index_archive(archive.string(), handle->reference, handle->index);
+    // A previous rollover may have left the entry on a generation-named
+    // archive; it is superseded now.
+    if (!entry.archive_path.empty() && entry.archive_path != archive.string()) {
+      std::error_code discard;
+      std::filesystem::remove(entry.archive_path, discard);
+    }
     entry.archive_path = archive.string();
     entry.archive_bytes = std::filesystem::file_size(archive);
   }
@@ -197,6 +210,85 @@ IndexRegistry::Handle IndexRegistry::add(const std::string& name, StoredIndex st
   if (!store_dir_.empty()) save_manifest_locked();
   enforce_budget_locked(name);
   return handle;
+}
+
+IndexRegistry::Handle IndexRegistry::rollover(const std::string& name,
+                                              StoredIndex stored) {
+  // Stage 1 (no registry lock held — traffic keeps flowing): persist the
+  // next generation beside the current one.
+  std::uint64_t next_generation = 0;
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw std::out_of_range("IndexRegistry: cannot roll over unknown reference '" +
+                              name + "'");
+    }
+    next_generation = it->second->generation + 1;
+  }
+
+  Handle handle;
+  std::string new_archive;
+  std::uint64_t new_archive_bytes = 0;
+  if (!store_dir_.empty()) {
+    const auto archive = std::filesystem::path(store_dir_) /
+                         (name + ".g" + std::to_string(next_generation) + ".bwva");
+    write_index_archive(archive.string(), stored.reference, stored.index);
+    // Stage 2: validate by a full re-read through the normal load path.
+    // The validated copy *is* the handle we flip to — a corrupt or
+    // unwritable archive throws here, before the old generation is
+    // touched, and the serving entry never sees it.
+    try {
+      handle = std::make_shared<const StoredIndex>(
+          read_index_archive(archive.string(), load_mode_));
+    } catch (...) {
+      std::error_code discard;
+      std::filesystem::remove(archive, discard);
+      throw;
+    }
+    new_archive = archive.string();
+    new_archive_bytes = std::filesystem::file_size(archive);
+  } else {
+    handle = std::make_shared<const StoredIndex>(std::move(stored));
+  }
+
+  // Stage 3: flip. In-flight readers keep their generation-N handle alive
+  // via the shared_ptr refcount; new acquires see generation N+1.
+  std::string old_archive;
+  {
+    std::unique_lock lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw std::out_of_range("IndexRegistry: reference '" + name +
+                              "' removed during rollover");
+    }
+    Entry& entry = *it->second;
+    old_archive = entry.archive_path;
+    entry.generation = std::max(next_generation, entry.generation + 1);
+    entry.archive_path = new_archive;
+    entry.archive_bytes = new_archive_bytes;
+    set_resident_locked(entry, handle);
+    entry.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                          std::memory_order_relaxed);
+    if (!store_dir_.empty()) save_manifest_locked();
+    enforce_budget_locked(name);
+  }
+  if (!old_archive.empty() && old_archive != new_archive) {
+    // Old mmap readers keep the unlinked file alive through their open
+    // mapping; the name disappears now, the blocks when they drain.
+    std::error_code discard;
+    std::filesystem::remove(old_archive, discard);
+  }
+  return handle;
+}
+
+std::uint64_t IndexRegistry::generation(const std::string& name) const {
+  std::shared_lock lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("IndexRegistry: unknown reference '" + name + "'");
+  }
+  return it->second->generation;
 }
 
 bool IndexRegistry::evict(const std::string& name) {
@@ -233,6 +325,7 @@ std::vector<RegistryEntry> IndexRegistry::list() const {
     snapshot.mapped_bytes = entry->mapped_bytes;
     snapshot.text_length = entry->text_length;
     snapshot.num_sequences = entry->num_sequences;
+    snapshot.generation = entry->generation;
     entries.push_back(std::move(snapshot));
   }
   return entries;

@@ -15,6 +15,14 @@
 // With an empty store directory the registry is memory-only: add() keeps the
 // index resident but nothing is persisted (the web service's legacy
 // upload-and-map mode).
+//
+// Entries carry a monotonically increasing *generation*. rollover() swaps a
+// reference for a freshly built index with zero downtime: the new archive is
+// written and validated by a full re-read while mapping traffic keeps
+// flowing, then the registry entry flips to the new generation under the
+// write lock (a pointer swap) and the old archive is removed. In-flight
+// readers holding the previous generation's handle finish undisturbed and
+// drain via refcount.
 #pragma once
 
 #include <atomic>
@@ -40,6 +48,7 @@ struct RegistryEntry {
   bool resident = false;
   std::uint64_t text_length = 0;
   std::uint64_t num_sequences = 0;
+  std::uint64_t generation = 1;    ///< bumped by add()-replace and rollover()
 };
 
 class IndexRegistry {
@@ -70,6 +79,19 @@ class IndexRegistry {
   /// returns a read handle. Names must be non-empty and free of whitespace
   /// and '/' (they become manifest keys and file names).
   Handle add(const std::string& name, StoredIndex stored);
+
+  /// Replaces `name` with a new index generation without a serving gap.
+  /// The archive for generation N+1 is written to `<name>.g<N+1>.bwva` and
+  /// validated by a full re-read *before* the entry flips, so mapping
+  /// requests keep resolving against generation N until the new one is
+  /// proven loadable; the flip itself is a pointer swap under the write
+  /// lock and the old archive is deleted afterwards. Throws
+  /// std::out_of_range when `name` is not registered (rollover replaces,
+  /// it does not create — use add() for first registration).
+  Handle rollover(const std::string& name, StoredIndex stored);
+
+  /// Current generation of `name` (throws std::out_of_range when unknown).
+  std::uint64_t generation(const std::string& name) const;
 
   /// Drops the resident copy of `name` (in-flight handles stay valid).
   /// Returns false if the name is unknown or not resident. In persistent
@@ -120,6 +142,7 @@ class IndexRegistry {
     std::size_t mapped_bytes = 0;
     std::uint64_t text_length = 0;
     std::uint64_t num_sequences = 0;
+    std::uint64_t generation = 1;
     std::atomic<std::uint64_t> last_used{0};
   };
 

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <thread>
 #include <vector>
@@ -34,6 +35,8 @@ std::string http_request(std::uint16_t port, const std::string& method,
   EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
 
   std::string request = method + " " + path + " HTTP/1.1\r\nHost: localhost\r\n";
+  // These helpers read the response until EOF, so opt out of keep-alive.
+  request += "Connection: close\r\n";
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
   request += body;
   EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
@@ -282,6 +285,107 @@ TEST(HttpServerPool, StopJoinsInFlightHandlers) {
   server.stop();
   EXPECT_TRUE(finished.load()) << "stop() must join, not abandon, in-flight handlers";
   client.join();
+}
+
+// --------------------------------------------------------- keep-alive
+
+/// Reads exactly one Content-Length-framed response from `fd`.
+std::string read_one_response(int fd) {
+  std::string data;
+  char chunk[4096];
+  while (data.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return data;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t head_end = data.find("\r\n\r\n") + 4;
+  std::size_t content_length = 0;
+  const std::size_t at = data.find("Content-Length: ");
+  if (at != std::string::npos && at < head_end) {
+    content_length = std::strtoul(data.c_str() + at + 16, nullptr, 10);
+  }
+  while (data.size() < head_end + content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  return data.substr(0, head_end + content_length);
+}
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+TEST(HttpServerKeepAlive, OneConnectionServesSequentialRequests) {
+  HttpServer server;
+  std::atomic<int> hits{0};
+  server.route("GET", "/ping", [&](const HttpRequest&) {
+    ++hits;
+    return HttpResponse::text(200, "pong");
+  });
+  server.start(0);
+
+  const int fd = connect_to(server.port());
+  const std::string request =
+      "GET /ping HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n";
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    const std::string response = read_one_response(fd);
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+    EXPECT_NE(response.find("Connection: keep-alive"), std::string::npos)
+        << "an HTTP/1.1 response on a reusable connection must advertise keep-alive";
+    EXPECT_NE(response.find("pong"), std::string::npos);
+  }
+  ::close(fd);
+  EXPECT_EQ(hits.load(), 3) << "all three requests must arrive over the one connection";
+  server.stop();
+}
+
+TEST(HttpServerKeepAlive, ConnectionCloseIsHonored) {
+  HttpServer server;
+  server.route("GET", "/ping",
+               [](const HttpRequest&) { return HttpResponse::text(200, "pong"); });
+  server.start(0);
+
+  const int fd = connect_to(server.port());
+  const std::string request =
+      "GET /ping HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+      "Content-Length: 0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string data;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    data.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(data.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(data.find("Connection: close"), std::string::npos);
+  // recv returning 0 above proves the server closed after one response.
+  ::close(fd);
+  server.stop();
+}
+
+TEST(HttpServerKeepAlive, DisabledKeepAliveClosesAfterEachResponse) {
+  HttpServerOptions options;
+  options.keep_alive = false;
+  HttpServer server(options);
+  server.route("GET", "/ping",
+               [](const HttpRequest&) { return HttpResponse::text(200, "pong"); });
+  server.start(0);
+
+  const std::string response = http_request(server.port(), "GET", "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  server.stop();
 }
 
 // --------------------------------------------------------- WebService

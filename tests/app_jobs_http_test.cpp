@@ -43,6 +43,8 @@ HttpReply http_request(std::uint16_t port, const std::string& method,
   EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
 
   std::string request = method + " " + path + " HTTP/1.1\r\nHost: localhost\r\n";
+  // These helpers read the response until EOF, so opt out of keep-alive.
+  request += "Connection: close\r\n";
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
   request += body;
   EXPECT_EQ(::send(fd, request.data(), request.size(), 0),

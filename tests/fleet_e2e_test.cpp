@@ -1,0 +1,203 @@
+// Fleet end-to-end: real `bwaver serve` replica processes behind a real
+// `bwaver router` process, all spawned from the installed binary. Checks
+// the full wire path (sharded map is byte-identical to the in-process
+// pipeline), failover across a SIGKILLed replica, and the router's
+// Prometheus surface. The binary path is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/http_client.hpp"
+#include "fmindex/dna.hpp"
+#include "io/fasta.hpp"
+#include "io/fastq.hpp"
+#include "mapper/pipeline.hpp"
+#include "sim/genome_sim.hpp"
+#include "sim/read_sim.hpp"
+
+#ifndef BWAVER_BIN
+#error "BWAVER_BIN must be defined by the build"
+#endif
+
+namespace bwaver::fleet {
+namespace {
+
+/// One spawned bwaver process with its stdout on a pipe (the startup line
+/// carries the ephemeral port).
+class ChildProcess {
+ public:
+  explicit ChildProcess(std::vector<std::string> args) {
+    int fds[2];
+    if (::pipe(fds) != 0) { ADD_FAILURE() << "pipe: " << std::strerror(errno); return; }
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::dup2(fds[1], STDERR_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(BWAVER_BIN));
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(BWAVER_BIN, argv.data());
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    out_fd_ = fds[0];
+  }
+
+  ~ChildProcess() { kill_now(); }
+
+  /// Blocks (with a deadline) until the startup banner prints the bound
+  /// port; returns 0 on failure.
+  std::uint16_t wait_for_port(std::chrono::milliseconds deadline = std::chrono::seconds(20)) {
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    while (std::chrono::steady_clock::now() < until) {
+      const std::size_t at = output_.find("http://127.0.0.1:");
+      if (at != std::string::npos) {
+        const char* digits = output_.c_str() + at + std::strlen("http://127.0.0.1:");
+        const unsigned long port = std::strtoul(digits, nullptr, 10);
+        if (port > 0 && port <= 65535 &&
+            output_.find('/', at + std::strlen("http://127.0.0.1:")) != std::string::npos) {
+          return static_cast<std::uint16_t>(port);
+        }
+      }
+      pollfd pfd{out_fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 100) > 0 && (pfd.revents & POLLIN) != 0) {
+        char chunk[512];
+        const ssize_t n = ::read(out_fd_, chunk, sizeof(chunk));
+        if (n <= 0) break;  // child died
+        output_.append(chunk, static_cast<std::size_t>(n));
+      }
+    }
+    return 0;
+  }
+
+  void kill_now() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    if (out_fd_ >= 0) {
+      ::close(out_fd_);
+      out_fd_ = -1;
+    }
+  }
+
+  const std::string& output() const { return output_; }
+  pid_t pid() const { return pid_; }
+
+ private:
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  std::string output_;
+};
+
+class FleetE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GenomeSimConfig genome_config;
+    genome_config.length = 20000;
+    genome_config.seed = 101;
+    genome_ = simulate_genome(genome_config);
+
+    ReadSimConfig read_config;
+    read_config.num_reads = 30;
+    read_config.read_length = 36;
+    read_config.mapping_ratio = 1.0;
+    reads_ = reads_to_fastq(simulate_reads(genome_, read_config));
+    fastq_ = format_fastq(reads_);
+
+    PipelineConfig config;
+    config.engine = MappingEngine::kCpu;
+    Pipeline pipeline(config);
+    pipeline.build_from_sequence("refA", dna_decode_string(genome_));
+    expected_sam_ = pipeline.map_records(reads_).sam;
+  }
+
+  void upload_ref(std::uint16_t port) {
+    FastaRecord record{"refA", dna_decode_string(genome_)};
+    const std::string fasta = format_fasta(std::span<const FastaRecord>(&record, 1));
+    const ClientResponse response =
+        client_.request("127.0.0.1", port, "POST", "/reference?name=refA", fasta);
+    ASSERT_EQ(response.status, 200) << response.body;
+  }
+
+  std::vector<std::uint8_t> genome_;
+  std::vector<FastqRecord> reads_;
+  std::string fastq_;
+  std::string expected_sam_;
+  HttpClient client_;
+};
+
+TEST_F(FleetE2eTest, RouterOverRealReplicasSurvivesSigkill) {
+  ChildProcess replica_a({"serve", "--port", "0", "--engine", "cpu", "--workers", "2"});
+  ChildProcess replica_b({"serve", "--port", "0", "--engine", "cpu", "--workers", "2"});
+  const std::uint16_t port_a = replica_a.wait_for_port();
+  const std::uint16_t port_b = replica_b.wait_for_port();
+  ASSERT_NE(port_a, 0) << replica_a.output();
+  ASSERT_NE(port_b, 0) << replica_b.output();
+  upload_ref(port_a);
+  upload_ref(port_b);
+
+  ChildProcess router({"router",
+                       "--backend", "127.0.0.1:" + std::to_string(port_a),
+                       "--backend", "127.0.0.1:" + std::to_string(port_b),
+                       "--port", "0", "--shard-reads", "8",
+                       "--health-interval-ms", "100"});
+  const std::uint16_t router_port = router.wait_for_port();
+  ASSERT_NE(router_port, 0) << router.output();
+
+  // Sharded map over two real processes == the in-process pipeline.
+  ClientResponse response =
+      client_.request("127.0.0.1", router_port, "POST", "/map?ref=refA", fastq_);
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(response.body, expected_sam_);
+
+  // Kill one replica the hard way. The very next request may race the
+  // health probe, but failover must carry it: connection-refused attempts
+  // move to the surviving ring candidate.
+  replica_b.kill_now();
+  response = client_.request("127.0.0.1", router_port, "POST", "/map?ref=refA", fastq_);
+  EXPECT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(response.body, expected_sam_);
+
+  // The health loop demotes the corpse (100ms probes, 2 strikes).
+  bool saw_down = false;
+  const auto until = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!saw_down && std::chrono::steady_clock::now() < until) {
+    const ClientResponse backends =
+        client_.request("127.0.0.1", router_port, "GET", "/backends");
+    saw_down = backends.body.find("\"up\":false") != std::string::npos;
+    if (!saw_down) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(saw_down) << "SIGKILLed replica never left the ring";
+
+  // With the fleet degraded, mapping still round-trips byte-identically.
+  response = client_.request("127.0.0.1", router_port, "POST", "/map?ref=refA", fastq_);
+  EXPECT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(response.body, expected_sam_);
+
+  // The router's Prometheus surface reflects the topology.
+  const ClientResponse metrics =
+      client_.request("127.0.0.1", router_port, "GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("bwaver_router_backend_up"), std::string::npos);
+  EXPECT_NE(metrics.body.find("bwaver_router_requests_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bwaver::fleet

@@ -1,0 +1,128 @@
+// Consistent-hash ring: ownership stability, failover ordering, and the
+// minimal-disruption property that justifies the ring over key % N.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fleet/hash_ring.hpp"
+
+namespace bwaver::fleet {
+namespace {
+
+std::vector<std::string> keys_for(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) keys.push_back("ref/" + std::to_string(i));
+  return keys;
+}
+
+TEST(HashRing, EmptyRingYieldsNothing) {
+  HashRing ring;
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pick("anything"), "");
+  EXPECT_TRUE(ring.candidates("anything", 3).empty());
+}
+
+TEST(HashRing, PickIsDeterministic) {
+  HashRing ring;
+  ring.add("a:1");
+  ring.add("b:2");
+  ring.add("c:3");
+  for (const std::string& key : keys_for(50)) {
+    EXPECT_EQ(ring.pick(key), ring.pick(key));
+    EXPECT_EQ(ring.candidates(key, 3).front(), ring.pick(key));
+  }
+}
+
+TEST(HashRing, CandidatesAreDistinctAndCovering) {
+  HashRing ring;
+  ring.add("a:1");
+  ring.add("b:2");
+  ring.add("c:3");
+  for (const std::string& key : keys_for(20)) {
+    const auto candidates = ring.candidates(key, 5);
+    ASSERT_EQ(candidates.size(), 3u) << "3 nodes -> at most 3 distinct candidates";
+    const std::set<std::string> unique(candidates.begin(), candidates.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(HashRing, SharesAreRoughlyBalanced) {
+  HashRing ring(64);
+  ring.add("a:1");
+  ring.add("b:2");
+  ring.add("c:3");
+  std::map<std::string, int> counts;
+  const int kKeys = 3000;
+  for (const std::string& key : keys_for(kKeys)) counts[ring.pick(key)]++;
+  for (const auto& [node, count] : counts) {
+    // Each of 3 nodes should own a third-ish; accept a wide band so the
+    // test pins gross imbalance, not hash micro-variance.
+    EXPECT_GT(count, kKeys / 6) << node;
+    EXPECT_LT(count, kKeys / 2) << node;
+  }
+}
+
+TEST(HashRing, RemovingANodeOnlyMovesItsOwnKeys) {
+  HashRing ring;
+  ring.add("a:1");
+  ring.add("b:2");
+  ring.add("c:3");
+  const auto keys = keys_for(500);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.pick(key);
+
+  ring.remove("b:2");
+  EXPECT_FALSE(ring.contains("b:2"));
+  for (const std::string& key : keys) {
+    const std::string after = ring.pick(key);
+    EXPECT_NE(after, "b:2");
+    if (before[key] != "b:2") {
+      // The consistent-hashing contract: keys not owned by the removed
+      // node do not move.
+      EXPECT_EQ(after, before[key]) << key;
+    }
+  }
+}
+
+TEST(HashRing, ReAddingRestoresOwnership) {
+  HashRing ring;
+  ring.add("a:1");
+  ring.add("b:2");
+  const auto keys = keys_for(200);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.pick(key);
+  ring.remove("a:1");
+  ring.add("a:1");
+  for (const std::string& key : keys) EXPECT_EQ(ring.pick(key), before[key]) << key;
+}
+
+TEST(HashRing, FailoverCandidateTakesOverWhenPrimaryLeaves) {
+  HashRing ring;
+  ring.add("a:1");
+  ring.add("b:2");
+  ring.add("c:3");
+  for (const std::string& key : keys_for(100)) {
+    const auto candidates = ring.candidates(key, 3);
+    ring.remove(candidates[0]);
+    // With the primary gone, the former second choice owns the key.
+    EXPECT_EQ(ring.pick(key), candidates[1]) << key;
+    ring.add(candidates[0]);
+  }
+}
+
+TEST(HashRing, DuplicateAddAndUnknownRemoveAreNoOps) {
+  HashRing ring;
+  ring.add("a:1");
+  ring.add("a:1");
+  EXPECT_EQ(ring.size(), 1u);
+  ring.remove("nope");
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.pick("k"), "a:1");
+}
+
+}  // namespace
+}  // namespace bwaver::fleet

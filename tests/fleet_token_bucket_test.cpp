@@ -1,0 +1,50 @@
+// Token-bucket admission: burst capacity, refill over time, and the
+// Retry-After hint.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "fleet/token_bucket.hpp"
+
+namespace bwaver::fleet {
+namespace {
+
+TEST(TokenBucket, BurstIsAdmittedThenClamped) {
+  TokenBucket bucket(/*rate_per_second=*/1.0, /*burst=*/3.0);
+  EXPECT_TRUE(bucket.try_acquire());
+  EXPECT_TRUE(bucket.try_acquire());
+  EXPECT_TRUE(bucket.try_acquire());
+  EXPECT_FALSE(bucket.try_acquire()) << "burst exhausted, rate is 1/s";
+}
+
+TEST(TokenBucket, RefillsAtTheConfiguredRate) {
+  TokenBucket bucket(/*rate_per_second=*/200.0, /*burst=*/1.0);
+  EXPECT_TRUE(bucket.try_acquire());
+  EXPECT_FALSE(bucket.try_acquire());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(bucket.try_acquire()) << "200/s refills a token within ~5ms";
+}
+
+TEST(TokenBucket, NeverExceedsBurst) {
+  TokenBucket bucket(/*rate_per_second=*/1000.0, /*burst=*/2.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(bucket.try_acquire(2.0));
+  EXPECT_FALSE(bucket.try_acquire(2.0)) << "idle time cannot bank beyond burst";
+}
+
+TEST(TokenBucket, SecondsUntilAvailableIsZeroWhenTokensExist) {
+  TokenBucket bucket(1.0, 2.0);
+  EXPECT_EQ(bucket.seconds_until_available(), 0.0);
+}
+
+TEST(TokenBucket, SecondsUntilAvailableEstimatesTheWait) {
+  TokenBucket bucket(/*rate_per_second=*/2.0, /*burst=*/1.0);
+  EXPECT_TRUE(bucket.try_acquire());
+  const double wait = bucket.seconds_until_available();
+  EXPECT_GT(wait, 0.0);
+  EXPECT_LE(wait, 0.5 + 1e-6) << "one token at 2/s is at most half a second away";
+}
+
+}  // namespace
+}  // namespace bwaver::fleet

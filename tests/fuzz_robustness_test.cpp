@@ -7,13 +7,13 @@
 #include <filesystem>
 
 #include "fmindex/fm_index.hpp"
-#include "mapper/pipeline.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "fpga/query_packet.hpp"
 #include "io/byte_io.hpp"
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
 #include "io/gzip.hpp"
+#include "mapper/pipeline.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
 
