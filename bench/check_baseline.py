@@ -3,6 +3,7 @@
 
 Usage:
     check_baseline.py baseline.json bench_output.txt [bench_output.txt ...]
+    check_baseline.py --self-test
 
 Each bench output file is the captured stdout of one benchmark run with
 --json: the human-readable table followed by a single machine-readable line
@@ -15,7 +16,13 @@ Rules (documented in baseline.json's _comment):
   * key ending _max  -> measured <= value          (hard maximum, no grace)
 
 A baseline key whose metric is missing from the measured output is an error:
-silently skipping it would let a renamed metric disable its own floor.
+silently skipping it would let a renamed (or typo'd) key disable its own
+floor. The failure message names the baseline key verbatim and lists the
+metrics the bench actually emitted, so a mismatch is a one-look fix.
+
+--self-test runs the rule engine against fixture data (no files needed) and
+exits non-zero if any rule misbehaves; CI runs it before the real check.
+
 Exit status is non-zero when any check fails.
 """
 
@@ -34,7 +41,14 @@ def load_metrics(path):
                 json_line = line
     if json_line is None:
         raise ValueError(f"{path}: no JSON metrics line (was --json passed?)")
-    doc = json.loads(json_line)
+    try:
+        doc = json.loads(json_line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: malformed JSON metrics line: {error}") from error
+    if not isinstance(doc, dict) or "bench" not in doc or "metrics" not in doc:
+        raise ValueError(
+            f"{path}: JSON line lacks 'bench'/'metrics' keys "
+            "(expected {\"bench\": ..., \"metrics\": {...}})")
     return doc["bench"], doc["metrics"]
 
 
@@ -50,7 +64,10 @@ def check(bench, floors, metrics):
         else:
             metric, kind = key, "floor"
         if metric not in metrics:
-            yield False, f"{bench}.{metric}: missing from bench output"
+            available = ", ".join(sorted(metrics)) or "<none>"
+            yield False, (
+                f"{bench}: baseline key '{key}' needs metric '{metric}', "
+                f"which the bench did not emit (emitted: {available}) ... FAIL")
             continue
         value = metrics[metric]
         if kind == "min":
@@ -66,18 +83,8 @@ def check(bench, floors, metrics):
         yield ok, f"{bench}.{metric}: {value:g} {rule} ... {status}"
 
 
-def main(argv):
-    if len(argv) < 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    with open(argv[1], "r", encoding="utf-8") as handle:
-        baseline = json.load(handle)
-
-    measured = {}
-    for path in argv[2:]:
-        bench, metrics = load_metrics(path)
-        measured[bench] = metrics
-
+def run_checks(baseline, measured):
+    """Returns True when every floor in `baseline` holds over `measured`."""
     failed = False
     for bench, floors in baseline.items():
         if bench.startswith("_"):
@@ -89,8 +96,75 @@ def main(argv):
         for ok, message in check(bench, floors, measured[bench]):
             print(message)
             failed = failed or not ok
-    print("baseline check:", "FAILED" if failed else "passed")
+    return not failed
+
+
+def self_test():
+    """Exercises every rule of the checker against fixture data."""
+    metrics = {"speedup": 2.0, "reads_per_sec": 800.0, "overhead_pct": 1.5}
+
+    def outcomes(floors):
+        return [ok for ok, _ in check("fixture", floors, metrics)]
+
+    cases = [
+        ("plain floor passes inside grace", {"reads_per_sec": 1000}, [True]),
+        ("plain floor fails past grace", {"reads_per_sec": 2000}, [False]),
+        ("_min passes at exact bound", {"speedup_min": 2.0}, [True]),
+        ("_min fails without grace", {"speedup_min": 2.01}, [False]),
+        ("_max passes under bound", {"overhead_pct_max": 2.0}, [True]),
+        ("_max fails over bound", {"overhead_pct_max": 1.0}, [False]),
+        ("missing metric fails", {"typo_metric_min": 1.0}, [False]),
+        ("underscore keys are skipped", {"_comment": "x"}, []),
+    ]
+    failed = False
+    for name, floors, expected in cases:
+        got = outcomes(floors)
+        ok = got == expected
+        failed = failed or not ok
+        print(f"self-test: {name} ... {'ok' if ok else 'FAIL'}")
+
+    # A bench named in the baseline but absent from the measured set fails.
+    ok = not run_checks({"absent_bench": {"k": 1}}, {})
+    failed = failed or not ok
+    print(f"self-test: missing bench output fails ... {'ok' if ok else 'FAIL'}")
+
+    # Missing-metric message names the baseline key and lists what was emitted.
+    messages = [m for _, m in check("fixture", {"typo_metric_min": 1.0}, metrics)]
+    ok = (len(messages) == 1 and "'typo_metric_min'" in messages[0]
+          and "reads_per_sec" in messages[0])
+    failed = failed or not ok
+    print(f"self-test: missing-metric message is actionable ... "
+          f"{'ok' if ok else 'FAIL'}")
+
+    print("self-test:", "FAILED" if failed else "passed")
     return 1 if failed else 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except json.JSONDecodeError as error:
+        print(f"{argv[1]}: malformed baseline JSON: {error}", file=sys.stderr)
+        return 2
+
+    measured = {}
+    for path in argv[2:]:
+        try:
+            bench, metrics = load_metrics(path)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        measured[bench] = metrics
+
+    passed = run_checks(baseline, measured)
+    print("baseline check:", "passed" if passed else "FAILED")
+    return 0 if passed else 1
 
 
 if __name__ == "__main__":

@@ -12,7 +12,9 @@
 //   index info       --archive ref.bwva | --store-dir DIR
 //                    archive section table / store manifest listing
 //   map              --index ref.bwvr --reads reads.fq[.gz] --out out.sam
-//                    [--engine fpga|cpu|bowtie2like] [--threads T] [--b B] [--sf SF]
+//                    [--engine fpga|rrr|sampled|plain|vector] [--threads T]
+//                    (cpu/bowtie2like accepted as aliases; default from
+//                    $BWAVER_ENGINE, else fpga) [--b B] [--sf SF]
 //                    [--shards N] (reads per parallel shard, 0 = auto)
 //                    [--profile FILE] write a per-stage profile (seed/search/
 //                    locate/sam ms, wall, load mode, span tree) as JSON
@@ -61,8 +63,10 @@
 #include "obs/trace.hpp"
 #include "sim/genome_sim.hpp"
 #include "sim/read_sim.hpp"
+#include "kernels/registry.hpp"
 #include "store/index_archive.hpp"
 #include "store/index_registry.hpp"
+#include "util/cpu_features.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -84,10 +88,13 @@ int usage() {
 }
 
 MappingEngine parse_engine(const std::string& name) {
-  if (name == "fpga") return MappingEngine::kFpga;
-  if (name == "cpu") return MappingEngine::kCpu;
-  if (name == "bowtie2like") return MappingEngine::kBowtie2Like;
-  throw std::invalid_argument("unknown engine: " + name);
+  if (const auto engine = kernels::parse_engine_name(name)) return *engine;
+  std::string known;
+  for (const auto& spec : kernels::engines()) {
+    if (!known.empty()) known += "|";
+    known += spec.name;
+  }
+  throw std::invalid_argument("unknown engine: " + name + " (" + known + ")");
 }
 
 LoadMode load_mode_from_args(const ArgParser& args) {
@@ -101,7 +108,9 @@ PipelineConfig config_from_args(const ArgParser& args) {
   PipelineConfig config;
   config.rrr.block_bits = static_cast<unsigned>(args.get_int("b", 15));
   config.rrr.superblock_factor = static_cast<unsigned>(args.get_int("sf", 50));
-  config.engine = parse_engine(args.get("engine", "fpga"));
+  const std::string engine_arg = args.get("engine");
+  config.engine =
+      engine_arg.empty() ? kernels::default_engine() : parse_engine(engine_arg);
   config.threads = static_cast<unsigned>(args.get_int("threads", 1));
   config.seed_k = static_cast<unsigned>(
       args.get_int("seed-k", static_cast<std::int64_t>(KmerSeedTable::kDefaultK)));
@@ -196,6 +205,19 @@ int cmd_index_build(const ArgParser& args) {
   return 0;
 }
 
+/// The engine a mapping run launched with these args would use, plus the
+/// CPU feature set the SIMD kernels dispatch on — `index info` prints it
+/// so operators see the selection without starting a run.
+void print_engine_resolution(const ArgParser& args) {
+  const std::string engine_arg = args.get("engine");
+  const MappingEngine engine =
+      engine_arg.empty() ? kernels::default_engine() : parse_engine(engine_arg);
+  const auto& spec = kernels::engine_spec(engine);
+  std::printf("mapping engine: %s (occ %s, kernel %s)\n", spec.name,
+              spec.occ_backend, kernels::engine_kernel_name(engine));
+  std::printf("cpu features: %s\n", cpu_features_string(cpu_features()).c_str());
+}
+
 int cmd_index_info(const ArgParser& args) {
   const std::string archive = args.get("archive");
   const std::string store_dir = args.get("store-dir");
@@ -215,6 +237,7 @@ int cmd_index_info(const ArgParser& args) {
     for (const auto& seq : info.sequences) {
       std::printf("  %s: offset %u, %u bp\n", seq.name.c_str(), seq.offset, seq.length);
     }
+    print_engine_resolution(args);
     return 0;
   }
   if (!store_dir.empty()) {
@@ -227,6 +250,7 @@ int cmd_index_info(const ArgParser& args) {
                   static_cast<unsigned long long>(entry.num_sequences),
                   static_cast<unsigned long long>(entry.archive_bytes));
     }
+    print_engine_resolution(args);
     return 0;
   }
   return usage();
@@ -262,15 +286,15 @@ int cmd_map(const ArgParser& args) {
   }
 
   std::string load_mode = "encode";  // built from a .bwvr index file
-  Pipeline pipeline(config_from_args(args));
+  const PipelineConfig config = config_from_args(args);
+  Pipeline pipeline(config);
   if (!index_path.empty()) {
     pipeline.encode(index_path);
   } else {
     const LoadMode mode = load_mode_from_args(args);
     load_mode = load_mode_name(mode);
     IndexRegistry registry(store_dir);
-    pipeline = Pipeline::from_archive(registry.archive_path(ref_name),
-                                      config_from_args(args), mode);
+    pipeline = Pipeline::from_archive(registry.archive_path(ref_name), config, mode);
   }
 
   // --profile: attach a trace for this run so map_records_over's ambient
@@ -317,7 +341,11 @@ int cmd_map(const ArgParser& args) {
       return 1;
     }
     profile << "{" << summary << ",\"load_mode\":\"" << load_mode << "\""
-            << ",\"stages\":" << stages << ",\"trace\":" << trace->to_json() << "}\n";
+            << ",\"engine\":\"" << kernels::engine_spec(config.engine).name << "\""
+            << ",\"rank_kernel\":\"" << kernels::engine_kernel_name(config.engine)
+            << "\",\"cpu_features\":\"" << cpu_features_string(cpu_features())
+            << "\",\"stages\":" << stages << ",\"trace\":" << trace->to_json()
+            << "}\n";
     std::printf("profile (stages %s, wall %.3f ms) -> %s\n", stages, wall_ms,
                 profile_path.c_str());
   }

@@ -9,6 +9,7 @@
 #include "fmindex/dna.hpp"
 #include "io/fasta.hpp"
 #include "io/fastq.hpp"
+#include "kernels/registry.hpp"
 #include "mapper/map_service.hpp"
 
 namespace bwaver {
@@ -345,12 +346,30 @@ HttpResponse WebService::submit_map_job(const HttpRequest& request,
     }
   }
 
+  // ?engine= overrides the service's configured engine for this job only
+  // (the router forwards the client's choice through the fleet this way).
+  PipelineConfig config = options_.pipeline;
+  const std::string engine_raw = request.query_param("engine");
+  if (!engine_raw.empty()) {
+    const auto engine = kernels::parse_engine_name(engine_raw);
+    if (!engine) {
+      std::string known;
+      for (const auto& spec : kernels::engines()) {
+        if (!known.empty()) known += "|";
+        known += spec.name;
+      }
+      return HttpResponse::text(400, "unknown engine '" + engine_raw + "' (" +
+                                         known + ")\n");
+    }
+    config.engine = *engine;
+  }
+
   // The job closure is shared with the fleet transports (the worker
   // acquires the registry handle at run time, so an index evicted — or
   // rolled over — between submit and pickup is picked up fresh).
   try {
     job_id = jobs_.submit(name,
-                          fleet::make_map_job(registry_, options_.pipeline, jobs_.stats(),
+                          fleet::make_map_job(registry_, config, jobs_.stats(),
                                               name, records),
                           priority, timeout, request.request_id());
   } catch (const QueueFull&) {
@@ -469,9 +488,12 @@ HttpResponse WebService::handle_stats() const {
   registry.loads_copy = registry_.loads_copy();
   registry.heap_bytes = registry_.heap_bytes();
   registry.mapped_bytes = registry_.mapped_bytes();
+  const auto& spec = kernels::engine_spec(options_.pipeline.engine);
   return HttpResponse::json(
       200, jobs_.stats().to_json(jobs_.queue_depth(), jobs_.queue_capacity(),
-                                 jobs_.workers(), jobs_.retained(), &registry) +
+                                 jobs_.workers(), jobs_.retained(), &registry,
+                                 spec.name,
+                                 kernels::engine_kernel_name(spec.engine)) +
                "\n");
 }
 

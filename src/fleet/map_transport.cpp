@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "io/fastq.hpp"
+#include "kernels/registry.hpp"
 #include "mapper/map_service.hpp"
 
 namespace bwaver::fleet {
@@ -92,12 +93,22 @@ std::string InProcessTransport::map(const MapRequest& request,
                          "unknown reference '" + request.ref + "'", 404);
   }
 
+  PipelineConfig config = config_;
+  if (!request.engine.empty()) {
+    const auto engine = kernels::parse_engine_name(request.engine);
+    if (!engine) {
+      throw TransportError(TransportErrorKind::kBadRequest,
+                           "unknown engine '" + request.engine + "'", 400);
+    }
+    config.engine = *engine;
+  }
+
   std::optional<std::chrono::milliseconds> timeout;
   if (request.timeout.count() > 0) timeout = request.timeout;
   std::uint64_t id = 0;
   try {
     id = jobs_.submit(request.ref,
-                      make_map_job(registry_, config_, jobs_.stats(), request.ref, records),
+                      make_map_job(registry_, config, jobs_.stats(), request.ref, records),
                       JobPriority::kHigh, timeout, request.request_id);
   } catch (const QueueFull&) {
     throw TransportError(TransportErrorKind::kOverload, "mapping queue full", 503);
@@ -157,6 +168,9 @@ void HttpMapTransport::throw_http(const ClientResponse& response, const std::str
 std::string HttpMapTransport::map(const MapRequest& request,
                                   const std::atomic<bool>* give_up) {
   std::string target = "/jobs?ref=" + url_encode(request.ref) + "&priority=high";
+  if (!request.engine.empty()) {
+    target += "&engine=" + url_encode(request.engine);
+  }
   if (request.timeout.count() > 0) {
     target += "&timeout-ms=" + std::to_string(request.timeout.count());
   }

@@ -35,6 +35,9 @@ struct MapRequest {
   std::string fastq;          ///< FASTQ text (uncompressed)
   std::string request_id;     ///< correlation id, forwarded end to end
   std::string tenant;         ///< admission-control identity ("" = anonymous)
+  /// Registry engine name overriding the backend's configured engine
+  /// ("" = backend default); forwarded end to end like the request id.
+  std::string engine;
   /// Per-job deadline forwarded to the backend (0 = backend default).
   std::chrono::milliseconds timeout{0};
 };

@@ -479,6 +479,9 @@ HttpResponse RouterService::handle_map(const HttpRequest& request) {
   if (ref.empty()) {
     return HttpResponse::text(400, "select a reference with ?ref=NAME\n");
   }
+  // The client's engine choice is forwarded verbatim to every shard's
+  // backend (which validates it); the router itself is engine-agnostic.
+  const std::string engine = request.query_param("engine");
   if (request.body.empty()) {
     return HttpResponse::text(400, "empty read upload\n");
   }
@@ -506,6 +509,7 @@ HttpResponse RouterService::handle_map(const HttpRequest& request) {
         std::span<const FastqRecord>(records.data() + begin, end - begin));
     shard_request.request_id = request.request_id() + "-s" + std::to_string(shard);
     shard_request.tenant = tenant;
+    shard_request.engine = engine;
     shard_request.timeout = options_.map_timeout;
     shard_threads.emplace_back([this, shard, shard_request = std::move(shard_request),
                                 &results, &failures, &failure_status] {

@@ -3,6 +3,8 @@
 #include <array>
 #include <cstddef>
 
+#include "util/cpu_features.hpp"
+
 #if defined(__x86_64__) || defined(_M_X64)
 #define BWAVER_CRC_CLMUL 1
 #include <immintrin.h>
@@ -129,11 +131,7 @@ __attribute__((target("pclmul,sse4.1"))) std::uint32_t crc_update_clmul(
   return crc_update_raw(out, p, len);
 }
 
-bool cpu_has_clmul() {
-  static const bool supported = __builtin_cpu_supports("pclmul") != 0 &&
-                                __builtin_cpu_supports("sse4.1") != 0;
-  return supported;
-}
+bool cpu_has_clmul() { return cpu_features().pclmul; }
 
 #endif  // BWAVER_CRC_CLMUL
 

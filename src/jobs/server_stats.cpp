@@ -96,9 +96,16 @@ double ServerStats::uptime_seconds() const {
 
 std::string ServerStats::to_json(std::size_t queue_depth, std::size_t queue_capacity,
                                  std::size_t workers, std::size_t jobs_retained,
-                                 const RegistryTelemetry* registry) const {
+                                 const RegistryTelemetry* registry,
+                                 const char* engine, const char* rank_kernel) const {
   std::string json = "{";
   json += "\"uptime_seconds\":" + format_ms(uptime_seconds());
+  if (engine != nullptr) {
+    json += ",\"engine\":\"" + std::string(engine) + "\"";
+  }
+  if (rank_kernel != nullptr) {
+    json += ",\"rank_kernel\":\"" + std::string(rank_kernel) + "\"";
+  }
   json += ",\"counters\":{";
   json += "\"submitted\":" + std::to_string(submitted.value());
   json += ",\"rejected_queue_full\":" + std::to_string(rejected_full.value());

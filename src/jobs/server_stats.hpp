@@ -66,10 +66,14 @@ class ServerStats {
 
   /// Full /stats document. `queue_depth`/`queue_capacity`/`workers`
   /// describe the live queue and are supplied by the job manager;
-  /// `registry` (optional) adds the index-load telemetry block.
+  /// `registry` (optional) adds the index-load telemetry block; `engine` /
+  /// `rank_kernel` (optional) record the service's configured mapping
+  /// engine and the SIMD kernel its ranks dispatch to.
   std::string to_json(std::size_t queue_depth, std::size_t queue_capacity,
                       std::size_t workers, std::size_t jobs_retained,
-                      const RegistryTelemetry* registry = nullptr) const;
+                      const RegistryTelemetry* registry = nullptr,
+                      const char* engine = nullptr,
+                      const char* rank_kernel = nullptr) const;
 
   /// One-line operator log summary.
   std::string summary_line() const;

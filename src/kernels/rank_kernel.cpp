@@ -1,0 +1,285 @@
+#include "kernels/rank_kernel.hpp"
+
+#include <vector>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define BWAVER_KERNEL_X86 1
+#include <immintrin.h>
+#else
+#define BWAVER_KERNEL_X86 0
+#endif
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace bwaver::kernels {
+
+namespace {
+
+constexpr std::uint64_t kLowBits = 0x5555555555555555ULL;
+
+/// match-mask for one word: bit 2k set iff slot k holds code c (the SWAR
+/// identity: a slot matches iff both of its diff bits are zero, i.e.
+/// ~(diff | diff >> 1) restricted to the low bit of each slot).
+inline std::uint64_t match_mask(std::uint64_t word, std::uint64_t pattern) noexcept {
+  const std::uint64_t diff = word ^ pattern;
+  return ~(diff | (diff >> 1)) & kLowBits;
+}
+
+std::uint64_t count_words_portable(const std::uint64_t* words, std::size_t n_words,
+                                   std::uint8_t c) {
+  const std::uint64_t pattern = kLowBits * c;
+  std::uint64_t total = 0;
+  std::size_t w = 0;
+  // Match bits occupy even positions only, so two words' masks interleave
+  // into one popcount — halves the (libcall-expensive at -march=x86-64)
+  // popcounts.
+  for (; w + 2 <= n_words; w += 2) {
+    const std::uint64_t merged =
+        match_mask(words[w], pattern) | (match_mask(words[w + 1], pattern) << 1);
+    total += static_cast<unsigned>(__builtin_popcountll(merged));
+  }
+  if (w < n_words) {
+    total += static_cast<unsigned>(__builtin_popcountll(match_mask(words[w], pattern)));
+  }
+  return total;
+}
+
+std::uint64_t count_block_prefix_portable(const std::uint64_t* words, unsigned off,
+                                          std::uint8_t c) {
+  const std::uint64_t pattern = kLowBits * c;
+  std::uint64_t total = 0;
+  unsigned w = 0;
+  for (; (w + 1) * 32 <= off; ++w) {
+    total += static_cast<unsigned>(__builtin_popcountll(match_mask(words[w], pattern)));
+  }
+  const unsigned rem = off - w * 32;
+  if (rem != 0) total += static_cast<unsigned>(count_partial_word(words[w], c, rem));
+  return total;
+}
+
+#if BWAVER_KERNEL_X86
+
+/// Portable algorithm recompiled with hardware POPCNT (the baseline
+/// -march=x86-64 build lowers __builtin_popcountll to a libcall).
+__attribute__((target("sse4.2,popcnt"))) std::uint64_t count_block_prefix_sse42(
+    const std::uint64_t* words, unsigned off, std::uint8_t c) {
+  const std::uint64_t pattern = kLowBits * c;
+  std::uint64_t total = 0;
+  unsigned w = 0;
+  for (; (w + 1) * 32 <= off; ++w) {
+    total += static_cast<unsigned>(__builtin_popcountll(match_mask(words[w], pattern)));
+  }
+  const unsigned rem = off - w * 32;
+  if (rem != 0) total += static_cast<unsigned>(count_partial_word(words[w], c, rem));
+  return total;
+}
+
+/// Branchless whole-block count: all six words are matched and masked by a
+/// per-lane prefix mask built with variable shifts (srlv saturates shifts
+/// >= 64 to zero, which is exactly the "lane past the prefix" case), then
+/// popcounted with the nibble LUT + SAD. No loop, no data-dependent
+/// branches — the cost is flat in `off`.
+__attribute__((target("avx2,popcnt"))) std::uint64_t count_block_prefix_avx2(
+    const std::uint64_t* words, unsigned off, std::uint8_t c) {
+  const long long bits = 2LL * off;  // prefix length in bits over the block
+  const __m256i low = _mm256_set1_epi64x(static_cast<long long>(kLowBits));
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  const __m256i zero = _mm256_setzero_si256();
+
+  // Lanes 0..3 (words 0..3): shift s_i = max(64*(i+1) - bits, 0); the
+  // resulting mask ~0 >> s_i keeps the low (bits - 64*i) bits of the lane.
+  const __m256i t_lo =
+      _mm256_sub_epi64(_mm256_setr_epi64x(64, 128, 192, 256), _mm256_set1_epi64x(bits));
+  const __m256i s_lo = _mm256_and_si256(t_lo, _mm256_cmpgt_epi64(t_lo, zero));
+  const __m256i mask_lo = _mm256_srlv_epi64(ones, s_lo);
+  const __m256i da = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words)),
+      _mm256_set1_epi64x(static_cast<long long>(kLowBits * c)));
+  const __m256i ma = _mm256_and_si256(
+      _mm256_andnot_si256(_mm256_or_si256(da, _mm256_srli_epi64(da, 1)), low), mask_lo);
+
+  // Lanes 4..5 (words 4..5), 128-bit.
+  const __m128i t_hi =
+      _mm_sub_epi64(_mm_set_epi64x(384, 320), _mm_set1_epi64x(bits));
+  const __m128i s_hi = _mm_and_si128(t_hi, _mm_cmpgt_epi64(t_hi, _mm_setzero_si128()));
+  const __m128i mask_hi = _mm_srlv_epi64(_mm_set1_epi64x(-1), s_hi);
+  const __m128i db = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + 4)),
+      _mm_set1_epi64x(static_cast<long long>(kLowBits * c)));
+  const __m128i mb = _mm_and_si128(
+      _mm_andnot_si128(_mm_or_si128(db, _mm_srli_epi64(db, 1)),
+                       _mm_set1_epi64x(static_cast<long long>(kLowBits))),
+      mask_hi);
+
+  // Match bits sit on even positions, so the two extra words interleave
+  // into lanes 0..1 of the 256-bit mask — one popcount pass for all six.
+  const __m256i merged =
+      _mm256_or_si256(ma, _mm256_slli_epi64(_mm256_zextsi128_si256(mb), 1));
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nibble = _mm256_set1_epi8(0x0F);
+  const __m256i lo4 = _mm256_and_si256(merged, nibble);
+  const __m256i hi4 = _mm256_and_si256(_mm256_srli_epi16(merged, 4), nibble);
+  const __m256i bytes =
+      _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo4), _mm256_shuffle_epi8(lut, hi4));
+  const __m256i sums = _mm256_sad_epu8(bytes, zero);
+  const __m128i folded =
+      _mm_add_epi64(_mm256_castsi256_si128(sums), _mm256_extracti128_si256(sums, 1));
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(folded)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(folded, 1));
+}
+
+__attribute__((target("sse4.2,popcnt"))) std::uint64_t count_words_sse42(
+    const std::uint64_t* words, std::size_t n_words, std::uint8_t c) {
+  const __m128i pattern = _mm_set1_epi64x(static_cast<long long>(kLowBits * c));
+  const __m128i low = _mm_set1_epi64x(static_cast<long long>(kLowBits));
+  std::uint64_t total = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= n_words; w += 4) {
+    const __m128i da = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + w)), pattern);
+    const __m128i db = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + w + 2)), pattern);
+    const __m128i ma =
+        _mm_andnot_si128(_mm_or_si128(da, _mm_srli_epi64(da, 1)), low);
+    const __m128i mb =
+        _mm_andnot_si128(_mm_or_si128(db, _mm_srli_epi64(db, 1)), low);
+    const __m128i merged = _mm_or_si128(ma, _mm_slli_epi64(mb, 1));
+    total += static_cast<unsigned>(__builtin_popcountll(
+        static_cast<std::uint64_t>(_mm_cvtsi128_si64(merged))));
+    total += static_cast<unsigned>(__builtin_popcountll(
+        static_cast<std::uint64_t>(_mm_extract_epi64(merged, 1))));
+  }
+  return total + count_words_portable(words + w, n_words - w, c);
+}
+
+__attribute__((target("avx2,popcnt"))) std::uint64_t count_words_avx2(
+    const std::uint64_t* words, std::size_t n_words, std::uint8_t c) {
+  const __m256i pattern = _mm256_set1_epi64x(static_cast<long long>(kLowBits * c));
+  const __m256i low = _mm256_set1_epi64x(static_cast<long long>(kLowBits));
+  // Byte-wise popcount via the nibble LUT (Mula), horizontally widened with
+  // SAD — no cross-lane extracts in the hot loop.
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3,
+                                       4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3,
+                                       3, 4);
+  const __m256i nibble = _mm256_set1_epi8(0x0F);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t w = 0;
+  for (; w + 8 <= n_words; w += 8) {
+    const __m256i da = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w)), pattern);
+    const __m256i db = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w + 4)), pattern);
+    const __m256i ma =
+        _mm256_andnot_si256(_mm256_or_si256(da, _mm256_srli_epi64(da, 1)), low);
+    const __m256i mb =
+        _mm256_andnot_si256(_mm256_or_si256(db, _mm256_srli_epi64(db, 1)), low);
+    const __m256i merged = _mm256_or_si256(ma, _mm256_slli_epi64(mb, 1));
+    const __m256i lo4 = _mm256_and_si256(merged, nibble);
+    const __m256i hi4 = _mm256_and_si256(_mm256_srli_epi16(merged, 4), nibble);
+    const __m256i bytes = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo4),
+                                          _mm256_shuffle_epi8(lut, hi4));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, zero));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+         count_words_portable(words + w, n_words - w, c);
+}
+
+#endif  // BWAVER_KERNEL_X86
+
+#if defined(__aarch64__)
+
+std::uint64_t count_words_neon(const std::uint64_t* words, std::size_t n_words,
+                               std::uint8_t c) {
+  const uint64x2_t pattern = vdupq_n_u64(kLowBits * c);
+  const uint64x2_t low = vdupq_n_u64(kLowBits);
+  std::uint64_t total = 0;
+  std::size_t w = 0;
+  for (; w + 4 <= n_words; w += 4) {
+    const uint64x2_t da = veorq_u64(vld1q_u64(words + w), pattern);
+    const uint64x2_t db = veorq_u64(vld1q_u64(words + w + 2), pattern);
+    const uint64x2_t ma = vbicq_u64(low, vorrq_u64(da, vshrq_n_u64(da, 1)));
+    const uint64x2_t mb = vbicq_u64(low, vorrq_u64(db, vshrq_n_u64(db, 1)));
+    const uint64x2_t merged = vorrq_u64(ma, vshlq_n_u64(mb, 1));
+    total += vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(merged)));
+  }
+  return total + count_words_portable(words + w, n_words - w, c);
+}
+
+#endif  // __aarch64__
+
+const RankKernel kPortableKernel{"portable", SimdLevel::kPortable,
+                                 &count_words_portable, &count_block_prefix_portable};
+
+std::vector<RankKernel> build_available() {
+  std::vector<RankKernel> kernels;
+  const CpuFeatures& features = cpu_features();
+  (void)features;
+#if BWAVER_KERNEL_X86
+  if (features.avx2) {
+    kernels.push_back(
+        {"avx2", SimdLevel::kAvx2, &count_words_avx2, &count_block_prefix_avx2});
+  }
+  if (features.sse42) {
+    kernels.push_back(
+        {"sse42", SimdLevel::kSse42, &count_words_sse42, &count_block_prefix_sse42});
+  }
+#endif
+#if defined(__aarch64__)
+  if (features.neon) {
+    // NEON bulk counting pays off in count_words; the short block prefix
+    // stays on the scalar path (no per-lane saturating shifts to lean on).
+    kernels.push_back({"neon", SimdLevel::kNeon, &count_words_neon,
+                       &count_block_prefix_portable});
+  }
+#endif
+  kernels.push_back(kPortableKernel);
+  return kernels;
+}
+
+}  // namespace
+
+std::uint64_t count_range(const RankKernel& kernel, const std::uint64_t* words,
+                          std::size_t lo, std::size_t hi, std::uint8_t c) noexcept {
+  if (lo >= hi) return 0;
+  std::size_t w0 = lo >> 5;
+  const std::size_t w1 = hi >> 5;
+  const unsigned r0 = static_cast<unsigned>(lo & 31);
+  const unsigned r1 = static_cast<unsigned>(hi & 31);
+  if (w0 == w1) {
+    return static_cast<std::uint64_t>(
+        count_partial_word(words[w0] >> (2 * r0), c, r1 - r0));
+  }
+  std::uint64_t total = 0;
+  if (r0 != 0) {
+    total += static_cast<std::uint64_t>(
+        count_partial_word(words[w0] >> (2 * r0), c, 32 - r0));
+    ++w0;
+  }
+  if (w1 > w0) total += kernel.count_words(words + w0, w1 - w0, c);
+  if (r1 != 0) total += static_cast<std::uint64_t>(count_partial_word(words[w1], c, r1));
+  return total;
+}
+
+std::span<const RankKernel> available_kernels() {
+  static const std::vector<RankKernel> kernels = build_available();
+  return kernels;
+}
+
+const RankKernel& active_kernel() { return available_kernels().front(); }
+
+const RankKernel* kernel_for(SimdLevel level) {
+  for (const RankKernel& kernel : available_kernels()) {
+    if (kernel.level == level) return &kernel;
+  }
+  return nullptr;
+}
+
+const RankKernel& portable_kernel() { return kPortableKernel; }
+
+}  // namespace bwaver::kernels

@@ -1,0 +1,78 @@
+// Vectorized character-counting kernels for 2-bit-packed DNA text.
+//
+// A RankKernel answers "how many slots of these packed 64-bit words hold
+// code c?" — the inner loop of every sampled/checkpointed Occ rank
+// (Snytsar, *Vectorized Character Counting for Faster Pattern Matching*).
+// Several implementations of the same contract are compiled into the
+// binary with per-function target attributes (so a -march=x86-64 baseline
+// build still carries AVX2/SSE4.2 code paths) and one is selected at
+// runtime from the cached cpu_features() snapshot. The selection can be
+// narrowed with $BWAVER_CPU_FEATURES — see util/cpu_features.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/cpu_features.hpp"
+
+namespace bwaver::kernels {
+
+/// Occurrences of 2-bit code `c` across `n_words` packed words (32 bases
+/// per word, all slots counted — callers mask partial words themselves
+/// with count_partial_word below).
+using CountWordsFn = std::uint64_t (*)(const std::uint64_t* words,
+                                       std::size_t n_words, std::uint8_t c);
+
+/// Occurrences of code `c` among the first `off` bases of exactly six
+/// packed words — one VectorOcc block (192 bases), off in [0, 192]. This is
+/// the per-rank hot path: implementations are branchless straight-line code
+/// (vector ISAs build the position mask with per-lane variable shifts), so
+/// a checkpointed rank costs one cache-line fetch plus this call.
+using CountBlockPrefixFn = std::uint64_t (*)(const std::uint64_t* block_words,
+                                             unsigned off, std::uint8_t c);
+
+/// One character-counting implementation. Plain struct of function
+/// pointers so kernels enumerate, bench and test uniformly.
+struct RankKernel {
+  const char* name = "portable";       ///< "portable" / "sse42" / "avx2" / "neon"
+  SimdLevel level = SimdLevel::kPortable;
+  CountWordsFn count_words = nullptr;
+  CountBlockPrefixFn count_block_prefix = nullptr;
+};
+
+/// Occurrences of code `c` among the low `bases` slots of one word
+/// (bases in [0, 32]). Scalar SWAR — partial words are never the hot
+/// part, every kernel shares this edge handling.
+inline int count_partial_word(std::uint64_t word, std::uint8_t c,
+                              unsigned bases) noexcept {
+  if (bases == 0) return 0;
+  const std::uint64_t diff = word ^ (0x5555555555555555ULL * c);
+  std::uint64_t match = ~diff & (~diff >> 1) & 0x5555555555555555ULL;
+  if (bases < 32) match &= (std::uint64_t{1} << (2 * bases)) - 1;
+  return static_cast<int>(static_cast<unsigned>(__builtin_popcountll(match)));
+}
+
+/// Occurrences of code `c` in the packed base range [lo, hi) of `words`
+/// (base positions relative to words[0]; hi/32 must stay within the
+/// span). Full interior words go through the kernel, the ragged edges
+/// through count_partial_word.
+std::uint64_t count_range(const RankKernel& kernel, const std::uint64_t* words,
+                          std::size_t lo, std::size_t hi, std::uint8_t c) noexcept;
+
+/// Every kernel this binary can run on this machine (respecting the
+/// $BWAVER_CPU_FEATURES cap), best first. The portable kernel is always
+/// present and always last.
+std::span<const RankKernel> available_kernels();
+
+/// The dispatch choice: available_kernels().front().
+const RankKernel& active_kernel();
+
+/// The kernel for an exact SIMD tier, or nullptr when this machine (or
+/// the feature cap) cannot run it.
+const RankKernel* kernel_for(SimdLevel level);
+
+/// The always-available scalar SWAR kernel (no dispatch, no cap).
+const RankKernel& portable_kernel();
+
+}  // namespace bwaver::kernels

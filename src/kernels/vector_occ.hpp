@@ -1,0 +1,79 @@
+// VectorOcc — 2-bit-packed BWT with interleaved checkpoints, scanned by
+// the runtime-dispatched SIMD rank kernels (see rank_kernel.hpp).
+//
+// Layout: one cache line per 192 bases. Each 64-byte block carries the
+// four cumulative symbol counts up to the block start (16 bytes) followed
+// by six packed words (48 bytes = 192 two-bit codes), so every rank is one
+// line fetch plus a vectorized count — against SampledOcc's split
+// packed/checkpoint arrays (two fetch streams) and scalar SWAR loop. A
+// terminal block holds the final totals, which also enables bidirectional
+// scanning: offsets past the block midpoint count backward from the next
+// block's checkpoint, halving the average scan length.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "io/byte_io.hpp"
+#include "kernels/rank_kernel.hpp"
+
+namespace bwaver {
+
+class VectorOcc {
+ public:
+  static constexpr unsigned kWordsPerBlock = 6;
+  static constexpr unsigned kBasesPerBlock = 32 * kWordsPerBlock;  // 192
+
+  /// Checkpoint counts and packed text interleaved in one cache line.
+  struct alignas(64) Block {
+    std::array<std::uint32_t, 4> cum{};     ///< rank(c, block start)
+    std::array<std::uint64_t, kWordsPerBlock> words{};  ///< 2-bit codes
+  };
+  static_assert(sizeof(Block) == 64, "one rank = one cache line");
+
+  VectorOcc() = default;
+
+  /// Packs the squeezed BWT; `kernel` pins a specific counting kernel
+  /// (tests sweep every available one), nullptr selects the dispatch
+  /// choice kernels::active_kernel().
+  explicit VectorOcc(std::span<const std::uint8_t> bwt,
+                     const kernels::RankKernel* kernel = nullptr);
+
+  std::size_t rank(std::uint8_t c, std::size_t i) const noexcept;
+
+  /// rank(c, i1) and rank(c, i2) with i1 <= i2; when both offsets land in
+  /// the same block the second answer extends the first one's scan.
+  std::pair<std::size_t, std::size_t> rank2(std::uint8_t c, std::size_t i1,
+                                            std::size_t i2) const noexcept;
+  std::pair<std::size_t, std::size_t> rank_pair(std::uint8_t c, std::size_t i1,
+                                                std::size_t i2) const noexcept {
+    return rank2(c, i1, i2);
+  }
+
+  std::uint8_t access(std::size_t i) const noexcept {
+    const Block& block = blocks_[i / kBasesPerBlock];
+    const std::size_t off = i % kBasesPerBlock;
+    return static_cast<std::uint8_t>((block.words[off >> 5] >> ((off & 31) * 2)) & 3);
+  }
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t size_in_bytes() const noexcept { return blocks_.size() * sizeof(Block); }
+
+  /// The counting kernel this instance dispatches to.
+  const kernels::RankKernel& kernel() const noexcept { return *kernel_; }
+
+  void save(ByteWriter& writer) const;
+  /// The kernel choice is not serialized — a loaded instance re-dispatches
+  /// on the loading machine's CPU.
+  static VectorOcc load(ByteReader& reader);
+
+ private:
+  std::vector<Block> blocks_;  ///< ceil(n/192) data blocks + 1 terminal
+  std::size_t n_ = 0;
+  const kernels::RankKernel* kernel_ = nullptr;
+};
+
+}  // namespace bwaver

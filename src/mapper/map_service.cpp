@@ -1,6 +1,7 @@
 #include "mapper/map_service.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 #include "mapper/fpga_mapper.hpp"
@@ -54,17 +55,26 @@ std::vector<double> stage_time_bounds() {
 /// ambient trace is live). `fpga` optionally adds the modeled device-phase
 /// children under the search span.
 void publish_stages(const obs::ObsContext& ctx, std::uint32_t parent,
-                    const MappingStageTimings& stages, const FpgaMapReport* fpga) {
+                    const MappingStageTimings& stages, const char* engine,
+                    const FpgaMapReport* fpga) {
   if (ctx.metrics != nullptr) {
     static constexpr const char* kName = "bwaver_map_stage_seconds";
-    static constexpr const char* kHelp = "Per-stage mapping time, by stage";
-    ctx.metrics->histogram(kName, kHelp, stage_time_bounds(), {{"stage", "seed"}})
+    static constexpr const char* kHelp = "Per-stage mapping time, by engine and stage";
+    ctx.metrics
+        ->histogram(kName, kHelp, stage_time_bounds(),
+                    {{"engine", engine}, {"stage", "seed"}})
         .observe_ms(stages.seed_ms);
-    ctx.metrics->histogram(kName, kHelp, stage_time_bounds(), {{"stage", "search"}})
+    ctx.metrics
+        ->histogram(kName, kHelp, stage_time_bounds(),
+                    {{"engine", engine}, {"stage", "search"}})
         .observe_ms(stages.search_ms);
-    ctx.metrics->histogram(kName, kHelp, stage_time_bounds(), {{"stage", "locate"}})
+    ctx.metrics
+        ->histogram(kName, kHelp, stage_time_bounds(),
+                    {{"engine", engine}, {"stage", "locate"}})
         .observe_ms(stages.locate_ms);
-    ctx.metrics->histogram(kName, kHelp, stage_time_bounds(), {{"stage", "sam"}})
+    ctx.metrics
+        ->histogram(kName, kHelp, stage_time_bounds(),
+                    {{"engine", engine}, {"stage", "sam"}})
         .observe_ms(stages.sam_ms);
   }
   if (ctx.trace != nullptr) {
@@ -155,13 +165,20 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
   obs::TraceSpan map_span("map_records");
   const obs::ObsContext obs_ctx = obs::current_context();
 
-  // Engines are constructed once (the FPGA model is programmed once, the
-  // baseline's transient index is built once) and fed chunk by chunk: with
-  // no cancel token everything goes in one chunk, exactly the pre-async
-  // behaviour; with a token each chunk boundary is a checkpoint.
+  // Engines are constructed once (the FPGA model is programmed once, a
+  // derived engine's Occ structure is re-encoded once) and fed chunk by
+  // chunk: with no cancel token everything goes in one chunk, exactly the
+  // pre-async behaviour; with a token each chunk boundary is a checkpoint.
+  // Every software engine funnels through one `software_map` callable so
+  // the sharded and chunked paths below stay engine-agnostic.
   std::unique_ptr<BwaverFpgaMapper> fpga;
   std::unique_ptr<BwaverCpuMapper> cpu;
   std::unique_ptr<Bowtie2LikeMapper> transient;
+  std::unique_ptr<PlainWaveletMapper> plain;
+  std::unique_ptr<VectorMapper> vector;
+  std::function<std::vector<QueryResult>(const ReadBatch&, unsigned,
+                                         SoftwareMapReport*)>
+      software_map;
   switch (config.engine) {
     case MappingEngine::kFpga:
       fpga = std::make_unique<BwaverFpgaMapper>(index, config.device, 8192,
@@ -169,14 +186,42 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
       break;
     case MappingEngine::kCpu:
       cpu = std::make_unique<BwaverCpuMapper>(index);
+      software_map = [&cpu](const ReadBatch& batch, unsigned threads,
+                            SoftwareMapReport* report) {
+        return cpu->map(batch, threads, report);
+      };
       break;
     case MappingEngine::kBowtie2Like:
       if (bowtie == nullptr) {
         transient = std::make_unique<Bowtie2LikeMapper>(reference.concatenated());
         bowtie = transient.get();
       }
+      software_map = [bowtie](const ReadBatch& batch, unsigned threads,
+                              SoftwareMapReport* report) {
+        return bowtie->map(batch, threads, report);
+      };
+      break;
+    case MappingEngine::kPlainWavelet:
+      plain = std::make_unique<PlainWaveletMapper>(
+          index, [](std::span<const std::uint8_t> bwt) {
+            return PlainWaveletOcc(bwt);
+          });
+      software_map = [&plain](const ReadBatch& batch, unsigned threads,
+                              SoftwareMapReport* report) {
+        return plain->map(batch, threads, report);
+      };
+      break;
+    case MappingEngine::kVector:
+      vector = std::make_unique<VectorMapper>(
+          index,
+          [](std::span<const std::uint8_t> bwt) { return VectorOcc(bwt); });
+      software_map = [&vector](const ReadBatch& batch, unsigned threads,
+                               SoftwareMapReport* report) {
+        return vector->map(batch, threads, report);
+      };
       break;
   }
+  const char* engine_name = kernels::engine_spec(config.engine).name;
 
   MappingOutcome outcome;
   std::vector<SamAlignment> alignments;
@@ -223,12 +268,7 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
         const ReadBatch batch = ReadBatch::from_fastq(chunk);
         shards[s].outcome.stages.seed_ms = stage_timer.milliseconds();
         stage_timer.reset();
-        std::vector<QueryResult> results;
-        if (config.engine == MappingEngine::kCpu) {
-          results = cpu->map(batch, 1);
-        } else {
-          results = bowtie->map(batch, 1);
-        }
+        std::vector<QueryResult> results = software_map(batch, 1, nullptr);
         shards[s].outcome.stages.search_ms = stage_timer.milliseconds();
         stage_timer.reset();
         shards[s].alignments.reserve(results.size());
@@ -254,7 +294,7 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
     WallTimer sam_timer;
     outcome.sam = format_sam(sam_sequences_for(reference), alignments);
     outcome.stages.sam_ms = sam_timer.milliseconds();
-    publish_stages(obs_ctx, map_span.id(), outcome.stages, nullptr);
+    publish_stages(obs_ctx, map_span.id(), outcome.stages, engine_name, nullptr);
     return outcome;
   }
 
@@ -273,32 +313,20 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
     stage_timer.reset();
 
     std::vector<QueryResult> results;
-    switch (config.engine) {
-      case MappingEngine::kFpga: {
-        FpgaMapReport report;
-        results = fpga->map(batch, &report);
-        seconds += report.total_seconds();
-        // The FPGA search stage is modeled device time, not host wall time.
-        outcome.stages.search_ms += report.total_seconds() * 1e3;
-        fpga_total.program_seconds += report.program_seconds;
-        fpga_total.transfer_seconds += report.transfer_seconds;
-        fpga_total.kernel_seconds += report.kernel_seconds;
-        break;
-      }
-      case MappingEngine::kCpu: {
-        SoftwareMapReport report;
-        results = cpu->map(batch, config.threads, &report);
-        seconds += report.seconds;
-        outcome.stages.search_ms += stage_timer.milliseconds();
-        break;
-      }
-      case MappingEngine::kBowtie2Like: {
-        SoftwareMapReport report;
-        results = bowtie->map(batch, config.threads, &report);
-        seconds += report.seconds;
-        outcome.stages.search_ms += stage_timer.milliseconds();
-        break;
-      }
+    if (config.engine == MappingEngine::kFpga) {
+      FpgaMapReport report;
+      results = fpga->map(batch, &report);
+      seconds += report.total_seconds();
+      // The FPGA search stage is modeled device time, not host wall time.
+      outcome.stages.search_ms += report.total_seconds() * 1e3;
+      fpga_total.program_seconds += report.program_seconds;
+      fpga_total.transfer_seconds += report.transfer_seconds;
+      fpga_total.kernel_seconds += report.kernel_seconds;
+    } else {
+      SoftwareMapReport report;
+      results = software_map(batch, config.threads, &report);
+      seconds += report.seconds;
+      outcome.stages.search_ms += stage_timer.milliseconds();
     }
     stage_timer.reset();
     resolve_query_results(reference, index.suffix_array(), chunk, results,
@@ -310,7 +338,7 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
   WallTimer sam_timer;
   outcome.sam = format_sam(sam_sequences_for(reference), alignments);
   outcome.stages.sam_ms = sam_timer.milliseconds();
-  publish_stages(obs_ctx, map_span.id(), outcome.stages,
+  publish_stages(obs_ctx, map_span.id(), outcome.stages, engine_name,
                  config.engine == MappingEngine::kFpga ? &fpga_total : nullptr);
   return outcome;
 }

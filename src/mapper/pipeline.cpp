@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
 
 #include "fmindex/dna.hpp"
@@ -207,13 +208,55 @@ MappingOutcome Pipeline::map_reads_streaming(const std::string& fastq_path,
   }
 
   // One engine instance for the whole stream: the FPGA model is programmed
-  // once and its fixed overhead amortizes over all batches.
+  // once (and a derived engine's Occ structure is encoded once), so the
+  // fixed overhead amortizes over all batches.
   std::unique_ptr<BwaverFpgaMapper> fpga;
-  if (config_.engine == MappingEngine::kFpga) {
-    fpga = std::make_unique<BwaverFpgaMapper>(*index_, config_.device, 8192,
-                                              config_.fpga_verify_stride);
+  std::unique_ptr<BwaverCpuMapper> cpu;
+  std::unique_ptr<PlainWaveletMapper> plain;
+  std::unique_ptr<VectorMapper> vector;
+  std::function<std::vector<QueryResult>(const ReadBatch&, unsigned,
+                                         SoftwareMapReport*)>
+      software_map;
+  switch (config_.engine) {
+    case MappingEngine::kFpga:
+      fpga = std::make_unique<BwaverFpgaMapper>(*index_, config_.device, 8192,
+                                                config_.fpga_verify_stride);
+      break;
+    case MappingEngine::kCpu:
+      cpu = std::make_unique<BwaverCpuMapper>(*index_);
+      software_map = [&cpu](const ReadBatch& batch, unsigned threads,
+                            SoftwareMapReport* report) {
+        return cpu->map(batch, threads, report);
+      };
+      break;
+    case MappingEngine::kBowtie2Like:
+      if (bowtie_ == nullptr) {
+        bowtie_ = std::make_unique<Bowtie2LikeMapper>(reference_.concatenated());
+      }
+      software_map = [this](const ReadBatch& batch, unsigned threads,
+                            SoftwareMapReport* report) {
+        return bowtie_->map(batch, threads, report);
+      };
+      break;
+    case MappingEngine::kPlainWavelet:
+      plain = std::make_unique<PlainWaveletMapper>(
+          *index_,
+          [](std::span<const std::uint8_t> bwt) { return PlainWaveletOcc(bwt); });
+      software_map = [&plain](const ReadBatch& batch, unsigned threads,
+                              SoftwareMapReport* report) {
+        return plain->map(batch, threads, report);
+      };
+      break;
+    case MappingEngine::kVector:
+      vector = std::make_unique<VectorMapper>(
+          *index_,
+          [](std::span<const std::uint8_t> bwt) { return VectorOcc(bwt); });
+      software_map = [&vector](const ReadBatch& batch, unsigned threads,
+                               SoftwareMapReport* report) {
+        return vector->map(batch, threads, report);
+      };
+      break;
   }
-  const BwaverCpuMapper cpu(*index_);
 
   std::ofstream sam;
   if (!sam_path.empty()) {
@@ -238,25 +281,14 @@ MappingOutcome Pipeline::map_reads_streaming(const std::string& fastq_path,
     const ReadBatch batch = ReadBatch::from_fastq(batch_records_vec);
 
     std::vector<QueryResult> results;
-    switch (config_.engine) {
-      case MappingEngine::kFpga: {
-        FpgaMapReport report;
-        results = fpga->map(batch, &report);
-        mapping_seconds += report.mapping_seconds();
-        break;
-      }
-      case MappingEngine::kCpu: {
-        SoftwareMapReport report;
-        results = cpu.map(batch, config_.threads, &report);
-        mapping_seconds += report.seconds;
-        break;
-      }
-      case MappingEngine::kBowtie2Like: {
-        SoftwareMapReport report;
-        results = bowtie_->map(batch, config_.threads, &report);
-        mapping_seconds += report.seconds;
-        break;
-      }
+    if (config_.engine == MappingEngine::kFpga) {
+      FpgaMapReport report;
+      results = fpga->map(batch, &report);
+      mapping_seconds += report.mapping_seconds();
+    } else {
+      SoftwareMapReport report;
+      results = software_map(batch, config_.threads, &report);
+      mapping_seconds += report.seconds;
     }
 
     std::vector<SamAlignment> alignments;

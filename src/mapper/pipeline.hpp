@@ -25,13 +25,12 @@
 #include "fpga/device_spec.hpp"
 #include "io/fasta.hpp"
 #include "io/sam.hpp"
+#include "kernels/registry.hpp"
 #include "mapper/fpga_mapper.hpp"
 #include "mapper/software_mapper.hpp"
 #include "store/index_archive.hpp"
 
 namespace bwaver {
-
-enum class MappingEngine { kFpga, kCpu, kBowtie2Like };
 
 struct PipelineConfig {
   RrrParams rrr{};

@@ -19,6 +19,7 @@
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "fpga/query_packet.hpp"
+#include "kernels/vector_occ.hpp"
 #include "mapper/read_batch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -72,5 +73,39 @@ class Bowtie2LikeMapper {
  private:
   FmIndex<SampledOcc> index_;
 };
+
+/// Mapper over an Occ backend re-encoded from an existing index: the BWT,
+/// suffix array and seed table are borrowed (zero-copy views) from the
+/// base RRR index, only the Occ structure itself is rebuilt — so registry
+/// engines beyond the archive's native backend cost one O(n) encode, not a
+/// suffix-array reconstruction. Searches give identical SA intervals to
+/// the base index by construction.
+template <typename Occ>
+class DerivedOccMapper {
+ public:
+  DerivedOccMapper(const FmIndex<RrrWaveletOcc>& base,
+                   const typename FmIndex<Occ>::OccBuilder& builder)
+      : index_(Bwt{FlatArray<std::uint8_t>::view_of(base.bwt().symbols),
+                   base.bwt().primary, base.bwt().text_length},
+               FlatArray<std::uint32_t>::view_of(base.suffix_array()), builder),
+        base_(&base) {
+    index_.set_seed_table(base.shared_seed_table());
+  }
+
+  std::vector<QueryResult> map(const ReadBatch& batch, unsigned threads = 1,
+                               SoftwareMapReport* report = nullptr) const {
+    return detail::map_batch(index_, batch, threads, report);
+  }
+
+  const FmIndex<Occ>& index() const noexcept { return index_; }
+  const FmIndex<RrrWaveletOcc>& base() const noexcept { return *base_; }
+
+ private:
+  FmIndex<Occ> index_;  ///< views into base_ — base_ must outlive this
+  const FmIndex<RrrWaveletOcc>* base_;
+};
+
+using PlainWaveletMapper = DerivedOccMapper<PlainWaveletOcc>;
+using VectorMapper = DerivedOccMapper<VectorOcc>;
 
 }  // namespace bwaver

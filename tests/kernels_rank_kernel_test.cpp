@@ -1,0 +1,167 @@
+#include "kernels/rank_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bwaver::kernels {
+namespace {
+
+/// Packs 2-bit codes into words, low slots first (32 codes per word).
+std::vector<std::uint64_t> pack(const std::vector<std::uint8_t>& codes) {
+  std::vector<std::uint64_t> words((codes.size() + 31) / 32, 0);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    words[i / 32] |= (std::uint64_t{codes[i]} & 3) << ((i % 32) * 2);
+  }
+  return words;
+}
+
+std::vector<std::uint8_t> random_codes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> codes(n);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.below(4));
+  return codes;
+}
+
+std::size_t naive_count(const std::vector<std::uint8_t>& codes, std::size_t lo,
+                        std::size_t hi, std::uint8_t c) {
+  std::size_t count = 0;
+  for (std::size_t i = lo; i < hi; ++i) count += codes[i] == c;
+  return count;
+}
+
+TEST(RankKernel, RegistryShapeIsSane) {
+  const auto kernels = available_kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_STREQ(kernels.back().name, "portable");
+  EXPECT_EQ(&active_kernel(), &kernels.front());
+  std::set<std::string> names;
+  for (const RankKernel& kernel : kernels) {
+    ASSERT_NE(kernel.count_words, nullptr) << kernel.name;
+    EXPECT_TRUE(names.insert(kernel.name).second) << "duplicate " << kernel.name;
+    // Best-first ordering: levels never increase down the list.
+    EXPECT_LE(static_cast<int>(kernel.level),
+              static_cast<int>(kernels.front().level));
+  }
+  EXPECT_STREQ(portable_kernel().name, "portable");
+  ASSERT_NE(kernel_for(SimdLevel::kPortable), nullptr);
+  EXPECT_STREQ(kernel_for(SimdLevel::kPortable)->name, "portable");
+}
+
+TEST(RankKernel, CountPartialWordMatchesNaive) {
+  const auto codes = random_codes(32, 7);
+  const auto words = pack(codes);
+  for (unsigned bases = 0; bases <= 32; ++bases) {
+    for (std::uint8_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(static_cast<std::size_t>(count_partial_word(words[0], c, bases)),
+                naive_count(codes, 0, bases, c))
+          << "bases=" << bases << " c=" << int(c);
+    }
+  }
+}
+
+TEST(RankKernel, EveryKernelCountsWholeWordsExactly) {
+  // Word counts straddle every kernel's stride (4 words per SSE iteration,
+  // 8 per AVX2 iteration) plus the scalar tail.
+  for (const std::size_t n_words :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{7}, std::size_t{8}, std::size_t{9},
+        std::size_t{15}, std::size_t{16}, std::size_t{17}, std::size_t{40}}) {
+    const auto codes = random_codes(n_words * 32, 100 + n_words);
+    const auto words = pack(codes);
+    for (const RankKernel& kernel : available_kernels()) {
+      for (std::uint8_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(kernel.count_words(words.data(), n_words, c),
+                  naive_count(codes, 0, codes.size(), c))
+            << kernel.name << " n_words=" << n_words << " c=" << int(c);
+      }
+    }
+  }
+}
+
+TEST(RankKernel, EveryKernelAgreesWithPortable) {
+  const std::size_t n_words = 64;
+  const auto codes = random_codes(n_words * 32, 42);
+  const auto words = pack(codes);
+  const RankKernel& portable = portable_kernel();
+  for (const RankKernel& kernel : available_kernels()) {
+    for (std::uint8_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(kernel.count_words(words.data(), n_words, c),
+                portable.count_words(words.data(), n_words, c))
+          << kernel.name << " c=" << int(c);
+    }
+  }
+}
+
+TEST(RankKernel, CountRangeHandlesRaggedEdges) {
+  const std::size_t n = 7 * 32 + 11;  // partial final word
+  const auto codes = random_codes(n, 9);
+  auto words = pack(codes);
+  Xoshiro256 rng(17);
+  for (const RankKernel& kernel : available_kernels()) {
+    // Edge ranges: empty, single base, word-aligned, crossing every word.
+    for (const auto& [lo, hi] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {0, 0}, {0, 1}, {0, n}, {31, 33}, {32, 64}, {1, n - 1}, {n, n},
+             {63, 65}, {96, 96}, {5, 27}}) {
+      for (std::uint8_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(count_range(kernel, words.data(), lo, hi, c),
+                  naive_count(codes, lo, hi, c))
+            << kernel.name << " [" << lo << "," << hi << ") c=" << int(c);
+      }
+    }
+    for (int trial = 0; trial < 200; ++trial) {
+      std::size_t lo = rng.below(n + 1);
+      std::size_t hi = rng.below(n + 1);
+      if (lo > hi) std::swap(lo, hi);
+      const auto c = static_cast<std::uint8_t>(rng.below(4));
+      EXPECT_EQ(count_range(kernel, words.data(), lo, hi, c),
+                naive_count(codes, lo, hi, c))
+          << kernel.name << " [" << lo << "," << hi << ") c=" << int(c);
+    }
+  }
+}
+
+TEST(RankKernel, EveryKernelCountsBlockPrefixesExactly) {
+  // Exhaustive off sweep over a six-word block (the VectorOcc hot path),
+  // for every kernel and code — including off 0 and the full 192.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto codes = random_codes(192, seed);
+    const auto words = pack(codes);
+    ASSERT_EQ(words.size(), 6u);
+    for (const RankKernel& kernel : available_kernels()) {
+      ASSERT_NE(kernel.count_block_prefix, nullptr) << kernel.name;
+      for (unsigned off = 0; off <= 192; ++off) {
+        for (std::uint8_t c = 0; c < 4; ++c) {
+          EXPECT_EQ(kernel.count_block_prefix(words.data(), off, c),
+                    naive_count(codes, 0, off, c))
+              << kernel.name << " off=" << off << " c=" << int(c);
+        }
+      }
+    }
+  }
+}
+
+TEST(RankKernel, AllSameSymbolTexts) {
+  // Degenerate skews: every slot the same code, including code 0, whose
+  // pattern (all-zero words) is also what padding looks like.
+  const std::size_t n_words = 12;
+  for (std::uint8_t fill = 0; fill < 4; ++fill) {
+    const std::vector<std::uint8_t> codes(n_words * 32, fill);
+    const auto words = pack(codes);
+    for (const RankKernel& kernel : available_kernels()) {
+      for (std::uint8_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(kernel.count_words(words.data(), n_words, c),
+                  c == fill ? n_words * 32 : 0u)
+            << kernel.name << " fill=" << int(fill) << " c=" << int(c);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bwaver::kernels

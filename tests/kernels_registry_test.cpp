@@ -1,0 +1,90 @@
+#include "kernels/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "kernels/rank_kernel.hpp"
+
+namespace bwaver::kernels {
+namespace {
+
+TEST(EngineRegistry, EnumeratesEveryEngineInEnumOrder) {
+  const auto specs = engines();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].engine, MappingEngine::kFpga);
+  EXPECT_EQ(specs[1].engine, MappingEngine::kCpu);
+  EXPECT_EQ(specs[2].engine, MappingEngine::kBowtie2Like);
+  EXPECT_EQ(specs[3].engine, MappingEngine::kPlainWavelet);
+  EXPECT_EQ(specs[4].engine, MappingEngine::kVector);
+
+  std::set<std::string> names;
+  for (const EngineSpec& spec : specs) {
+    ASSERT_NE(spec.name, nullptr);
+    ASSERT_NE(spec.occ_backend, nullptr);
+    ASSERT_NE(spec.description, nullptr);
+    EXPECT_GT(spec.approx_bytes_per_base, 0.0) << spec.name;
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+    if (spec.alias != nullptr) {
+      EXPECT_TRUE(names.insert(spec.alias).second) << "alias collides: " << spec.alias;
+    }
+    EXPECT_EQ(&engine_spec(spec.engine), &spec);
+  }
+}
+
+TEST(EngineRegistry, OnlyTheFpgaEngineIsADeviceModel) {
+  for (const EngineSpec& spec : engines()) {
+    EXPECT_EQ(spec.device_model, spec.engine == MappingEngine::kFpga) << spec.name;
+  }
+}
+
+TEST(EngineRegistry, ParseAcceptsCanonicalNamesAndAliases) {
+  EXPECT_EQ(parse_engine_name("fpga"), MappingEngine::kFpga);
+  EXPECT_EQ(parse_engine_name("rrr"), MappingEngine::kCpu);
+  EXPECT_EQ(parse_engine_name("cpu"), MappingEngine::kCpu);
+  EXPECT_EQ(parse_engine_name("sampled"), MappingEngine::kBowtie2Like);
+  EXPECT_EQ(parse_engine_name("bowtie2like"), MappingEngine::kBowtie2Like);
+  EXPECT_EQ(parse_engine_name("plain"), MappingEngine::kPlainWavelet);
+  EXPECT_EQ(parse_engine_name("vector"), MappingEngine::kVector);
+  EXPECT_FALSE(parse_engine_name("").has_value());
+  EXPECT_FALSE(parse_engine_name("FPGA").has_value());
+  EXPECT_FALSE(parse_engine_name("simd").has_value());
+}
+
+TEST(EngineRegistry, DefaultEngineHonoursEnvironment) {
+  // default_engine() re-reads $BWAVER_ENGINE on every call (unlike the
+  // cached CPU-feature snapshot) so a test can exercise all branches.
+  const char* saved = std::getenv("BWAVER_ENGINE");
+  const std::string saved_value = saved ? saved : "";
+
+  unsetenv("BWAVER_ENGINE");
+  EXPECT_EQ(default_engine(), MappingEngine::kFpga);
+  setenv("BWAVER_ENGINE", "vector", 1);
+  EXPECT_EQ(default_engine(), MappingEngine::kVector);
+  setenv("BWAVER_ENGINE", "cpu", 1);
+  EXPECT_EQ(default_engine(), MappingEngine::kCpu);
+  setenv("BWAVER_ENGINE", "not-an-engine", 1);
+  EXPECT_EQ(default_engine(), MappingEngine::kFpga);
+
+  if (saved) {
+    setenv("BWAVER_ENGINE", saved_value.c_str(), 1);
+  } else {
+    unsetenv("BWAVER_ENGINE");
+  }
+}
+
+TEST(EngineRegistry, KernelNameReflectsVectorization) {
+  for (const EngineSpec& spec : engines()) {
+    const char* kernel = engine_kernel_name(spec.engine);
+    if (spec.vectorized) {
+      EXPECT_STREQ(kernel, active_kernel().name) << spec.name;
+    } else {
+      EXPECT_STREQ(kernel, "scalar") << spec.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bwaver::kernels

@@ -1,0 +1,130 @@
+#include "util/cpu_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bwaver {
+namespace {
+
+CpuFeatures full_x86() {
+  CpuFeatures f;
+  f.sse42 = true;
+  f.avx2 = true;
+  f.pclmul = true;
+  f.best = SimdLevel::kAvx2;
+  return f;
+}
+
+TEST(CpuFeatures, DetectionIsInternallyConsistent) {
+  const CpuFeatures f = detect_cpu_features();
+  switch (f.best) {
+    case SimdLevel::kAvx2:
+      EXPECT_TRUE(f.avx2);
+      break;
+    case SimdLevel::kSse42:
+      EXPECT_TRUE(f.sse42);
+      EXPECT_FALSE(f.avx2);
+      break;
+    case SimdLevel::kNeon:
+      EXPECT_TRUE(f.neon);
+      break;
+    case SimdLevel::kPortable:
+      EXPECT_FALSE(f.avx2);
+      EXPECT_FALSE(f.sse42);
+      EXPECT_FALSE(f.neon);
+      break;
+  }
+}
+
+TEST(CpuFeatures, CapClearsFlagsAboveTheLevel) {
+  CpuFeatures capped = cap_cpu_features(full_x86(), SimdLevel::kSse42);
+  EXPECT_FALSE(capped.avx2);
+  EXPECT_TRUE(capped.sse42);
+  EXPECT_TRUE(capped.pclmul);  // pclmul rides with the sse4 tier
+  EXPECT_EQ(capped.best, SimdLevel::kSse42);
+
+  capped = cap_cpu_features(full_x86(), SimdLevel::kPortable);
+  EXPECT_FALSE(capped.avx2);
+  EXPECT_FALSE(capped.sse42);
+  EXPECT_FALSE(capped.pclmul);
+  EXPECT_EQ(capped.best, SimdLevel::kPortable);
+}
+
+TEST(CpuFeatures, CapAtOrAboveDetectedIsIdentity) {
+  const CpuFeatures capped = cap_cpu_features(full_x86(), SimdLevel::kAvx2);
+  EXPECT_TRUE(capped.avx2);
+  EXPECT_TRUE(capped.sse42);
+  EXPECT_TRUE(capped.pclmul);
+  EXPECT_EQ(capped.best, SimdLevel::kAvx2);
+}
+
+TEST(CpuFeatures, NeonCapOnX86DegradesToPortable) {
+  const CpuFeatures capped = cap_cpu_features(full_x86(), SimdLevel::kNeon);
+  EXPECT_FALSE(capped.avx2);
+  EXPECT_FALSE(capped.sse42);
+  EXPECT_FALSE(capped.pclmul);
+  EXPECT_EQ(capped.best, SimdLevel::kPortable);
+}
+
+TEST(CpuFeatures, NeonCapKeepsNeon) {
+  CpuFeatures arm;
+  arm.neon = true;
+  arm.best = SimdLevel::kNeon;
+  const CpuFeatures capped = cap_cpu_features(arm, SimdLevel::kNeon);
+  EXPECT_TRUE(capped.neon);
+  EXPECT_EQ(capped.best, SimdLevel::kNeon);
+}
+
+TEST(CpuFeatures, CapToLevelHardwareLacksDegrades) {
+  CpuFeatures sse_only;
+  sse_only.sse42 = true;
+  sse_only.best = SimdLevel::kSse42;
+  const CpuFeatures capped = cap_cpu_features(sse_only, SimdLevel::kAvx2);
+  EXPECT_FALSE(capped.avx2);
+  EXPECT_EQ(capped.best, SimdLevel::kSse42);
+}
+
+TEST(CpuFeatures, LevelNamesRoundTrip) {
+  for (const SimdLevel level : {SimdLevel::kPortable, SimdLevel::kSse42,
+                                SimdLevel::kAvx2, SimdLevel::kNeon}) {
+    const auto parsed = parse_simd_level(simd_level_name(level));
+    ASSERT_TRUE(parsed.has_value()) << simd_level_name(level);
+    EXPECT_EQ(*parsed, level);
+  }
+}
+
+TEST(CpuFeatures, ParseAcceptsSpellingVariants) {
+  EXPECT_EQ(parse_simd_level("scalar"), SimdLevel::kPortable);
+  EXPECT_EQ(parse_simd_level("swar"), SimdLevel::kPortable);
+  EXPECT_EQ(parse_simd_level("sse4.2"), SimdLevel::kSse42);
+  EXPECT_FALSE(parse_simd_level("avx512").has_value());
+  EXPECT_FALSE(parse_simd_level("").has_value());
+  EXPECT_FALSE(parse_simd_level("AVX2").has_value());  // names are lowercase
+}
+
+TEST(CpuFeatures, FeatureStringFormats) {
+  EXPECT_EQ(cpu_features_string(CpuFeatures{}), "portable");
+  EXPECT_EQ(cpu_features_string(full_x86()), "avx2+sse42+pclmul");
+  CpuFeatures arm;
+  arm.neon = true;
+  arm.best = SimdLevel::kNeon;
+  EXPECT_EQ(cpu_features_string(arm), "neon");
+}
+
+TEST(CpuFeatures, ProcessSnapshotIsCachedAndCapConsistent) {
+  const CpuFeatures& a = cpu_features();
+  const CpuFeatures& b = cpu_features();
+  EXPECT_EQ(&a, &b);  // one static snapshot
+  // Whatever cap $BWAVER_CPU_FEATURES applied, the snapshot can never
+  // exceed the raw hardware detection.
+  const CpuFeatures raw = detect_cpu_features();
+  EXPECT_LE(a.avx2, raw.avx2);
+  EXPECT_LE(a.sse42, raw.sse42);
+  EXPECT_LE(a.neon, raw.neon);
+  EXPECT_LE(a.pclmul, raw.pclmul);
+  EXPECT_LE(static_cast<int>(a.best), static_cast<int>(raw.best));
+}
+
+}  // namespace
+}  // namespace bwaver
