@@ -16,6 +16,9 @@
 //                    (cpu/bowtie2like accepted as aliases; default from
 //                    $BWAVER_ENGINE, else fpga) [--b B] [--sf SF]
 //                    [--shards N] (reads per parallel shard, 0 = auto)
+//                    [--search-mode per-read|sweep] (software engines:
+//                    per-read backward search or the locality-aware batched
+//                    sweep scheduler; byte-identical SAM either way)
 //                    [--profile FILE] write a per-stage profile (seed/search/
 //                    locate/sam ms, wall, load mode, span tree) as JSON
 //                    or: --store-dir DIR --ref-name N (load from the store;
@@ -27,7 +30,8 @@
 //                    [--min-insert N] [--max-insert N] [--threads T]
 //   pipeline         --ref ref.fa[.gz] --reads reads.fq[.gz] --out out.sam [same options]
 //   stats            --index ref.bwvr [--b B] [--sf SF]   entropy/size/device-fit report
-//   serve            [--port P] [--b B] [--sf SF] [--engine ...] [--store-dir DIR]
+//   serve            [--port P] [--b B] [--sf SF] [--engine ...]
+//                    [--search-mode per-read|sweep] [--store-dir DIR]
 //                    [--load-mode mmap|copy] [--memory-budget-mb M]
 //                    [--workers N] [--max-queue N]
 //                    [--job-timeout S] [--http-threads N] [--max-body-mb M]
@@ -115,6 +119,14 @@ PipelineConfig config_from_args(const ArgParser& args) {
   config.seed_k = static_cast<unsigned>(
       args.get_int("seed-k", static_cast<std::int64_t>(KmerSeedTable::kDefaultK)));
   config.shard_size = static_cast<std::size_t>(args.get_int("shards", 0));
+  if (const std::string mode_arg = args.get("search-mode"); !mode_arg.empty()) {
+    const auto mode = parse_search_mode(mode_arg);
+    if (!mode) {
+      throw std::invalid_argument("unknown search mode '" + mode_arg + "' (" +
+                                  search_mode_choices() + ")");
+    }
+    config.search_mode = *mode;
+  }
   return config;
 }
 
@@ -342,6 +354,7 @@ int cmd_map(const ArgParser& args) {
     }
     profile << "{" << summary << ",\"load_mode\":\"" << load_mode << "\""
             << ",\"engine\":\"" << kernels::engine_spec(config.engine).name << "\""
+            << ",\"search_mode\":\"" << search_mode_name(config.search_mode) << "\""
             << ",\"rank_kernel\":\"" << kernels::engine_kernel_name(config.engine)
             << "\",\"cpu_features\":\"" << cpu_features_string(cpu_features())
             << "\",\"stages\":" << stages << ",\"trace\":" << trace->to_json()
@@ -358,14 +371,15 @@ int cmd_map_approx(const ArgParser& args) {
   if (index_path.empty() || reads_path.empty()) return usage();
   const auto mismatches = static_cast<unsigned>(args.get_int("mismatches", 2));
 
-  Pipeline pipeline(config_from_args(args));
+  const PipelineConfig config = config_from_args(args);
+  Pipeline pipeline(config);
   pipeline.encode(index_path);
   const auto records = read_fastq(reads_path);
   const ReadBatch batch = ReadBatch::from_fastq(records);
 
   const StagedFpgaMapper mapper(pipeline.index(), DeviceSpec{}, mismatches);
   StagedMapReport report;
-  const auto results = mapper.map(batch, &report);
+  const auto results = mapper.map(batch, &report, config.search_mode);
 
   std::printf("staged approximate mapping, up to %u mismatches\n", mismatches);
   std::printf("%8s %10s %10s %14s %14s\n", "stage", "reads in", "aligned",

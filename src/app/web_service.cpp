@@ -364,6 +364,18 @@ HttpResponse WebService::submit_map_job(const HttpRequest& request,
     config.engine = *engine;
   }
 
+  // ?search_mode= likewise overrides the backward-search scheduling for
+  // this job only (per-read, or the batched sweep scheduler).
+  const std::string mode_raw = request.query_param("search_mode");
+  if (!mode_raw.empty()) {
+    const auto mode = parse_search_mode(mode_raw);
+    if (!mode) {
+      return HttpResponse::text(400, "unknown search_mode '" + mode_raw + "' (" +
+                                         search_mode_choices() + ")\n");
+    }
+    config.search_mode = *mode;
+  }
+
   // The job closure is shared with the fleet transports (the worker
   // acquires the registry handle at run time, so an index evicted — or
   // rolled over — between submit and pickup is picked up fresh).

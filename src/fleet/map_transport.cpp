@@ -102,6 +102,14 @@ std::string InProcessTransport::map(const MapRequest& request,
     }
     config.engine = *engine;
   }
+  if (!request.search_mode.empty()) {
+    const auto mode = parse_search_mode(request.search_mode);
+    if (!mode) {
+      throw TransportError(TransportErrorKind::kBadRequest,
+                           "unknown search_mode '" + request.search_mode + "'", 400);
+    }
+    config.search_mode = *mode;
+  }
 
   std::optional<std::chrono::milliseconds> timeout;
   if (request.timeout.count() > 0) timeout = request.timeout;
@@ -170,6 +178,9 @@ std::string HttpMapTransport::map(const MapRequest& request,
   std::string target = "/jobs?ref=" + url_encode(request.ref) + "&priority=high";
   if (!request.engine.empty()) {
     target += "&engine=" + url_encode(request.engine);
+  }
+  if (!request.search_mode.empty()) {
+    target += "&search_mode=" + url_encode(request.search_mode);
   }
   if (request.timeout.count() > 0) {
     target += "&timeout-ms=" + std::to_string(request.timeout.count());

@@ -479,9 +479,11 @@ HttpResponse RouterService::handle_map(const HttpRequest& request) {
   if (ref.empty()) {
     return HttpResponse::text(400, "select a reference with ?ref=NAME\n");
   }
-  // The client's engine choice is forwarded verbatim to every shard's
-  // backend (which validates it); the router itself is engine-agnostic.
+  // The client's engine and search-mode choices are forwarded verbatim to
+  // every shard's backend (which validates them); the router itself is
+  // engine-agnostic.
   const std::string engine = request.query_param("engine");
+  const std::string search_mode = request.query_param("search_mode");
   if (request.body.empty()) {
     return HttpResponse::text(400, "empty read upload\n");
   }
@@ -510,6 +512,7 @@ HttpResponse RouterService::handle_map(const HttpRequest& request) {
     shard_request.request_id = request.request_id() + "-s" + std::to_string(shard);
     shard_request.tenant = tenant;
     shard_request.engine = engine;
+    shard_request.search_mode = search_mode;
     shard_request.timeout = options_.map_timeout;
     shard_threads.emplace_back([this, shard, shard_request = std::move(shard_request),
                                 &results, &failures, &failure_status] {

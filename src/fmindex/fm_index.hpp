@@ -150,6 +150,53 @@ class FmIndex {
                       static_cast<std::uint32_t>(c_[c] + r_hi)};
   }
 
+  /// Step entry point of the batched sweep scheduler (see
+  /// mapper/batch_scheduler.hpp): identical to step(), named separately so
+  /// the step-wise callers read as what they are — one search step of one
+  /// in-flight read, interleaved with thousands of others.
+  SaInterval count_step(SaInterval iv, std::uint8_t c) const noexcept {
+    return step(iv, c);
+  }
+
+  /// Seeding decision shared by count() and the sweep scheduler: the
+  /// interval a search of `pattern` starts from and (via `remaining`) how
+  /// many leading codes are still unconsumed. A non-empty seed-table hit
+  /// replaces the final k steps; every other case starts from the full
+  /// interval with the whole pattern pending — so
+  ///     iv = count_start(p, r); while (r > 0 && !iv.empty()) iv = step(iv, p[--r]);
+  /// is byte-identical to count().
+  SaInterval count_start(std::span<const std::uint8_t> pattern,
+                         std::size_t& remaining) const noexcept {
+    const unsigned k = seed_table_ ? seed_table_->k() : 0;
+    if (k != 0 && pattern.size() >= k) {
+      if (const auto seed = seed_table_->lookup(pattern.last(k));
+          seed && !seed->empty()) {
+        remaining = pattern.size() - k;
+        return *seed;
+      }
+    }
+    remaining = pattern.size();
+    return full_interval();
+  }
+
+  /// Software-prefetches the Occ-backend storage a subsequent
+  /// step(iv, c) will touch. A no-op for backends without address-
+  /// computable rank storage (the RRR wavelet tree's descent is data-
+  /// dependent); checkpointed backends pull both bounds' cache lines.
+  void prefetch_step(SaInterval iv) const noexcept {
+    if constexpr (requires(const Occ& occ) { occ.prefetch(std::size_t{}); }) {
+      occ_backend_.prefetch(iv.lo <= bwt_.primary ? iv.lo : iv.lo - 1);
+      occ_backend_.prefetch(iv.hi <= bwt_.primary ? iv.hi : iv.hi - 1);
+    }
+  }
+
+  /// Sentinel adjustment applied to a BW-matrix row before it reaches the
+  /// Occ backend (exposed for the batched scheduler's bulk-rank path,
+  /// which feeds backends directly).
+  std::size_t occ_row(std::size_t row) const noexcept {
+    return row <= bwt_.primary ? row : row - 1;
+  }
+
   /// Backward search of a full pattern (codes 0..3). When a k-mer seed
   /// table is attached and the pattern's final k codes hit a non-empty
   /// entry, the first k steps are skipped outright; any other case —
@@ -159,14 +206,10 @@ class FmIndex {
   /// exit can have fired: intervals only shrink), the result is
   /// byte-identical to count_unseeded() in every case.
   SaInterval count(std::span<const std::uint8_t> pattern) const noexcept {
-    const unsigned k = seed_table_ ? seed_table_->k() : 0;
-    if (k == 0 || pattern.size() < k) return count_unseeded(pattern);
-    const auto seed = seed_table_->lookup(pattern.last(k));
-    if (!seed || seed->empty()) return count_unseeded(pattern);
-    SaInterval iv = *seed;
-    for (std::size_t i = pattern.size() - k; i-- > 0;) {
-      iv = step(iv, pattern[i]);
-      if (iv.empty()) break;
+    std::size_t remaining = 0;
+    SaInterval iv = count_start(pattern, remaining);
+    while (remaining > 0 && !iv.empty()) {
+      iv = step(iv, pattern[--remaining]);
     }
     return iv;
   }

@@ -193,6 +193,19 @@ class SampledOcc {
   explicit SampledOcc(std::span<const std::uint8_t> bwt, unsigned checkpoint_words = 4);
 
   std::size_t rank(std::uint8_t c, std::size_t i) const noexcept;
+
+  /// Pulls the checkpoint row and the first packed word a rank at offset
+  /// `i` will scan toward L1 (the sweep scheduler's lookahead hook). The
+  /// two arrays are separate fetch streams, so both get a prefetch.
+  void prefetch(std::size_t i) const noexcept {
+    const std::size_t word = i >> 5;
+    __builtin_prefetch(&checkpoints_[word / checkpoint_words_], /*rw=*/0,
+                       /*locality=*/1);
+    if (word < packed_.size()) {
+      __builtin_prefetch(&packed_[word], /*rw=*/0, /*locality=*/1);
+    }
+  }
+
   std::uint8_t access(std::size_t i) const noexcept {
     return static_cast<std::uint8_t>((packed_[i >> 5] >> ((i & 31) * 2)) & 3);
   }

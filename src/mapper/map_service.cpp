@@ -52,30 +52,57 @@ std::vector<double> stage_time_bounds() {
 
 /// Records the per-stage split into the ambient metrics registry (if one is
 /// installed) and appends aggregated stage spans under `parent` (if the
-/// ambient trace is live). `fpga` optionally adds the modeled device-phase
-/// children under the search span.
+/// ambient trace is live). `mode` labels the series with the effective
+/// search-scheduling order; `sweep` (non-zero only under sweep mode) feeds
+/// the bwaver_sweep_* scheduler counters. `fpga` optionally adds the
+/// modeled device-phase children under the search span.
 void publish_stages(const obs::ObsContext& ctx, std::uint32_t parent,
                     const MappingStageTimings& stages, const char* engine,
+                    const char* mode, const SweepStats& sweep,
                     const FpgaMapReport* fpga) {
   if (ctx.metrics != nullptr) {
     static constexpr const char* kName = "bwaver_map_stage_seconds";
-    static constexpr const char* kHelp = "Per-stage mapping time, by engine and stage";
+    static constexpr const char* kHelp =
+        "Per-stage mapping time, by engine, search mode and stage";
     ctx.metrics
         ->histogram(kName, kHelp, stage_time_bounds(),
-                    {{"engine", engine}, {"stage", "seed"}})
+                    {{"engine", engine}, {"search_mode", mode}, {"stage", "seed"}})
         .observe_ms(stages.seed_ms);
     ctx.metrics
         ->histogram(kName, kHelp, stage_time_bounds(),
-                    {{"engine", engine}, {"stage", "search"}})
+                    {{"engine", engine}, {"search_mode", mode}, {"stage", "search"}})
         .observe_ms(stages.search_ms);
     ctx.metrics
         ->histogram(kName, kHelp, stage_time_bounds(),
-                    {{"engine", engine}, {"stage", "locate"}})
+                    {{"engine", engine}, {"search_mode", mode}, {"stage", "locate"}})
         .observe_ms(stages.locate_ms);
     ctx.metrics
         ->histogram(kName, kHelp, stage_time_bounds(),
-                    {{"engine", engine}, {"stage", "sam"}})
+                    {{"engine", engine}, {"search_mode", mode}, {"stage", "sam"}})
         .observe_ms(stages.sam_ms);
+    if (sweep.batches != 0) {
+      const obs::Labels labels{{"engine", engine}};
+      ctx.metrics
+          ->counter("bwaver_sweep_batches_total",
+                    "Sweep-scheduler invocations (one per shard or chunk)", labels)
+          .inc(sweep.batches);
+      ctx.metrics
+          ->counter("bwaver_sweep_passes_total",
+                    "Step sweeps over the in-flight state pool (search depth)",
+                    labels)
+          .inc(sweep.passes);
+      ctx.metrics
+          ->counter("bwaver_sweep_state_steps_total",
+                    "Single-read search steps executed by the sweep scheduler",
+                    labels)
+          .inc(sweep.state_steps);
+      ctx.metrics
+          ->gauge("bwaver_sweep_peak_active",
+                  "Largest in-flight state pool of the latest sweep run (batch "
+                  "occupancy)",
+                  labels)
+          .set(static_cast<double>(sweep.peak_active));
+    }
   }
   if (ctx.trace != nullptr) {
     ctx.trace->emit("seed", parent, -1.0, stages.seed_ms);
@@ -179,6 +206,7 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
   std::function<std::vector<QueryResult>(const ReadBatch&, unsigned,
                                          SoftwareMapReport*)>
       software_map;
+  const SearchMode mode = config.search_mode;
   switch (config.engine) {
     case MappingEngine::kFpga:
       fpga = std::make_unique<BwaverFpgaMapper>(index, config.device, 8192,
@@ -186,9 +214,9 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
       break;
     case MappingEngine::kCpu:
       cpu = std::make_unique<BwaverCpuMapper>(index);
-      software_map = [&cpu](const ReadBatch& batch, unsigned threads,
-                            SoftwareMapReport* report) {
-        return cpu->map(batch, threads, report);
+      software_map = [&cpu, mode](const ReadBatch& batch, unsigned threads,
+                                  SoftwareMapReport* report) {
+        return cpu->map(batch, threads, report, mode);
       };
       break;
     case MappingEngine::kBowtie2Like:
@@ -196,9 +224,9 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
         transient = std::make_unique<Bowtie2LikeMapper>(reference.concatenated());
         bowtie = transient.get();
       }
-      software_map = [bowtie](const ReadBatch& batch, unsigned threads,
-                              SoftwareMapReport* report) {
-        return bowtie->map(batch, threads, report);
+      software_map = [bowtie, mode](const ReadBatch& batch, unsigned threads,
+                                    SoftwareMapReport* report) {
+        return bowtie->map(batch, threads, report, mode);
       };
       break;
     case MappingEngine::kPlainWavelet:
@@ -206,22 +234,27 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
           index, [](std::span<const std::uint8_t> bwt) {
             return PlainWaveletOcc(bwt);
           });
-      software_map = [&plain](const ReadBatch& batch, unsigned threads,
-                              SoftwareMapReport* report) {
-        return plain->map(batch, threads, report);
+      software_map = [&plain, mode](const ReadBatch& batch, unsigned threads,
+                                    SoftwareMapReport* report) {
+        return plain->map(batch, threads, report, mode);
       };
       break;
     case MappingEngine::kVector:
       vector = std::make_unique<VectorMapper>(
           index,
           [](std::span<const std::uint8_t> bwt) { return VectorOcc(bwt); });
-      software_map = [&vector](const ReadBatch& batch, unsigned threads,
-                               SoftwareMapReport* report) {
-        return vector->map(batch, threads, report);
+      software_map = [&vector, mode](const ReadBatch& batch, unsigned threads,
+                                     SoftwareMapReport* report) {
+        return vector->map(batch, threads, report, mode);
       };
       break;
   }
   const char* engine_name = kernels::engine_spec(config.engine).name;
+  // The FPGA kernel already streams query packets — the scheduling flag is
+  // a documented no-op there, and its series stay labeled per-read.
+  const char* mode_name = config.engine == MappingEngine::kFpga
+                              ? search_mode_name(SearchMode::kPerRead)
+                              : search_mode_name(mode);
 
   MappingOutcome outcome;
   std::vector<SamAlignment> alignments;
@@ -268,8 +301,10 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
         const ReadBatch batch = ReadBatch::from_fastq(chunk);
         shards[s].outcome.stages.seed_ms = stage_timer.milliseconds();
         stage_timer.reset();
-        std::vector<QueryResult> results = software_map(batch, 1, nullptr);
+        SoftwareMapReport report;
+        std::vector<QueryResult> results = software_map(batch, 1, &report);
         shards[s].outcome.stages.search_ms = stage_timer.milliseconds();
+        shards[s].outcome.sweep = report.sweep;
         stage_timer.reset();
         shards[s].alignments.reserve(results.size());
         resolve_query_results(reference, index.suffix_array(), chunk, results,
@@ -286,6 +321,7 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
       outcome.mapped += shard.outcome.mapped;
       outcome.occurrences += shard.outcome.occurrences;
       outcome.stages += shard.outcome.stages;
+      outcome.sweep += shard.outcome.sweep;
       alignments.insert(alignments.end(),
                         std::make_move_iterator(shard.alignments.begin()),
                         std::make_move_iterator(shard.alignments.end()));
@@ -294,7 +330,8 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
     WallTimer sam_timer;
     outcome.sam = format_sam(sam_sequences_for(reference), alignments);
     outcome.stages.sam_ms = sam_timer.milliseconds();
-    publish_stages(obs_ctx, map_span.id(), outcome.stages, engine_name, nullptr);
+    publish_stages(obs_ctx, map_span.id(), outcome.stages, engine_name, mode_name,
+                   outcome.sweep, nullptr);
     return outcome;
   }
 
@@ -327,6 +364,7 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
       results = software_map(batch, config.threads, &report);
       seconds += report.seconds;
       outcome.stages.search_ms += stage_timer.milliseconds();
+      outcome.sweep += report.sweep;
     }
     stage_timer.reset();
     resolve_query_results(reference, index.suffix_array(), chunk, results,
@@ -338,7 +376,8 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
   WallTimer sam_timer;
   outcome.sam = format_sam(sam_sequences_for(reference), alignments);
   outcome.stages.sam_ms = sam_timer.milliseconds();
-  publish_stages(obs_ctx, map_span.id(), outcome.stages, engine_name,
+  publish_stages(obs_ctx, map_span.id(), outcome.stages, engine_name, mode_name,
+                 outcome.sweep,
                  config.engine == MappingEngine::kFpga ? &fpga_total : nullptr);
   return outcome;
 }

@@ -46,6 +46,10 @@ struct PipelineConfig {
   /// Reads per parallel mapping shard for software engines (0 = auto-size
   /// from the batch and thread count). Only used when threads > 1.
   std::size_t shard_size = 0;
+  /// Backward-search execution order for software engines: per-read, or
+  /// the locality-aware batched sweep scheduler (batch_scheduler.hpp).
+  /// Byte-identical SAM either way; ignored by the FPGA engine.
+  SearchMode search_mode = SearchMode::kPerRead;
   /// FPGA engine only: re-derive every Nth kernel result through the
   /// host-side seeded search and fail on disagreement (0 disables). See
   /// BwaverFpgaMapper::host_verify_stride.
@@ -87,6 +91,7 @@ struct MappingOutcome {
   std::uint64_t occurrences = 0;  ///< total located positions, both strands
   std::uint64_t shards = 1;       ///< parallel shards dispatched (1 = sequential)
   MappingStageTimings stages;     ///< per-stage timing split
+  SweepStats sweep;               ///< sweep-scheduler counters (zero per-read)
   std::string sam;                ///< rendered SAM document
 };
 

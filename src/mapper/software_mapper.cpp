@@ -75,8 +75,9 @@ BwaverCpuMapper::BwaverCpuMapper(std::span<const std::uint8_t> reference,
 }
 
 std::vector<QueryResult> BwaverCpuMapper::map(const ReadBatch& batch, unsigned threads,
-                                              SoftwareMapReport* report) const {
-  return detail::map_batch(*index_, batch, threads, report);
+                                              SoftwareMapReport* report,
+                                              SearchMode mode) const {
+  return detail::map_batch_mode(*index_, batch, threads, report, mode);
 }
 
 Bowtie2LikeMapper::Bowtie2LikeMapper(std::span<const std::uint8_t> reference,
@@ -86,8 +87,9 @@ Bowtie2LikeMapper::Bowtie2LikeMapper(std::span<const std::uint8_t> reference,
       }) {}
 
 std::vector<QueryResult> Bowtie2LikeMapper::map(const ReadBatch& batch, unsigned threads,
-                                                SoftwareMapReport* report) const {
-  return detail::map_batch(index_, batch, threads, report);
+                                                SoftwareMapReport* report,
+                                                SearchMode mode) const {
+  return detail::map_batch_mode(index_, batch, threads, report, mode);
 }
 
 }  // namespace bwaver

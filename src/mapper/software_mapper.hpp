@@ -20,6 +20,7 @@
 #include "fmindex/occ_backends.hpp"
 #include "fpga/query_packet.hpp"
 #include "kernels/vector_occ.hpp"
+#include "mapper/batch_scheduler.hpp"
 #include "mapper/read_batch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,6 +32,8 @@ struct SoftwareMapReport {
   unsigned threads = 1;
   std::uint64_t reads = 0;
   std::uint64_t mapped = 0;
+  /// Scheduler occupancy counters; all-zero under SearchMode::kPerRead.
+  SweepStats sweep;
 };
 
 namespace detail {
@@ -39,6 +42,17 @@ namespace detail {
 template <typename Occ>
 std::vector<QueryResult> map_batch(const FmIndex<Occ>& index, const ReadBatch& batch,
                                    unsigned threads, SoftwareMapReport* report);
+
+/// Mode dispatch shared by every software mapper: per-read recurrence or
+/// the batched sweep scheduler (batch_scheduler.hpp). Identical results
+/// either way.
+template <typename Occ>
+std::vector<QueryResult> map_batch_mode(const FmIndex<Occ>& index,
+                                        const ReadBatch& batch, unsigned threads,
+                                        SoftwareMapReport* report, SearchMode mode) {
+  return mode == SearchMode::kSweep ? sweep_map_batch(index, batch, threads, report)
+                                    : map_batch(index, batch, threads, report);
+}
 }  // namespace detail
 
 class BwaverCpuMapper {
@@ -50,7 +64,8 @@ class BwaverCpuMapper {
   explicit BwaverCpuMapper(const FmIndex<RrrWaveletOcc>& index) : index_(&index) {}
 
   std::vector<QueryResult> map(const ReadBatch& batch, unsigned threads = 1,
-                               SoftwareMapReport* report = nullptr) const;
+                               SoftwareMapReport* report = nullptr,
+                               SearchMode mode = SearchMode::kPerRead) const;
 
   const FmIndex<RrrWaveletOcc>& index() const noexcept { return *index_; }
 
@@ -66,7 +81,8 @@ class Bowtie2LikeMapper {
                              unsigned checkpoint_words = 4);
 
   std::vector<QueryResult> map(const ReadBatch& batch, unsigned threads = 1,
-                               SoftwareMapReport* report = nullptr) const;
+                               SoftwareMapReport* report = nullptr,
+                               SearchMode mode = SearchMode::kPerRead) const;
 
   const FmIndex<SampledOcc>& index() const noexcept { return index_; }
 
@@ -93,8 +109,9 @@ class DerivedOccMapper {
   }
 
   std::vector<QueryResult> map(const ReadBatch& batch, unsigned threads = 1,
-                               SoftwareMapReport* report = nullptr) const {
-    return detail::map_batch(index_, batch, threads, report);
+                               SoftwareMapReport* report = nullptr,
+                               SearchMode mode = SearchMode::kPerRead) const {
+    return detail::map_batch_mode(index_, batch, threads, report, mode);
   }
 
   const FmIndex<Occ>& index() const noexcept { return index_; }

@@ -19,6 +19,7 @@
 #include "fmindex/occ_backends.hpp"
 #include "fpga/device_spec.hpp"
 #include "fpga/hls_kernel.hpp"
+#include "mapper/batch_scheduler.hpp"
 #include "mapper/read_batch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,9 +60,15 @@ class StagedFpgaMapper {
   StagedFpgaMapper(const FmIndex<RrrWaveletOcc>& index, DeviceSpec spec = DeviceSpec{},
                    unsigned max_mismatches = 2);
 
-  /// Maps every read; results indexed by read. Report is optional.
+  /// Maps every read; results indexed by read. Report is optional. `mode`
+  /// selects the exact (budget-0) stage's execution order: kSweep runs it
+  /// through the batched sweep scheduler (batch_scheduler.hpp) — identical
+  /// results and modeled step counts, better host-side locality. The
+  /// mismatch stages always run per-read (their search-tree descent is
+  /// data-dependent, not step-synchronous).
   std::vector<StagedReadResult> map(const ReadBatch& batch,
-                                    StagedMapReport* report = nullptr) const;
+                                    StagedMapReport* report = nullptr,
+                                    SearchMode mode = SearchMode::kPerRead) const;
 
   unsigned max_mismatches() const noexcept { return max_mismatches_; }
 

@@ -391,19 +391,20 @@ TEST_F(JobsHttpTest, MetricsEndpointServesPrometheusAndCountersMove) {
   EXPECT_GE(run_count, 2.0);
   EXPECT_EQ(metric_value(text, "bwaver_job_run_seconds_bucket{le=\"+Inf\"}"),
             run_count);
-  const double seed_count = metric_value(
-      text, "bwaver_map_stage_seconds_count{engine=\"fpga\",stage=\"seed\"}");
+  const double seed_count =
+      metric_value(text,
+                   "bwaver_map_stage_seconds_count{engine=\"fpga\","
+                   "search_mode=\"per-read\",stage=\"seed\"}");
   EXPECT_GE(seed_count, 2.0);
   EXPECT_EQ(metric_value(text,
                          "bwaver_map_stage_seconds_bucket{engine=\"fpga\","
-                         "stage=\"seed\",le=\"+Inf\"}"),
+                         "search_mode=\"per-read\",stage=\"seed\",le=\"+Inf\"}"),
             seed_count);
   for (const char* stage : {"search", "locate", "sam"}) {
-    EXPECT_GE(metric_value(
-                  text,
-                  std::string(
-                      "bwaver_map_stage_seconds_count{engine=\"fpga\",stage=\"") +
-                      stage + "\"}"),
+    EXPECT_GE(metric_value(text,
+                           std::string("bwaver_map_stage_seconds_count{engine=\"fpga\","
+                                       "search_mode=\"per-read\",stage=\"") +
+                               stage + "\"}"),
               2.0)
         << stage;
   }
