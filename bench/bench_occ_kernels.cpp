@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "fmindex/epr_occ.hpp"
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "kernels/rank_kernel.hpp"
@@ -54,12 +55,19 @@ std::vector<RankQuery> random_queries(std::size_t count, std::size_t n,
 template <typename RankFn>
 double time_ranks(const std::vector<RankQuery>& queries, std::uint64_t& checksum,
                   const RankFn& rank) {
-  WallTimer timer;
+  // Best of three passes: the enforced floors are ratios of these numbers,
+  // and a single pass is at the mercy of frequency ramps and cold lines.
+  double best = 0.0;
   std::uint64_t sum = 0;
-  for (const RankQuery& q : queries) sum += rank(q);
-  const double seconds = timer.seconds();
+  for (int rep = 0; rep < 3; ++rep) {
+    WallTimer timer;
+    sum = 0;
+    for (const RankQuery& q : queries) sum += rank(q);
+    const double seconds = timer.seconds();
+    if (rep == 0 || seconds < best) best = seconds;
+  }
   checksum = sum;
-  return seconds;
+  return best;
 }
 
 void report_engine(const char* label, std::size_t ranks, double seconds,
@@ -125,6 +133,7 @@ int main(int argc, char** argv) {
   const PlainWaveletOcc plain(bwt);
   const RrrWaveletOcc& rrr = base.occ_backend();
   const VectorOcc vector(bwt);
+  const EprOcc epr(bwt);
 
   const std::size_t num_queries = scaled(2'000'000, setup.scale);
   const auto queries = random_queries(num_queries, bwt.size(), setup.seed);
@@ -161,11 +170,18 @@ int main(int argc, char** argv) {
                 vector.size_in_bytes(), sum);
   if (sum != want) return std::fprintf(stderr, "FATAL: vector checksum\n"), 1;
 
+  const double epr_seconds = time_ranks(
+      queries, sum, [&](const RankQuery& q) { return epr.rank(q.code, q.pos); });
+  report_engine("epr (bit-transposed)", num_queries, epr_seconds,
+                epr.size_in_bytes(), sum);
+  if (sum != want) return std::fprintf(stderr, "FATAL: epr checksum\n"), 1;
+
   const double rank_speedup = sampled_seconds / vector_seconds;
   report.metric("rank_sampled_mops", num_queries / sampled_seconds / 1e6);
   report.metric("rank_rrr_mops", num_queries / rrr_seconds / 1e6);
   report.metric("rank_plain_mops", num_queries / plain_seconds / 1e6);
   report.metric("rank_vector_mops", num_queries / vector_seconds / 1e6);
+  report.metric("rank_epr_mops", num_queries / epr_seconds / 1e6);
 
   // rank2 over narrow intervals — the actual occ2 shape in the search loop.
   std::uint64_t pair_want = 0;
@@ -199,6 +215,33 @@ int main(int argc, char** argv) {
   report.metric("vector_vs_scalar_speedup", rank_speedup);
   report.metric("vector_vs_scalar_rank2_speedup", rank2_speedup);
 
+  // The second enforced headline: the EPR dictionary's one-line/one-popcount
+  // rank against the vectorized 192-base-block scan, same random probes.
+  const double epr_speedup = vector_seconds / epr_seconds;
+  std::printf("epr vs vector speedup:     %.2fx rank\n", epr_speedup);
+  report.metric("epr_vs_vector_speedup", epr_speedup);
+
+  // rank_all — the bidirectional-extension primitive: all four symbol
+  // counts at one offset against four independent rank() calls.
+  std::uint64_t all_sum = 0;
+  WallTimer all_timer;
+  for (const RankQuery& q : queries) {
+    const auto counts = epr.rank_all(q.pos);
+    all_sum += counts[0] + counts[1] + counts[2] + counts[3];
+  }
+  const double all_seconds = all_timer.seconds();
+  std::uint64_t four_sum = 0;
+  WallTimer four_timer;
+  for (const RankQuery& q : queries) {
+    for (std::uint8_t c = 0; c < 4; ++c) four_sum += epr.rank(c, q.pos);
+  }
+  const double four_seconds = four_timer.seconds();
+  if (all_sum != four_sum) return std::fprintf(stderr, "FATAL: rank_all checksum\n"), 1;
+  std::printf("epr rank_all vs 4x rank:   %.1f vs %.1f ms (%.2fx)\n",
+              all_seconds * 1e3, four_seconds * 1e3, four_seconds / all_seconds);
+  report.metric("epr_rank_all_mops", num_queries / all_seconds / 1e6);
+  report.metric("epr_rank_all_vs_four_ranks", four_seconds / all_seconds);
+
   // ---- tier 3: end-to-end count-only mapping delta ----------------------
   ReadSimConfig rc;
   rc.num_reads = scaled(100'000, setup.scale);
@@ -226,21 +269,28 @@ int main(int argc, char** argv) {
   const FmIndex<VectorOcc> vector_index(
       borrow_bwt(), FlatArray<std::uint32_t>::view_of(base.suffix_array()),
       [](std::span<const std::uint8_t> b) { return VectorOcc(b); });
+  const FmIndex<EprOcc> epr_index(
+      borrow_bwt(), FlatArray<std::uint32_t>::view_of(base.suffix_array()),
+      [](std::span<const std::uint8_t> b) { return EprOcc(b); });
 
-  std::uint64_t mapped_sampled = 0, mapped_vector = 0, mapped_rrr = 0;
+  std::uint64_t mapped_sampled = 0, mapped_vector = 0, mapped_rrr = 0,
+                mapped_epr = 0;
   const double map_rrr = count_throughput(base, mapped_rrr);
   const double map_sampled = count_throughput(sampled_index, mapped_sampled);
   const double map_vector = count_throughput(vector_index, mapped_vector);
-  if (mapped_sampled != mapped_rrr || mapped_vector != mapped_rrr) {
+  const double map_epr = count_throughput(epr_index, mapped_epr);
+  if (mapped_sampled != mapped_rrr || mapped_vector != mapped_rrr ||
+      mapped_epr != mapped_rrr) {
     std::fprintf(stderr, "FATAL: engines disagree on mapped-read count\n");
     return 1;
   }
   std::printf("\ncount-only mapping (%zu reads x %u bp): rrr %.1f, sampled %.1f, "
-              "vector %.1f kreads/s\n", batch.size(), rc.read_length, map_rrr,
-              map_sampled, map_vector);
+              "vector %.1f, epr %.1f kreads/s\n", batch.size(), rc.read_length,
+              map_rrr, map_sampled, map_vector, map_epr);
   report.metric("map_rrr_kreads_per_sec", map_rrr);
   report.metric("map_sampled_kreads_per_sec", map_sampled);
   report.metric("map_vector_kreads_per_sec", map_vector);
+  report.metric("map_epr_kreads_per_sec", map_epr);
   report.metric("map_vector_vs_sampled", map_vector / map_sampled);
 
   report.emit();

@@ -2,7 +2,9 @@
 //
 // Subcommands:
 //   simulate-genome  --preset ecoli|chr21 | --length N [--gc F] [--seed S] --out ref.fa[.gz]
-//   simulate-reads   --ref ref.fa[.gz] --num N --length L [--mapping-ratio F] --out reads.fq[.gz]
+//   simulate-reads   --ref ref.fa[.gz] --num N --length L [--mapping-ratio F]
+//                    [--error-rate F] (per-base substitution probability for
+//                    the mapping reads; deterministic per --seed) --out reads.fq[.gz]
 //   index            --ref ref.fa[.gz] --out ref.bwvr            (pipeline step 1)
 //   index build      --ref ref.fa[.gz] --store-dir DIR [--name N] [--b B] [--sf SF]
 //                    [--seed-k K]  builds steps 1+2 (including the k-mer seed
@@ -26,6 +28,10 @@
 //                    of v3 archives, default $BWAVER_LOAD_MODE or copy)
 //   map-approx       --index ref.bwvr --reads reads.fq[.gz] [--mismatches K<=2]
 //                    staged exact -> 1-mm -> 2-mm mapping (FPGA model)
+//                    [--approx-mode branch|scheme] mismatch-stage algorithm:
+//                    per-stratum branch recursion or bidirectional search
+//                    schemes (identical hit sets, far fewer steps)
+//                    [--max-approx-hits N] per-read/strand hit cap (0 = default)
 //   map-paired       --index ref.bwvr --reads1 m1.fq[.gz] --reads2 m2.fq[.gz]
 //                    [--min-insert N] [--max-insert N] [--threads T]
 //   pipeline         --ref ref.fa[.gz] --reads reads.fq[.gz] --out out.sam [same options]
@@ -166,14 +172,16 @@ int cmd_simulate_reads(const ArgParser& args) {
   config.num_reads = static_cast<std::size_t>(args.get_int("num", 1000));
   config.read_length = static_cast<unsigned>(args.get_int("length", 100));
   config.mapping_ratio = args.get_double("mapping-ratio", 1.0);
+  config.error_rate = args.get_double("error-rate", 0.0);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
   const auto reads = simulate_reads(reference, config);
   const auto fastq = reads_to_fastq(reads);
   const std::string out = args.get("out", "reads.fq");
   write_fastq(out, fastq, ends_with(out, ".gz"));
-  std::printf("wrote %zu reads of %u bp (mapping ratio %.2f) to %s\n", fastq.size(),
-              config.read_length, config.mapping_ratio, out.c_str());
+  std::printf("wrote %zu reads of %u bp (mapping ratio %.2f, error rate %.3f) to %s\n",
+              fastq.size(), config.read_length, config.mapping_ratio,
+              config.error_rate, out.c_str());
   return 0;
 }
 
@@ -207,7 +215,8 @@ int cmd_index_build(const ArgParser& args) {
   const std::size_t length = index.size();
   const std::size_t num_sequences = reference.num_sequences();
   IndexRegistry registry(store_dir);
-  registry.add(name, StoredIndex{std::move(reference), std::move(index)});
+  registry.add(name, StoredIndex{std::move(reference), std::move(index), nullptr,
+                                 nullptr, LoadMode::kCopy});
   const std::string archive = registry.archive_path(name);
   std::printf("built '%s' (%zu bp, %zu sequence(s)) -> %s (%llu bytes)\n"
               "bwt+sa %.3f s, encode %.3f s\n",
@@ -371,31 +380,60 @@ int cmd_map_approx(const ArgParser& args) {
   if (index_path.empty() || reads_path.empty()) return usage();
   const auto mismatches = static_cast<unsigned>(args.get_int("mismatches", 2));
 
+  ApproxMode approx_mode = ApproxMode::kBranch;
+  if (const std::string mode_arg = args.get("approx-mode"); !mode_arg.empty()) {
+    approx_mode = parse_approx_mode(mode_arg);  // throws on anything else
+  }
+  std::size_t hit_cap =
+      static_cast<std::size_t>(args.get_int("max-approx-hits", 0));
+  if (hit_cap == 0) hit_cap = kDefaultApproxHitCap;
+
   const PipelineConfig config = config_from_args(args);
   Pipeline pipeline(config);
   pipeline.encode(index_path);
   const auto records = read_fastq(reads_path);
   const ReadBatch batch = ReadBatch::from_fastq(records);
 
-  const StagedFpgaMapper mapper(pipeline.index(), DeviceSpec{}, mismatches);
+  // Scheme mode needs the reverse-text index too; build it over the same
+  // text with the same RRR geometry so both directions rank identically.
+  std::unique_ptr<BidirFmIndex<RrrWaveletOcc>> bidir;
+  if (approx_mode == ApproxMode::kScheme) {
+    const RrrParams params = config.rrr;
+    bidir = std::make_unique<BidirFmIndex<RrrWaveletOcc>>(
+        pipeline.index(), pipeline.reference().concatenated(),
+        [params](std::span<const std::uint8_t> symbols) {
+          return RrrWaveletOcc(symbols, params);
+        });
+  }
+
+  const StagedFpgaMapper mapper(pipeline.index(), DeviceSpec{}, mismatches,
+                                approx_mode, bidir.get(), hit_cap);
   StagedMapReport report;
   const auto results = mapper.map(batch, &report, config.search_mode);
 
-  std::printf("staged approximate mapping, up to %u mismatches\n", mismatches);
-  std::printf("%8s %10s %10s %14s %14s\n", "stage", "reads in", "aligned",
-              "reconf [ms]", "kernel [ms]");
+  std::printf("staged approximate mapping, up to %u mismatches (%s mode)\n",
+              mismatches, approx_mode_name(approx_mode));
+  std::printf("%8s %10s %10s %12s %14s %14s\n", "stage", "reads in", "aligned",
+              "steps", "reconf [ms]", "kernel [ms]");
   for (const auto& stage : report.stages) {
-    std::printf("%6u mm %10llu %10llu %14.1f %14.3f\n", stage.mismatches,
+    std::printf("%6u mm %10llu %10llu %12llu %14.1f %14.3f\n", stage.mismatches,
                 static_cast<unsigned long long>(stage.reads_in),
                 static_cast<unsigned long long>(stage.reads_aligned),
+                static_cast<unsigned long long>(stage.steps_executed),
                 stage.reconfigure_seconds * 1e3, stage.kernel_seconds * 1e3);
   }
   std::size_t unaligned = 0;
   for (const auto& result : results) {
     unaligned += result.stage == StagedReadResult::kUnaligned;
   }
+  std::uint64_t truncated = 0;
+  for (const auto& stage : report.stages) truncated += stage.truncated_reads;
   std::printf("unaligned after all stages: %zu/%zu, modeled total %.1f ms\n", unaligned,
               results.size(), report.total_seconds() * 1e3);
+  if (truncated != 0) {
+    std::printf("warning: %llu read(s) hit the %zu-hit cap; loci lists truncated\n",
+                static_cast<unsigned long long>(truncated), hit_cap);
+  }
   return 0;
 }
 

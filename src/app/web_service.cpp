@@ -259,7 +259,8 @@ StoredIndex WebService::build_stored_index(const std::vector<FastaRecord>& recor
       std::move(bwt), std::move(sa), [params](std::span<const std::uint8_t> symbols) {
         return RrrWaveletOcc(symbols, params);
       });
-  return StoredIndex{std::move(reference), std::move(index)};
+  return StoredIndex{std::move(reference), std::move(index), nullptr, nullptr,
+                     LoadMode::kCopy};
 }
 
 HttpResponse WebService::handle_rollover(const HttpRequest& request) {

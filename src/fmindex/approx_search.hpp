@@ -12,13 +12,37 @@
 // why hardware designs stop at k = 2 (paper, Sec. II).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "fmindex/fm_index.hpp"
 
 namespace bwaver {
+
+/// How the approximate stages enumerate mismatching strings:
+/// kBranch — the classic 4-way backward recursion above (restarts the full
+/// pattern per stratum); kScheme — precomputed bidirectional search schemes
+/// (bidir_index.hpp), same hit sets, far fewer executed steps.
+enum class ApproxMode : std::uint8_t { kBranch, kScheme };
+
+inline const char* approx_mode_name(ApproxMode mode) noexcept {
+  return mode == ApproxMode::kScheme ? "scheme" : "branch";
+}
+
+inline ApproxMode parse_approx_mode(std::string_view name) {
+  if (name == "branch") return ApproxMode::kBranch;
+  if (name == "scheme") return ApproxMode::kScheme;
+  throw std::invalid_argument("approx mode must be 'branch' or 'scheme'");
+}
+
+/// Ceiling on hits gathered per search before truncation. Repetitive
+/// references can make a low-complexity read match at millions of rows;
+/// the cap bounds memory while ApproxStats::truncated flags the loss.
+inline constexpr std::size_t kDefaultApproxHitCap = 100000;
 
 struct ApproxHit {
   SaInterval interval;
@@ -29,6 +53,7 @@ struct ApproxStats {
   std::uint64_t steps_executed = 0;   ///< backward-search steps (tree edges)
   std::uint64_t branches_pruned = 0;  ///< empty intervals abandoned
   std::uint64_t hits = 0;
+  bool truncated = false;  ///< a search dropped hits past its cap
 };
 
 namespace detail {
@@ -37,9 +62,14 @@ template <typename Occ>
 void approx_recurse(const FmIndex<Occ>& index, std::span<const std::uint8_t> pattern,
                     std::size_t next,  // characters of pattern still to match
                     SaInterval iv, unsigned budget, std::uint8_t used,
-                    std::vector<ApproxHit>& hits, ApproxStats* stats) {
+                    std::vector<ApproxHit>& hits, ApproxStats* stats,
+                    std::size_t hit_cap) {
   if (next == 0) {
     if (!iv.empty()) {
+      if (hits.size() >= hit_cap) {
+        if (stats) stats->truncated = true;
+        return;
+      }
       hits.push_back(ApproxHit{iv, used});
       if (stats) ++stats->hits;
     }
@@ -58,7 +88,7 @@ void approx_recurse(const FmIndex<Occ>& index, std::span<const std::uint8_t> pat
     approx_recurse(index, pattern, next - 1, stepped,
                    is_mismatch ? budget - 1 : budget,
                    static_cast<std::uint8_t>(used + (is_mismatch ? 1 : 0)), hits,
-                   stats);
+                   stats, hit_cap);
   }
 }
 
@@ -71,11 +101,12 @@ template <typename Occ>
 std::vector<ApproxHit> approx_count(const FmIndex<Occ>& index,
                                     std::span<const std::uint8_t> pattern,
                                     unsigned max_mismatches,
-                                    ApproxStats* stats = nullptr) {
+                                    ApproxStats* stats = nullptr,
+                                    std::size_t hit_cap = kDefaultApproxHitCap) {
   std::vector<ApproxHit> hits;
   if (pattern.empty()) return hits;
   detail::approx_recurse(index, pattern, pattern.size(), index.full_interval(),
-                         max_mismatches, 0, hits, stats);
+                         max_mismatches, 0, hits, stats, hit_cap);
   return hits;
 }
 
@@ -101,9 +132,10 @@ template <typename Occ>
 std::vector<ApproxHit> approx_count_best(const FmIndex<Occ>& index,
                                          std::span<const std::uint8_t> pattern,
                                          unsigned max_mismatches,
-                                         ApproxStats* stats = nullptr) {
+                                         ApproxStats* stats = nullptr,
+                                         std::size_t hit_cap = kDefaultApproxHitCap) {
   for (unsigned k = 0; k <= max_mismatches; ++k) {
-    std::vector<ApproxHit> hits = approx_count(index, pattern, k, stats);
+    std::vector<ApproxHit> hits = approx_count(index, pattern, k, stats, hit_cap);
     std::erase_if(hits, [k](const ApproxHit& hit) { return hit.mismatches != k; });
     if (!hits.empty()) return hits;
   }

@@ -1,0 +1,48 @@
+#include "fmindex/bidir_index.hpp"
+
+namespace bwaver {
+namespace {
+
+// Exactly-0: one part, matched exactly.
+constexpr SearchScheme kSchemesK0[] = {
+    {1, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}},
+};
+
+// Exactly-1 over two parts: anchor part 0 then force the error into part 1,
+// and vice versa. Distributions covered: (0,1) and (1,0).
+constexpr SearchScheme kSchemesK1[] = {
+    {2, {0, 1, 0}, {0, 1, 0}, {0, 1, 0}},
+    {2, {1, 0, 0}, {0, 1, 0}, {0, 1, 0}},
+};
+
+// Exactly-2 over three parts. Each weight-2 error distribution over the
+// parts appears in exactly one scheme (ranges are cumulative errors after
+// each searched part):
+//   S0 = {0,1,2} / [0,0] [0,2] [2,2] -> (0,2,0) (0,1,1) (0,0,2)
+//   S1 = {1,0,2} / [0,0] [1,2] [2,2] -> (1,0,1) (2,0,0)
+//   S2 = {2,1,0} / [0,0] [1,1] [2,2] -> (1,1,0)
+// Union = all six weight-2 distributions, pairwise disjoint; every scheme
+// opens with an exact part.
+constexpr SearchScheme kSchemesK2[] = {
+    {3, {0, 1, 2}, {0, 0, 2}, {0, 2, 2}},
+    {3, {1, 0, 2}, {0, 1, 2}, {0, 2, 2}},
+    {3, {2, 1, 0}, {0, 1, 2}, {0, 1, 2}},
+};
+
+}  // namespace
+
+std::span<const SearchScheme> schemes_for_exact(unsigned k) {
+  switch (k) {
+    case 0:
+      return kSchemesK0;
+    case 1:
+      return kSchemesK1;
+    case 2:
+      return kSchemesK2;
+    default:
+      throw std::invalid_argument(
+          "schemes_for_exact: precomputed schemes cover k <= 2");
+  }
+}
+
+}  // namespace bwaver

@@ -1,0 +1,242 @@
+// Bidirectional FM-index (2BWT / Lam et al.; the pairing Pockrandt's EPR
+// dictionaries were built for): a forward index over the text and a second
+// index over the reversed text, advanced in lockstep so a matched pattern
+// can be extended by one character on EITHER side in O(occ) time.
+//
+// A BiInterval carries the SA interval of the matched pattern P in the
+// forward index together with the SA interval of reverse(P) in the
+// reverse index; both always have equal width. extend_left(c) is the
+// classic backward step on the forward index plus a synchronization of the
+// reverse interval: the rows of the reverse interval are ordered by the
+// character FOLLOWING reverse(P), which is exactly the character PRECEDING
+// P — so the new reverse interval starts past the sentinel (if P prefixes
+// the text) plus the counts of all smaller bases, computed from the same
+// occ_all() answers the backward step already needed. extend_right is the
+// mirror image through the reverse index.
+//
+// On top of the pair, this header runs precomputed SEARCH SCHEMES for
+// k <= 2 mismatches (pigeonhole partitions extending from the middle
+// outward): the pattern splits into k+1 parts, each scheme anchors one part
+// exactly (zero errors) before any branching starts, and the per-stage
+// lower/upper error bounds make the schemes' hit sets disjoint and jointly
+// exhaustive — the same set of modified strings the naive O((3p)^k)
+// branch-everywhere search enumerates, at a fraction of the executed steps.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "fmindex/approx_search.hpp"
+#include "fmindex/fm_index.hpp"
+
+namespace bwaver {
+
+/// Synchronized interval pair: `fwd` over the forward index (the interval
+/// of P), `rev` over the reverse index (the interval of reverse(P)).
+struct BiInterval {
+  SaInterval fwd;
+  SaInterval rev;
+  bool empty() const noexcept { return fwd.empty(); }
+  std::uint32_t count() const noexcept { return fwd.count(); }
+};
+
+/// One pigeonhole search scheme: parts are searched in `order`, and after
+/// finishing the stage-s part the cumulative error count must lie in
+/// [lower[s], upper[s]] (upper is enforced continuously, per character;
+/// lower at part completion). The first searched part of every scheme has
+/// upper[0] == 0 — an exact anchor, which is where the speedup comes from.
+struct SearchScheme {
+  std::uint8_t parts = 1;
+  std::array<std::uint8_t, 3> order{};
+  std::array<std::uint8_t, 3> lower{};
+  std::array<std::uint8_t, 3> upper{};
+};
+
+/// The scheme set covering EXACTLY k mismatches (k in [0, 2]): every
+/// weight-k error distribution over the k+1 parts is produced by exactly
+/// one scheme, so per-stratum hit sets match the branch search's without
+/// deduplication. Throws for k > 2.
+std::span<const SearchScheme> schemes_for_exact(unsigned k);
+
+template <typename Occ>
+class BidirFmIndex {
+ public:
+  /// Borrows `fwd` (must outlive this) and builds the reverse index over
+  /// the reversed text with the same Occ builder. `text` must be the exact
+  /// 2-bit-coded text `fwd` indexes.
+  BidirFmIndex(const FmIndex<Occ>& fwd, std::span<const std::uint8_t> text,
+               const typename FmIndex<Occ>::OccBuilder& builder)
+      : fwd_(&fwd) {
+    if (text.size() != fwd.size()) {
+      throw std::invalid_argument("BidirFmIndex: text/index size mismatch");
+    }
+    std::vector<std::uint8_t> reversed(text.rbegin(), text.rend());
+    rev_ = std::make_unique<FmIndex<Occ>>(
+        std::span<const std::uint8_t>(reversed), builder);
+  }
+
+  /// Owning variant (tests, standalone use): builds both indexes.
+  BidirFmIndex(std::span<const std::uint8_t> text,
+               const typename FmIndex<Occ>::OccBuilder& builder)
+      : owned_fwd_(std::make_unique<FmIndex<Occ>>(text, builder)),
+        fwd_(owned_fwd_.get()) {
+    std::vector<std::uint8_t> reversed(text.rbegin(), text.rend());
+    rev_ = std::make_unique<FmIndex<Occ>>(
+        std::span<const std::uint8_t>(reversed), builder);
+  }
+
+  const FmIndex<Occ>& forward() const noexcept { return *fwd_; }
+  const FmIndex<Occ>& reverse() const noexcept { return *rev_; }
+  std::size_t size() const noexcept { return fwd_->size(); }
+
+  BiInterval full_interval() const noexcept {
+    return BiInterval{fwd_->full_interval(), rev_->full_interval()};
+  }
+
+  /// Prepend `c` to the matched pattern (P -> cP). One backward step on the
+  /// forward index; the reverse interval shifts by the sentinel (present
+  /// iff P prefixes the text) plus the counts of all bases smaller than c,
+  /// both read off the occ_all() answers the step computes anyway.
+  BiInterval extend_left(BiInterval iv, std::uint8_t c) const noexcept {
+    return extend(*fwd_, iv.fwd, iv.rev, c);
+  }
+
+  /// Append `c` to the matched pattern (P -> Pc): the mirror image, a
+  /// backward step of the REVERSE index extending reverse(P) to
+  /// c·reverse(P) = reverse(Pc).
+  BiInterval extend_right(BiInterval iv, std::uint8_t c) const noexcept {
+    const BiInterval mirrored = extend(*rev_, iv.rev, iv.fwd, c);
+    return BiInterval{mirrored.rev, mirrored.fwd};
+  }
+
+ private:
+  /// The shared step: advances `main` (the interval in `index`) by c and
+  /// synchronizes `other`. Returns {new main, new other}.
+  static BiInterval extend(const FmIndex<Occ>& index, SaInterval main,
+                           SaInterval other, std::uint8_t c) noexcept {
+    const auto lo_occ = index.occ_all(main.lo);
+    const auto hi_occ = index.occ_all(main.hi);
+    const std::uint32_t primary = index.bwt().primary;
+    std::uint32_t shift = (main.lo <= primary && primary < main.hi) ? 1 : 0;
+    for (std::uint8_t a = 0; a < c; ++a) shift += hi_occ[a] - lo_occ[a];
+    const std::uint32_t width = hi_occ[c] - lo_occ[c];
+    BiInterval next;
+    next.fwd.lo = index.c_array(c) + lo_occ[c];
+    next.fwd.hi = next.fwd.lo + width;
+    next.rev.lo = other.lo + shift;
+    next.rev.hi = next.rev.lo + width;
+    return next;
+  }
+
+  std::unique_ptr<FmIndex<Occ>> owned_fwd_;  ///< null when fwd_ is borrowed
+  const FmIndex<Occ>* fwd_;
+  std::unique_ptr<FmIndex<Occ>> rev_;
+};
+
+namespace detail {
+
+/// Character-level descent of one search scheme. The matched pattern range
+/// is [left, right); the part under stage `stage` extends it one character
+/// at a time toward whichever side the part lies on.
+template <typename Occ>
+void scheme_descend(const BidirFmIndex<Occ>& index,
+                    std::span<const std::uint8_t> pattern,
+                    const SearchScheme& scheme,
+                    std::span<const std::uint32_t> bounds, unsigned stage,
+                    unsigned left, unsigned right, BiInterval iv,
+                    unsigned errors, std::size_t hit_cap,
+                    std::vector<ApproxHit>& hits, ApproxStats* stats) {
+  const unsigned part = scheme.order[stage];
+  const unsigned pstart = bounds[part];
+  const unsigned pend = bounds[part + 1];
+  if (pstart >= left && pend <= right) {  // part fully matched
+    if (errors < scheme.lower[stage]) return;  // another scheme's stratum
+    if (stage + 1 == scheme.parts) {
+      if (hits.size() >= hit_cap) {
+        if (stats) stats->truncated = true;
+        return;
+      }
+      hits.push_back(ApproxHit{iv.fwd, static_cast<std::uint8_t>(errors)});
+      if (stats) ++stats->hits;
+      return;
+    }
+    scheme_descend(index, pattern, scheme, bounds, stage + 1, left, right, iv,
+                   errors, hit_cap, hits, stats);
+    return;
+  }
+  const bool go_left = pstart < left;
+  const unsigned pos = go_left ? left - 1 : right;
+  const std::uint8_t expected = pattern[pos];
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    const unsigned e = errors + (c != expected ? 1 : 0);
+    if (e > scheme.upper[stage]) continue;
+    const BiInterval next =
+        go_left ? index.extend_left(iv, c) : index.extend_right(iv, c);
+    if (stats) ++stats->steps_executed;
+    if (next.empty()) {
+      if (stats) ++stats->branches_pruned;
+      continue;
+    }
+    scheme_descend(index, pattern, scheme, bounds, stage,
+                   go_left ? left - 1 : left, go_left ? right : right + 1, next,
+                   e, hit_cap, hits, stats);
+  }
+}
+
+}  // namespace detail
+
+/// All SA intervals (forward index) of strings at EXACTLY `k` mismatches
+/// from `pattern`, found via the precomputed search schemes. Intervals are
+/// disjoint and equal, as a set, to the exactly-k stratum of approx_count.
+/// Patterns shorter than k+1 characters (no non-empty partition) fall back
+/// to the branch recursion, filtered to the stratum.
+template <typename Occ>
+void scheme_count_exact(const BidirFmIndex<Occ>& index,
+                        std::span<const std::uint8_t> pattern, unsigned k,
+                        std::vector<ApproxHit>& hits, ApproxStats* stats = nullptr,
+                        std::size_t hit_cap = kDefaultApproxHitCap) {
+  if (pattern.empty()) return;
+  const unsigned parts = k + 1;
+  if (pattern.size() < parts) {
+    std::vector<ApproxHit> all =
+        approx_count(index.forward(), pattern, k, stats, hit_cap);
+    for (const ApproxHit& hit : all) {
+      if (hit.mismatches == k) hits.push_back(hit);
+    }
+    return;
+  }
+  std::array<std::uint32_t, 4> bounds{};
+  for (unsigned i = 0; i <= parts; ++i) {
+    bounds[i] = static_cast<std::uint32_t>(i * pattern.size() / parts);
+  }
+  for (const SearchScheme& scheme : schemes_for_exact(k)) {
+    const unsigned first_end = bounds[scheme.order[0] + 1];
+    detail::scheme_descend(index, pattern, scheme,
+                           std::span<const std::uint32_t>(bounds.data(), parts + 1),
+                           /*stage=*/0, /*left=*/first_end, /*right=*/first_end,
+                           index.full_interval(), /*errors=*/0, hit_cap, hits,
+                           stats);
+  }
+}
+
+/// All hits within `max_mismatches` (strata 0..k concatenated) — the
+/// scheme-mode equivalent of approx_count. Hit order differs from the
+/// branch search; the interval SET per stratum is identical.
+template <typename Occ>
+std::vector<ApproxHit> scheme_count(const BidirFmIndex<Occ>& index,
+                                    std::span<const std::uint8_t> pattern,
+                                    unsigned max_mismatches,
+                                    ApproxStats* stats = nullptr,
+                                    std::size_t hit_cap = kDefaultApproxHitCap) {
+  std::vector<ApproxHit> hits;
+  for (unsigned k = 0; k <= max_mismatches; ++k) {
+    scheme_count_exact(index, pattern, k, hits, stats, hit_cap);
+  }
+  return hits;
+}
+
+}  // namespace bwaver

@@ -118,6 +118,22 @@ class FmIndex {
     }
   }
 
+  /// Occ of every base at once: {Occ(0,row), .., Occ(3,row)} — the
+  /// bidirectional-extension primitive (extendLeft needs all four counts at
+  /// both interval bounds). Backends exposing rank_all (the EPR dictionary)
+  /// answer from one cache line; others pay four independent ranks.
+  std::array<std::uint32_t, 4> occ_all(std::size_t row) const noexcept {
+    const std::size_t a = row <= bwt_.primary ? row : row - 1;
+    if constexpr (requires { occ_backend_.rank_all(a); }) {
+      return occ_backend_.rank_all(a);
+    } else {
+      return {static_cast<std::uint32_t>(occ_backend_.rank(0, a)),
+              static_cast<std::uint32_t>(occ_backend_.rank(1, a)),
+              static_cast<std::uint32_t>(occ_backend_.rank(2, a)),
+              static_cast<std::uint32_t>(occ_backend_.rank(3, a))};
+    }
+  }
+
   /// C(c): number of symbols in T$ lexicographically smaller than base c
   /// (the sentinel counts once).
   std::uint32_t c_array(std::uint8_t c) const noexcept { return c_[c]; }

@@ -59,10 +59,85 @@ std::uint64_t count_block_prefix_portable(const std::uint64_t* words, unsigned o
   return total;
 }
 
+/// EPR match masks per 64-base plane pair: a base matches code c iff its
+/// low bit equals c&1 and its high bit equals c>>1, i.e. (lo ^ lf) & (hi ^
+/// hf) with lf/hf all-ones when the corresponding code bit is zero. Two
+/// masked popcounts cover the whole 128-base block.
+std::uint64_t count_epr_prefix_portable(const std::uint64_t* planes, unsigned off,
+                                        std::uint8_t c) {
+  const std::uint64_t lf = (c & 1) ? 0 : ~std::uint64_t{0};
+  const std::uint64_t hf = (c & 2) ? 0 : ~std::uint64_t{0};
+  const unsigned b0 = off < 64 ? off : 64;
+  const unsigned b1 = off - b0;
+  std::uint64_t m0 = (planes[0] ^ lf) & (planes[2] ^ hf);
+  if (b0 < 64) m0 &= (std::uint64_t{1} << b0) - 1;
+  std::uint64_t total = static_cast<unsigned>(__builtin_popcountll(m0));
+  if (b1 != 0) {
+    std::uint64_t m1 = (planes[1] ^ lf) & (planes[3] ^ hf);
+    if (b1 < 64) m1 &= (std::uint64_t{1} << b1) - 1;
+    total += static_cast<unsigned>(__builtin_popcountll(m1));
+  }
+  return total;
+}
+
 #if BWAVER_KERNEL_X86
 
 /// Portable algorithm recompiled with hardware POPCNT (the baseline
 /// -march=x86-64 build lowers __builtin_popcountll to a libcall).
+__attribute__((target("sse4.2,popcnt"))) std::uint64_t count_epr_prefix_sse42(
+    const std::uint64_t* planes, unsigned off, std::uint8_t c) {
+  const std::uint64_t lf = (c & 1) ? 0 : ~std::uint64_t{0};
+  const std::uint64_t hf = (c & 2) ? 0 : ~std::uint64_t{0};
+  const unsigned b0 = off < 64 ? off : 64;
+  const unsigned b1 = off - b0;
+  std::uint64_t m0 = (planes[0] ^ lf) & (planes[2] ^ hf);
+  if (b0 < 64) m0 &= (std::uint64_t{1} << b0) - 1;
+  std::uint64_t total = static_cast<unsigned>(__builtin_popcountll(m0));
+  if (b1 != 0) {
+    std::uint64_t m1 = (planes[1] ^ lf) & (planes[3] ^ hf);
+    if (b1 < 64) m1 &= (std::uint64_t{1} << b1) - 1;
+    total += static_cast<unsigned>(__builtin_popcountll(m1));
+  }
+  return total;
+}
+
+/// Branchless whole-block EPR count: one ymm load covers all four planes,
+/// the cross-half permute lines the hi planes up under the lo planes so the
+/// match mask is a single AND, the prefix mask reuses the saturating-srlv
+/// trick (lanes 2..3 always shift to zero, discarding the duplicated mask),
+/// and one nibble-LUT popcount pass folds the answer. ~18 flat ops, no
+/// data-dependent branches.
+__attribute__((target("avx2,popcnt"))) std::uint64_t count_epr_prefix_avx2(
+    const std::uint64_t* planes, unsigned off, std::uint8_t c) {
+  const long long lf = (c & 1) ? 0 : -1;
+  const long long hf = (c & 2) ? 0 : -1;
+  const __m256i x = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(planes)),
+      _mm256_setr_epi64x(lf, lf, hf, hf));
+  // [L0, L1, H0, H1] & [H0, H1, L0, L1] -> [M0, M1, M0, M1]
+  const __m256i m = _mm256_and_si256(x, _mm256_permute4x64_epi64(x, 0x4E));
+  const __m256i zero = _mm256_setzero_si256();
+  // Lane i keeps its low (off - 64*i) bits; srlv saturates shifts >= 64 to
+  // zero, which blanks both the past-the-prefix case and lanes 2..3.
+  const __m256i t = _mm256_sub_epi64(_mm256_setr_epi64x(64, 128, 256, 256),
+                                     _mm256_set1_epi64x(off));
+  const __m256i s = _mm256_and_si256(t, _mm256_cmpgt_epi64(t, zero));
+  const __m256i masked =
+      _mm256_and_si256(m, _mm256_srlv_epi64(_mm256_set1_epi64x(-1), s));
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nibble = _mm256_set1_epi8(0x0F);
+  const __m256i lo4 = _mm256_and_si256(masked, nibble);
+  const __m256i hi4 = _mm256_and_si256(_mm256_srli_epi16(masked, 4), nibble);
+  const __m256i bytes =
+      _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo4), _mm256_shuffle_epi8(lut, hi4));
+  const __m256i sums = _mm256_sad_epu8(bytes, zero);
+  const __m128i folded =
+      _mm_add_epi64(_mm256_castsi256_si128(sums), _mm256_extracti128_si256(sums, 1));
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(folded)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(folded, 1));
+}
+
 __attribute__((target("sse4.2,popcnt"))) std::uint64_t count_block_prefix_sse42(
     const std::uint64_t* words, unsigned off, std::uint8_t c) {
   const std::uint64_t pattern = kLowBits * c;
@@ -214,7 +289,8 @@ std::uint64_t count_words_neon(const std::uint64_t* words, std::size_t n_words,
 #endif  // __aarch64__
 
 const RankKernel kPortableKernel{"portable", SimdLevel::kPortable,
-                                 &count_words_portable, &count_block_prefix_portable};
+                                 &count_words_portable, &count_block_prefix_portable,
+                                 &count_epr_prefix_portable};
 
 std::vector<RankKernel> build_available() {
   std::vector<RankKernel> kernels;
@@ -222,20 +298,22 @@ std::vector<RankKernel> build_available() {
   (void)features;
 #if BWAVER_KERNEL_X86
   if (features.avx2) {
-    kernels.push_back(
-        {"avx2", SimdLevel::kAvx2, &count_words_avx2, &count_block_prefix_avx2});
+    kernels.push_back({"avx2", SimdLevel::kAvx2, &count_words_avx2,
+                       &count_block_prefix_avx2, &count_epr_prefix_avx2});
   }
   if (features.sse42) {
-    kernels.push_back(
-        {"sse42", SimdLevel::kSse42, &count_words_sse42, &count_block_prefix_sse42});
+    kernels.push_back({"sse42", SimdLevel::kSse42, &count_words_sse42,
+                       &count_block_prefix_sse42, &count_epr_prefix_sse42});
   }
 #endif
 #if defined(__aarch64__)
   if (features.neon) {
     // NEON bulk counting pays off in count_words; the short block prefix
     // stays on the scalar path (no per-lane saturating shifts to lean on).
+    // The EPR prefix is two masked popcounts — aarch64 lowers the portable
+    // __builtin_popcountll to cnt directly, so it shares that path too.
     kernels.push_back({"neon", SimdLevel::kNeon, &count_words_neon,
-                       &count_block_prefix_portable});
+                       &count_block_prefix_portable, &count_epr_prefix_portable});
   }
 #endif
   kernels.push_back(kPortableKernel);

@@ -32,6 +32,16 @@ using CountWordsFn = std::uint64_t (*)(const std::uint64_t* words,
 using CountBlockPrefixFn = std::uint64_t (*)(const std::uint64_t* block_words,
                                              unsigned off, std::uint8_t c);
 
+/// Occurrences of code `c` among the first `off` bases of one EPR-dictionary
+/// block (Pockrandt et al.): `planes` holds four bit-transposed words —
+/// planes[0..1] the low code bit of bases 0..63 / 64..127, planes[2..3] the
+/// high code bit — and off is in [0, 128]. The match mask is one XOR + AND
+/// per plane pair and the count one popcount pass, with no dependence on the
+/// symbol value beyond the two XOR constants, so rank cost is flat in both
+/// `off` and `c`.
+using CountEprPrefixFn = std::uint64_t (*)(const std::uint64_t* planes,
+                                           unsigned off, std::uint8_t c);
+
 /// One character-counting implementation. Plain struct of function
 /// pointers so kernels enumerate, bench and test uniformly.
 struct RankKernel {
@@ -39,6 +49,7 @@ struct RankKernel {
   SimdLevel level = SimdLevel::kPortable;
   CountWordsFn count_words = nullptr;
   CountBlockPrefixFn count_block_prefix = nullptr;
+  CountEprPrefixFn count_epr_prefix = nullptr;
 };
 
 /// Occurrences of code `c` among the low `bases` slots of one word

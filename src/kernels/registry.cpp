@@ -11,7 +11,8 @@ namespace {
 // approx_bytes_per_base: RRR ~0.36 (entropy-coded blocks + directories),
 // plain wavelet ~0.31 (2 raw bits + two-level rank), sampled ~0.375
 // (0.25 packed + 16 B checkpoint per 128 bases at the default width),
-// vector 64 B per 192 bases = ~0.34.
+// vector 64 B per 192 bases = ~0.34, epr 64 B per 128 bases = 0.5 (the
+// bit-transposed layout spends space to make every rank one cache line).
 constexpr EngineSpec kEngineTable[] = {
     {MappingEngine::kFpga, "fpga", nullptr, "RrrWaveletOcc",
      "modeled FPGA device scanning the RRR wavelet tree in fabric", true, false,
@@ -27,6 +28,9 @@ constexpr EngineSpec kEngineTable[] = {
     {MappingEngine::kVector, "vector", nullptr, "VectorOcc",
      "interleaved packed BWT counted by the runtime-dispatched SIMD kernels",
      false, true, 0.34},
+    {MappingEngine::kEpr, "epr", nullptr, "EprOcc",
+     "bit-transposed EPR dictionary, one cache line and one popcount per rank",
+     false, true, 0.5},
 };
 
 }  // namespace

@@ -5,9 +5,9 @@
 // software Occ backends — carries a canonical name, the Occ structure it
 // searches, and capability/size metadata. The CLI, the web service, the
 // shared correctness testbed and the kernel bench all resolve engines
-// through this one table, so adding a backend (e.g. a constant-time-rank
-// EPR dictionary) is a registry entry plus an Occ class, not a mapper
-// change.
+// through this one table, so adding a backend is a registry entry plus an
+// Occ class, not a mapper change — the EPR dictionary ("epr") arrived
+// exactly that way.
 #pragma once
 
 #include <optional>
@@ -25,6 +25,7 @@ enum class MappingEngine {
   kBowtie2Like,   ///< software search, SampledOcc ("sampled")
   kPlainWavelet,  ///< software search, PlainWaveletOcc ("plain")
   kVector,        ///< software search, VectorOcc + SIMD kernels ("vector")
+  kEpr,           ///< software search, EprOcc constant-time rank ("epr")
 };
 
 namespace kernels {

@@ -183,7 +183,7 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
                                 const std::vector<FastqRecord>& records,
                                 const Bowtie2LikeMapper* bowtie,
                                 double* mapping_seconds,
-                                const CancelToken* cancel) {
+                                const CancelToken* cancel, const EprOcc* epr) {
   if (cancel != nullptr) cancel->throw_if_stopped();
 
   // Ambient observability: a no-op unless a job/CLI run installed a context.
@@ -203,6 +203,7 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
   std::unique_ptr<Bowtie2LikeMapper> transient;
   std::unique_ptr<PlainWaveletMapper> plain;
   std::unique_ptr<VectorMapper> vector;
+  std::unique_ptr<EprMapper> epr_mapper;
   std::function<std::vector<QueryResult>(const ReadBatch&, unsigned,
                                          SoftwareMapReport*)>
       software_map;
@@ -246,6 +247,21 @@ MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
       software_map = [&vector, mode](const ReadBatch& batch, unsigned threads,
                                      SoftwareMapReport* report) {
         return vector->map(batch, threads, report, mode);
+      };
+      break;
+    case MappingEngine::kEpr:
+      // Alias the archive-loaded dictionary when the caller supplied one of
+      // the right size; otherwise transpose the BWT transiently.
+      epr_mapper = std::make_unique<EprMapper>(
+          index, [epr, &index](std::span<const std::uint8_t> bwt) {
+            if (epr != nullptr && epr->size() == index.bwt().symbols.size()) {
+              return EprOcc::view_of(*epr);
+            }
+            return EprOcc(bwt);
+          });
+      software_map = [&epr_mapper, mode](const ReadBatch& batch, unsigned threads,
+                                         SoftwareMapReport* report) {
+        return epr_mapper->map(batch, threads, report, mode);
       };
       break;
   }

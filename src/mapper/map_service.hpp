@@ -50,12 +50,18 @@ void resolve_query_results(const ReferenceSet& reference,
 /// each engine sub-batch and per chunk of result resolution); once it
 /// reports a stop the call unwinds with OperationCancelled. The job
 /// subsystem uses this for DELETE /jobs/{id} and deadline enforcement.
+///
+/// `epr` optionally supplies a prebuilt EPR dictionary for
+/// MappingEngine::kEpr (the format-v4 archive section, zero-copy aliased);
+/// when null (or sized for a different BWT) the engine re-transposes the
+/// index's BWT transiently.
 MappingOutcome map_records_over(const FmIndex<RrrWaveletOcc>& index,
                                 const ReferenceSet& reference,
                                 const PipelineConfig& config,
                                 const std::vector<FastqRecord>& records,
                                 const Bowtie2LikeMapper* bowtie = nullptr,
                                 double* mapping_seconds = nullptr,
-                                const CancelToken* cancel = nullptr);
+                                const CancelToken* cancel = nullptr,
+                                const EprOcc* epr = nullptr);
 
 }  // namespace bwaver

@@ -160,7 +160,8 @@ MappingOutcome Pipeline::map_records(const std::vector<FastqRecord>& records) {
     throw std::logic_error("Pipeline: map before encode()/build_from_sequence()");
   }
   return map_records_over(*index_, reference_, config_, records, bowtie_.get(),
-                          &timings_.mapping_seconds);
+                          &timings_.mapping_seconds, /*cancel=*/nullptr,
+                          epr_.get());
 }
 
 void Pipeline::resolve_results(const std::vector<FastqRecord>& records,
@@ -190,6 +191,7 @@ Pipeline Pipeline::from_archive(const std::string& path, PipelineConfig config,
   pipeline.index_ =
       std::make_unique<FmIndex<RrrWaveletOcc>>(std::move(stored.index));
   pipeline.archive_backing_ = std::move(stored.backing);
+  pipeline.epr_ = std::move(stored.epr);
   if (config.engine == MappingEngine::kBowtie2Like) {
     pipeline.bowtie_ =
         std::make_unique<Bowtie2LikeMapper>(pipeline.reference_.concatenated());
@@ -214,6 +216,7 @@ MappingOutcome Pipeline::map_reads_streaming(const std::string& fastq_path,
   std::unique_ptr<BwaverCpuMapper> cpu;
   std::unique_ptr<PlainWaveletMapper> plain;
   std::unique_ptr<VectorMapper> vector;
+  std::unique_ptr<EprMapper> epr_mapper;
   std::function<std::vector<QueryResult>(const ReadBatch&, unsigned,
                                          SoftwareMapReport*)>
       software_map;
@@ -254,6 +257,19 @@ MappingOutcome Pipeline::map_reads_streaming(const std::string& fastq_path,
       software_map = [&vector](const ReadBatch& batch, unsigned threads,
                                SoftwareMapReport* report) {
         return vector->map(batch, threads, report);
+      };
+      break;
+    case MappingEngine::kEpr:
+      epr_mapper = std::make_unique<EprMapper>(
+          *index_, [this](std::span<const std::uint8_t> bwt) {
+            if (epr_ != nullptr && epr_->size() == index_->bwt().symbols.size()) {
+              return EprOcc::view_of(*epr_);
+            }
+            return EprOcc(bwt);
+          });
+      software_map = [&epr_mapper](const ReadBatch& batch, unsigned threads,
+                                   SoftwareMapReport* report) {
+        return epr_mapper->map(batch, threads, report);
       };
       break;
   }

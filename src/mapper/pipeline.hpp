@@ -151,6 +151,9 @@ class Pipeline {
   const PipelineTimings& timings() const noexcept { return timings_; }
   const FmIndex<RrrWaveletOcc>& index() const { return *index_; }
   const ReferenceSet& reference() const noexcept { return reference_; }
+  /// The archive's EPR dictionary (format v4+); null when the archive
+  /// predates it or the pipeline was built in memory.
+  const EprOcc* epr() const noexcept { return epr_.get(); }
   /// Name of the first reference sequence.
   const std::string& reference_name() const {
     return reference_.sequence(0).name;
@@ -178,6 +181,9 @@ class Pipeline {
   ReferenceSet reference_;
   std::unique_ptr<FmIndex<RrrWaveletOcc>> index_;
   std::unique_ptr<Bowtie2LikeMapper> bowtie_;  ///< built lazily for that engine
+  /// EPR dictionary adopted from a v4 archive; the epr engine aliases it
+  /// instead of re-transposing the BWT.
+  std::shared_ptr<const EprOcc> epr_;
   /// Keeps a zero-copy-loaded archive mapped while index_/reference_ view
   /// into it; null for heap-owned pipelines.
   std::shared_ptr<const MappedFile> archive_backing_;

@@ -62,6 +62,8 @@ template std::vector<QueryResult> map_batch<SampledOcc>(
     const FmIndex<SampledOcc>&, const ReadBatch&, unsigned, SoftwareMapReport*);
 template std::vector<QueryResult> map_batch<VectorOcc>(
     const FmIndex<VectorOcc>&, const ReadBatch&, unsigned, SoftwareMapReport*);
+template std::vector<QueryResult> map_batch<EprOcc>(
+    const FmIndex<EprOcc>&, const ReadBatch&, unsigned, SoftwareMapReport*);
 
 }  // namespace detail
 

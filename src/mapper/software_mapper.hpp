@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "fmindex/epr_occ.hpp"
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "fpga/query_packet.hpp"
@@ -124,5 +125,6 @@ class DerivedOccMapper {
 
 using PlainWaveletMapper = DerivedOccMapper<PlainWaveletOcc>;
 using VectorMapper = DerivedOccMapper<VectorOcc>;
+using EprMapper = DerivedOccMapper<EprOcc>;
 
 }  // namespace bwaver

@@ -18,6 +18,9 @@ std::vector<SimulatedRead> simulate_reads(std::span<const std::uint8_t> referenc
   if (config.mapping_ratio < 0.0 || config.mapping_ratio > 1.0) {
     throw std::invalid_argument("simulate_reads: mapping_ratio must be in [0, 1]");
   }
+  if (config.error_rate < 0.0 || config.error_rate > 1.0) {
+    throw std::invalid_argument("simulate_reads: error_rate must be in [0, 1]");
+  }
   Xoshiro256 rng(config.seed);
 
   std::vector<SimulatedRead> reads;
@@ -43,6 +46,17 @@ std::vector<SimulatedRead> simulate_reads(std::span<const std::uint8_t> referenc
       } else {
         for (unsigned k = 0; k < config.read_length; ++k) {
           read.codes[k] = reference[origin + k];
+        }
+      }
+      if (config.error_rate > 0.0) {
+        // Substitution errors: rotate to one of the three OTHER bases, so
+        // every applied error is a guaranteed mismatch against the origin.
+        for (unsigned k = 0; k < config.read_length; ++k) {
+          if (rng.chance(config.error_rate)) {
+            read.codes[k] = static_cast<std::uint8_t>(
+                (read.codes[k] + 1 + rng.below(3)) & 3);
+            ++read.errors;
+          }
         }
       }
     } else {
@@ -71,6 +85,7 @@ std::vector<FastqRecord> reads_to_fastq(std::span<const SimulatedRead> reads) {
     if (read.origin != SimulatedRead::kUnmapped) {
       record.name += "_pos" + std::to_string(read.origin);
       record.name += read.from_reverse_strand ? "_rev" : "_fwd";
+      if (read.errors != 0) record.name += "_e" + std::to_string(read.errors);
     } else {
       record.name += "_random";
     }

@@ -7,6 +7,12 @@
 // i.e. never in practice. The paper's Fig. 7 sweeps the mapping ratio, and
 // Sec. IV notes that search time depends only on read count and mapping
 // ratio — this generator reproduces exactly those two knobs.
+//
+// error_rate adds per-base substitution errors to the mapping reads
+// (always to a DIFFERENT base, so every draw is a real mismatch),
+// deterministic per seed — the workload the approximate-mapping stages and
+// bench_approx_search exercise. SimulatedRead::errors records how many
+// were applied and the FASTQ name carries an _eN suffix.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,7 @@ struct ReadSimConfig {
   unsigned read_length = 100;
   double mapping_ratio = 1.0;     ///< fraction of reads that occur in the reference
   double revcomp_fraction = 0.5;  ///< of mapping reads, fraction drawn from the - strand
+  double error_rate = 0.0;        ///< per-base substitution probability (mapping reads)
   std::uint64_t seed = 7;
 };
 
@@ -32,6 +39,7 @@ struct SimulatedRead {
   std::vector<std::uint8_t> codes;  ///< 2-bit DNA codes
   std::uint32_t origin = kUnmapped; ///< sampled forward-strand position, or kUnmapped
   bool from_reverse_strand = false; ///< read equals revcomp of reference[origin, +len)
+  unsigned errors = 0;              ///< substitutions applied to a mapping read
 };
 
 /// Simulates reads against `reference` (2-bit codes). read_length must not

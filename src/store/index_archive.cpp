@@ -22,6 +22,7 @@ constexpr const char* kSectionBwt = "bwt";
 constexpr const char* kSectionOcc = "occ";
 constexpr const char* kSectionSa = "sa";
 constexpr const char* kSectionKmer = "kmer";  // optional, v2+
+constexpr const char* kSectionEpr = "epr";    // optional, v4+
 
 /// v3 sections start on 64-byte file offsets so the flat arrays inside
 /// (themselves padded to 64 within the section) are absolutely aligned.
@@ -203,7 +204,7 @@ StoredIndex load_v1v2(std::span<const std::uint8_t> file,
 
   StoredIndex stored{std::move(reference),
                      FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ)),
-                     nullptr, LoadMode::kCopy};
+                     nullptr, nullptr, LoadMode::kCopy};
   stored.index.set_seed_table(std::move(seeds));
   return stored;
 }
@@ -297,12 +298,25 @@ StoredIndex load_v3(std::span<const std::uint8_t> file,
     seeds = std::make_shared<const KmerSeedTable>(std::move(table));
   }
 
+  std::shared_ptr<const EprOcc> epr;
+  if (find_section_entry(header, kSectionEpr) != nullptr) {
+    ByteReader reader = section_reader(file, header, kSectionEpr, path);
+    auto dict = EprOcc::load_flat(reader, adopt);
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in epr section: " + path);
+    }
+    if (dict.size() != bwt.symbols.size()) {
+      throw IoError("index archive: EPR/BWT size mismatch: " + path);
+    }
+    epr = std::make_shared<const EprOcc>(std::move(dict));
+  }
+
   // The C table comes from the checksummed meta section; the four-arg
   // constructor validates plausibility without rescanning the BWT.
   StoredIndex stored{std::move(reference),
                      FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa),
                                             std::move(occ), meta.c_table),
-                     nullptr, LoadMode::kCopy};
+                     std::move(epr), nullptr, LoadMode::kCopy};
   stored.index.set_seed_table(std::move(seeds));
   return stored;
 }
@@ -336,7 +350,8 @@ IndexFootprint stored_index_footprint(const StoredIndex& stored) {
       stored.reference.total_length() + stored.index.bwt().symbols.size() +
       stored.index.suffix_array().size() * sizeof(std::uint32_t) +
       stored.index.occ_size_in_bytes() +
-      (seeds ? seeds->size_in_bytes() : 0);
+      (seeds ? seeds->size_in_bytes() : 0) +
+      (stored.epr ? stored.epr->size_in_bytes() : 0);
   footprint.mapped_bytes =
       mapped_part(stored.reference.concatenated().bytes(),
                   stored.reference.concatenated().heap_bytes()) +
@@ -347,7 +362,10 @@ IndexFootprint stored_index_footprint(const StoredIndex& stored) {
       mapped_part(stored.index.occ_backend().size_in_bytes(),
                   stored.index.occ_backend().heap_size_in_bytes()) +
       (seeds ? mapped_part(seeds->size_in_bytes(), seeds->heap_size_in_bytes())
-             : 0);
+             : 0) +
+      (stored.epr ? mapped_part(stored.epr->size_in_bytes(),
+                                stored.epr->heap_size_in_bytes())
+                  : 0);
   footprint.heap_bytes = total - footprint.mapped_bytes;
   return footprint;
 }
@@ -422,6 +440,14 @@ void write_index_archive(const std::string& path, const ReferenceSet& reference,
       index.seed_table()->save(kmer_section);
     }
     sections.emplace_back(kSectionKmer, &kmer_section.data());
+  }
+
+  // v4+: the EPR dictionary, transposed from the BWT at write time so the
+  // epr engine serves straight off the archive.
+  ByteWriter epr_section;
+  if (format_version >= 4) {
+    EprOcc(bwt.symbols).save_flat(epr_section);
+    sections.emplace_back(kSectionEpr, &epr_section.data());
   }
 
   // The header size is known up front (str = u64 length prefix + bytes), so

@@ -11,7 +11,7 @@
 // Layout (all integers little-endian):
 //
 //   u32 magic   "BWVA"
-//   u32 version (currently 3; v1/v2 archives still load)
+//   u32 version (currently 4; v1..v3 archives still load)
 //   u32 section_count
 //   section table, section_count entries:
 //     str name | u64 file offset | u64 length | u32 crc32 (IEEE, of payload)
@@ -44,7 +44,14 @@
 //   * a new "text" section stores the concatenated 2-bit reference codes,
 //     so loading skips the O(n) inverse-BWT reconstruction that v1/v2 pay.
 //
-// A v3 archive can therefore be loaded two ways (LoadMode):
+// v4 adds one OPTIONAL flat section:
+//   "epr"  — the bit-transposed EPR dictionary (EprOcc) over the same BWT,
+//            so serving with --engine epr adopts the constant-time rank
+//            structure straight from the file instead of re-transposing the
+//            BWT at load. v3 archives (no such section) still load; the epr
+//            engine then re-encodes transiently.
+//
+// A v3/v4 archive can therefore be loaded two ways (LoadMode):
 //
 //   kCopy — the flat arrays are copied into heap vectors (like v1/v2);
 //   kMmap — the file is mapped read-only and every flat array is adopted
@@ -63,6 +70,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fmindex/epr_occ.hpp"
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "fmindex/reference_set.hpp"
@@ -90,6 +98,10 @@ const char* load_mode_name(LoadMode mode);
 struct StoredIndex {
   ReferenceSet reference;
   FmIndex<RrrWaveletOcc> index;
+  /// The v4 "epr" section, when present: the EPR dictionary over the same
+  /// BWT, served zero-copy (mmap loads alias the file). Null for v1..v3
+  /// archives — the epr engine then re-encodes transiently.
+  std::shared_ptr<const EprOcc> epr;
   /// Keeps the mapped archive alive while any structure views into it;
   /// null for heap-owned (copy/v1/v2) loads. Destroying the last reference
   /// unmaps the file.
@@ -131,8 +143,9 @@ struct ArchiveInfo {
 
 /// Oldest archive format the loader still accepts (no "kmer" section).
 inline constexpr std::uint32_t kArchiveVersionMin = 1;
-/// Format written by write_index_archive: flat 64-byte-aligned sections.
-inline constexpr std::uint32_t kArchiveVersionLatest = 3;
+/// Format written by write_index_archive: flat 64-byte-aligned sections
+/// plus the optional "epr" dictionary section.
+inline constexpr std::uint32_t kArchiveVersionLatest = 4;
 
 /// Serializes a built index to `path`. Takes components by reference:
 /// FmIndex is move-only, and the writer only reads. `format_version` exists

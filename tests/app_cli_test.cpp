@@ -166,7 +166,7 @@ TEST_F(CliTest, IndexStoreBuildInfoAndMap) {
 
   ASSERT_EQ(run("index info --archive " + path("store/refA.bwva")), 0);
   contents = log_contents();
-  EXPECT_NE(contents.find("format version: 3"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("format version: 4"), std::string::npos) << contents;
   for (const char* section : {"meta", "text", "bwt", "occ", "sa", "kmer"}) {
     EXPECT_NE(contents.find(section), std::string::npos) << contents;
   }

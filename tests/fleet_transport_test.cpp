@@ -36,7 +36,8 @@ StoredIndex build_stored(const std::string& name, const std::vector<std::uint8_t
   Bwt bwt = build_bwt(reference.concatenated(), sa);
   RrrWaveletOcc occ(bwt.symbols, RrrParams{});
   return StoredIndex{std::move(reference),
-                     FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ))};
+                     FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ)),
+                     nullptr, nullptr, LoadMode::kCopy};
 }
 
 class FleetTransportTest : public ::testing::Test {

@@ -1,0 +1,212 @@
+// BidirFmIndex tests: synchronized extension against direct counting on
+// both indexes, and the search-scheme engine differentially fuzzed against
+// the branch recursion AND a naive text scan for k in {0, 1, 2}.
+#include "fmindex/bidir_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fmindex/approx_search.hpp"
+#include "fmindex/occ_backends.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bwaver {
+namespace {
+
+BidirFmIndex<RrrWaveletOcc> make_bidir(std::span<const std::uint8_t> text) {
+  return BidirFmIndex<RrrWaveletOcc>(text, [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  });
+}
+
+/// Sorted (position, mismatches) pairs from a hit list — interval order is
+/// an implementation detail, the located set is the contract.
+std::set<std::pair<std::uint32_t, std::uint8_t>> locate_hits(
+    const FmIndex<RrrWaveletOcc>& index, std::span<const ApproxHit> hits) {
+  std::set<std::pair<std::uint32_t, std::uint8_t>> out;
+  for (const ApproxHit& hit : hits) {
+    for (std::uint32_t row = hit.interval.lo; row < hit.interval.hi; ++row) {
+      out.emplace(index.suffix_array()[row], hit.mismatches);
+    }
+  }
+  return out;
+}
+
+/// Oracle: positions where text matches pattern with EXACTLY k substitutions.
+std::set<std::pair<std::uint32_t, std::uint8_t>> naive_exact_k(
+    std::span<const std::uint8_t> text, std::span<const std::uint8_t> pattern,
+    unsigned k) {
+  std::set<std::pair<std::uint32_t, std::uint8_t>> out;
+  for (std::size_t pos = 0; pos + pattern.size() <= text.size(); ++pos) {
+    unsigned mm = 0;
+    for (std::size_t i = 0; i < pattern.size() && mm <= k; ++i) {
+      mm += text[pos + i] != pattern[i];
+    }
+    if (mm == k) out.emplace(static_cast<std::uint32_t>(pos),
+                             static_cast<std::uint8_t>(k));
+  }
+  return out;
+}
+
+TEST(BidirIndex, ExtensionMatchesDirectCountBothDirections) {
+  const auto text = testing::random_symbols(4000, 4, 70);
+  const auto bidir = make_bidir(text);
+  Xoshiro256 rng(71);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t len = 3 + rng.below(12);
+    const std::size_t start = rng.below(text.size() - len);
+    const std::vector<std::uint8_t> pattern(text.begin() + start,
+                                            text.begin() + start + len);
+    // Grow the pattern character by character, alternating sides randomly,
+    // tracking which substring [lo, hi) of `pattern` is matched so far.
+    std::size_t lo = rng.below(len), hi = lo;
+    BiInterval iv = bidir.full_interval();
+    while (lo > 0 || hi < len) {
+      const bool go_left = hi == len || (lo > 0 && rng.chance(0.5));
+      if (go_left) {
+        iv = bidir.extend_left(iv, pattern[--lo]);
+      } else {
+        iv = bidir.extend_right(iv, pattern[hi++]);
+      }
+      const std::span<const std::uint8_t> sub(pattern.data() + lo, hi - lo);
+      ASSERT_EQ(iv.count(), bidir.forward().count(sub).count())
+          << "trial " << trial << " [" << lo << ", " << hi << ")";
+      // The reverse interval tracks reverse(sub) in the reverse index and
+      // must always stay width-synchronized.
+      ASSERT_EQ(iv.rev.count(), iv.fwd.count());
+      std::vector<std::uint8_t> rsub(sub.rbegin(), sub.rend());
+      ASSERT_EQ(iv.rev.count(), bidir.reverse().count(rsub).count());
+    }
+  }
+}
+
+TEST(BidirIndex, ExtendingByAnAbsentCharacterEmpties) {
+  // Single-symbol text: extending by any other symbol must go empty, and
+  // further extensions must stay empty.
+  const std::vector<std::uint8_t> text(200, 2);
+  const auto bidir = make_bidir(text);
+  BiInterval iv = bidir.extend_left(bidir.full_interval(), 2);
+  EXPECT_EQ(iv.count(), text.size());
+  iv = bidir.extend_left(iv, 1);
+  EXPECT_TRUE(iv.empty());
+  EXPECT_TRUE(bidir.extend_right(iv, 2).empty());
+}
+
+TEST(BidirIndex, BorrowingConstructorRejectsSizeMismatch) {
+  const auto text = testing::random_symbols(500, 4, 72);
+  const auto builder = [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  };
+  const FmIndex<RrrWaveletOcc> fwd(text, builder);
+  const auto wrong = testing::random_symbols(499, 4, 73);
+  EXPECT_THROW(BidirFmIndex<RrrWaveletOcc>(fwd, wrong, builder),
+               std::invalid_argument);
+}
+
+TEST(BidirIndex, SchemesForExactRejectsLargeK) {
+  EXPECT_EQ(schemes_for_exact(0).size(), 1u);
+  EXPECT_EQ(schemes_for_exact(1).size(), 2u);
+  EXPECT_EQ(schemes_for_exact(2).size(), 3u);
+  EXPECT_THROW(schemes_for_exact(3), std::invalid_argument);
+}
+
+class SchemeFuzzK : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SchemeFuzzK, SchemeMatchesBranchAndNaiveScan) {
+  const unsigned k = GetParam();
+  const auto text = testing::random_symbols(3000, 4, 80 + k);
+  const auto bidir = make_bidir(text);
+  const FmIndex<RrrWaveletOcc>& fwd = bidir.forward();
+
+  Xoshiro256 rng(81 + k);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t len = 1 + rng.below(24);
+    std::vector<std::uint8_t> pattern;
+    if (trial % 2 == 0 && len <= text.size()) {
+      const std::size_t start = rng.below(text.size() - len + 1);
+      pattern.assign(text.begin() + start, text.begin() + start + len);
+      for (unsigned m = 0; m < k && !pattern.empty(); ++m) {
+        const std::size_t at = rng.below(pattern.size());
+        pattern[at] = static_cast<std::uint8_t>((pattern[at] + 1 + rng.below(3)) & 3);
+      }
+    } else {
+      pattern = testing::random_symbols(len, 4, rng());
+    }
+
+    // Exactly-k strata one at a time...
+    for (unsigned stratum = 0; stratum <= k; ++stratum) {
+      std::vector<ApproxHit> scheme_hits;
+      scheme_count_exact(bidir, pattern, stratum, scheme_hits);
+      for (const ApproxHit& hit : scheme_hits) {
+        EXPECT_EQ(hit.mismatches, stratum);
+      }
+      EXPECT_EQ(locate_hits(fwd, scheme_hits), naive_exact_k(text, pattern, stratum))
+          << "trial " << trial << " stratum " << stratum << " len " << len;
+    }
+
+    // ...and the all-strata entry point against the branch recursion.
+    const std::vector<ApproxHit> branch_hits = approx_count(fwd, pattern, k);
+    const std::vector<ApproxHit> scheme_all = scheme_count(bidir, pattern, k);
+    EXPECT_EQ(locate_hits(fwd, scheme_all), locate_hits(fwd, branch_hits))
+        << "trial " << trial << " len " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, SchemeFuzzK, ::testing::Values(0u, 1u, 2u));
+
+TEST(BidirIndex, SchemeStatsCountStepsAndHits) {
+  const auto text = testing::random_symbols(4000, 4, 90);
+  const auto bidir = make_bidir(text);
+  const std::size_t start = 1234;
+  std::vector<std::uint8_t> pattern(text.begin() + start, text.begin() + start + 30);
+  pattern[7] = static_cast<std::uint8_t>((pattern[7] + 1) & 3);
+
+  ApproxStats branch_stats, scheme_stats;
+  const auto branch = approx_count(bidir.forward(), pattern, 2, &branch_stats);
+  const auto scheme = scheme_count(bidir, pattern, 2, &scheme_stats);
+  EXPECT_EQ(locate_hits(bidir.forward(), scheme),
+            locate_hits(bidir.forward(), branch));
+  EXPECT_EQ(scheme_stats.hits, scheme.size());
+  EXPECT_GT(scheme_stats.steps_executed, 0u);
+  // The whole point: anchored schemes execute far fewer steps than the
+  // branch-everywhere recursion on a mutated read.
+  EXPECT_LT(scheme_stats.steps_executed, branch_stats.steps_executed);
+}
+
+TEST(BidirIndex, SchemeHitCapTruncatesAndFlags) {
+  // Plant three DISTINCT 1-mismatch neighbors of the pattern (different
+  // mutated positions => different strings => separate SA intervals), so
+  // the exactly-1 stratum holds three hits and a cap of one must drop two.
+  const auto pattern = testing::random_symbols(20, 4, 95);
+  std::vector<std::uint8_t> text;
+  Xoshiro256 rng(96);
+  for (const std::size_t at : {std::size_t{3}, std::size_t{10}, std::size_t{15}}) {
+    std::vector<std::uint8_t> neighbor(pattern.begin(), pattern.end());
+    neighbor[at] = static_cast<std::uint8_t>((neighbor[at] + 1) & 3);
+    text.insert(text.end(), neighbor.begin(), neighbor.end());
+    for (int j = 0; j < 40; ++j) {
+      text.push_back(static_cast<std::uint8_t>(rng.below(4)));
+    }
+  }
+  const auto bidir = make_bidir(text);
+
+  ApproxStats uncapped_stats;
+  std::vector<ApproxHit> uncapped;
+  scheme_count_exact(bidir, pattern, 1, uncapped, &uncapped_stats);
+  ASSERT_GE(uncapped.size(), 3u);
+  EXPECT_FALSE(uncapped_stats.truncated);
+
+  ApproxStats stats;
+  std::vector<ApproxHit> hits;
+  scheme_count_exact(bidir, pattern, 1, hits, &stats, /*hit_cap=*/1);
+  EXPECT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(stats.truncated);
+}
+
+}  // namespace
+}  // namespace bwaver

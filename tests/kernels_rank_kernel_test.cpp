@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -140,6 +141,56 @@ TEST(RankKernel, EveryKernelCountsBlockPrefixesExactly) {
           EXPECT_EQ(kernel.count_block_prefix(words.data(), off, c),
                     naive_count(codes, 0, off, c))
               << kernel.name << " off=" << off << " c=" << int(c);
+        }
+      }
+    }
+  }
+}
+
+/// Transposes 128 2-bit codes into EPR bit planes [lo0, lo1, hi0, hi1].
+std::array<std::uint64_t, 4> transpose_epr(const std::vector<std::uint8_t>& codes) {
+  std::array<std::uint64_t, 4> planes{};
+  for (std::size_t i = 0; i < codes.size() && i < 128; ++i) {
+    const unsigned w = static_cast<unsigned>(i >> 6);
+    const unsigned b = static_cast<unsigned>(i & 63);
+    planes[w] |= std::uint64_t{codes[i] & 1u} << b;
+    planes[2 + w] |= std::uint64_t{(codes[i] >> 1) & 1u} << b;
+  }
+  return planes;
+}
+
+TEST(RankKernel, EveryKernelCountsEprPrefixesExactly) {
+  // Exhaustive off sweep over one EPR block (128 bases, the EprOcc hot
+  // path), for every kernel and code — including off 0, the 64-base plane
+  // boundary, and the full 128.
+  for (const std::uint64_t seed : {4u, 5u, 6u}) {
+    const auto codes = random_codes(128, seed);
+    const auto planes = transpose_epr(codes);
+    for (const RankKernel& kernel : available_kernels()) {
+      ASSERT_NE(kernel.count_epr_prefix, nullptr) << kernel.name;
+      for (unsigned off = 0; off <= 128; ++off) {
+        for (std::uint8_t c = 0; c < 4; ++c) {
+          EXPECT_EQ(kernel.count_epr_prefix(planes.data(), off, c),
+                    naive_count(codes, 0, off, c))
+              << kernel.name << " off=" << off << " c=" << int(c);
+        }
+      }
+    }
+  }
+}
+
+TEST(RankKernel, EprPrefixHandlesUniformPlanes) {
+  // All-same-symbol planes, including code 0 (all-zero planes — also what
+  // the terminal block's padding looks like).
+  for (std::uint8_t fill = 0; fill < 4; ++fill) {
+    const std::vector<std::uint8_t> codes(128, fill);
+    const auto planes = transpose_epr(codes);
+    for (const RankKernel& kernel : available_kernels()) {
+      for (std::uint8_t c = 0; c < 4; ++c) {
+        for (const unsigned off : {0u, 1u, 63u, 64u, 65u, 127u, 128u}) {
+          EXPECT_EQ(kernel.count_epr_prefix(planes.data(), off, c),
+                    c == fill ? off : 0u)
+              << kernel.name << " fill=" << int(fill) << " c=" << int(c);
         }
       }
     }

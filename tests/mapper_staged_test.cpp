@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/genome_sim.hpp"
 #include "util/rng.hpp"
 
@@ -139,6 +141,115 @@ TEST_F(StagedMapperTest, ExactOnlyConfigurationSkipsLaterStages) {
   }
 }
 
+TEST_F(StagedMapperTest, SchemeModeIsByteIdenticalToBranchMode) {
+  const BidirFmIndex<RrrWaveletOcc> bidir(
+      *index_, genome_, [](std::span<const std::uint8_t> bwt) {
+        return RrrWaveletOcc(bwt, RrrParams{15, 50});
+      });
+  const StagedFpgaMapper branch(*index_);
+  const StagedFpgaMapper scheme(*index_, DeviceSpec{}, 2, ApproxMode::kScheme,
+                                &bidir);
+  StagedMapReport branch_report, scheme_report;
+  const auto branch_results = branch.map(batch_, &branch_report);
+  const auto scheme_results = scheme.map(batch_, &scheme_report);
+  ASSERT_EQ(branch_results.size(), scheme_results.size());
+  for (std::size_t i = 0; i < branch_results.size(); ++i) {
+    ASSERT_EQ(branch_results[i].stage, scheme_results[i].stage) << "read " << i;
+    EXPECT_EQ(branch_results[i].reverse_strand, scheme_results[i].reverse_strand)
+        << "read " << i;
+    // Not just the same set: byte-identical vectors, thanks to the
+    // canonical per-strand ordering both modes apply.
+    ASSERT_EQ(branch_results[i].positions, scheme_results[i].positions)
+        << "read " << i;
+  }
+  // Anchored schemes must beat branch-everywhere on executed steps in the
+  // mismatch stages (the exact stage is shared).
+  for (std::size_t s = 1; s < branch_report.stages.size(); ++s) {
+    EXPECT_LT(scheme_report.stages[s].steps_executed,
+              branch_report.stages[s].steps_executed)
+        << "stage " << s;
+  }
+}
+
+TEST_F(StagedMapperTest, SchemeComparatorMatchesBranchComparator) {
+  const BidirFmIndex<RrrWaveletOcc> bidir(
+      *index_, genome_, [](std::span<const std::uint8_t> bwt) {
+        return RrrWaveletOcc(bwt, RrrParams{15, 50});
+      });
+  const auto branch = approx_map_batch(*index_, batch_, 2, 2);
+  const auto scheme = approx_map_batch(*index_, batch_, 2, 2, nullptr,
+                                       ApproxMode::kScheme, &bidir);
+  ASSERT_EQ(branch.size(), scheme.size());
+  for (std::size_t i = 0; i < branch.size(); ++i) {
+    ASSERT_EQ(branch[i].stage, scheme[i].stage) << i;
+    ASSERT_EQ(branch[i].positions, scheme[i].positions) << i;
+  }
+}
+
+TEST(StagedMapper, HitCapTruncatesAndCountsReads) {
+  // Plant three DISTINCT 1-mismatch neighbors of a read in the genome
+  // (different mutated positions => different strings => separate SA
+  // intervals at the 1-mismatch stratum), so a 1-hit cap must truncate.
+  Xoshiro256 rng(700);
+  std::vector<std::uint8_t> read(20);
+  for (auto& base : read) base = static_cast<std::uint8_t>(rng.below(4));
+  std::vector<std::uint8_t> genome;
+  for (const std::size_t at : {std::size_t{3}, std::size_t{10}, std::size_t{15}}) {
+    std::vector<std::uint8_t> neighbor = read;
+    neighbor[at] = static_cast<std::uint8_t>((neighbor[at] + 1) & 3);
+    genome.insert(genome.end(), neighbor.begin(), neighbor.end());
+    for (int j = 0; j < 50; ++j) {
+      genome.push_back(static_cast<std::uint8_t>(rng.below(4)));
+    }
+  }
+  const FmIndex<RrrWaveletOcc> index(genome, [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  });
+  ReadBatch batch;
+  batch.add(read);
+
+  const StagedFpgaMapper uncapped(index);
+  StagedMapReport full_report;
+  const auto full = uncapped.map(batch, &full_report);
+  ASSERT_EQ(full[0].stage, 1);
+  ASSERT_GE(full[0].positions.size(), 3u);
+  for (const auto& stage : full_report.stages) {
+    EXPECT_EQ(stage.truncated_reads, 0u);
+  }
+
+  const StagedFpgaMapper capped(index, DeviceSpec{}, 2, ApproxMode::kBranch,
+                                nullptr, /*hit_cap=*/1);
+  StagedMapReport report;
+  const auto results = capped.map(batch, &report);
+  // Stage assignment is unaffected; only the loci list shrinks.
+  EXPECT_EQ(results[0].stage, full[0].stage);
+  EXPECT_LT(results[0].positions.size(), full[0].positions.size());
+  std::uint64_t truncated = 0;
+  for (const auto& stage : report.stages) truncated += stage.truncated_reads;
+  EXPECT_EQ(truncated, 1u);
+}
+
+TEST_F(StagedMapperTest, ApproxCountersMoveUnderAmbientMetrics) {
+  obs::MetricsRegistry registry;
+  const obs::ScopedObsContext scope(obs::ObsContext{nullptr, 0, &registry});
+  const StagedFpgaMapper mapper(*index_);
+  StagedMapReport report;
+  mapper.map(batch_, &report);
+
+  std::uint64_t expected_steps = 0, expected_pruned = 0, expected_hits = 0;
+  for (std::size_t s = 1; s < report.stages.size(); ++s) {
+    expected_steps += report.stages[s].steps_executed;
+    expected_pruned += report.stages[s].branches_pruned;
+    expected_hits += report.stages[s].hits;
+  }
+  const obs::Labels labels{{"approx_mode", "branch"}};
+  EXPECT_GT(registry.counter("bwaver_approx_steps_total", "", labels).value(), 0u);
+  EXPECT_EQ(registry.counter("bwaver_approx_pruned_total", "", labels).value(),
+            expected_pruned);
+  EXPECT_EQ(registry.counter("bwaver_approx_hits_total", "", labels).value(),
+            expected_hits);
+}
+
 TEST(StagedMapper, RejectsMoreThanTwoMismatches) {
   GenomeSimConfig config;
   config.length = 1000;
@@ -147,6 +258,25 @@ TEST(StagedMapper, RejectsMoreThanTwoMismatches) {
     return RrrWaveletOcc(bwt, RrrParams{15, 50});
   });
   EXPECT_THROW(StagedFpgaMapper(index, DeviceSpec{}, 3), std::invalid_argument);
+}
+
+TEST(StagedMapper, SchemeModeRequiresMatchingBidirIndex) {
+  GenomeSimConfig config;
+  config.length = 1000;
+  const auto genome = simulate_genome(config);
+  const auto builder = [](std::span<const std::uint8_t> bwt) {
+    return RrrWaveletOcc(bwt, RrrParams{15, 50});
+  };
+  const FmIndex<RrrWaveletOcc> index(genome, builder);
+  EXPECT_THROW(
+      StagedFpgaMapper(index, DeviceSpec{}, 2, ApproxMode::kScheme, nullptr),
+      std::invalid_argument);
+  // A bidirectional index over a DIFFERENT forward index is rejected too.
+  const FmIndex<RrrWaveletOcc> other(genome, builder);
+  const BidirFmIndex<RrrWaveletOcc> other_bidir(other, genome, builder);
+  EXPECT_THROW(
+      StagedFpgaMapper(index, DeviceSpec{}, 2, ApproxMode::kScheme, &other_bidir),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -103,6 +103,90 @@ TEST(ReadSim, InvalidConfigsThrow) {
   bad_ratio.read_length = 10;
   bad_ratio.mapping_ratio = 1.5;
   EXPECT_THROW(simulate_reads(reference, bad_ratio), std::invalid_argument);
+
+  ReadSimConfig bad_error;
+  bad_error.read_length = 10;
+  bad_error.error_rate = -0.1;
+  EXPECT_THROW(simulate_reads(reference, bad_error), std::invalid_argument);
+  bad_error.error_rate = 1.5;
+  EXPECT_THROW(simulate_reads(reference, bad_error), std::invalid_argument);
+}
+
+TEST(ReadSim, ErrorRateInjectsCountedSubstitutions) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 400;
+  config.read_length = 60;
+  config.mapping_ratio = 1.0;
+  config.revcomp_fraction = 0.0;  // forward-only so the origin check is direct
+  config.error_rate = 0.05;
+  const auto reads = simulate_reads(reference, config);
+
+  std::size_t total_errors = 0;
+  for (const auto& read : reads) {
+    ASSERT_NE(read.origin, SimulatedRead::kUnmapped);
+    // Every recorded error is a real mismatch against the origin window,
+    // and the mismatch count equals the record exactly (errors always
+    // rotate to a different base).
+    unsigned mismatches = 0;
+    for (unsigned k = 0; k < config.read_length; ++k) {
+      mismatches += read.codes[k] != reference[read.origin + k];
+    }
+    EXPECT_EQ(mismatches, read.errors);
+    total_errors += read.errors;
+  }
+  // 400 * 60 * 0.05 = 1200 expected substitutions; allow a generous band.
+  EXPECT_GT(total_errors, 800u);
+  EXPECT_LT(total_errors, 1600u);
+}
+
+TEST(ReadSim, ZeroErrorRateKeepsReadsExact) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 50;
+  config.read_length = 40;
+  config.error_rate = 0.0;
+  for (const auto& read : simulate_reads(reference, config)) {
+    EXPECT_EQ(read.errors, 0u);
+  }
+}
+
+TEST(ReadSim, ErrorsAreDeterministicPerSeed) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 100;
+  config.read_length = 50;
+  config.error_rate = 0.02;
+  config.seed = 99;
+  const auto a = simulate_reads(reference, config);
+  const auto b = simulate_reads(reference, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].codes, b[i].codes);
+    EXPECT_EQ(a[i].errors, b[i].errors);
+  }
+}
+
+TEST(ReadSim, FastqNameCarriesErrorCount) {
+  const auto reference = test_reference();
+  ReadSimConfig config;
+  config.num_reads = 200;
+  config.read_length = 60;
+  config.error_rate = 0.05;
+  const auto reads = simulate_reads(reference, config);
+  const auto fastq = reads_to_fastq(reads);
+  bool saw_suffix = false;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (reads[i].errors != 0) {
+      EXPECT_NE(fastq[i].name.find("_e" + std::to_string(reads[i].errors)),
+                std::string::npos)
+          << fastq[i].name;
+      saw_suffix = true;
+    } else {
+      EXPECT_EQ(fastq[i].name.find("_e"), std::string::npos) << fastq[i].name;
+    }
+  }
+  EXPECT_TRUE(saw_suffix);
 }
 
 TEST(ReadSim, FastqConversionPreservesReads) {

@@ -100,13 +100,14 @@ TEST_F(ArchiveTest, InfoListsVersionedCheckedSections) {
   const ArchiveInfo info = read_index_archive_info(archive_path_);
   EXPECT_EQ(info.version, kArchiveVersionLatest);
   EXPECT_EQ(info.file_bytes, std::filesystem::file_size(archive_path_));
-  ASSERT_EQ(info.sections.size(), 6u);
+  ASSERT_EQ(info.sections.size(), 7u);
   EXPECT_EQ(info.sections[0].name, "meta");
   EXPECT_EQ(info.sections[1].name, "text");
   EXPECT_EQ(info.sections[2].name, "bwt");
   EXPECT_EQ(info.sections[3].name, "occ");
   EXPECT_EQ(info.sections[4].name, "sa");
   EXPECT_EQ(info.sections[5].name, "kmer");
+  EXPECT_EQ(info.sections[6].name, "epr");
   // v3 payload offsets are 64-byte aligned, ascending, non-overlapping, and
   // the last payload ends exactly at the file size.
   for (std::size_t i = 0; i < info.sections.size(); ++i) {

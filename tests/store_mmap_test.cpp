@@ -49,7 +49,7 @@ class MmapLoadTest : public ::testing::Test {
     pipeline_->build_from_records(
         {{"chrA", bases.substr(0, 12000)}, {"chrB", bases.substr(12000)}});
 
-    for (std::uint32_t version = 1; version <= 3; ++version) {
+    for (std::uint32_t version = 1; version <= 4; ++version) {
       path_[version] =
           (dir_ / ("ref_v" + std::to_string(version) + ".bwva")).string();
       write_index_archive(path_[version], pipeline_->reference(),
@@ -70,21 +70,31 @@ class MmapLoadTest : public ::testing::Test {
   std::vector<std::uint8_t> genome_;
   std::vector<FastqRecord> reads_;
   std::unique_ptr<Pipeline> pipeline_;
-  std::string path_[4];
+  std::string path_[5];
 };
 
 TEST_F(MmapLoadTest, VersionModeMatrixRebuildsIdenticalStructures) {
-  for (std::uint32_t version = 1; version <= 3; ++version) {
+  for (std::uint32_t version = 1; version <= 4; ++version) {
     for (const LoadMode mode : {LoadMode::kCopy, LoadMode::kMmap}) {
       SCOPED_TRACE("v" + std::to_string(version) + " " + load_mode_name(mode));
       const StoredIndex stored = read_index_archive(path_[version], mode);
 
-      // Only a v3 archive can actually be mapped; older formats silently
+      // Only v3+ archives can actually be mapped; older formats silently
       // fall back to the deserializing copy path.
-      const bool mapped = version == 3 && mode == LoadMode::kMmap;
+      const bool mapped = version >= 3 && mode == LoadMode::kMmap;
       EXPECT_EQ(stored.load_mode,
                 mapped ? LoadMode::kMmap : LoadMode::kCopy);
       EXPECT_EQ(stored.backing != nullptr, mapped);
+
+      // The EPR dictionary section exists from v4 on, and must agree with
+      // the BWT whichever way it was materialized.
+      EXPECT_EQ(stored.epr != nullptr, version >= 4);
+      if (stored.epr != nullptr) {
+        ASSERT_EQ(stored.epr->size(), stored.index.bwt().symbols.size());
+        for (std::size_t i = 0; i < stored.epr->size(); i += 997) {
+          EXPECT_EQ(stored.epr->access(i), stored.index.bwt().symbols[i]);
+        }
+      }
 
       EXPECT_EQ(stored.reference.concatenated(), genome_);
       EXPECT_EQ(stored.index.bwt().symbols, pipeline_->index().bwt().symbols);
@@ -100,7 +110,7 @@ TEST_F(MmapLoadTest, VersionModeMatrixProducesByteIdenticalSam) {
   const std::string want = pipeline_->map_records(reads_).sam;
   PipelineConfig config;
   config.engine = MappingEngine::kCpu;
-  for (std::uint32_t version = 1; version <= 3; ++version) {
+  for (std::uint32_t version = 1; version <= 4; ++version) {
     for (const LoadMode mode : {LoadMode::kCopy, LoadMode::kMmap}) {
       SCOPED_TRACE("v" + std::to_string(version) + " " + load_mode_name(mode));
       Pipeline loaded = Pipeline::from_archive(path_[version], config, mode);
@@ -223,7 +233,7 @@ TEST_F(MmapLoadTest, RegistryMmapModeCountsAndUnmapsOnEviction) {
 TEST_F(MmapLoadTest, RegistryBudgetChargesMappedBytesAtReducedWeight) {
   const std::string store = (dir_ / "budget_store").string();
   const IndexFootprint fp =
-      stored_index_footprint(read_index_archive(path_[3], LoadMode::kMmap));
+      stored_index_footprint(read_index_archive(path_[4], LoadMode::kMmap));
   // Room for TWO weighted mmap charges but well under two full footprints:
   // with mapped bytes charged at 1/kMappedWeight both indexes stay resident,
   // whereas unweighted (copy-style) accounting would evict the first.
@@ -235,8 +245,8 @@ TEST_F(MmapLoadTest, RegistryBudgetChargesMappedBytesAtReducedWeight) {
   {
     IndexRegistry seeder(store, IndexRegistry::kDefaultMemoryBudget,
                          LoadMode::kCopy);
-    seeder.add("a", read_index_archive(path_[3], LoadMode::kCopy));
-    seeder.add("b", read_index_archive(path_[3], LoadMode::kCopy));
+    seeder.add("a", read_index_archive(path_[4], LoadMode::kCopy));
+    seeder.add("b", read_index_archive(path_[4], LoadMode::kCopy));
   }
   IndexRegistry registry(store, budget, LoadMode::kMmap);
   registry.acquire("a");

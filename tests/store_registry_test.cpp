@@ -34,7 +34,8 @@ StoredIndex build_stored(const std::string& name,
   Bwt bwt = build_bwt(reference.concatenated(), sa);
   RrrWaveletOcc occ(bwt.symbols, RrrParams{});
   return StoredIndex{std::move(reference),
-                     FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ))};
+                     FmIndex<RrrWaveletOcc>(std::move(bwt), std::move(sa), std::move(occ)),
+                     nullptr, nullptr, LoadMode::kCopy};
 }
 
 std::vector<std::uint8_t> make_genome(std::size_t length, std::uint64_t seed) {
