@@ -11,6 +11,12 @@
 //                    table; --seed-k 0 disables it) and persists a checksummed
 //                    archive into the store directory (creating/updating its
 //                    manifest)
+//                    [--memory-budget-mb M] peak-RAM target: when the direct
+//                    build would exceed it, the memory-bounded blockwise
+//                    constructor streams the archive instead (byte-identical
+//                    output); [--block-mb B] forces blockwise with B-MB text
+//                    blocks; [--build-meta] records builder provenance in the
+//                    archive (shown by `index info`)
 //   index info       --archive ref.bwva | --store-dir DIR
 //                    archive section table / store manifest listing
 //   map              --index ref.bwvr --reads reads.fq[.gz] --out out.sam
@@ -190,7 +196,13 @@ int cmd_index_build(const ArgParser& args) {
   const std::string store_dir = args.get("store-dir");
   if (ref_path.empty() || store_dir.empty()) return usage();
 
-  const PipelineConfig config = config_from_args(args);
+  PipelineConfig config = config_from_args(args);
+  config.build_memory_budget_bytes =
+      static_cast<std::size_t>(args.get_int("memory-budget-mb", 0)) << 20;
+  config.build_block_bases =
+      static_cast<std::size_t>(args.get_int("block-mb", 0)) << 20;
+  config.build_provenance = args.has("build-meta");
+
   const auto records = read_fasta(ref_path);
   const std::string name = args.get("name", records.front().name);
 
@@ -199,30 +211,32 @@ int cmd_index_build(const ArgParser& args) {
     reference.add(record.name,
                   dna_encode_string(record.sequence, /*substitute_invalid=*/true));
   }
-  WallTimer timer;
-  const auto sa = build_suffix_array(reference.concatenated());
-  Bwt bwt = build_bwt(reference.concatenated(), sa);
-  const double bwt_sa_seconds = timer.seconds();
-  timer.reset();
-  const RrrParams params = config.rrr;
-  FmIndex<RrrWaveletOcc> index(
-      std::move(bwt), sa, [params](std::span<const std::uint8_t> symbols) {
-        return RrrWaveletOcc(symbols, params);
-      });
-  index.build_seed_table(reference.concatenated(), config.seed_k);
-  const double encode_seconds = timer.seconds();
 
-  const std::size_t length = index.size();
-  const std::size_t num_sequences = reference.num_sequences();
+  // Build straight to a staging file in the store, then adopt(): the index
+  // is registered without ever being resident, which is the whole point of
+  // the memory-bounded path.
   IndexRegistry registry(store_dir);
-  registry.add(name, StoredIndex{std::move(reference), std::move(index), nullptr,
-                                 nullptr, LoadMode::kCopy});
+  const std::string staging =
+      (std::filesystem::path(store_dir) / (name + ".bwva.build")).string();
+  WallTimer timer;
+  const BuildArchiveResult built =
+      Pipeline::build_archive(staging, reference, config, [](const std::string& line) {
+        std::printf("  %s\n", line.c_str());
+        std::fflush(stdout);
+      });
+  const double build_seconds = timer.seconds();
+  registry.adopt(name, staging);
   const std::string archive = registry.archive_path(name);
-  std::printf("built '%s' (%zu bp, %zu sequence(s)) -> %s (%llu bytes)\n"
-              "bwt+sa %.3f s, encode %.3f s\n",
-              name.c_str(), length, num_sequences, archive.c_str(),
-              static_cast<unsigned long long>(std::filesystem::file_size(archive)),
-              bwt_sa_seconds, encode_seconds);
+  std::printf("built '%s' (%zu bp, %zu sequence(s)) %s -> %s (%llu bytes, %.3f s)\n",
+              name.c_str(), static_cast<std::size_t>(reference.total_length()),
+              reference.num_sequences(), built.blockwise ? "blockwise" : "direct",
+              archive.c_str(), static_cast<unsigned long long>(built.bytes_written),
+              build_seconds);
+  if (built.blockwise) {
+    std::printf("block %zu bases, %zu merge pass(es), estimated peak %zu MB\n",
+                built.block_bases, built.merge_passes,
+                built.estimated_peak_bytes >> 20);
+  }
   return 0;
 }
 
@@ -257,6 +271,23 @@ int cmd_index_info(const ArgParser& args) {
                 info.sequences.size());
     for (const auto& seq : info.sequences) {
       std::printf("  %s: offset %u, %u bp\n", seq.name.c_str(), seq.offset, seq.length);
+    }
+    // Builder provenance is an optional v3+ section; archives that predate
+    // it (or were written without --build-meta) report "unknown".
+    if (info.build.has_value()) {
+      std::printf("builder: %s", info.build->builder.c_str());
+      if (info.build->block_bases != 0 || info.build->merge_passes != 0) {
+        std::printf(" (block %llu bases, %llu merge pass(es))",
+                    static_cast<unsigned long long>(info.build->block_bases),
+                    static_cast<unsigned long long>(info.build->merge_passes));
+      }
+      if (info.build->memory_budget_bytes != 0) {
+        std::printf(" budget %llu MB",
+                    static_cast<unsigned long long>(info.build->memory_budget_bytes >> 20));
+      }
+      std::printf("\n");
+    } else {
+      std::printf("builder: unknown\n");
     }
     print_engine_resolution(args);
     return 0;

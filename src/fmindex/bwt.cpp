@@ -31,6 +31,18 @@ Bwt build_bwt(std::span<const std::uint8_t> text) {
   return build_bwt(text, sa);
 }
 
+std::array<std::uint32_t, 4> c_table_of(const Bwt& bwt) {
+  std::array<std::uint32_t, 4> counts{};
+  for (const std::uint8_t c : bwt.symbols) ++counts[c];
+  std::array<std::uint32_t, 4> c_table{};
+  std::uint32_t sum = 1;  // the sentinel precedes every base
+  for (unsigned c = 0; c < 4; ++c) {
+    c_table[c] = sum;
+    sum += counts[c];
+  }
+  return c_table;
+}
+
 std::vector<std::uint8_t> inverse_bwt(const Bwt& bwt) {
   const std::size_t n = bwt.text_length;
   const std::size_t rows = n + 1;

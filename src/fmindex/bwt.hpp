@@ -8,6 +8,7 @@
 // `primary` (see FmIndex::occ).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -38,5 +39,11 @@ Bwt build_bwt(std::span<const std::uint8_t> text);
 /// Inverts the transform, reconstructing the original text. Used by the
 /// round-trip property tests.
 std::vector<std::uint8_t> inverse_bwt(const Bwt& bwt);
+
+/// C table over the squeezed BWT: c_table[c] = number of full-column rows
+/// whose first character sorts before code c — 1 for the sentinel plus the
+/// counts of all smaller codes. Shared by the archive writer and the
+/// blockwise merge (where it doubles as the rank base over partial BWTs).
+std::array<std::uint32_t, 4> c_table_of(const Bwt& bwt);
 
 }  // namespace bwaver

@@ -105,6 +105,25 @@ KmerSeedTable KmerSeedTable::load_flat(ByteReader& reader, bool adopt) {
   return table;
 }
 
+KmerTableBuilder::KmerTableBuilder(std::span<const std::uint8_t> text, unsigned requested_k)
+    : text_(text), k_(KmerSeedTable::capped_k(requested_k, text.size())) {
+  if (k_ != 0 && text.size() < k_) k_ = 0;  // build()'s short-text rule
+  if (k_ != 0) {
+    const std::size_t entries = std::size_t{1} << (2 * k_);
+    lo_.assign(entries, 0);
+    hi_.assign(entries, 0);
+  }
+}
+
+KmerSeedTable KmerTableBuilder::finish() {
+  KmerSeedTable table;
+  if (k_ == 0) return table;
+  table.k_ = k_;
+  table.lo_ = std::move(lo_);
+  table.hi_ = std::move(hi_);
+  return table;
+}
+
 void KmerSeedTable::validate() const {
   if (k_ > kMaxK) throw IoError("KmerSeedTable::load: corrupt k");
   const std::size_t expected = k_ == 0 ? 0 : std::size_t{1} << (2 * k_);

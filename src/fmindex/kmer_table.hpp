@@ -94,11 +94,56 @@ class KmerSeedTable {
   static KmerSeedTable load_flat(ByteReader& reader, bool adopt);
 
  private:
+  friend class KmerTableBuilder;
+
   void validate() const;
 
   unsigned k_ = 0;
   FlatArray<std::uint32_t> lo_;  // one interval per k-mer code
   FlatArray<std::uint32_t> hi_;
+};
+
+/// Incremental row-feed construction of a KmerSeedTable.
+///
+/// The blockwise index constructor recovers suffix-array rows in ascending
+/// row order while streaming them to disk, never holding the whole SA — so
+/// it cannot call KmerSeedTable::build. Feeding every (row, position) pair
+/// in ascending row order performs the same run-recording scan and yields a
+/// table identical to build() over the full SA (same code definition, same
+/// short-suffix skip rule); the equivalence is pinned by fm_kmer_table_test.
+/// Each feed re-reads k bases (O(k)) instead of using build()'s rolling
+/// code array, trading a 4 bytes/base side table for bounded memory.
+class KmerTableBuilder {
+ public:
+  /// `requested_k` is capped via KmerSeedTable::capped_k, like build().
+  KmerTableBuilder(std::span<const std::uint8_t> text, unsigned requested_k);
+
+  /// Active after construction iff the capped k is usable for this text;
+  /// when false, feed() is a no-op and finish() returns a disabled table.
+  bool enabled() const noexcept { return k_ != 0; }
+  unsigned k() const noexcept { return k_; }
+
+  /// Records suffix-array row `row` holding text position `pos`. Rows MUST
+  /// arrive in ascending row order (gaps from short suffixes are fine).
+  void feed(std::uint32_t row, std::uint32_t pos) noexcept {
+    if (k_ == 0 || pos + k_ > text_.size()) return;
+    std::uint32_t code = 0;
+    for (unsigned i = 0; i < k_; ++i) code = (code << 2) | (text_[pos + i] & 3);
+    if (code != prev_) {
+      lo_[code] = row;
+      prev_ = code;
+    }
+    hi_[code] = row + 1;
+  }
+
+  KmerSeedTable finish();
+
+ private:
+  std::span<const std::uint8_t> text_;
+  unsigned k_ = 0;
+  std::uint64_t prev_ = ~std::uint64_t{0};
+  std::vector<std::uint32_t> lo_;
+  std::vector<std::uint32_t> hi_;
 };
 
 }  // namespace bwaver

@@ -1,16 +1,21 @@
 #include "mapper/pipeline.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <stdexcept>
 
+#include "build/blockwise_builder.hpp"
+#include "build/build_plan.hpp"
 #include "fmindex/dna.hpp"
 #include "io/byte_io.hpp"
 #include "io/fasta.hpp"
 #include "io/sam.hpp"
 #include "io/streaming.hpp"
 #include "mapper/map_service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/index_archive.hpp"
 #include "util/timer.hpp"
 
@@ -181,6 +186,67 @@ void Pipeline::save_index(const std::string& path) const {
     throw std::logic_error("Pipeline: save_index before encode()/build_from_sequence()");
   }
   write_index_archive(path, reference_, *index_);
+}
+
+BuildArchiveResult Pipeline::build_archive(
+    const std::string& path, const ReferenceSet& reference, const PipelineConfig& config,
+    const std::function<void(const std::string&)>& progress) {
+  const build::BuildPlan plan = build::plan_build(reference.total_length(),
+                                                  config.build_memory_budget_bytes,
+                                                  config.build_block_bases);
+  BuildArchiveResult result;
+  result.blockwise = plan.blockwise;
+  result.estimated_peak_bytes = plan.estimated_peak_bytes;
+
+  if (plan.blockwise) {
+    build::BlockwiseConfig blockwise;
+    blockwise.block_bases = plan.block_bases;
+    blockwise.memory_budget_bytes = config.build_memory_budget_bytes;
+    blockwise.seed_k = config.seed_k;
+    blockwise.rrr = config.rrr;
+    blockwise.write_provenance = config.build_provenance;
+    blockwise.progress = progress;
+    build::BlockwiseBuilder builder(reference, blockwise);
+    const build::BlockwiseStats stats = builder.build_archive(path);
+    result.block_bases = stats.block_bases;
+    result.merge_passes = stats.merge_passes;
+    result.bytes_written = stats.bytes_written;
+    return result;
+  }
+
+  obs::TraceSpan span("build:direct");
+  if (progress) {
+    progress("direct build: " + std::to_string(reference.total_length()) + " bases");
+  }
+  const auto sa = build_suffix_array(reference.concatenated());
+  Bwt bwt = build_bwt(reference.concatenated(), sa);
+  auto seeds = std::make_shared<const KmerSeedTable>(
+      KmerSeedTable::build(reference.concatenated(), sa, config.seed_k));
+  const RrrParams params = config.rrr;
+  FmIndex<RrrWaveletOcc> index(
+      std::move(bwt), std::move(sa),
+      [params](std::span<const std::uint8_t> symbols) {
+        return RrrWaveletOcc(symbols, params);
+      });
+  index.set_seed_table(std::move(seeds));
+  BuildProvenance provenance;
+  provenance.builder = "direct";
+  provenance.memory_budget_bytes = config.build_memory_budget_bytes;
+  write_index_archive(path, reference, index, kArchiveVersionLatest,
+                      config.build_provenance ? &provenance : nullptr);
+  result.bytes_written = std::filesystem::file_size(path);
+
+  const obs::ObsContext& ctx = obs::current_context();
+  obs::MetricsRegistry& metrics =
+      ctx.metrics != nullptr ? *ctx.metrics : obs::default_registry();
+  const obs::Labels labels{{"builder", "direct"}};
+  metrics.counter("bwaver_build_blocks_total", "Index-construction text blocks built",
+                  labels)
+      .inc(1);
+  metrics.counter("bwaver_build_bytes_written_total",
+                  "Index archive bytes written by builds", labels)
+      .inc(result.bytes_written);
+  return result;
 }
 
 Pipeline Pipeline::from_archive(const std::string& path, PipelineConfig config,

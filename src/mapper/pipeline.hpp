@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -54,6 +55,26 @@ struct PipelineConfig {
   /// host-side seeded search and fail on disagreement (0 disables). See
   /// BwaverFpgaMapper::host_verify_stride.
   std::size_t fpga_verify_stride = 0;
+  /// Peak-memory target for build_archive() in bytes (0 = unbounded). When
+  /// the direct path's estimated peak exceeds it, the build switches to the
+  /// memory-bounded blockwise constructor (src/build/build_plan.hpp).
+  std::size_t build_memory_budget_bytes = 0;
+  /// Explicit blockwise block size in bases for build_archive(); non-zero
+  /// forces the blockwise path (0 = derive from the budget).
+  std::size_t build_block_bases = 0;
+  /// Appends the optional "build" provenance section (builder, block size,
+  /// merge passes, budget) to archives written by build_archive(). Off by
+  /// default: provenance-free output stays byte-identical to save_index().
+  bool build_provenance = false;
+};
+
+/// What Pipeline::build_archive() did: which constructor ran and its scale.
+struct BuildArchiveResult {
+  bool blockwise = false;
+  std::size_t block_bases = 0;          ///< 0 on the direct path
+  std::size_t merge_passes = 0;         ///< 0 on the direct path
+  std::uint64_t bytes_written = 0;      ///< final archive size
+  std::size_t estimated_peak_bytes = 0; ///< planner's estimate for the chosen path
 };
 
 struct PipelineTimings {
@@ -119,6 +140,19 @@ class Pipeline {
   /// structure, suffix array) to a checksummed archive (see
   /// store/index_archive.hpp). Requires encode()/build_from_*() first.
   void save_index(const std::string& path) const;
+
+  /// Builds an index over `reference` and writes it straight to an archive
+  /// at `path` without retaining a resident pipeline — the `index build`
+  /// path. Honors config.build_memory_budget_bytes / build_block_bases:
+  /// when the direct build would exceed the budget (or a block size is
+  /// forced) the memory-bounded blockwise constructor streams the archive
+  /// instead (see src/build/blockwise_builder.hpp); both paths produce
+  /// byte-identical files and write temp + fsync + atomic rename.
+  /// `progress` (optional) receives human-readable status lines.
+  static BuildArchiveResult build_archive(
+      const std::string& path, const ReferenceSet& reference,
+      const PipelineConfig& config,
+      const std::function<void(const std::string&)>& progress = {});
 
   /// Loads a pipeline from an archive written by save_index() — no
   /// construction work is redone, so this is the fast deployment path. The

@@ -1,7 +1,9 @@
 #include "store/index_archive.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -16,39 +18,17 @@ namespace {
 
 constexpr std::uint32_t kArchiveMagic = 0x41565742;  // "BWVA" little-endian
 
-constexpr const char* kSectionMeta = "meta";
-constexpr const char* kSectionText = "text";  // v3+: raw 2-bit codes
-constexpr const char* kSectionBwt = "bwt";
-constexpr const char* kSectionOcc = "occ";
-constexpr const char* kSectionSa = "sa";
-constexpr const char* kSectionKmer = "kmer";  // optional, v2+
-constexpr const char* kSectionEpr = "epr";    // optional, v4+
-
-/// v3 sections start on 64-byte file offsets so the flat arrays inside
-/// (themselves padded to 64 within the section) are absolutely aligned.
-constexpr std::uint64_t kSectionAlign = 64;
-
-std::array<std::uint32_t, 4> c_table_of(const Bwt& bwt) {
-  std::array<std::uint32_t, 4> counts{};
-  for (std::uint8_t c : bwt.symbols) ++counts[c];
-  std::array<std::uint32_t, 4> c_table{};
-  std::uint32_t sum = 1;  // the sentinel precedes every base
-  for (unsigned c = 0; c < 4; ++c) {
-    c_table[c] = sum;
-    sum += counts[c];
-  }
-  return c_table;
-}
-
 struct ParsedHeader {
   std::uint32_t version = 0;
   std::vector<ArchiveSection> sections;
 };
 
-/// Parses and validates the header, the header CRC, the section bounds and
-/// every section payload CRC.
-ParsedHeader parse_header(std::span<const std::uint8_t> file, const std::string& path) {
-  ByteReader reader(file);
+/// Parses and validates the header fields, the header CRC and the section
+/// bounds against `file_size` — without touching any section payload, so it
+/// works on a small prefix of a multi-gigabyte archive.
+ParsedHeader parse_header_fields(std::span<const std::uint8_t> prefix,
+                                 std::uint64_t file_size, const std::string& path) {
+  ByteReader reader(prefix);
   if (reader.u32() != kArchiveMagic) {
     throw IoError("index archive: bad magic: " + path);
   }
@@ -72,16 +52,25 @@ ParsedHeader parse_header(std::span<const std::uint8_t> file, const std::string&
     section.crc32 = reader.u32();
     header.sections.push_back(std::move(section));
   }
-  const std::size_t header_bytes = file.size() - reader.remaining();
+  const std::size_t header_bytes = prefix.size() - reader.remaining();
   const std::uint32_t stored_header_crc = reader.u32();
-  if (crc32_ieee(file.subspan(0, header_bytes)) != stored_header_crc) {
+  if (crc32_ieee(prefix.subspan(0, header_bytes)) != stored_header_crc) {
     throw IoError("index archive: header checksum mismatch: " + path);
   }
   for (const ArchiveSection& section : header.sections) {
-    if (section.offset > file.size() || section.length > file.size() - section.offset) {
+    if (section.offset > file_size || section.length > file_size - section.offset) {
       throw IoError("index archive: truncated section '" + section.name +
                     "': " + path);
     }
+  }
+  return header;
+}
+
+/// Parses and validates the header, the header CRC, the section bounds and
+/// every section payload CRC.
+ParsedHeader parse_header(std::span<const std::uint8_t> file, const std::string& path) {
+  ParsedHeader header = parse_header_fields(file, file.size(), path);
+  for (const ArchiveSection& section : header.sections) {
     if (crc32_ieee(file.subspan(section.offset, section.length)) != section.crc32) {
       throw IoError("index archive: section '" + section.name +
                     "' checksum mismatch: " + path);
@@ -374,9 +363,44 @@ std::size_t stored_index_bytes(const StoredIndex& stored) {
   return stored_index_footprint(stored).total();
 }
 
+std::uint64_t archive_payload_start(std::span<const ArchiveSectionPlan> sections) {
+  std::uint64_t header_bytes = 3 * sizeof(std::uint32_t);
+  for (const ArchiveSectionPlan& section : sections) {
+    header_bytes += 8 + section.name.size() + 8 + 8 + 4;
+  }
+  return header_bytes + sizeof(std::uint32_t);  // + header CRC
+}
+
+std::vector<std::uint8_t> render_archive_header(std::uint32_t format_version,
+                                                std::span<const ArchiveSectionPlan> sections) {
+  const bool flat = format_version >= 3;
+  ByteWriter writer;
+  writer.u32(kArchiveMagic);
+  writer.u32(format_version);
+  writer.u32(static_cast<std::uint32_t>(sections.size()));
+  std::uint64_t offset = archive_payload_start(sections);
+  for (const ArchiveSectionPlan& section : sections) {
+    if (flat) offset = (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
+    writer.str(section.name);
+    writer.u64(offset);
+    writer.u64(section.length);
+    writer.u32(section.crc32);
+    offset += section.length;
+  }
+  writer.u32(crc32_ieee(writer.data()));
+  return writer.take();
+}
+
+void save_build_provenance(ByteWriter& writer, const BuildProvenance& provenance) {
+  writer.str(provenance.builder);
+  writer.u64(provenance.block_bases);
+  writer.u64(provenance.merge_passes);
+  writer.u64(provenance.memory_budget_bytes);
+}
+
 void write_index_archive(const std::string& path, const ReferenceSet& reference,
                          const FmIndex<RrrWaveletOcc>& index,
-                         std::uint32_t format_version) {
+                         std::uint32_t format_version, const BuildProvenance* provenance) {
   if (format_version < kArchiveVersionMin || format_version > kArchiveVersionLatest) {
     throw std::invalid_argument("write_index_archive: unsupported format version " +
                                 std::to_string(format_version));
@@ -450,34 +474,25 @@ void write_index_archive(const std::string& path, const ReferenceSet& reference,
     sections.emplace_back(kSectionEpr, &epr_section.data());
   }
 
-  // The header size is known up front (str = u64 length prefix + bytes), so
-  // absolute payload offsets can be written in one pass. v3 rounds every
-  // payload offset up to the 64-byte section alignment.
-  std::size_t header_bytes = 3 * sizeof(std::uint32_t);
-  for (const auto& [name, payload] : sections) {
-    header_bytes += 8 + std::string(name).size() + 8 + 8 + 4;
+  ByteWriter build_section;
+  if (flat && provenance != nullptr) {
+    save_build_provenance(build_section, *provenance);
+    sections.emplace_back(kSectionBuild, &build_section.data());
   }
-  const std::size_t payload_start = header_bytes + sizeof(std::uint32_t);  // + header CRC
+
+  std::vector<ArchiveSectionPlan> plans;
+  plans.reserve(sections.size());
+  for (const auto& [name, payload] : sections) {
+    plans.push_back({name, payload->size(), crc32_ieee(*payload)});
+  }
 
   ByteWriter writer;
-  writer.u32(kArchiveMagic);
-  writer.u32(format_version);
-  writer.u32(static_cast<std::uint32_t>(sections.size()));
-  std::uint64_t offset = payload_start;
-  for (const auto& [name, payload] : sections) {
-    if (flat) offset = (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
-    writer.str(name);
-    writer.u64(offset);
-    writer.u64(payload->size());
-    writer.u32(crc32_ieee(*payload));
-    offset += payload->size();
-  }
-  writer.u32(crc32_ieee(writer.data()));
+  writer.bytes(render_archive_header(format_version, plans));
   for (const auto& [name, payload] : sections) {
     if (flat) writer.pad_to(kSectionAlign);
     writer.bytes(*payload);
   }
-  write_file(path, writer.data());
+  write_file_atomic(path, writer.data());
 }
 
 StoredIndex read_index_archive(const std::string& path, LoadMode mode) {
@@ -506,16 +521,70 @@ StoredIndex read_index_archive(const std::string& path) {
 }
 
 ArchiveInfo read_index_archive_info(const std::string& path) {
-  const auto file = read_file(path);
-  const ParsedHeader header = parse_header(file, path);
-  const MetaSection meta =
-      parse_meta(section_reader(file, header, kSectionMeta, path), path);
+  // Deliberately NOT a whole-file read: `index info` and registry adoption
+  // run against multi-gigabyte archives (and, for the blockwise builder,
+  // inside a tight memory budget), so only the header and the two small
+  // metadata sections are read and checksummed. Bulk payload CRCs are
+  // verified when the archive is actually loaded.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("read_file: cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+
+  const auto read_slice = [&](std::uint64_t offset,
+                              std::size_t length) -> std::vector<std::uint8_t> {
+    std::vector<std::uint8_t> bytes(length);
+    in.seekg(static_cast<std::streamoff>(offset));
+    if (length > 0 &&
+        !in.read(reinterpret_cast<char*>(bytes.data()),
+                 static_cast<std::streamsize>(length))) {
+      throw IoError("read_file: short read from " + path);
+    }
+    return bytes;
+  };
+
+  // A 64-section table with names tops out well under a page; 64 KiB of
+  // slack means a valid header always fits, and a header that runs off the
+  // prefix fails the ByteReader bounds check exactly like a truncated file.
+  const auto prefix = read_slice(
+      0, static_cast<std::size_t>(std::min<std::uint64_t>(file_size, 64 * 1024)));
+  const ParsedHeader header = parse_header_fields(prefix, file_size, path);
+
+  const auto read_section = [&](const std::string& name) -> std::vector<std::uint8_t> {
+    const ArchiveSection* entry = find_section_entry(header, name);
+    if (entry == nullptr) {
+      throw IoError("index archive: missing section '" + name + "': " + path);
+    }
+    auto payload = read_slice(entry->offset, static_cast<std::size_t>(entry->length));
+    if (crc32_ieee(payload) != entry->crc32) {
+      throw IoError("index archive: section '" + name + "' checksum mismatch: " + path);
+    }
+    return payload;
+  };
+
+  const auto meta_bytes = read_section(kSectionMeta);
+  const ArchiveSection* meta_entry = find_section_entry(header, kSectionMeta);
+  const MetaSection meta = parse_meta(
+      ByteReader(meta_bytes, kSectionMeta, meta_entry->offset), path);
   ArchiveInfo info;
   info.version = header.version;
-  info.file_bytes = file.size();
+  info.file_bytes = file_size;
   info.sections = header.sections;
   info.sequences = meta.sequences;
   info.text_length = meta.text_length;
+  if (const ArchiveSection* entry = find_section_entry(header, kSectionBuild)) {
+    const auto build_bytes = read_section(kSectionBuild);
+    ByteReader reader(build_bytes, kSectionBuild, entry->offset);
+    BuildProvenance provenance;
+    provenance.builder = reader.str();
+    provenance.block_bases = reader.u64();
+    provenance.merge_passes = reader.u64();
+    provenance.memory_budget_bytes = reader.u64();
+    if (!reader.done()) {
+      throw IoError("index archive: trailing bytes in build section: " + path);
+    }
+    info.build = std::move(provenance);
+  }
   return info;
 }
 

@@ -66,6 +66,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -74,6 +75,7 @@
 #include "fmindex/fm_index.hpp"
 #include "fmindex/occ_backends.hpp"
 #include "fmindex/reference_set.hpp"
+#include "io/byte_io.hpp"
 #include "io/mapped_file.hpp"
 
 namespace bwaver {
@@ -133,12 +135,26 @@ struct ArchiveSection {
   std::uint32_t crc32 = 0;
 };
 
+/// Builder provenance recorded in the OPTIONAL "build" section (opt-in:
+/// archives with and without it differ byte-for-byte, and the blockwise
+/// byte-identity guarantee is stated over archives written with the same
+/// provenance setting). Loaders ignore unknown sections, so provenance-
+/// carrying archives load under every reader since v3.
+struct BuildProvenance {
+  std::string builder;                    ///< "direct" or "blockwise"
+  std::uint64_t block_bases = 0;          ///< blockwise block size (0 for direct)
+  std::uint64_t merge_passes = 0;         ///< rank-interleave merges performed
+  std::uint64_t memory_budget_bytes = 0;  ///< requested budget (0 = unbounded)
+};
+
 struct ArchiveInfo {
   std::uint32_t version = 0;
   std::uint64_t file_bytes = 0;
   std::vector<ArchiveSection> sections;
   std::vector<ReferenceSet::Sequence> sequences;  ///< from the meta section
   std::uint32_t text_length = 0;
+  /// Present when the archive carries a "build" section.
+  std::optional<BuildProvenance> build;
 };
 
 /// Oldest archive format the loader still accepts (no "kmer" section).
@@ -147,13 +163,56 @@ inline constexpr std::uint32_t kArchiveVersionMin = 1;
 /// plus the optional "epr" dictionary section.
 inline constexpr std::uint32_t kArchiveVersionLatest = 4;
 
-/// Serializes a built index to `path`. Takes components by reference:
-/// FmIndex is move-only, and the writer only reads. `format_version` exists
-/// for backward-compat tests: writing kArchiveVersionMin produces a v1
-/// archive (the index's seed table, if any, is omitted).
+/// Canonical section names. The loader resolves sections by name and ignores
+/// unknown ones, so writers may append new optional sections freely.
+inline constexpr const char* kSectionMeta = "meta";
+inline constexpr const char* kSectionText = "text";    // v3+: raw 2-bit codes
+inline constexpr const char* kSectionBwt = "bwt";
+inline constexpr const char* kSectionOcc = "occ";
+inline constexpr const char* kSectionSa = "sa";
+inline constexpr const char* kSectionKmer = "kmer";    // optional, v2+
+inline constexpr const char* kSectionEpr = "epr";      // optional, v4+
+inline constexpr const char* kSectionBuild = "build";  // optional provenance
+
+/// v3+ sections start on 64-byte file offsets so the flat arrays inside
+/// (themselves padded to 64 within the section) are absolutely aligned.
+inline constexpr std::uint64_t kSectionAlign = 64;
+
+/// One planned section for header rendering: its name plus the payload's
+/// final byte length and CRC32 (IEEE, of the payload bytes only).
+struct ArchiveSectionPlan {
+  std::string name;
+  std::uint64_t length = 0;
+  std::uint32_t crc32 = 0;
+};
+
+/// Absolute file offset of the byte right after the header CRC for a header
+/// naming these sections — where the first payload would start before any
+/// section alignment. Depends only on the section names, so a streaming
+/// writer can lay out payloads before their lengths and CRCs are known.
+std::uint64_t archive_payload_start(std::span<const ArchiveSectionPlan> sections);
+
+/// Renders the complete archive header (magic, version, section table with
+/// 64-byte-aligned offsets for flat formats, header CRC). This is the single
+/// header serialization shared by write_index_archive and the blockwise
+/// ArchiveStreamWriter, so the two paths produce byte-identical files.
+std::vector<std::uint8_t> render_archive_header(std::uint32_t format_version,
+                                                std::span<const ArchiveSectionPlan> sections);
+
+/// Serializes the "build" section payload (see BuildProvenance).
+void save_build_provenance(ByteWriter& writer, const BuildProvenance& provenance);
+
+/// Serializes a built index to `path` via a temp file + fsync + atomic
+/// rename, so a crash mid-write never leaves a torn archive under the final
+/// name. Takes components by reference: FmIndex is move-only, and the writer
+/// only reads. `format_version` exists for backward-compat tests: writing
+/// kArchiveVersionMin produces a v1 archive (the index's seed table, if any,
+/// is omitted). A non-null `provenance` appends the optional "build" section
+/// (v3+ only).
 void write_index_archive(const std::string& path, const ReferenceSet& reference,
                          const FmIndex<RrrWaveletOcc>& index,
-                         std::uint32_t format_version = kArchiveVersionLatest);
+                         std::uint32_t format_version = kArchiveVersionLatest,
+                         const BuildProvenance* provenance = nullptr);
 
 /// Loads and fully validates an archive. Throws IoError on any truncation,
 /// bad magic, version mismatch, checksum failure, or cross-section
@@ -163,8 +222,10 @@ StoredIndex read_index_archive(const std::string& path, LoadMode mode);
 /// Same, with the process default mode (see default_load_mode()).
 StoredIndex read_index_archive(const std::string& path);
 
-/// Header + section table + meta section only (every section CRC is still
-/// verified against the payload bytes) — the `index info` path.
+/// Header + section table + meta/build sections only — the `index info` and
+/// registry-adoption path. Reads O(header) bytes regardless of archive size:
+/// the header CRC, the section bounds and the CRCs of the sections it parses
+/// are verified; bulk payload CRCs are checked when the archive is loaded.
 ArchiveInfo read_index_archive_info(const std::string& path);
 
 }  // namespace bwaver

@@ -212,6 +212,46 @@ IndexRegistry::Handle IndexRegistry::add(const std::string& name, StoredIndex st
   return handle;
 }
 
+void IndexRegistry::adopt(const std::string& name, const std::string& archive_file) {
+  if (!valid_reference_name(name)) {
+    throw std::invalid_argument("IndexRegistry: invalid reference name '" + name + "'");
+  }
+  if (store_dir_.empty()) {
+    throw std::logic_error(
+        "IndexRegistry: adopt() requires a persistent store directory");
+  }
+  // Cheap validation: header structure plus every section CRC, without
+  // materializing the index. Throws IoError on a corrupt/truncated file.
+  const ArchiveInfo info = read_index_archive_info(archive_file);
+
+  std::unique_lock lock(mutex_);
+  auto& slot = entries_[name];
+  const bool replacing = slot != nullptr;
+  if (!slot) slot = std::make_unique<Entry>();
+  Entry& entry = *slot;
+  if (replacing) {
+    ++entry.generation;
+    // The adopted archive supersedes the resident copy; in-flight readers
+    // drain via refcount exactly as in rollover().
+    drop_resident_locked(entry);
+  }
+  const auto archive = std::filesystem::path(store_dir_) / (name + ".bwva");
+  if (std::filesystem::path(archive_file) != archive) {
+    std::filesystem::rename(archive_file, archive);
+  }
+  if (!entry.archive_path.empty() && entry.archive_path != archive.string()) {
+    std::error_code discard;
+    std::filesystem::remove(entry.archive_path, discard);
+  }
+  entry.archive_path = archive.string();
+  entry.archive_bytes = std::filesystem::file_size(archive);
+  entry.text_length = info.text_length;
+  entry.num_sequences = info.sequences.size();
+  entry.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+  save_manifest_locked();
+}
+
 IndexRegistry::Handle IndexRegistry::rollover(const std::string& name,
                                               StoredIndex stored) {
   // Stage 1 (no registry lock held — traffic keeps flowing): persist the

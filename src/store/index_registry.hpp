@@ -90,6 +90,17 @@ class IndexRegistry {
   /// it does not create — use add() for first registration).
   Handle rollover(const std::string& name, StoredIndex stored);
 
+  /// Registers an existing archive file under `name` WITHOUT loading the
+  /// index — the blockwise builder streams archives to disk precisely so
+  /// the full index never has to be resident, and adopt() keeps that
+  /// property through registration. The file is validated by a cheap
+  /// header + per-section-CRC read and renamed into the store directory
+  /// (same filesystem expected), replacing any previous entry (its
+  /// resident copy, if any, is dropped; in-flight handles drain by
+  /// refcount). Requires a persistent store; throws std::logic_error in
+  /// memory-only mode and IoError when the archive does not validate.
+  void adopt(const std::string& name, const std::string& archive_file);
+
   /// Current generation of `name` (throws std::out_of_range when unknown).
   std::uint64_t generation(const std::string& name) const;
 

@@ -190,6 +190,48 @@ TEST_F(CliTest, IndexStoreBuildInfoAndMap) {
             1);
 }
 
+TEST_F(CliTest, BlockwiseBuildFlagsAndProvenance) {
+  // 1.5 Mbp with --block-mb 1 (1 MiB of bases per block) forces the
+  // blockwise constructor through a real merge pass at the CLI level.
+  ASSERT_EQ(run("simulate-genome --length 1500000 --seed 29 --out " + path("g.fa")), 0);
+
+  ASSERT_EQ(run("index build --ref " + path("g.fa") + " --store-dir " +
+                path("bw") + " --name g --block-mb 1 --seed-k 8 --build-meta"),
+            0);
+  auto contents = log_contents();
+  EXPECT_NE(contents.find("blockwise"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("merge pass"), std::string::npos) << contents;
+
+  // Provenance rides in the archive and surfaces in `index info`.
+  ASSERT_EQ(run("index info --archive " + path("bw/g.bwva")), 0);
+  contents = log_contents();
+  EXPECT_NE(contents.find("builder: blockwise"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("build"), std::string::npos) << contents;
+
+  // Without --build-meta the blockwise and direct paths must produce
+  // byte-identical archives — the subsystem's core guarantee, end to end.
+  ASSERT_EQ(run("index build --ref " + path("g.fa") + " --store-dir " +
+                path("bw2") + " --name g --block-mb 1 --seed-k 8"),
+            0);
+  ASSERT_EQ(run("index build --ref " + path("g.fa") + " --store-dir " +
+                path("direct") + " --name g --seed-k 8"),
+            0);
+  EXPECT_NE(log_contents().find("direct"), std::string::npos);
+  EXPECT_EQ(read_file(path("bw2/g.bwva")), read_file(path("direct/g.bwva")));
+
+  ASSERT_EQ(run("index info --archive " + path("direct/g.bwva")), 0);
+  EXPECT_NE(log_contents().find("builder: unknown"), std::string::npos);
+
+  // The blockwise store serves like any other.
+  ASSERT_EQ(run("simulate-reads --ref " + path("g.fa") +
+                " --num 50 --length 50 --mapping-ratio 1.0 --out " + path("g.fq")),
+            0);
+  ASSERT_EQ(run("map --store-dir " + path("bw") + " --ref-name g --reads " +
+                path("g.fq") + " --engine cpu --out " + path("g.sam")),
+            0);
+  EXPECT_NE(log_contents().find("mapped 50/50"), std::string::npos);
+}
+
 TEST_F(CliTest, MapWithUnknownStoreReferenceFails) {
   ASSERT_EQ(run("simulate-genome --length 30000 --seed 31 --out " + path("r.fa")), 0);
   ASSERT_EQ(run("index build --ref " + path("r.fa") + " --store-dir " +

@@ -1,0 +1,70 @@
+// Build-planner tests: direct-vs-blockwise selection, budget-fitted block
+// sizes, and the failure mode when even a one-base block cannot fit.
+#include "build/build_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bwaver::build {
+namespace {
+
+constexpr std::size_t kMB = std::size_t{1} << 20;
+
+TEST(BuildPlanTest, UnboundedBudgetStaysDirect) {
+  const BuildPlan plan = plan_build(100 * kMB, /*budget_bytes=*/0, /*block_bases=*/0);
+  EXPECT_FALSE(plan.blockwise);
+  EXPECT_EQ(plan.block_bases, 0u);
+  EXPECT_EQ(plan.estimated_peak_bytes, direct_build_peak_bytes(100 * kMB));
+}
+
+TEST(BuildPlanTest, GenerousBudgetStaysDirect) {
+  const std::size_t n = 4 * kMB;
+  const BuildPlan plan = plan_build(n, direct_build_peak_bytes(n) + 1, 0);
+  EXPECT_FALSE(plan.blockwise);
+}
+
+TEST(BuildPlanTest, TightBudgetGoesBlockwiseWithinBudget) {
+  const std::size_t n = 24 * kMB;
+  const std::size_t budget = 256 * kMB;
+  ASSERT_GT(direct_build_peak_bytes(n), budget);
+  const BuildPlan plan = plan_build(n, budget, 0);
+  EXPECT_TRUE(plan.blockwise);
+  EXPECT_GE(plan.block_bases, 1u);
+  EXPECT_LE(plan.block_bases, n);
+  // The fitted block's own estimate honors the budget.
+  EXPECT_LE(blockwise_build_peak_bytes(n, plan.block_bases), budget);
+  EXPECT_EQ(plan.estimated_peak_bytes, blockwise_build_peak_bytes(n, plan.block_bases));
+}
+
+TEST(BuildPlanTest, ExplicitBlockForcesBlockwise) {
+  const BuildPlan plan = plan_build(1000, /*budget_bytes=*/0, /*block_bases=*/64);
+  EXPECT_TRUE(plan.blockwise);
+  EXPECT_EQ(plan.block_bases, 64u);
+}
+
+TEST(BuildPlanTest, DerivedBlockClampedToText) {
+  // A budget far above the blockwise baseline derives a block capped at n.
+  const std::size_t n = 1000;
+  const std::size_t block = derive_block_bases(n, std::size_t{8} << 30);
+  EXPECT_EQ(block, n);
+}
+
+TEST(BuildPlanTest, DeriveMonotoneInBudget) {
+  const std::size_t n = 64 * kMB;
+  const std::size_t small = derive_block_bases(n, 300 * kMB);
+  const std::size_t large = derive_block_bases(n, 600 * kMB);
+  EXPECT_GE(large, small);
+  EXPECT_LE(blockwise_build_peak_bytes(n, small), 300 * kMB);
+  EXPECT_LE(blockwise_build_peak_bytes(n, large), 600 * kMB);
+}
+
+TEST(BuildPlanTest, ImpossibleBudgetThrows) {
+  // Below the O(n) floor (text + partial BWTs + fixed overhead) no block
+  // size can help.
+  EXPECT_THROW(derive_block_bases(100 * kMB, 1 * kMB), std::invalid_argument);
+  EXPECT_THROW(plan_build(100 * kMB, 1 * kMB, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bwaver::build

@@ -167,6 +167,39 @@ TEST(KmerTableTest, SaveLoadRoundTripsExactly) {
   }
 }
 
+// The incremental builder the blockwise constructor feeds row by row must
+// produce the exact table the one-shot SA scan builds — serialized bytes
+// and all, since the archive byte-identity guarantee rests on it.
+TEST(KmerTableTest, IncrementalBuilderMatchesOneShotBuild) {
+  for (const unsigned requested_k : {3u, 5u, 12u}) {
+    const auto text = testing::random_symbols(2000, 4, 17 + requested_k);
+    const auto index = make_index(text);
+    const KmerSeedTable direct =
+        KmerSeedTable::build(text, index.suffix_array(), requested_k);
+
+    KmerTableBuilder builder(text, requested_k);
+    ASSERT_EQ(builder.enabled(), direct.enabled());
+    const auto sa = index.suffix_array();
+    for (std::size_t row = 0; row < sa.size(); ++row) {
+      builder.feed(static_cast<std::uint32_t>(row), sa[row]);
+    }
+    const KmerSeedTable incremental = builder.finish();
+
+    ByteWriter direct_bytes, incremental_bytes;
+    direct.save_flat(direct_bytes);
+    incremental.save_flat(incremental_bytes);
+    EXPECT_EQ(incremental_bytes.data(), direct_bytes.data()) << "k " << requested_k;
+  }
+}
+
+TEST(KmerTableTest, IncrementalBuilderDisabledOnShortText) {
+  const auto text = testing::random_symbols(5, 4, 3);
+  KmerTableBuilder builder(text, 8);  // capped k still exceeds the text
+  EXPECT_FALSE(builder.enabled());
+  builder.feed(0, 5);
+  EXPECT_FALSE(builder.finish().enabled());
+}
+
 TEST(KmerTableTest, ZeroKDisablesSeeding) {
   const auto text = testing::random_symbols(1000, 4, 9);
   auto index = make_index(text);
